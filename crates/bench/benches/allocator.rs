@@ -1,0 +1,92 @@
+//! Criterion benchmark of the EF-LoRa greedy allocator — the
+//! machine-checked counterpart of the paper's Fig. 10 convergence study,
+//! including the Section III-D density-first vs. random ordering ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ef_lora::{AllocationContext, DeviceOrdering, EfLora, IncrementalAllocator, Strategy};
+use lora_model::NetworkModel;
+use lora_sim::{SimConfig, Topology};
+
+fn bench_allocator_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10/allocator_convergence");
+    group.sample_size(10);
+    for &n in &[100usize, 200, 400] {
+        for &gws in &[3usize, 9] {
+            let config = SimConfig::default();
+            let topo = Topology::disc(n, gws, 5_000.0, &config, 14);
+            let model = NetworkModel::new(&config, &topo);
+            group.bench_with_input(
+                BenchmarkId::new(format!("{gws}gw"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        let ctx = AllocationContext::new(&config, &topo, &model);
+                        EfLora::default().allocate_with_report(&ctx).unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_ordering_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sec3d/device_ordering");
+    group.sample_size(10);
+    let config = SimConfig::default();
+    let topo = Topology::disc(300, 3, 5_000.0, &config, 14);
+    let model = NetworkModel::new(&config, &topo);
+    for (label, ordering) in [
+        ("density_first", DeviceOrdering::DensityFirst),
+        ("random", DeviceOrdering::Random { seed: 7 }),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let ctx = AllocationContext::new(&config, &topo, &model);
+                EfLora::default().with_ordering(ordering).allocate_with_report(&ctx).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_incremental_vs_full(c: &mut Criterion) {
+    // The Section III-E churn scenario: +5 % devices on a 300-device
+    // network — incremental repair vs a full re-run.
+    let mut group = c.benchmark_group("ext/incremental_growth");
+    group.sample_size(10);
+    let config = SimConfig::default();
+    let grown = Topology::disc(315, 3, 5_000.0, &config, 19);
+    let old = Topology::from_sites(
+        grown.devices()[..300].to_vec(),
+        grown.gateways().to_vec(),
+        grown.radius_m(),
+    );
+    let old_model = NetworkModel::new(&config, &old);
+    let old_ctx = AllocationContext::new(&config, &old, &old_model);
+    let previous = EfLora::default().allocate(&old_ctx).unwrap();
+    let new_model = NetworkModel::new(&config, &grown);
+
+    group.bench_function("incremental", |b| {
+        b.iter(|| {
+            let ctx = AllocationContext::new(&config, &grown, &new_model);
+            IncrementalAllocator::default().extend(&ctx, previous.as_slice()).unwrap()
+        })
+    });
+    group.bench_function("full_rerun", |b| {
+        b.iter(|| {
+            let ctx = AllocationContext::new(&config, &grown, &new_model);
+            EfLora::default().allocate_with_report(&ctx).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_allocator_scaling,
+    bench_ordering_ablation,
+    bench_incremental_vs_full
+);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion benchmark of analytical-model evaluation: the mean-field
+//! path, the paper's Laplace/PPP reduction (Eq. 18–20, the
+//! "reducing computational overhead" claim), the exact Poisson–binomial θ,
+//! and the incremental single-move evaluation the greedy relies on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use lora_model::NetworkModel;
+use lora_phy::{SpreadingFactor, TxConfig, TxPowerDbm};
+use lora_sim::{SimConfig, Topology};
+
+fn mixed_alloc(n: usize) -> Vec<TxConfig> {
+    (0..n)
+        .map(|i| {
+            TxConfig::new(
+                SpreadingFactor::from_u8(7 + (i % 6) as u8).unwrap(),
+                TxPowerDbm::new(2.0 + 2.0 * ((i / 6) % 7) as f64),
+                i % 8,
+            )
+        })
+        .collect()
+}
+
+fn bench_full_evaluation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model/full_evaluation");
+    for &n in &[100usize, 300, 1000] {
+        let config = SimConfig::default();
+        let topo = Topology::disc(n, 3, 5_000.0, &config, 3);
+        let model = NetworkModel::new(&config, &topo);
+        let alloc = mixed_alloc(n);
+        group.bench_with_input(BenchmarkId::new("mean_field", n), &n, |b, _| {
+            b.iter(|| model.evaluate(&alloc))
+        });
+        group.bench_with_input(BenchmarkId::new("laplace_ppp", n), &n, |b, _| {
+            b.iter(|| model.evaluate_laplace(&alloc))
+        });
+        if n <= 300 {
+            group.bench_with_input(BenchmarkId::new("exact_theta", n), &n, |b, _| {
+                b.iter(|| model.evaluate_exact_theta(&alloc))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_incremental_move(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model/incremental_move");
+    for &n in &[300usize, 1000, 3000] {
+        let config = SimConfig::default();
+        let topo = Topology::disc(n, 3, 5_000.0, &config, 3);
+        let model = NetworkModel::new(&config, &topo);
+        let state = model.state(mixed_alloc(n)).unwrap();
+        let cfg = TxConfig::new(SpreadingFactor::Sf9, TxPowerDbm::new(8.0), 2);
+        group.bench_with_input(BenchmarkId::new("min_ee_if", n), &n, |b, _| {
+            b.iter(|| state.min_ee_if(n / 2, cfg, f64::NEG_INFINITY))
+        });
+        group.bench_with_input(BenchmarkId::new("min_ee_if_pruned", n), &n, |b, _| {
+            // A floor above everything prunes after the mover's own EE.
+            b.iter(|| state.min_ee_if(n / 2, cfg, f64::INFINITY))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_evaluation, bench_incremental_move);
+criterion_main!(benches);

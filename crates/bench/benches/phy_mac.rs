@@ -1,0 +1,45 @@
+//! Criterion benchmark of the PHY/MAC primitives: time-on-air arithmetic,
+//! the AES-CMAC frame MIC, and the capacity Poisson–binomial DP.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use lora_mac::crypto::{Aes128, Cmac};
+use lora_mac::frame::UplinkFrame;
+use lora_model::capacity::{poisson_at_most, poisson_binomial_at_most};
+use lora_phy::toa::{CodingRate, ToaParams};
+use lora_phy::{Bandwidth, SpreadingFactor};
+
+fn bench_toa(c: &mut Criterion) {
+    let params =
+        ToaParams::new(SpreadingFactor::Sf12, Bandwidth::Bw125, CodingRate::Cr4_7);
+    c.bench_function("phy/time_on_air_21B_sf12", |b| {
+        b.iter(|| params.time_on_air_s(std::hint::black_box(21)).unwrap())
+    });
+}
+
+fn bench_crypto(c: &mut Criterion) {
+    let key = [0x2b; 16];
+    let cipher = Aes128::new(&key);
+    c.bench_function("mac/aes128_block", |b| {
+        b.iter(|| cipher.encrypt(std::hint::black_box([7u8; 16])))
+    });
+    let cmac = Cmac::new(&key);
+    c.bench_function("mac/cmac_21B", |b| b.iter(|| cmac.tag(std::hint::black_box(&[1u8; 21]))));
+    let frame = UplinkFrame::new(0xdead_beef, 7, 1, vec![0u8; 8]);
+    c.bench_function("mac/frame_encode", |b| b.iter(|| frame.encode(&key)));
+}
+
+fn bench_capacity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model/capacity_theta");
+    for &n in &[100usize, 1000, 5000] {
+        let probs = vec![0.003f64; n];
+        group.bench_with_input(BenchmarkId::new("poisson_binomial", n), &n, |b, _| {
+            b.iter(|| poisson_binomial_at_most(&probs, 7))
+        });
+    }
+    group.bench_function("poisson_tail", |b| b.iter(|| poisson_at_most(3.0, 7)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_toa, bench_crypto, bench_capacity);
+criterion_main!(benches);

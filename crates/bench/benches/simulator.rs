@@ -1,0 +1,30 @@
+//! Criterion benchmark of the discrete-event simulator: events per second
+//! as deployments grow (the substrate cost underlying every figure).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use ef_lora::{AllocationContext, LegacyLora, Strategy};
+use lora_model::NetworkModel;
+use lora_sim::{SimConfig, Simulation, Topology};
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/run");
+    group.sample_size(10);
+    for &n in &[100usize, 500, 1000] {
+        let config = SimConfig::builder().seed(1).duration_s(6_000.0).build();
+        let topo = Topology::disc(n, 3, 5_000.0, &config, 5);
+        let model = NetworkModel::new(&config, &topo);
+        let ctx = AllocationContext::new(&config, &topo, &model);
+        let alloc = LegacyLora::default().allocate(&ctx).unwrap();
+        let sim = Simulation::new(config, topo, alloc.into_inner()).unwrap();
+        // ~10 transmissions per device over the 6000 s horizon.
+        group.throughput(Throughput::Elements(n as u64 * 10));
+        group.bench_with_input(BenchmarkId::new("transmissions", n), &n, |b, _| {
+            b.iter(|| sim.run())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

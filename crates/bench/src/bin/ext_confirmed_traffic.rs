@@ -1,0 +1,8 @@
+//! Runs the confirmed-traffic extension experiment.
+use ef_lora_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("{}", scale.banner());
+    ef_lora_bench::experiments::ext_confirmed_traffic::run(&scale);
+}

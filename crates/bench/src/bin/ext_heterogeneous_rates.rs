@@ -1,0 +1,8 @@
+//! Runs the ext_heterogeneous_rates extension experiment (paper Section III-E).
+use ef_lora_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("{}", scale.banner());
+    ef_lora_bench::experiments::ext_heterogeneous_rates::run(&scale);
+}

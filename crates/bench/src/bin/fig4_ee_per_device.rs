@@ -1,0 +1,8 @@
+//! Regenerates the paper's fig4 experiment.
+use ef_lora_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("{}", scale.banner());
+    ef_lora_bench::experiments::fig4_ee_per_device::run(&scale);
+}

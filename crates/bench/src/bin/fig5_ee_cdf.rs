@@ -1,0 +1,8 @@
+//! Regenerates the paper's fig5 experiment.
+use ef_lora_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("{}", scale.banner());
+    ef_lora_bench::experiments::fig5_ee_cdf::run(&scale);
+}

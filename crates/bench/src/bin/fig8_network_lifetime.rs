@@ -1,0 +1,8 @@
+//! Regenerates the paper's fig8 experiment.
+use ef_lora_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("{}", scale.banner());
+    ef_lora_bench::experiments::fig8_network_lifetime::run(&scale);
+}

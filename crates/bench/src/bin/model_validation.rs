@@ -1,0 +1,8 @@
+//! Runs the model-vs-simulator validation experiment.
+use ef_lora_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("{}", scale.banner());
+    ef_lora_bench::experiments::model_validation::run(&scale);
+}

@@ -1,0 +1,52 @@
+//! Runs every table and figure of the paper in sequence and prints the
+//! headline comparisons.
+use ef_lora_bench::experiments::*;
+use ef_lora_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("{}", scale.banner());
+
+    table1_sf_motivation::run();
+    table2_tp_motivation::run();
+    fig4_ee_per_device::run(&scale);
+    fig5_ee_cdf::run(&scale);
+    let fig6 = fig6_min_ee_vs_devices::run(&scale);
+    fig7_min_ee_vs_gateways::run(&scale);
+    let fig8 = fig8_network_lifetime::run(&scale);
+    fig9_decomposition::run(&scale);
+    fig10_convergence::run(&scale);
+    model_validation::run(&scale);
+    ext_inter_sf::run(&scale);
+    ext_heterogeneous_rates::run(&scale);
+    ext_incremental::run(&scale);
+    ext_confirmed_traffic::run(&scale);
+    ext_adr::run(&scale);
+
+    // Headline numbers (paper: +177.8 % fairness vs. state of the art at
+    // 3 GW / 3000 ED; +64 % lifetime vs. legacy).
+    let headline = fig6
+        .iter()
+        .map(|p| {
+            let get = |name: &str| p.min_ee.iter().find(|(s, _)| s == name).unwrap().1;
+            ef_lora::fairness::improvement_percent(
+                get("EF-LoRa"),
+                get("RS-LoRa").max(get("Legacy-LoRa")),
+            )
+        })
+        .collect::<Vec<_>>();
+    let avg = headline.iter().sum::<f64>() / headline.len() as f64;
+    let lifetime_gain = fig8
+        .iter()
+        .map(|p| {
+            let get = |name: &str| {
+                p.etx_lifetime_years.iter().find(|(s, _)| s == name).unwrap().1
+            };
+            ef_lora::fairness::improvement_percent(get("EF-LoRa"), get("Legacy-LoRa"))
+        })
+        .sum::<f64>()
+        / fig8.len() as f64;
+    println!("\n== Headline ==");
+    println!("mean min-EE improvement over the best baseline across Fig. 6: {avg:+.1}% (paper: +177.8% at 3GW/3000ED)");
+    println!("mean ETX lifetime improvement over legacy LoRa across Fig. 8: {lifetime_gain:+.1}% (paper: +41.5%; +64% in the ICDCS version)");
+}

@@ -1,0 +1,4 @@
+//! Regenerates paper Table I.
+fn main() {
+    ef_lora_bench::experiments::table1_sf_motivation::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates paper Table II.
+fn main() {
+    ef_lora_bench::experiments::table2_tp_motivation::run();
+}

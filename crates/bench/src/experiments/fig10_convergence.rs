@@ -1,0 +1,142 @@
+//! Paper Fig. 10 — wall-clock convergence time of the allocation
+//! algorithm vs. network size (1000..3000 devices, 3..9 gateways), plus
+//! the Section III-D density-first vs. random ordering measurement.
+
+use std::time::Instant;
+
+use serde::Serialize;
+
+use ef_lora::{AllocationContext, DeviceOrdering, EfLora};
+use lora_model::NetworkModel;
+use lora_sim::Topology;
+
+use crate::harness::{paper_config_at, Scale};
+use crate::output::{f2, print_table, write_json};
+
+/// The paper's device-count axis.
+pub const PAPER_COUNTS: [usize; 3] = [1000, 2000, 3000];
+/// The paper's gateway-count axis.
+pub const GATEWAY_COUNTS: [usize; 3] = [3, 6, 9];
+
+/// One convergence measurement.
+#[derive(Debug, Serialize)]
+pub struct Point {
+    /// Devices after scaling.
+    pub devices: usize,
+    /// Gateways.
+    pub gateways: usize,
+    /// Wall-clock seconds for the allocator to converge.
+    pub seconds: f64,
+    /// Passes to convergence.
+    pub passes: usize,
+    /// Final minimum EE, bits/mJ.
+    pub final_min_ee: f64,
+}
+
+fn time_allocation(
+    n: usize,
+    gws: usize,
+    ordering: DeviceOrdering,
+    scale: &Scale,
+) -> (f64, usize, f64) {
+    let config = paper_config_at(scale);
+    let topo = Topology::disc(n, gws, 5_000.0, &config, 14);
+    let model = NetworkModel::new(&config, &topo);
+    let ctx = AllocationContext::new(&config, &topo, &model);
+    let start = Instant::now();
+    let report = EfLora::default()
+        .with_ordering(ordering)
+        .allocate_with_report(&ctx)
+        .expect("allocation succeeds");
+    (start.elapsed().as_secs_f64(), report.passes, report.final_min_ee)
+}
+
+/// Runs the convergence sweep and the ordering ablation.
+pub fn run(scale: &Scale) -> Vec<Point> {
+    let mut points = Vec::new();
+    for &paper_n in &PAPER_COUNTS {
+        let n = scale.devices(paper_n);
+        for &gws in &GATEWAY_COUNTS {
+            let (seconds, passes, final_min_ee) =
+                time_allocation(n, gws, DeviceOrdering::DensityFirst, scale);
+            points.push(Point { devices: n, gateways: gws, seconds, passes, final_min_ee });
+        }
+    }
+
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.devices.to_string(),
+                p.gateways.to_string(),
+                format!("{:.2}", p.seconds),
+                p.passes.to_string(),
+                f2(p.final_min_ee),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 10 — allocator convergence time",
+        &["devices", "gateways", "seconds", "passes", "final min EE"],
+        &rows,
+    );
+
+    // Section III-D ordering ablation at the paper's 1000-device point,
+    // averaged over repetitions (wall-clock noise at small sizes would
+    // otherwise swamp the ~10 % effect).
+    let n = scale.devices(1000);
+    let reps = 3;
+    let mut dense_s = 0.0;
+    let mut random_s = 0.0;
+    for rep in 0..reps {
+        dense_s += time_allocation(n, 3, DeviceOrdering::DensityFirst, scale).0;
+        random_s += time_allocation(n, 3, DeviceOrdering::Random { seed: 7 + rep }, scale).0;
+    }
+    dense_s /= reps as f64;
+    random_s /= reps as f64;
+    let reduction = (random_s - dense_s) / random_s * 100.0;
+    print_table(
+        "Section III-D — density-first vs. random start ordering",
+        &["ordering", "seconds"],
+        &[
+            vec!["density-first".into(), format!("{dense_s:.3}")],
+            vec!["random".into(), format!("{random_s:.3}")],
+            vec!["reduction".into(), format!("{reduction:.1}% (paper: 10.3%)")],
+        ],
+    );
+
+    write_json("fig10_convergence", &points);
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig10_time_grows_with_network_size() {
+        let mut scale = Scale::smoke();
+        scale.device_factor = 0.05;
+        let points = run(&scale);
+        assert_eq!(points.len(), PAPER_COUNTS.len() * GATEWAY_COUNTS.len());
+        for p in &points {
+            assert!(p.seconds >= 0.0 && p.seconds.is_finite());
+            assert!(p.passes >= 1);
+        }
+        // Near-linear growth claim: the largest network should cost more
+        // than the smallest at equal gateway count (allow noise at tiny
+        // smoke sizes by comparing min vs max devices at 9 gateways).
+        let small = points
+            .iter()
+            .find(|p| p.devices == scale.devices(1000) && p.gateways == 9)
+            .unwrap();
+        let large = points
+            .iter()
+            .find(|p| p.devices == scale.devices(3000) && p.gateways == 9)
+            .unwrap();
+        assert!(
+            large.seconds >= small.seconds * 0.5,
+            "larger networks should not be dramatically faster"
+        );
+    }
+}

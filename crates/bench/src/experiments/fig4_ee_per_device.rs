@@ -1,0 +1,98 @@
+//! Paper Fig. 4 — per-device energy efficiency under three strategies,
+//! 3000 end devices, three and five gateways.
+
+use serde::Serialize;
+
+use ef_lora::{EfLora, LegacyLora, RsLora, Strategy};
+use lora_sim::metrics::percentile;
+
+use crate::harness::{paper_config_at, run_deployment, Deployment, Scale, StrategyOutcome};
+use crate::output::{f3, print_table, write_json};
+
+/// The two deployments of Fig. 4.
+pub const PAPER_DEVICES: usize = 3000;
+/// Gateway counts of Fig. 4(a)/(b) (and the companion Fig. 5 series).
+pub const GATEWAYS: [usize; 2] = [3, 5];
+
+/// Serialisable record of one Fig. 4 panel.
+#[derive(Debug, Serialize)]
+pub struct Panel {
+    /// Number of gateways.
+    pub gateways: usize,
+    /// Number of devices after scaling.
+    pub devices: usize,
+    /// Per-strategy outcomes (with full per-device EE vectors).
+    pub outcomes: Vec<StrategyOutcome>,
+}
+
+/// Runs both panels and prints per-strategy EE distribution summaries.
+pub fn run(scale: &Scale) -> Vec<Panel> {
+    let n = scale.devices(PAPER_DEVICES);
+    let config = paper_config_at(scale);
+    let legacy = LegacyLora::default();
+    let rs = RsLora::default();
+    let ef = EfLora::default();
+    let strategies: [&dyn Strategy; 3] = [&legacy, &rs, &ef];
+
+    let mut panels = Vec::new();
+    for &gws in &GATEWAYS {
+        let outcomes =
+            run_deployment(&config, Deployment::disc(n, gws, 4), &strategies, scale);
+        let rows: Vec<Vec<String>> = outcomes
+            .iter()
+            .map(|o| {
+                vec![
+                    o.strategy.clone(),
+                    f3(o.min_ee),
+                    f3(percentile(&o.ee_per_device, 10.0)),
+                    f3(percentile(&o.ee_per_device, 50.0)),
+                    f3(percentile(&o.ee_per_device, 90.0)),
+                    f3(o.mean_ee),
+                    f3(o.jain),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!("Fig. 4 — per-device EE, {n} devices, {gws} gateways (bits/mJ)"),
+            &["strategy", "min", "p10", "median", "p90", "mean", "Jain"],
+            &rows,
+        );
+        panels.push(Panel { gateways: gws, devices: n, outcomes });
+    }
+    write_json("fig4_ee_per_device", &panels);
+    panels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4_shapes_hold_at_smoke_scale() {
+        let panels = run(&Scale::smoke());
+        assert_eq!(panels.len(), 2);
+        for panel in &panels {
+            assert_eq!(panel.outcomes.len(), 3);
+            let ef = panel.outcomes.iter().find(|o| o.strategy == "EF-LoRa").unwrap();
+            let legacy =
+                panel.outcomes.iter().find(|o| o.strategy == "Legacy-LoRa").unwrap();
+            // Measured minima at smoke scale (one repetition, five packets
+            // per device) are dominated by shot noise, so the shape check
+            // uses the deterministic model prediction; the measured-value
+            // shapes are exercised by the `small`/`paper` scale runs
+            // recorded in EXPERIMENTS.md.
+            assert!(
+                ef.model_min_ee >= legacy.model_min_ee - 0.02,
+                "{} gateways: EF model min {} vs legacy {}",
+                panel.gateways,
+                ef.model_min_ee,
+                legacy.model_min_ee
+            );
+            for o in &panel.outcomes {
+                assert!(o.min_ee.is_finite() && o.min_ee >= 0.0);
+                assert!((0.0..=1.0).contains(&o.jain));
+                assert_eq!(o.ee_per_device.len(), panel.devices);
+            }
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Paper Fig. 7 — minimum energy efficiency vs. number of gateways
+//! (1..25), 3000 end devices, three strategies.
+
+use serde::Serialize;
+
+use ef_lora::{EfLora, LegacyLora, RsLora, Strategy};
+
+use crate::harness::{paper_config_at, run_deployment, Deployment, Scale};
+use crate::output::{f3, print_table, write_json};
+
+/// The paper's x-axis (it plots 1..25; Fig. 7 labels 5/9/15/18/25).
+pub const GATEWAY_COUNTS: [usize; 7] = [1, 3, 5, 9, 15, 20, 25];
+/// Devices in Fig. 7.
+pub const PAPER_DEVICES: usize = 3000;
+
+/// One x-axis point.
+#[derive(Debug, Serialize)]
+pub struct Point {
+    /// Gateways deployed.
+    pub gateways: usize,
+    /// Minimum EE per strategy.
+    pub min_ee: Vec<(String, f64)>,
+}
+
+/// Runs the sweep and prints the three series.
+pub fn run(scale: &Scale) -> Vec<Point> {
+    let n = scale.devices(PAPER_DEVICES);
+    let config = paper_config_at(scale);
+    let legacy = LegacyLora::default();
+    let rs = RsLora::default();
+    let ef = EfLora::default();
+    let strategies: [&dyn Strategy; 3] = [&legacy, &rs, &ef];
+
+    let mut points = Vec::new();
+    for &gws in &GATEWAY_COUNTS {
+        let outcomes = run_deployment(&config, Deployment::disc(n, gws, 8), &strategies, scale);
+        points.push(Point {
+            gateways: gws,
+            min_ee: outcomes.iter().map(|o| (o.strategy.clone(), o.min_ee)).collect(),
+        });
+    }
+
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            let mut row = vec![p.gateways.to_string()];
+            row.extend(p.min_ee.iter().map(|(_, v)| f3(*v)));
+            row
+        })
+        .collect();
+    print_table(
+        &format!("Fig. 7 — minimum EE vs. number of gateways ({n} devices, bits/mJ)"),
+        &["gateways", "Legacy-LoRa", "RS-LoRa", "EF-LoRa"],
+        &rows,
+    );
+    write_json("fig7_min_ee_vs_gateways", &points);
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig7_ef_lora_benefits_from_gateways() {
+        let mut scale = Scale::smoke();
+        scale.device_factor = 0.04;
+        let points = run(&scale);
+        let ef = |p: &Point| p.min_ee.iter().find(|(s, _)| s == "EF-LoRa").unwrap().1;
+        // The paper's shape: EF-LoRa's minimum EE with several gateways
+        // clearly exceeds the single-gateway value.
+        let single = ef(&points[0]);
+        let multi = points[1..].iter().map(ef).fold(f64::NEG_INFINITY, f64::max);
+        assert!(
+            multi > single,
+            "more gateways should raise EF-LoRa's floor: {multi} vs {single}"
+        );
+        // And EF-LoRa leads the baselines at the multi-gateway points.
+        for p in &points[1..3] {
+            let get = |name: &str| p.min_ee.iter().find(|(s, _)| s == name).unwrap().1;
+            assert!(get("EF-LoRa") >= get("Legacy-LoRa") - 0.02, "{} GW", p.gateways);
+        }
+    }
+}

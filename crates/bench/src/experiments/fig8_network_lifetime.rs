@@ -1,0 +1,123 @@
+//! Paper Fig. 8 — network lifetime (time until 10 % of devices die)
+//! across deployments of decreasing density, three strategies.
+//!
+//! Lifetime is the paper's Section IV definition — the time at which 10 %
+//! of devices have drained their batteries under the measured energy draw
+//! (TX + overhead + sleep). The ETX-adjusted variant (a delivered packet
+//! costs `E_s/PRR`, Eq. 2) is reported alongside: it additionally punishes
+//! lossy devices that would retransmit. Deployments follow the paper's
+//! x-axis with density decreasing left to right.
+
+use serde::Serialize;
+
+use ef_lora::{EfLora, LegacyLora, RsLora, Strategy};
+
+use crate::harness::{paper_config_at, run_deployment, Deployment, Scale};
+use crate::output::{f2, print_table, write_json};
+
+/// The paper's deployments, densest first: (gateways, devices).
+pub const DEPLOYMENTS: [(usize, usize); 4] = [(3, 5000), (3, 3000), (5, 3000), (5, 1000)];
+
+/// One deployment's lifetimes.
+#[derive(Debug, Serialize)]
+pub struct Point {
+    /// Gateways deployed.
+    pub gateways: usize,
+    /// Devices after scaling.
+    pub devices: usize,
+    /// Network lifetime (years, 10 % dead) per strategy.
+    pub lifetime_years: Vec<(String, f64)>,
+    /// ETX-adjusted network lifetime (years, 10 % dead) per strategy.
+    pub etx_lifetime_years: Vec<(String, f64)>,
+}
+
+/// Runs the sweep and prints lifetimes per deployment.
+pub fn run(scale: &Scale) -> Vec<Point> {
+    let config = paper_config_at(scale);
+    let legacy = LegacyLora::default();
+    let rs = RsLora::default();
+    let ef = EfLora::default();
+    let strategies: [&dyn Strategy; 3] = [&legacy, &rs, &ef];
+
+    let mut points = Vec::new();
+    for &(gws, paper_n) in &DEPLOYMENTS {
+        let n = scale.devices(paper_n);
+        let outcomes = run_deployment(&config, Deployment::disc(n, gws, 10), &strategies, scale);
+        points.push(Point {
+            gateways: gws,
+            devices: n,
+            lifetime_years: outcomes
+                .iter()
+                .map(|o| (o.strategy.clone(), o.lifetime_years))
+                .collect(),
+            etx_lifetime_years: outcomes
+                .iter()
+                .map(|o| (o.strategy.clone(), o.etx_lifetime_years))
+                .collect(),
+        });
+    }
+
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            let mut row = vec![format!("{}GW/{}ED", p.gateways, p.devices)];
+            row.extend(p.lifetime_years.iter().map(|(_, v)| f2(*v)));
+            row.extend(p.etx_lifetime_years.iter().map(|(_, v)| f2(*v)));
+            let ef = p.etx_lifetime_years.iter().find(|(s, _)| s == "EF-LoRa").unwrap().1;
+            let legacy =
+                p.etx_lifetime_years.iter().find(|(s, _)| s == "Legacy-LoRa").unwrap().1;
+            row.push(format!("{:+.1}%", ef_lora::fairness::improvement_percent(ef, legacy)));
+            row
+        })
+        .collect();
+    print_table(
+        "Fig. 8 — network lifetime, 10 % dead (years; plain energy | ETX-adjusted)",
+        &[
+            "deployment",
+            "Legacy",
+            "RS-LoRa",
+            "EF-LoRa",
+            "Legacy(ETX)",
+            "RS(ETX)",
+            "EF(ETX)",
+            "EF vs legacy (ETX)",
+        ],
+        &rows,
+    );
+    write_json("fig8_network_lifetime", &points);
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig8_lifetime_ordering_holds() {
+        let mut scale = Scale::smoke();
+        scale.device_factor = 0.03;
+        let points = run(&scale);
+        // The paper's claim (EF +41.5 % over legacy on average) shows under
+        // ETX accounting in the contention-dominated dense deployments; at
+        // smoke scale assert the two densest points, which carry the
+        // claim, plus basic sanity everywhere.
+        for p in &points[..2] {
+            let get = |name: &str| {
+                p.etx_lifetime_years.iter().find(|(s, _)| s == name).unwrap().1
+            };
+            assert!(
+                get("EF-LoRa") >= get("Legacy-LoRa") - 1e-9,
+                "{}GW/{}ED: EF {} vs legacy {}",
+                p.gateways,
+                p.devices,
+                get("EF-LoRa"),
+                get("Legacy-LoRa")
+            );
+        }
+        for p in &points {
+            for (_, v) in p.lifetime_years.iter().chain(&p.etx_lifetime_years) {
+                assert!(v.is_finite() && *v >= 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Paper Fig. 9 — performance decomposition: sensitivity to the path-loss
+//! exponent β and the transmission-power-allocation ablation
+//! (EF-LoRa-14dBm), at 3000 devices / 3 gateways.
+
+use serde::Serialize;
+
+use ef_lora::{EfLora, EfLoraFixedTp, LegacyLora, RsLora, Strategy};
+use lora_phy::path_loss::BetaProfile;
+
+use crate::harness::{paper_config_at, run_deployment, Deployment, Scale};
+use crate::output::{f3, print_table, write_json};
+
+/// Devices in Fig. 9.
+pub const PAPER_DEVICES: usize = 3000;
+/// Gateways in Fig. 9.
+pub const GATEWAYS: usize = 3;
+
+/// One Fig. 9 bar.
+#[derive(Debug, Serialize)]
+pub struct Bar {
+    /// Configuration label.
+    pub label: String,
+    /// Measured minimum EE, bits/mJ.
+    pub min_ee: f64,
+    /// Model-predicted minimum EE for the same allocation (deterministic;
+    /// used by the smoke-scale shape tests).
+    pub model_min_ee: f64,
+}
+
+/// Runs the decomposition and prints the bars.
+pub fn run(scale: &Scale) -> Vec<Bar> {
+    let n = scale.devices(PAPER_DEVICES);
+    let deployment = Deployment::disc(n, GATEWAYS, 12);
+    let mut bars = Vec::new();
+
+    // β sensitivity: base (2.7/4.0), less (2.4/3.7), more (3.0/4.3).
+    let profiles = [
+        ("EF-LoRa β base (2.7/4.0)", BetaProfile::PAPER_BASE),
+        ("EF-LoRa β less (2.4/3.7)", BetaProfile::PAPER_LESS),
+        ("EF-LoRa β more (3.0/4.3)", BetaProfile::PAPER_MORE),
+    ];
+    let ef = EfLora::default();
+    for (label, profile) in profiles {
+        let mut config = paper_config_at(scale);
+        config.betas = profile;
+        let outcomes =
+            run_deployment(&config, deployment, &[&ef as &dyn Strategy], scale);
+        bars.push(Bar {
+            label: label.into(),
+            min_ee: outcomes[0].min_ee,
+            model_min_ee: outcomes[0].model_min_ee,
+        });
+    }
+
+    // TP ablation + baselines at the base profile.
+    let config = paper_config_at(scale);
+    let fixed = EfLoraFixedTp::default();
+    let legacy = LegacyLora::default();
+    let rs = RsLora::default();
+    let others: [&dyn Strategy; 3] = [&fixed, &legacy, &rs];
+    for outcome in run_deployment(&config, deployment, &others, scale) {
+        bars.push(Bar {
+            label: outcome.strategy.clone(),
+            min_ee: outcome.min_ee,
+            model_min_ee: outcome.model_min_ee,
+        });
+    }
+
+    let rows: Vec<Vec<String>> = bars
+        .iter()
+        .map(|b| vec![b.label.clone(), f3(b.min_ee), f3(b.model_min_ee)])
+        .collect();
+    print_table(
+        &format!("Fig. 9 — decomposition, {n} devices / {GATEWAYS} gateways (min EE, bits/mJ)"),
+        &["configuration", "min EE (measured)", "min EE (model)"],
+        &rows,
+    );
+    write_json("fig9_decomposition", &bars);
+    bars
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig9_ablation_and_sensitivity_shapes() {
+        let mut scale = Scale::smoke();
+        scale.device_factor = 0.04;
+        let bars = run(&scale);
+        assert_eq!(bars.len(), 6);
+        // Measured minima are shot-noise at smoke scale; the shape checks
+        // run on the deterministic model predictions.
+        let get = |label_prefix: &str| {
+            bars.iter().find(|b| b.label.starts_with(label_prefix)).unwrap().model_min_ee
+        };
+        let base = get("EF-LoRa β base");
+        // Monotone in the exponent: less path loss raises the floor, more
+        // lowers it. (The paper reports only −25 %/−3 % swings on its
+        // testbed-calibrated channel; our log-distance calibration is more
+        // β-sensitive at the 5 km disc edge — see EXPERIMENTS.md.)
+        let less = get("EF-LoRa β less");
+        let more = get("EF-LoRa β more");
+        assert!(less > base, "less path loss must help: {less} vs {base}");
+        assert!(more < base, "more path loss must hurt: {more} vs {base}");
+        assert!(more > 0.0, "the β-more network must remain operable");
+        // Even the fixed-TP ablation still beats legacy LoRa (paper: +71 %).
+        assert!(get("EF-LoRa-14dBm") >= get("Legacy-LoRa") - 0.02);
+    }
+}

@@ -1,0 +1,99 @@
+//! Cross-validation — modelled vs. measured per-device energy efficiency.
+//!
+//! The allocator optimises the analytical model of Section III; the
+//! figures report the packet simulator. This experiment measures how well
+//! the two agree per device (correlation, rank agreement, bias) under
+//! each strategy's allocation — the repository's standing answer to "does
+//! the model the greedy trusts actually describe the network it runs on?"
+
+use serde::Serialize;
+
+use ef_lora::{EfLora, LegacyLora, RsLora, Strategy};
+use lora_model::validation::{agreement, Agreement};
+
+use crate::harness::{paper_config_at, run_deployment, Deployment, Scale};
+use crate::output::{f3, print_table, write_json};
+
+/// Devices (Fig. 4 deployment).
+pub const PAPER_DEVICES: usize = 3000;
+/// Gateways.
+pub const GATEWAYS: usize = 3;
+
+/// One strategy's agreement record.
+#[derive(Debug, Serialize)]
+pub struct Record {
+    /// Strategy name.
+    pub strategy: String,
+    /// Agreement statistics between model EE and measured EE.
+    pub agreement: Agreement,
+}
+
+/// Runs the validation.
+pub fn run(scale: &Scale) -> Vec<Record> {
+    let n = scale.devices(PAPER_DEVICES);
+    let config = paper_config_at(scale);
+    let legacy = LegacyLora::default();
+    let rs = RsLora::default();
+    let ef = EfLora::default();
+    let strategies: [&dyn Strategy; 3] = [&legacy, &rs, &ef];
+
+    // run_deployment gives the measured per-device EE; recompute the model
+    // side per strategy for the same allocation.
+    let topology = lora_sim::Topology::disc(n, GATEWAYS, 5_000.0, &config, 25);
+    let model = lora_model::NetworkModel::new(&config, &topology);
+    let outcomes = run_deployment(&config, Deployment { n_devices: n, n_gateways: GATEWAYS, radius_m: 5_000.0, seed: 25 }, &strategies, scale);
+
+    let mut records = Vec::new();
+    for (outcome, strategy) in outcomes.iter().zip(strategies) {
+        let ctx = ef_lora::AllocationContext::new(&config, &topology, &model);
+        let alloc = strategy.allocate(&ctx).expect("allocation");
+        let model_ee = model.evaluate(alloc.as_slice());
+        records.push(Record {
+            strategy: outcome.strategy.clone(),
+            agreement: agreement(&model_ee, &outcome.ee_per_device),
+        });
+    }
+
+    let rows: Vec<Vec<String>> = records
+        .iter()
+        .map(|r| {
+            vec![
+                r.strategy.clone(),
+                f3(r.agreement.pearson),
+                f3(r.agreement.spearman),
+                f3(r.agreement.mean_bias),
+                f3(r.agreement.mean_absolute_error),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("Model validation — model vs measured EE, {n} devices / {GATEWAYS} gateways"),
+        &["strategy", "Pearson", "Spearman", "bias (model−sim)", "MAE"],
+        &rows,
+    );
+    write_json("model_validation", &records);
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_tracks_simulator_per_device() {
+        let mut scale = Scale::smoke();
+        scale.device_factor = 0.05;
+        scale.duration_s = 6_000.0;
+        let records = run(&scale);
+        assert_eq!(records.len(), 3);
+        for r in &records {
+            assert!(
+                r.agreement.pearson > 0.5,
+                "{}: model decoupled from simulator (r = {})",
+                r.strategy,
+                r.agreement.pearson
+            );
+            assert!(r.agreement.spearman > 0.5, "{}", r.strategy);
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Paper Table I — the spreading-factor-allocation motivation example.
+
+use crate::motivation::{evaluate, table1_scenarios, ScenarioResult};
+use crate::output::{f2, print_table, write_json};
+
+/// Paper Table I values, for side-by-side comparison: per-device times,
+/// average and max per scenario.
+pub const PAPER_TIMES: [[f64; 5]; 3] = [
+    [39.0, 26.0, 26.0, 39.0, 26.0],
+    [31.0, 19.0, 31.0, 26.0, 19.0],
+    [26.0, 17.0, 26.0, 21.0, 26.0],
+];
+
+#[allow(clippy::needless_range_loop)] // device index addresses parallel paper tables
+/// Runs Table I and prints measured-vs-paper values.
+pub fn run() -> Vec<ScenarioResult> {
+    let results: Vec<ScenarioResult> = table1_scenarios().iter().map(evaluate).collect();
+    let mut rows = Vec::new();
+    for device in 0..5 {
+        let mut row = vec![format!("{}", device + 1)];
+        for (s, result) in results.iter().enumerate() {
+            row.push(f2(result.times_ms[device]));
+            row.push(f2(PAPER_TIMES[s][device]));
+        }
+        rows.push(row);
+    }
+    let mut avg_row = vec!["Average".to_string()];
+    let mut max_row = vec!["Max".to_string()];
+    let paper_avg = [31.2, 25.2, 23.2];
+    let paper_max = [39.0, 31.0, 26.0];
+    for (s, result) in results.iter().enumerate() {
+        avg_row.push(f2(result.average_ms));
+        avg_row.push(f2(paper_avg[s]));
+        max_row.push(f2(result.max_ms));
+        max_row.push(f2(paper_max[s]));
+    }
+    rows.push(avg_row);
+    rows.push(max_row);
+    print_table(
+        "Table I — SF allocation motivation (expected TX time per delivered packet, ms)",
+        &[
+            "End device",
+            "1 GW (ours)",
+            "1 GW (paper)",
+            "2 GW smallest (ours)",
+            "2 GW smallest (paper)",
+            "2 GW adjusted (ours)",
+            "2 GW adjusted (paper)",
+        ],
+        &rows,
+    );
+    write_json("table1_sf_motivation", &results);
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_runs_and_matches_paper_shape() {
+        let results = run();
+        assert_eq!(results.len(), 3);
+        // Fairness (max time) improves monotonically across the scenarios.
+        assert!(results[0].max_ms > results[1].max_ms);
+        assert!(results[1].max_ms > results[2].max_ms);
+        // Every measured value within 1 ms of the paper's rounded table.
+        for (s, result) in results.iter().enumerate() {
+            for (got, want) in result.times_ms.iter().zip(PAPER_TIMES[s]) {
+                assert!((got - want).abs() < 1.0, "scenario {s}: {got} vs {want}");
+            }
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Table printing and JSON archiving for experiment results.
+
+use std::fs;
+use std::path::PathBuf;
+
+use serde::Serialize;
+
+/// Prints a fixed-width table with a title, header row and data rows.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<&str>| {
+        let mut out = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            out.push_str(&format!("{:<w$}  ", c, w = widths[i]));
+        }
+        println!("{}", out.trim_end());
+    };
+    line(headers.to_vec());
+    let separators: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    line(separators.iter().map(String::as_str).collect());
+    for row in rows {
+        line(row.iter().map(String::as_str).collect());
+    }
+}
+
+/// Directory where experiment JSON records land.
+pub fn experiments_dir() -> PathBuf {
+    let base = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into());
+    PathBuf::from(base).join("experiments")
+}
+
+/// Archives a serialisable record as `target/experiments/<name>.json`.
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let dir = experiments_dir();
+    if let Err(e) = fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(body) => {
+            if let Err(e) = fs::write(&path, body) {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+            } else {
+                println!("[archived {}]", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: cannot serialise {name}: {e}"),
+    }
+}
+
+/// Formats a float with 3 decimals (the precision the paper plots at).
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats a float with 2 decimals.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting() {
+        assert_eq!(f3(1.23456), "1.235");
+        assert_eq!(f2(1.23456), "1.23");
+    }
+
+    #[test]
+    fn json_roundtrip_via_disk() {
+        #[derive(Serialize)]
+        struct R {
+            x: f64,
+        }
+        write_json("unit_test_record", &R { x: 1.5 });
+        let path = experiments_dir().join("unit_test_record.json");
+        let body = std::fs::read_to_string(path).unwrap();
+        assert!(body.contains("1.5"));
+    }
+
+    #[test]
+    fn print_table_does_not_panic() {
+        print_table(
+            "demo",
+            &["a", "long-header"],
+            &[vec!["1".into(), "2".into()], vec!["333333".into(), "4".into()]],
+        );
+    }
+}

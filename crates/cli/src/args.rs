@@ -1,0 +1,98 @@
+//! A small `--flag value` option parser (no positional arguments).
+
+use std::collections::HashMap;
+
+/// Parsed `--key value` options.
+#[derive(Debug, Default)]
+pub struct Options {
+    values: HashMap<String, String>,
+}
+
+impl Options {
+    /// Parses `--key value` pairs; `-o` is an alias for `--output`.
+    pub fn parse(args: &[String]) -> Result<Options, String> {
+        let mut values = HashMap::new();
+        let mut iter = args.iter();
+        while let Some(flag) = iter.next() {
+            let key = match flag.as_str() {
+                "-o" => "output".to_string(),
+                s if s.starts_with("--") => s[2..].to_string(),
+                other => return Err(format!("expected a --flag, found `{other}`")),
+            };
+            let Some(value) = iter.next() else {
+                return Err(format!("flag --{key} is missing its value"));
+            };
+            if values.insert(key.clone(), value.clone()).is_some() {
+                return Err(format!("flag --{key} given twice"));
+            }
+        }
+        Ok(Options { values })
+    }
+
+    /// A required string option.
+    pub fn required(&self, key: &str) -> Result<&str, String> {
+        self.values
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing required flag --{key}"))
+    }
+
+    /// An optional string option.
+    pub fn optional(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// A required numeric option.
+    pub fn required_parse<T: std::str::FromStr>(&self, key: &str) -> Result<T, String> {
+        self.required(key)?
+            .parse()
+            .map_err(|_| format!("flag --{key} has an invalid value"))
+    }
+
+    /// An optional numeric option with a default.
+    pub fn parse_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.values.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("flag --{key} has an invalid value")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_pairs_and_alias() {
+        let o = Options::parse(&s(&["--devices", "30", "-o", "out.json"])).unwrap();
+        assert_eq!(o.required("devices").unwrap(), "30");
+        assert_eq!(o.required("output").unwrap(), "out.json");
+        assert_eq!(o.required_parse::<usize>("devices").unwrap(), 30);
+    }
+
+    #[test]
+    fn rejects_bare_values_and_missing_values() {
+        assert!(Options::parse(&s(&["devices"])).is_err());
+        assert!(Options::parse(&s(&["--devices"])).is_err());
+        assert!(Options::parse(&s(&["--a", "1", "--a", "2"])).is_err());
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let o = Options::parse(&s(&[])).unwrap();
+        assert_eq!(o.parse_or("radius", 5_000.0).unwrap(), 5_000.0);
+        assert!(o.optional("output").is_none());
+        assert!(o.required("topology").is_err());
+    }
+
+    #[test]
+    fn invalid_numbers_error() {
+        let o = Options::parse(&s(&["--devices", "many"])).unwrap();
+        assert!(o.required_parse::<usize>("devices").is_err());
+        assert!(o.parse_or::<f64>("devices", 1.0).is_err());
+    }
+}

@@ -1,0 +1,72 @@
+//! `ef-lora-plan compare` — run every strategy on one deployment.
+
+use ef_lora::{AdrLora, AllocationContext, EfLora, EfLoraFixedTp, LegacyLora, RsLora, Strategy};
+use lora_model::NetworkModel;
+use lora_sim::{Simulation, Topology};
+
+use crate::args::Options;
+use crate::commands::config_from;
+use crate::io::read_json;
+
+/// Allocates and simulates all four strategies on `--topology`, printing a
+/// comparison table.
+pub fn run(opts: &Options) -> Result<(), String> {
+    let topology: Topology = read_json(opts.required("topology")?)?;
+    let config = config_from(opts)?;
+    let model = NetworkModel::new(&config, &topology);
+    let ctx = AllocationContext::new(&config, &topology, &model);
+
+    let ef = EfLora::default();
+    let fixed = EfLoraFixedTp::default();
+    let legacy = LegacyLora::default();
+    let rs = RsLora::default();
+    let adr = AdrLora::default();
+    let strategies: [&dyn Strategy; 5] = [&legacy, &adr, &rs, &fixed, &ef];
+
+    println!(
+        "{:<16} {:>12} {:>12} {:>8} {:>10} {:>14}",
+        "strategy", "min EE", "mean EE", "Jain", "mean PRR", "lifetime (yr)"
+    );
+    for strategy in strategies {
+        let allocation = strategy.allocate(&ctx).map_err(|e| e.to_string())?;
+        let report = Simulation::new(config.clone(), topology.clone(), allocation.into_inner())
+            .map_err(|e| e.to_string())?
+            .run();
+        println!(
+            "{:<16} {:>12.3} {:>12.3} {:>8.3} {:>10.3} {:>14.2}",
+            strategy.name(),
+            report.min_energy_efficiency_bits_per_mj(),
+            report.mean_energy_efficiency_bits_per_mj(),
+            report.jain_fairness(),
+            report.mean_prr(),
+            report.network_lifetime_s(0.10) / (365.25 * 24.0 * 3_600.0),
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::write_json;
+    use lora_sim::SimConfig;
+
+    #[test]
+    fn compares_all_strategies() {
+        let path = std::env::temp_dir()
+            .join(format!("ef-lora-cmp-{}.json", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+        let topo = Topology::disc(20, 2, 2_500.0, &SimConfig::default(), 6);
+        write_json(&path, &topo).unwrap();
+        let opts = Options::parse(&[
+            "--topology".into(),
+            path.clone(),
+            "--duration".into(),
+            "1200".into(),
+        ])
+        .unwrap();
+        run(&opts).unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,108 @@
+//! `ef-lora-plan simulate` — run the packet simulator on an allocation.
+
+use ef_lora::Allocation;
+use lora_sim::{Simulation, Topology};
+
+use crate::args::Options;
+use crate::commands::config_from;
+use crate::io::read_json;
+
+/// Simulates `--allocation` on `--topology` and prints the measured
+/// network statistics.
+pub fn run(opts: &Options) -> Result<(), String> {
+    let topology: Topology = read_json(opts.required("topology")?)?;
+    let allocation: Allocation = read_json(opts.required("allocation")?)?;
+    let config = config_from(opts)?;
+
+    let sim = Simulation::new(config, topology, allocation.into_inner())
+        .map_err(|e| e.to_string())?;
+    let report = if let Some(trace_path) = opts.optional("trace") {
+        let file = std::fs::File::create(trace_path)
+            .map_err(|e| format!("cannot create {trace_path}: {e}"))?;
+        let mut sink = lora_sim::trace::JsonLinesSink::new(std::io::BufWriter::new(file));
+        let report = sim.run_with_trace(&mut sink);
+        println!("wrote event trace to {trace_path}");
+        report
+    } else {
+        sim.run()
+    };
+
+    println!("simulated {:.0} s, seed {}", report.duration_s, sim.config().seed);
+    println!(
+        "min EE {:.3} bits/mJ | mean EE {:.3} | Jain {:.3} | mean PRR {:.3}",
+        report.min_energy_efficiency_bits_per_mj(),
+        report.mean_energy_efficiency_bits_per_mj(),
+        report.jain_fairness(),
+        report.mean_prr(),
+    );
+    println!(
+        "frames delivered {} (+{} duplicate copies discarded)",
+        report.frames_delivered, report.duplicate_copies
+    );
+    let lifetime = report.network_lifetime_s(0.10) / (365.25 * 24.0 * 3_600.0);
+    println!("network lifetime (10% dead): {lifetime:.2} years");
+    for (k, g) in report.gateways.iter().enumerate() {
+        println!(
+            "gateway {k}: decoded {} | SINR failures {} | capacity refusals {} | below sensitivity {}",
+            g.decoded, g.sinr_failures, g.demod_refused, g.below_sensitivity
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::write_json;
+    use lora_phy::TxConfig;
+    use lora_sim::SimConfig;
+
+    #[test]
+    fn simulates_a_round_tripped_pair() {
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let topo_path =
+            dir.join(format!("ef-lora-sim-topo-{pid}.json")).to_string_lossy().into_owned();
+        let alloc_path =
+            dir.join(format!("ef-lora-sim-alloc-{pid}.json")).to_string_lossy().into_owned();
+        let topo = Topology::disc(8, 1, 1_500.0, &SimConfig::default(), 2);
+        write_json(&topo_path, &topo).unwrap();
+        write_json(&alloc_path, &Allocation::new(vec![TxConfig::default(); 8])).unwrap();
+        let opts = Options::parse(&[
+            "--topology".into(),
+            topo_path.clone(),
+            "--allocation".into(),
+            alloc_path.clone(),
+            "--duration".into(),
+            "1200".into(),
+        ])
+        .unwrap();
+        run(&opts).unwrap();
+        std::fs::remove_file(&topo_path).ok();
+        std::fs::remove_file(&alloc_path).ok();
+    }
+
+    #[test]
+    fn mismatched_allocation_reports_cleanly() {
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let topo_path =
+            dir.join(format!("ef-lora-sim-topo2-{pid}.json")).to_string_lossy().into_owned();
+        let alloc_path =
+            dir.join(format!("ef-lora-sim-alloc2-{pid}.json")).to_string_lossy().into_owned();
+        let topo = Topology::disc(8, 1, 1_500.0, &SimConfig::default(), 2);
+        write_json(&topo_path, &topo).unwrap();
+        write_json(&alloc_path, &Allocation::new(vec![TxConfig::default(); 3])).unwrap();
+        let opts = Options::parse(&[
+            "--topology".into(),
+            topo_path.clone(),
+            "--allocation".into(),
+            alloc_path.clone(),
+        ])
+        .unwrap();
+        let err = run(&opts).unwrap_err();
+        assert!(err.contains("entries"), "{err}");
+        std::fs::remove_file(&topo_path).ok();
+        std::fs::remove_file(&alloc_path).ok();
+    }
+}

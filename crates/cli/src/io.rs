@@ -1,0 +1,48 @@
+//! JSON file plumbing.
+
+use std::path::Path;
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+/// Reads a JSON file into `T`.
+pub fn read_json<T: DeserializeOwned>(path: &str) -> Result<T, String> {
+    let body = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    serde_json::from_str(&body).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+/// Writes `value` as pretty JSON to `path`.
+pub fn write_json<T: Serialize>(path: &str, value: &T) -> Result<(), String> {
+    let body =
+        serde_json::to_string_pretty(value).map_err(|e| format!("cannot serialise: {e}"))?;
+    if let Some(parent) = Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+        }
+    }
+    std::fs::write(path, body).map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let path = std::env::temp_dir()
+            .join(format!("ef-lora-io-{}.json", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+        write_json(&path, &vec![1u32, 2, 3]).unwrap();
+        let back: Vec<u32> = read_json(&path).unwrap();
+        assert_eq!(back, vec![1, 2, 3]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        let r: Result<Vec<u32>, _> = read_json("/nonexistent/nope.json");
+        assert!(r.is_err());
+    }
+}

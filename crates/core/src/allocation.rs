@@ -1,0 +1,187 @@
+//! A validated network-wide resource allocation.
+
+use std::fmt;
+use std::ops::Index;
+
+use serde::{Deserialize, Serialize};
+
+use lora_phy::{SpreadingFactor, TxConfig};
+
+/// One [`TxConfig`] per end device — the `(S, P, C)` of paper Eq. (1).
+///
+/// The wrapper exists so strategies hand back a value that has already
+/// passed constraint validation (C-NEWTYPE); inspect it with
+/// [`Allocation::as_slice`] or the summary helpers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Allocation(Vec<TxConfig>);
+
+impl Allocation {
+    /// Wraps a per-device configuration vector.
+    pub fn new(configs: Vec<TxConfig>) -> Self {
+        Allocation(configs)
+    }
+
+    /// The per-device configurations.
+    pub fn as_slice(&self) -> &[TxConfig] {
+        &self.0
+    }
+
+    /// Extracts the underlying vector.
+    pub fn into_inner(self) -> Vec<TxConfig> {
+        self.0
+    }
+
+    /// Number of devices covered.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the allocation covers no devices.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Iterates over the per-device configurations.
+    pub fn iter(&self) -> std::slice::Iter<'_, TxConfig> {
+        self.0.iter()
+    }
+
+    /// How many devices use each spreading factor, indexed SF7..SF12.
+    ///
+    /// ```
+    /// use ef_lora::Allocation;
+    /// use lora_phy::{SpreadingFactor, TxConfig, TxPowerDbm};
+    /// let alloc = Allocation::new(vec![
+    ///     TxConfig::new(SpreadingFactor::Sf7, TxPowerDbm::new(14.0), 0),
+    ///     TxConfig::new(SpreadingFactor::Sf7, TxPowerDbm::new(2.0), 1),
+    ///     TxConfig::new(SpreadingFactor::Sf12, TxPowerDbm::new(14.0), 0),
+    /// ]);
+    /// assert_eq!(alloc.sf_histogram(), [2, 0, 0, 0, 0, 1]);
+    /// ```
+    pub fn sf_histogram(&self) -> [usize; 6] {
+        let mut hist = [0usize; 6];
+        for cfg in &self.0 {
+            hist[cfg.sf.index()] += 1;
+        }
+        hist
+    }
+
+    /// How many devices use each channel of an `n_channels` plan.
+    pub fn channel_histogram(&self, n_channels: usize) -> Vec<usize> {
+        let mut hist = vec![0usize; n_channels];
+        for cfg in &self.0 {
+            if cfg.channel < n_channels {
+                hist[cfg.channel] += 1;
+            }
+        }
+        hist
+    }
+
+    /// Mean transmission power across devices, dBm (arithmetic over dBm,
+    /// as the paper reports power levels).
+    pub fn mean_tp_dbm(&self) -> f64 {
+        if self.0.is_empty() {
+            return 0.0;
+        }
+        self.0.iter().map(|c| c.tp.dbm()).sum::<f64>() / self.0.len() as f64
+    }
+
+    /// Whether every entry satisfies the constraints C₁–C₃ of paper Eq. (1)
+    /// for the given power bounds and channel-plan size.
+    pub fn satisfies_constraints(&self, min_tp: f64, max_tp: f64, n_channels: usize) -> bool {
+        self.0.iter().all(|c| {
+            (min_tp..=max_tp).contains(&c.tp.dbm())
+                && c.channel < n_channels
+                && (7..=12).contains(&(c.sf as u8))
+        })
+    }
+}
+
+impl From<Vec<TxConfig>> for Allocation {
+    fn from(v: Vec<TxConfig>) -> Self {
+        Allocation::new(v)
+    }
+}
+
+impl Index<usize> for Allocation {
+    type Output = TxConfig;
+
+    fn index(&self, i: usize) -> &TxConfig {
+        &self.0[i]
+    }
+}
+
+impl<'a> IntoIterator for &'a Allocation {
+    type Item = &'a TxConfig;
+    type IntoIter = std::slice::Iter<'a, TxConfig>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+impl fmt::Display for Allocation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let hist = self.sf_histogram();
+        write!(f, "{} devices [", self.0.len())?;
+        for (i, sf) in SpreadingFactor::ALL.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{sf}:{}", hist[i])?;
+        }
+        write!(f, "] mean TP {:.1} dBm", self.mean_tp_dbm())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lora_phy::TxPowerDbm;
+
+    fn sample() -> Allocation {
+        Allocation::new(vec![
+            TxConfig::new(SpreadingFactor::Sf7, TxPowerDbm::new(2.0), 0),
+            TxConfig::new(SpreadingFactor::Sf9, TxPowerDbm::new(14.0), 7),
+            TxConfig::new(SpreadingFactor::Sf9, TxPowerDbm::new(8.0), 3),
+        ])
+    }
+
+    #[test]
+    fn histograms() {
+        let a = sample();
+        assert_eq!(a.sf_histogram(), [1, 0, 2, 0, 0, 0]);
+        assert_eq!(a.channel_histogram(8), vec![1, 0, 0, 1, 0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn mean_tp() {
+        assert!((sample().mean_tp_dbm() - 8.0).abs() < 1e-12);
+        assert_eq!(Allocation::new(vec![]).mean_tp_dbm(), 0.0);
+    }
+
+    #[test]
+    fn constraints() {
+        let a = sample();
+        assert!(a.satisfies_constraints(2.0, 14.0, 8));
+        assert!(!a.satisfies_constraints(4.0, 14.0, 8), "2 dBm entry violates C₁");
+        assert!(!a.satisfies_constraints(2.0, 14.0, 4), "channel 7 violates C₃");
+    }
+
+    #[test]
+    fn display_summarises() {
+        let s = sample().to_string();
+        assert!(s.contains("3 devices"), "{s}");
+        assert!(s.contains("SF9:2"), "{s}");
+    }
+
+    #[test]
+    fn indexing_and_iteration() {
+        let a = sample();
+        assert_eq!(a[1].channel, 7);
+        assert_eq!(a.iter().count(), 3);
+        assert_eq!((&a).into_iter().count(), 3);
+        assert!(!a.is_empty());
+        assert_eq!(a.len(), 3);
+    }
+}

@@ -1,0 +1,67 @@
+//! EF-LoRa with power control disabled — the Fig. 9 ablation.
+
+use lora_phy::TxPowerDbm;
+
+use crate::allocation::Allocation;
+use crate::context::AllocationContext;
+use crate::error::AllocError;
+use crate::greedy::EfLora;
+use crate::strategy::Strategy;
+
+/// The paper's "EF-LoRa-14dBm" ablation: the full greedy allocator over
+/// SF and channel, with every device pinned to one transmission power.
+///
+/// Fig. 9 shows this loses ≈26 % of the energy fairness relative to full
+/// EF-LoRa, because maximum-power devices blanket the deployment with
+/// interference — yet it still beats legacy LoRa and RS-LoRa.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EfLoraFixedTp {
+    inner: EfLora,
+}
+
+impl EfLoraFixedTp {
+    /// Pins every device to `tp` (the paper uses 14 dBm).
+    pub fn new(tp: TxPowerDbm) -> Self {
+        EfLoraFixedTp { inner: EfLora::default().with_fixed_tp(tp) }
+    }
+
+    /// Access to the underlying greedy allocator for tuning δ etc.
+    pub fn inner(&self) -> &EfLora {
+        &self.inner
+    }
+}
+
+impl Default for EfLoraFixedTp {
+    /// 14 dBm, matching the paper's Fig. 9 setting.
+    fn default() -> Self {
+        EfLoraFixedTp::new(TxPowerDbm::MAX_EU)
+    }
+}
+
+impl Strategy for EfLoraFixedTp {
+    fn name(&self) -> &str {
+        "EF-LoRa-14dBm"
+    }
+
+    fn allocate(&self, ctx: &AllocationContext<'_>) -> Result<Allocation, AllocError> {
+        self.inner.allocate(ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lora_model::NetworkModel;
+    use lora_sim::{SimConfig, Topology};
+
+    #[test]
+    fn every_device_at_fourteen_dbm() {
+        let config = SimConfig::default();
+        let topo = Topology::disc(20, 1, 3_000.0, &config, 8);
+        let model = NetworkModel::new(&config, &topo);
+        let ctx = AllocationContext::new(&config, &topo, &model);
+        let alloc = EfLoraFixedTp::default().allocate(&ctx).unwrap();
+        assert!(alloc.iter().all(|c| c.tp.dbm() == 14.0));
+        assert_eq!(EfLoraFixedTp::default().name(), "EF-LoRa-14dBm");
+    }
+}

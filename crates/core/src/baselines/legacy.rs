@@ -1,0 +1,106 @@
+//! Legacy LoRa (the NS-3 LoRaWAN module default, paper reference [13]).
+//!
+//! Every device picks the **smallest spreading factor whose estimated SNR
+//! closes the link** to some gateway, at maximum power, ignoring
+//! interference from other devices entirely. Channels are drawn uniformly
+//! at random, which is what unconfigured LoRaWAN stacks do. Devices out of
+//! range even at SF12 still transmit at SF12 (and mostly fail) — exactly
+//! the behaviour the paper's Fig. 4/6 curves show as poor minimum EE.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+use lora_phy::{SpreadingFactor, TxConfig};
+
+use crate::allocation::Allocation;
+use crate::context::AllocationContext;
+use crate::error::AllocError;
+use crate::strategy::Strategy;
+
+/// The legacy-LoRa baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Default)]
+pub struct LegacyLora {
+    /// Seed for the random channel draw.
+    pub channel_seed: u64,
+}
+
+
+impl LegacyLora {
+    /// Creates the baseline with a channel-draw seed.
+    pub fn new(channel_seed: u64) -> Self {
+        LegacyLora { channel_seed }
+    }
+}
+
+impl Strategy for LegacyLora {
+    fn name(&self) -> &str {
+        "Legacy-LoRa"
+    }
+
+    fn allocate(&self, ctx: &AllocationContext<'_>) -> Result<Allocation, AllocError> {
+        ctx.check_nonempty()?;
+        let mut rng = ChaCha12Rng::seed_from_u64(self.channel_seed);
+        let tp = ctx.max_tp();
+        let channels = ctx.channel_count();
+        let configs = (0..ctx.device_count())
+            .map(|i| {
+                let sf =
+                    ctx.model().min_feasible_sf(i, tp).unwrap_or(SpreadingFactor::Sf12);
+                TxConfig::new(sf, tp, rng.gen_range(0..channels))
+            })
+            .collect();
+        Ok(Allocation::new(configs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lora_model::NetworkModel;
+    use lora_sim::{SimConfig, Topology};
+
+    #[test]
+    fn picks_smallest_feasible_sf_at_max_power() {
+        let config = SimConfig::default();
+        let topo = Topology::disc(50, 1, 5_000.0, &config, 2);
+        let model = NetworkModel::new(&config, &topo);
+        let ctx = AllocationContext::new(&config, &topo, &model);
+        let alloc = LegacyLora::default().allocate(&ctx).unwrap();
+        for (i, cfg) in alloc.iter().enumerate() {
+            assert_eq!(cfg.tp.dbm(), 14.0);
+            let expected = model
+                .min_feasible_sf(i, ctx.max_tp())
+                .unwrap_or(SpreadingFactor::Sf12);
+            assert_eq!(cfg.sf, expected, "device {i}");
+        }
+    }
+
+    #[test]
+    fn channels_are_spread_but_seeded() {
+        let config = SimConfig::default();
+        let topo = Topology::disc(200, 1, 3_000.0, &config, 2);
+        let model = NetworkModel::new(&config, &topo);
+        let ctx = AllocationContext::new(&config, &topo, &model);
+        let a = LegacyLora::new(1).allocate(&ctx).unwrap();
+        let b = LegacyLora::new(1).allocate(&ctx).unwrap();
+        let c = LegacyLora::new(2).allocate(&ctx).unwrap();
+        assert_eq!(a, b, "same seed, same draw");
+        assert_ne!(a, c, "different seed, different draw");
+        let hist = a.channel_histogram(8);
+        assert!(hist.iter().all(|&n| n > 0), "200 draws should hit all 8 channels: {hist:?}");
+    }
+
+    #[test]
+    fn near_deployment_collapses_to_sf7() {
+        // A compact deployment: legacy puts everyone on SF7 — the
+        // collision-prone behaviour the paper criticises.
+        let config = SimConfig { p_los: 1.0, ..SimConfig::default() };
+        let topo = Topology::disc(30, 1, 800.0, &config, 5);
+        let model = NetworkModel::new(&config, &topo);
+        let ctx = AllocationContext::new(&config, &topo, &model);
+        let alloc = LegacyLora::default().allocate(&ctx).unwrap();
+        assert_eq!(alloc.sf_histogram()[0], 30);
+    }
+}

@@ -1,0 +1,12 @@
+//! The comparison strategies of the paper's evaluation (Section IV,
+//! "Benchmarks").
+
+mod adr;
+mod fixed_tp;
+mod legacy;
+mod rs_lora;
+
+pub use adr::AdrLora;
+pub use fixed_tp::EfLoraFixedTp;
+pub use legacy::LegacyLora;
+pub use rs_lora::RsLora;

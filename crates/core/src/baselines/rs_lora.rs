@@ -1,0 +1,209 @@
+//! RS-LoRa (Reynders et al., paper references [6]/[10]).
+//!
+//! RS-LoRa balances the **collision probability** across spreading
+//! factors: because an SF's time-on-air doubles per step, equal collision
+//! pressure requires the share of devices on SF `s` to follow
+//!
+//! ```text
+//! p_s = (s/2^s) / Σ_{i∈SF} (i/2^i)          (paper Eq. 22)
+//! ```
+//!
+//! so that the aggregate airtime per SF is equalised. Devices are ranked
+//! by link quality and the best-linked fraction gets the smallest SF —
+//! but a device is never assigned an SF below its feasibility bound.
+//! Power control is not part of the scheme (maximum power throughout) and
+//! channels are drawn uniformly. The paper's criticism — that some devices
+//! always land on SF11/12 and pay the energy bill — follows directly from
+//! the shares.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+use lora_phy::{SpreadingFactor, TxConfig};
+
+use crate::allocation::Allocation;
+use crate::context::AllocationContext;
+use crate::error::AllocError;
+use crate::strategy::Strategy;
+
+/// The RS-LoRa baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Default)]
+pub struct RsLora {
+    /// Seed for the random channel draw.
+    pub channel_seed: u64,
+}
+
+
+impl RsLora {
+    /// Creates the baseline with a channel-draw seed.
+    pub fn new(channel_seed: u64) -> Self {
+        RsLora { channel_seed }
+    }
+
+    /// The SF shares of paper Eq. (22), indexed SF7..SF12.
+    ///
+    /// ```
+    /// let p = ef_lora::RsLora::sf_shares();
+    /// assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    /// assert!(p[0] > p[5], "SF7 takes the largest share");
+    /// ```
+    pub fn sf_shares() -> [f64; 6] {
+        let mut shares = [0.0; 6];
+        let mut total = 0.0;
+        for sf in SpreadingFactor::ALL {
+            let s = f64::from(sf.bits_per_symbol());
+            let w = s / f64::from(sf.chips_per_symbol());
+            shares[sf.index()] = w;
+            total += w;
+        }
+        for w in &mut shares {
+            *w /= total;
+        }
+        shares
+    }
+
+    /// Target device counts per SF for a population of `n`, using largest
+    /// remainders so the counts sum exactly to `n`.
+    pub fn sf_counts(n: usize) -> [usize; 6] {
+        let shares = Self::sf_shares();
+        let mut counts = [0usize; 6];
+        let mut remainders: Vec<(usize, f64)> = Vec::with_capacity(6);
+        let mut assigned = 0usize;
+        for (i, share) in shares.iter().enumerate() {
+            let exact = share * n as f64;
+            counts[i] = exact.floor() as usize;
+            assigned += counts[i];
+            remainders.push((i, exact - exact.floor()));
+        }
+        remainders.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        for &(i, _) in remainders.iter().take(n - assigned) {
+            counts[i] += 1;
+        }
+        counts
+    }
+}
+
+impl Strategy for RsLora {
+    fn name(&self) -> &str {
+        "RS-LoRa"
+    }
+
+    fn allocate(&self, ctx: &AllocationContext<'_>) -> Result<Allocation, AllocError> {
+        ctx.check_nonempty()?;
+        let n = ctx.device_count();
+        let tp = ctx.max_tp();
+        let model = ctx.model();
+
+        // Rank devices by best-gateway attenuation, strongest link first.
+        let mut ranked: Vec<usize> = (0..n).collect();
+        let best_atten: Vec<f64> = (0..n)
+            .map(|i| {
+                (0..model.gateway_count())
+                    .map(|k| model.attenuation(i, k))
+                    .fold(0.0f64, f64::max)
+            })
+            .collect();
+        ranked.sort_by(|&a, &b| best_atten[b].total_cmp(&best_atten[a]).then(a.cmp(&b)));
+
+        // Fill the SF blocks in rank order.
+        let counts = Self::sf_counts(n);
+        let mut sf_of = vec![SpreadingFactor::Sf12; n];
+        let mut cursor = 0usize;
+        for sf in SpreadingFactor::ALL {
+            for _ in 0..counts[sf.index()] {
+                let device = ranked[cursor];
+                // Never assign below the feasibility bound.
+                let feasible =
+                    model.min_feasible_sf(device, tp).unwrap_or(SpreadingFactor::Sf12);
+                sf_of[device] = sf.max(feasible);
+                cursor += 1;
+            }
+        }
+
+        let mut rng = ChaCha12Rng::seed_from_u64(self.channel_seed);
+        let channels = ctx.channel_count();
+        let configs = (0..n)
+            .map(|i| TxConfig::new(sf_of[i], tp, rng.gen_range(0..channels)))
+            .collect();
+        Ok(Allocation::new(configs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lora_model::NetworkModel;
+    use lora_sim::{SimConfig, Topology};
+
+    #[test]
+    fn shares_match_equation_22() {
+        let p = RsLora::sf_shares();
+        // Hand-computed: Σ i/2^i for i=7..12 = 0.12158203125.
+        let total = 0.121_582_031_25;
+        assert!((p[0] - (7.0 / 128.0) / total).abs() < 1e-12);
+        assert!((p[5] - (12.0 / 4096.0) / total).abs() < 1e-12);
+        assert!((p[0] - 0.4498).abs() < 1e-3, "{}", p[0]);
+    }
+
+    #[test]
+    fn counts_sum_to_population() {
+        for n in [0, 1, 7, 100, 999, 3000] {
+            let counts = RsLora::sf_counts(n);
+            assert_eq!(counts.iter().sum::<usize>(), n, "n={n}");
+        }
+    }
+
+    #[test]
+    fn large_sfs_always_present_in_big_networks() {
+        // The paper's core criticism: RS-LoRa always parks some devices on
+        // SF11/12 regardless of deployment.
+        let counts = RsLora::sf_counts(1_000);
+        assert!(counts[4] > 0 && counts[5] > 0, "{counts:?}");
+    }
+
+    #[test]
+    fn allocation_follows_shares_in_a_compact_deployment() {
+        // All devices close in: feasibility never binds, so the histogram
+        // matches the target counts exactly.
+        let config = SimConfig { p_los: 1.0, ..SimConfig::default() };
+        let topo = Topology::disc(400, 1, 800.0, &config, 3);
+        let model = NetworkModel::new(&config, &topo);
+        let ctx = AllocationContext::new(&config, &topo, &model);
+        let alloc = RsLora::default().allocate(&ctx).unwrap();
+        let hist = alloc.sf_histogram();
+        let target = RsLora::sf_counts(400);
+        assert_eq!(hist, target);
+    }
+
+    #[test]
+    fn feasibility_bound_is_respected() {
+        let config = SimConfig::default();
+        let topo = Topology::disc(100, 1, 5_500.0, &config, 4);
+        let model = NetworkModel::new(&config, &topo);
+        let ctx = AllocationContext::new(&config, &topo, &model);
+        let alloc = RsLora::default().allocate(&ctx).unwrap();
+        for (i, cfg) in alloc.iter().enumerate() {
+            if let Some(f) = model.min_feasible_sf(i, ctx.max_tp()) {
+                assert!(cfg.sf >= f, "device {i}: {} below feasible {f}", cfg.sf);
+            }
+        }
+    }
+
+    #[test]
+    fn best_links_get_small_sfs() {
+        let config = SimConfig::default();
+        let topo = Topology::disc(120, 1, 4_000.0, &config, 6);
+        let model = NetworkModel::new(&config, &topo);
+        let ctx = AllocationContext::new(&config, &topo, &model);
+        let alloc = RsLora::default().allocate(&ctx).unwrap();
+        // The single strongest-linked device must be on the smallest SF
+        // anyone got.
+        let best = (0..120)
+            .max_by(|&a, &b| model.attenuation(a, 0).total_cmp(&model.attenuation(b, 0)))
+            .unwrap();
+        let min_sf = alloc.iter().map(|c| c.sf).min().unwrap();
+        assert_eq!(alloc[best].sf, min_sf);
+    }
+}

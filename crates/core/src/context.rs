@@ -1,0 +1,130 @@
+//! Shared input to allocation strategies.
+
+use lora_model::NetworkModel;
+use lora_phy::TxPowerDbm;
+use lora_sim::{SimConfig, Topology};
+
+use crate::error::AllocError;
+
+/// Everything an allocation strategy may consult: the deployment, the
+/// physical configuration and the analytical model built from them.
+///
+/// Bundling the three keeps strategies from being called with a model that
+/// does not match the topology (see [`AllocationContext::new`]).
+#[derive(Debug)]
+pub struct AllocationContext<'a> {
+    config: &'a SimConfig,
+    topology: &'a Topology,
+    model: &'a NetworkModel,
+    tp_levels: Vec<TxPowerDbm>,
+}
+
+impl<'a> AllocationContext<'a> {
+    /// Creates a context.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `model` was not built for `topology` (device/gateway
+    /// counts differ) — that is a programming error, not an input error.
+    pub fn new(config: &'a SimConfig, topology: &'a Topology, model: &'a NetworkModel) -> Self {
+        assert_eq!(
+            model.device_count(),
+            topology.device_count(),
+            "model/topology device counts differ"
+        );
+        assert_eq!(
+            model.gateway_count(),
+            topology.gateway_count(),
+            "model/topology gateway counts differ"
+        );
+        AllocationContext { config, topology, model, tp_levels: config.region.tx_power_levels() }
+    }
+
+    /// The physical configuration.
+    pub fn config(&self) -> &SimConfig {
+        self.config
+    }
+
+    /// The deployment.
+    pub fn topology(&self) -> &Topology {
+        self.topology
+    }
+
+    /// The analytical model.
+    pub fn model(&self) -> &NetworkModel {
+        self.model
+    }
+
+    /// The allocatable transmission-power levels, lowest first.
+    pub fn tp_levels(&self) -> &[TxPowerDbm] {
+        &self.tp_levels
+    }
+
+    /// The maximum allocatable transmission power.
+    pub fn max_tp(&self) -> TxPowerDbm {
+        *self.tp_levels.last().expect("regions define at least one TP level")
+    }
+
+    /// Number of devices.
+    pub fn device_count(&self) -> usize {
+        self.topology.device_count()
+    }
+
+    /// Number of uplink channels.
+    pub fn channel_count(&self) -> usize {
+        self.model.channel_count()
+    }
+
+    /// Validates that the deployment is allocatable at all.
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::EmptyDeployment`] without devices,
+    /// [`AllocError::NoGateways`] without gateways.
+    pub fn check_nonempty(&self) -> Result<(), AllocError> {
+        if self.topology.device_count() == 0 {
+            return Err(AllocError::EmptyDeployment);
+        }
+        if self.topology.gateway_count() == 0 {
+            return Err(AllocError::NoGateways);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_exposes_levels() {
+        let config = SimConfig::default();
+        let topo = Topology::disc(5, 1, 1_000.0, &config, 0);
+        let model = NetworkModel::new(&config, &topo);
+        let ctx = AllocationContext::new(&config, &topo, &model);
+        assert_eq!(ctx.tp_levels().len(), 7);
+        assert_eq!(ctx.max_tp().dbm(), 14.0);
+        assert_eq!(ctx.device_count(), 5);
+        assert_eq!(ctx.channel_count(), 8);
+        assert!(ctx.check_nonempty().is_ok());
+    }
+
+    #[test]
+    fn empty_deployment_is_rejected() {
+        let config = SimConfig::default();
+        let topo = Topology::disc(0, 1, 1_000.0, &config, 0);
+        let model = NetworkModel::new(&config, &topo);
+        let ctx = AllocationContext::new(&config, &topo, &model);
+        assert_eq!(ctx.check_nonempty(), Err(AllocError::EmptyDeployment));
+    }
+
+    #[test]
+    #[should_panic(expected = "device counts differ")]
+    fn mismatched_model_panics() {
+        let config = SimConfig::default();
+        let topo_a = Topology::disc(5, 1, 1_000.0, &config, 0);
+        let topo_b = Topology::disc(6, 1, 1_000.0, &config, 0);
+        let model = NetworkModel::new(&config, &topo_a);
+        let _ = AllocationContext::new(&config, &topo_b, &model);
+    }
+}

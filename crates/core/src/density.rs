@@ -1,0 +1,113 @@
+//! Density-first device ordering (paper Section III-D).
+//!
+//! The greedy allocator visits devices "starting from the end device with
+//! the most neighboring/contending end devices": a dense device constrains
+//! many others, so fixing it first shrinks the remaining decision space and
+//! — per the paper's measurement — cuts convergence time by ~10 % versus a
+//! random starting order.
+
+use lora_sim::Topology;
+
+/// Counts, for every device, how many other devices lie within
+/// `radius_m` — the "neighboring/contending" degree.
+pub fn neighbor_counts(topology: &Topology, radius_m: f64) -> Vec<usize> {
+    let sites = topology.devices();
+    let n = sites.len();
+    let mut counts = vec![0usize; n];
+    for i in 0..n {
+        for j in i + 1..n {
+            if sites[i].position.distance_to(&sites[j].position) <= radius_m {
+                counts[i] += 1;
+                counts[j] += 1;
+            }
+        }
+    }
+    counts
+}
+
+/// Device indices ordered densest-first (ties broken by index for
+/// determinism), using a neighborhood radius of `radius_m`.
+///
+/// ```
+/// use lora_sim::{DeviceSite, Position, Topology};
+/// use lora_phy::path_loss::LinkEnvironment;
+/// // Two clustered devices and one loner: the cluster goes first.
+/// let sites = vec![
+///     DeviceSite { position: Position::new(0.0, 0.0), environment: LinkEnvironment::LineOfSight },
+///     DeviceSite { position: Position::new(10.0, 0.0), environment: LinkEnvironment::LineOfSight },
+///     DeviceSite { position: Position::new(5_000.0, 0.0), environment: LinkEnvironment::LineOfSight },
+/// ];
+/// let topo = Topology::from_sites(sites, vec![Position::new(0.0, 0.0)], 5_000.0);
+/// let order = ef_lora::density::density_first_order(&topo, 100.0);
+/// assert_eq!(order[2], 2, "the loner is visited last");
+/// ```
+pub fn density_first_order(topology: &Topology, radius_m: f64) -> Vec<usize> {
+    let counts = neighbor_counts(topology, radius_m);
+    let mut order: Vec<usize> = (0..counts.len()).collect();
+    order.sort_by(|&a, &b| counts[b].cmp(&counts[a]).then(a.cmp(&b)));
+    order
+}
+
+/// A sensible default neighborhood radius: a tenth of the deployment
+/// radius (clamped to at least 100 m), so "dense" tracks the deployment
+/// scale.
+pub fn default_neighbor_radius(topology: &Topology) -> f64 {
+    (topology.radius_m() / 10.0).max(100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lora_phy::path_loss::LinkEnvironment;
+    use lora_sim::{DeviceSite, Position};
+
+    fn site(x: f64, y: f64) -> DeviceSite {
+        DeviceSite { position: Position::new(x, y), environment: LinkEnvironment::LineOfSight }
+    }
+
+    #[test]
+    fn clustered_devices_come_first() {
+        // Cluster of 3 at the origin, pair at 1 km, loner at 2 km.
+        let sites = vec![
+            site(0.0, 0.0),
+            site(1.0, 0.0),
+            site(0.0, 1.0),
+            site(1_000.0, 0.0),
+            site(1_001.0, 0.0),
+            site(2_000.0, 0.0),
+        ];
+        let topo = Topology::from_sites(sites, vec![Position::new(0.0, 0.0)], 2_000.0);
+        let order = density_first_order(&topo, 50.0);
+        // First three are the cluster (each has 2 neighbors).
+        let mut head: Vec<usize> = order[..3].to_vec();
+        head.sort_unstable();
+        assert_eq!(head, vec![0, 1, 2]);
+        assert_eq!(order[5], 5, "loner last");
+    }
+
+    #[test]
+    fn counts_are_symmetric() {
+        let sites = vec![site(0.0, 0.0), site(10.0, 0.0), site(20.0, 0.0)];
+        let topo = Topology::from_sites(sites, vec![Position::new(0.0, 0.0)], 100.0);
+        let counts = neighbor_counts(&topo, 15.0);
+        assert_eq!(counts, vec![1, 2, 1]);
+    }
+
+    #[test]
+    fn order_is_a_permutation() {
+        let sites: Vec<DeviceSite> = (0..30).map(|i| site(i as f64 * 37.0, 0.0)).collect();
+        let topo = Topology::from_sites(sites, vec![Position::new(0.0, 0.0)], 2_000.0);
+        let mut order = density_first_order(&topo, 200.0);
+        order.sort_unstable();
+        assert_eq!(order, (0..30).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn default_radius_scales_with_deployment() {
+        let topo = Topology::from_sites(vec![site(0.0, 0.0)], vec![Position::new(0.0, 0.0)], 5_000.0);
+        assert_eq!(default_neighbor_radius(&topo), 500.0);
+        let small =
+            Topology::from_sites(vec![site(0.0, 0.0)], vec![Position::new(0.0, 0.0)], 500.0);
+        assert_eq!(default_neighbor_radius(&small), 100.0);
+    }
+}

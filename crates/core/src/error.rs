@@ -1,0 +1,74 @@
+//! Error type for allocation strategies.
+
+use std::error::Error;
+use std::fmt;
+
+use lora_model::ModelError;
+
+/// Errors returned by allocation strategies.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AllocError {
+    /// The deployment has no devices to allocate for.
+    EmptyDeployment,
+    /// The deployment has no gateways, so no allocation can deliver.
+    NoGateways,
+    /// The underlying model rejected an allocation.
+    Model(ModelError),
+    /// A strategy parameter is invalid.
+    InvalidParameter {
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocError::EmptyDeployment => write!(f, "deployment has no end devices"),
+            AllocError::NoGateways => write!(f, "deployment has no gateways"),
+            AllocError::Model(e) => write!(f, "model rejected allocation: {e}"),
+            AllocError::InvalidParameter { reason } => {
+                write!(f, "invalid strategy parameter: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for AllocError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AllocError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<ModelError> for AllocError {
+    fn from(e: ModelError) -> Self {
+        AllocError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AllocError>();
+    }
+
+    #[test]
+    fn model_error_is_wrapped_with_source() {
+        let inner = ModelError::AllocationLengthMismatch { devices: 3, allocation: 2 };
+        let outer: AllocError = inner.clone().into();
+        assert!(outer.to_string().contains("model rejected"));
+        assert_eq!(
+            outer.source().unwrap().to_string(),
+            inner.to_string()
+        );
+    }
+}

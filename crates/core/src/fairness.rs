@@ -1,0 +1,56 @@
+//! Fairness metrics over per-device energy efficiencies.
+//!
+//! The paper "represents energy fairness by the minimum energy
+//! efficiency in a LoRa network"; Jain's index is provided as the
+//! conventional secondary measure.
+
+pub use lora_sim::metrics::{jain_index, mean};
+
+/// The paper's fairness metric: the minimum EE across devices, bits/mJ.
+pub fn min_ee(ee_values: &[f64]) -> f64 {
+    lora_sim::metrics::minimum(ee_values)
+}
+
+/// Relative improvement of `ours` over `baseline`, as the percentage the
+/// paper reports (e.g. "+177.8 %"). Returns 0 when the baseline is 0.
+///
+/// ```
+/// let gain = ef_lora::fairness::improvement_percent(0.5, 0.18);
+/// assert!((gain - 177.8).abs() < 1.0);
+/// ```
+pub fn improvement_percent(ours: f64, baseline: f64) -> f64 {
+    if baseline <= 0.0 {
+        0.0
+    } else {
+        (ours - baseline) / baseline * 100.0
+    }
+}
+
+/// The spread (max − min) of EE values — the "fluctuation" the paper's
+/// Fig. 4 discusses.
+pub fn spread(ee_values: &[f64]) -> f64 {
+    if ee_values.is_empty() {
+        return 0.0;
+    }
+    let max = ee_values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    max - min_ee(ee_values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_ee_and_spread() {
+        let v = [1.0, 0.4, 2.2];
+        assert_eq!(min_ee(&v), 0.4);
+        assert!((spread(&v) - 1.8).abs() < 1e-12);
+        assert_eq!(spread(&[]), 0.0);
+    }
+
+    #[test]
+    fn improvement_handles_zero_baseline() {
+        assert_eq!(improvement_percent(1.0, 0.0), 0.0);
+        assert!((improvement_percent(2.0, 1.0) - 100.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,378 @@
+//! Incremental re-allocation on device additions and removals.
+//!
+//! Section III-E of the paper observes that re-running the full allocator
+//! whenever devices join or leave "may lead to interruptions to the
+//! network operations" and names incremental adjustment — touching as few
+//! existing devices as possible — as future work. This module implements
+//! it:
+//!
+//! * [`IncrementalAllocator::extend`] allocates only the *new* devices
+//!   (each by the same lexicographic max-min candidate scan the full
+//!   algorithm uses), then optionally repairs the handful of existing
+//!   devices whose contention groups the newcomers joined;
+//! * [`IncrementalAllocator::after_removal`] repairs the groups that lost
+//!   members after devices left.
+//!
+//! Every device outside the affected groups keeps its configuration
+//! verbatim, so the over-the-air reconfiguration cost is bounded by the
+//! group sizes rather than the network size.
+
+use lora_phy::{SpreadingFactor, TxConfig, TxPowerDbm};
+
+use crate::allocation::Allocation;
+use crate::context::AllocationContext;
+use crate::error::AllocError;
+
+/// Outcome of an incremental adjustment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IncrementalOutcome {
+    /// The adjusted allocation (covers every device of the new topology).
+    pub allocation: Allocation,
+    /// How many *pre-existing* devices had their configuration changed —
+    /// the number of downlink reconfiguration commands the change costs.
+    pub reconfigured: usize,
+    /// Network minimum EE (model) after the adjustment, bits/mJ.
+    pub min_ee: f64,
+    /// Candidate configurations examined.
+    pub candidates_evaluated: u64,
+}
+
+/// Incremental counterpart of [`crate::EfLora`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct IncrementalAllocator {
+    /// Whether existing members of the groups touched by the change may be
+    /// re-assigned (one bounded repair pass). With `false`, only new
+    /// devices receive configurations.
+    repair: bool,
+}
+
+impl Default for IncrementalAllocator {
+    fn default() -> Self {
+        IncrementalAllocator { repair: true }
+    }
+}
+
+impl IncrementalAllocator {
+    /// Creates the allocator with repair enabled.
+    pub fn new() -> Self {
+        IncrementalAllocator::default()
+    }
+
+    /// Enables or disables the repair pass over affected existing devices.
+    #[must_use]
+    pub fn with_repair(mut self, repair: bool) -> Self {
+        self.repair = repair;
+        self
+    }
+
+    /// Allocates the devices appended to a deployment.
+    ///
+    /// `ctx` must describe the *new* topology, in which devices
+    /// `0..previous.len()` are the old ones (same order) and the tail is
+    /// new. The old devices keep `previous` unless the repair pass
+    /// improves the network minimum by moving one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError`] if `previous` is longer than the new
+    /// topology, or on the usual empty-deployment conditions.
+    pub fn extend(
+        &self,
+        ctx: &AllocationContext<'_>,
+        previous: &[TxConfig],
+    ) -> Result<IncrementalOutcome, AllocError> {
+        ctx.check_nonempty()?;
+        let n = ctx.device_count();
+        if previous.len() > n {
+            return Err(AllocError::InvalidParameter {
+                reason: "previous allocation is larger than the new topology",
+            });
+        }
+
+        // Seed: old devices keep their configuration; new devices start at
+        // their smallest feasible SF at maximum power (the full
+        // algorithm's starting point).
+        let max_tp = ctx.max_tp();
+        let mut alloc: Vec<TxConfig> = previous.to_vec();
+        for i in previous.len()..n {
+            let sf = ctx.model().min_feasible_sf(i, max_tp).unwrap_or(SpreadingFactor::Sf12);
+            alloc.push(TxConfig::new(sf, max_tp, i % ctx.channel_count()));
+        }
+
+        let mut state = ctx.model().state(alloc)?;
+        let mut candidates = 0u64;
+
+        // Place each new device with the full lexicographic candidate scan.
+        for device in previous.len()..n {
+            candidates += scan_and_apply(ctx, &mut state, device);
+        }
+
+        let mut reconfigured = 0usize;
+        if self.repair {
+            let touched = affected_devices(&state.alloc()[previous.len()..], previous);
+            for device in touched {
+                let before = state.alloc()[device];
+                candidates += scan_and_apply(ctx, &mut state, device);
+                if state.alloc()[device] != before {
+                    reconfigured += 1;
+                }
+            }
+        }
+        state.refresh();
+
+        Ok(IncrementalOutcome {
+            min_ee: state.min_ee(),
+            allocation: Allocation::new(state.alloc().to_vec()),
+            reconfigured,
+            candidates_evaluated: candidates,
+        })
+    }
+
+    /// Repairs an allocation after devices left the deployment.
+    ///
+    /// `ctx` describes the shrunk topology, `remaining` the surviving
+    /// devices' previous configurations (one per device of `ctx`, in
+    /// order) and `removed` the departed devices' old configurations
+    /// (which determine the groups worth repairing).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError`] on length mismatch or empty deployments.
+    pub fn after_removal(
+        &self,
+        ctx: &AllocationContext<'_>,
+        remaining: &[TxConfig],
+        removed: &[TxConfig],
+    ) -> Result<IncrementalOutcome, AllocError> {
+        ctx.check_nonempty()?;
+        if remaining.len() != ctx.device_count() {
+            return Err(AllocError::InvalidParameter {
+                reason: "remaining allocation must cover the shrunk topology exactly",
+            });
+        }
+        let mut state = ctx.model().state(remaining.to_vec())?;
+        let mut candidates = 0u64;
+        let mut reconfigured = 0usize;
+        if self.repair {
+            for device in affected_devices(removed, remaining) {
+                let before = state.alloc()[device];
+                candidates += scan_and_apply(ctx, &mut state, device);
+                if state.alloc()[device] != before {
+                    reconfigured += 1;
+                }
+            }
+        }
+        state.refresh();
+        Ok(IncrementalOutcome {
+            min_ee: state.min_ee(),
+            allocation: Allocation::new(state.alloc().to_vec()),
+            reconfigured,
+            candidates_evaluated: candidates,
+        })
+    }
+}
+
+/// Indices of `existing` devices sharing a contention group with any of
+/// `changes` — the bounded repair set.
+fn affected_devices(changes: &[TxConfig], existing: &[TxConfig]) -> Vec<usize> {
+    let groups: std::collections::HashSet<(SpreadingFactor, usize)> =
+        changes.iter().map(TxConfig::group).collect();
+    existing
+        .iter()
+        .enumerate()
+        .filter(|(_, cfg)| groups.contains(&cfg.group()))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// One device's lexicographic candidate scan (identical acceptance rule to
+/// the full Algorithm 1 pass); applies the best move. Returns the number
+/// of candidates examined.
+fn scan_and_apply(
+    ctx: &AllocationContext<'_>,
+    state: &mut lora_model::ModelState<'_>,
+    device: usize,
+) -> u64 {
+    let current_min = state.min_ee();
+    let current_own = state.ee(device);
+    let current = state.alloc()[device];
+    let tie_slack = (current_min.abs() * 1e-9).max(1e-15);
+    let mut floor = current_min - tie_slack;
+    let mut best: Option<(f64, f64, TxConfig)> = None;
+    let mut candidates = 0u64;
+    for sf in SpreadingFactor::ALL {
+        for channel in 0..ctx.channel_count() {
+            for &tp in ctx.tp_levels() {
+                let cfg = TxConfig::new(sf, tp, channel);
+                if cfg == current {
+                    continue;
+                }
+                candidates += 1;
+                let Some(min) = state.min_ee_if(device, cfg, floor) else {
+                    continue;
+                };
+                let own = state.ee_if(device, cfg);
+                let (best_min, best_own) =
+                    best.map(|(m, o, _)| (m, o)).unwrap_or((current_min, current_own));
+                if min > best_min + tie_slack
+                    || (min >= best_min - tie_slack && own > best_own + tie_slack)
+                {
+                    best = Some((min, own, cfg));
+                    floor = min - tie_slack;
+                }
+            }
+        }
+    }
+    if let Some((_, _, cfg)) = best {
+        state.apply(device, cfg);
+    }
+    candidates
+}
+
+/// Convenience: the TP type re-exported for doc examples.
+pub type Power = TxPowerDbm;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::EfLora;
+    use crate::strategy::Strategy;
+    use lora_model::NetworkModel;
+    use lora_sim::{SimConfig, Topology};
+
+    fn grown_pair(n_old: usize, n_new: usize, seed: u64) -> (SimConfig, Topology, Topology) {
+        let config = SimConfig::default();
+        // The grown topology shares the first n_old device sites: generate
+        // the big one, then truncate for the small one.
+        let grown = Topology::disc(n_old + n_new, 2, 4_000.0, &config, seed);
+        let old = Topology::from_sites(
+            grown.devices()[..n_old].to_vec(),
+            grown.gateways().to_vec(),
+            grown.radius_m(),
+        );
+        (config, old, grown)
+    }
+
+    #[test]
+    fn extend_keeps_unaffected_devices_verbatim() {
+        let (config, old_topo, new_topo) = grown_pair(40, 5, 1);
+        let old_model = NetworkModel::new(&config, &old_topo);
+        let old_ctx = AllocationContext::new(&config, &old_topo, &old_model);
+        let previous = EfLora::default().allocate(&old_ctx).unwrap();
+
+        let new_model = NetworkModel::new(&config, &new_topo);
+        let new_ctx = AllocationContext::new(&config, &new_topo, &new_model);
+        let outcome = IncrementalAllocator::default()
+            .extend(&new_ctx, previous.as_slice())
+            .unwrap();
+
+        assert_eq!(outcome.allocation.len(), 45);
+        // Existing devices outside the affected groups are untouched.
+        let new_groups: std::collections::HashSet<_> =
+            outcome.allocation.as_slice()[40..].iter().map(TxConfig::group).collect();
+        let mut changed = 0;
+        for i in 0..40 {
+            let before = previous.as_slice()[i];
+            let after = outcome.allocation[i];
+            if before != after {
+                changed += 1;
+                assert!(
+                    new_groups.contains(&before.group()) || new_groups.contains(&after.group()),
+                    "device {i} changed without sharing a group with a newcomer"
+                );
+            }
+        }
+        assert_eq!(changed, outcome.reconfigured);
+    }
+
+    #[test]
+    fn extend_quality_is_close_to_full_rerun() {
+        let (config, old_topo, new_topo) = grown_pair(60, 8, 3);
+        let old_model = NetworkModel::new(&config, &old_topo);
+        let old_ctx = AllocationContext::new(&config, &old_topo, &old_model);
+        let previous = EfLora::default().allocate(&old_ctx).unwrap();
+
+        let new_model = NetworkModel::new(&config, &new_topo);
+        let new_ctx = AllocationContext::new(&config, &new_topo, &new_model);
+        let incremental = IncrementalAllocator::default()
+            .extend(&new_ctx, previous.as_slice())
+            .unwrap();
+        let full = EfLora::default().allocate_with_report(&new_ctx).unwrap();
+
+        assert!(
+            incremental.min_ee >= full.final_min_ee * 0.8,
+            "incremental {} too far below full re-run {}",
+            incremental.min_ee,
+            full.final_min_ee
+        );
+        // And far cheaper: the full run scans every device every pass.
+        assert!(incremental.candidates_evaluated < full.candidates_evaluated);
+    }
+
+    #[test]
+    fn extend_without_repair_never_touches_existing() {
+        let (config, old_topo, new_topo) = grown_pair(30, 4, 5);
+        let old_model = NetworkModel::new(&config, &old_topo);
+        let old_ctx = AllocationContext::new(&config, &old_topo, &old_model);
+        let previous = EfLora::default().allocate(&old_ctx).unwrap();
+
+        let new_model = NetworkModel::new(&config, &new_topo);
+        let new_ctx = AllocationContext::new(&config, &new_topo, &new_model);
+        let outcome = IncrementalAllocator::default()
+            .with_repair(false)
+            .extend(&new_ctx, previous.as_slice())
+            .unwrap();
+        assert_eq!(outcome.reconfigured, 0);
+        assert_eq!(&outcome.allocation.as_slice()[..30], previous.as_slice());
+    }
+
+    #[test]
+    fn removal_repair_improves_or_preserves_min_ee() {
+        let (config, _old, topo) = grown_pair(45, 0, 7);
+        let model = NetworkModel::new(&config, &topo);
+        let ctx = AllocationContext::new(&config, &topo, &model);
+        let alloc = EfLora::default().allocate(&ctx).unwrap();
+
+        // Remove the last five devices.
+        let shrunk_topo = Topology::from_sites(
+            topo.devices()[..40].to_vec(),
+            topo.gateways().to_vec(),
+            topo.radius_m(),
+        );
+        let remaining: Vec<TxConfig> = alloc.as_slice()[..40].to_vec();
+        let removed: Vec<TxConfig> = alloc.as_slice()[40..].to_vec();
+        let shrunk_model = NetworkModel::new(&config, &shrunk_topo);
+        let shrunk_ctx = AllocationContext::new(&config, &shrunk_topo, &shrunk_model);
+
+        let untouched_min = {
+            let state = shrunk_model.state(remaining.clone()).unwrap();
+            state.min_ee()
+        };
+        let outcome = IncrementalAllocator::default()
+            .after_removal(&shrunk_ctx, &remaining, &removed)
+            .unwrap();
+        assert!(
+            outcome.min_ee >= untouched_min - 1e-9,
+            "repair must not hurt: {} vs {untouched_min}",
+            outcome.min_ee
+        );
+        assert_eq!(outcome.allocation.len(), 40);
+    }
+
+    #[test]
+    fn length_validation() {
+        let (config, _old, topo) = grown_pair(10, 0, 9);
+        let model = NetworkModel::new(&config, &topo);
+        let ctx = AllocationContext::new(&config, &topo, &model);
+        let too_long = vec![TxConfig::default(); 11];
+        assert!(matches!(
+            IncrementalAllocator::default().extend(&ctx, &too_long),
+            Err(AllocError::InvalidParameter { .. })
+        ));
+        let wrong = vec![TxConfig::default(); 9];
+        assert!(matches!(
+            IncrementalAllocator::default().after_removal(&ctx, &wrong, &[]),
+            Err(AllocError::InvalidParameter { .. })
+        ));
+    }
+}

@@ -1,0 +1,184 @@
+//! Gateway placement.
+//!
+//! The paper fixes gateways on a mesh grid (Section IV) and varies only
+//! their count. A deployment planner also controls *where* they go: this
+//! module provides a k-means placement that pulls gateways toward device
+//! clusters, which raises the minimum energy efficiency whenever devices
+//! are not uniform — the knob that complements EF-LoRa's parameter
+//! allocation.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+use lora_sim::{DeviceSite, Position, Topology};
+
+/// Places `k` gateways at the k-means centroids of the device positions
+/// (Lloyd's algorithm, seeded initialisation from the devices themselves).
+///
+/// Returns an empty vector for `k = 0`; with fewer devices than `k`, the
+/// remaining gateways duplicate device positions.
+///
+/// ```
+/// use ef_lora::placement::kmeans_gateways;
+/// use lora_phy::path_loss::LinkEnvironment;
+/// use lora_sim::{DeviceSite, Position};
+///
+/// // Two tight clusters → the two gateways land on them.
+/// let mut sites = Vec::new();
+/// for i in 0..10 {
+///     let off = i as f64;
+///     sites.push(DeviceSite {
+///         position: Position::new(off, 0.0),
+///         environment: LinkEnvironment::LineOfSight,
+///     });
+///     sites.push(DeviceSite {
+///         position: Position::new(4_000.0 + off, 0.0),
+///         environment: LinkEnvironment::LineOfSight,
+///     });
+/// }
+/// let gws = kmeans_gateways(&sites, 2, 32, 1);
+/// let mut xs: Vec<f64> = gws.iter().map(|g| g.x).collect();
+/// xs.sort_by(f64::total_cmp);
+/// assert!((xs[0] - 4.5).abs() < 1.0);
+/// assert!((xs[1] - 4_004.5).abs() < 1.0);
+/// ```
+pub fn kmeans_gateways(
+    devices: &[DeviceSite],
+    k: usize,
+    iterations: usize,
+    seed: u64,
+) -> Vec<Position> {
+    if k == 0 || devices.is_empty() {
+        return Vec::new();
+    }
+    let mut rng = ChaCha12Rng::seed_from_u64(seed ^ 0x706c_6163_656d_656e); // "placemen"
+    let mut centroids: Vec<Position> =
+        (0..k).map(|_| devices[rng.gen_range(0..devices.len())].position).collect();
+
+    let mut assignment = vec![0usize; devices.len()];
+    for _ in 0..iterations.max(1) {
+        // Assign.
+        for (i, site) in devices.iter().enumerate() {
+            assignment[i] = centroids
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    site.position
+                        .distance_to(a)
+                        .total_cmp(&site.position.distance_to(b))
+                })
+                .map(|(idx, _)| idx)
+                .unwrap_or(0);
+        }
+        // Update.
+        let mut sums = vec![(0.0f64, 0.0f64, 0usize); k];
+        for (i, site) in devices.iter().enumerate() {
+            let s = &mut sums[assignment[i]];
+            s.0 += site.position.x;
+            s.1 += site.position.y;
+            s.2 += 1;
+        }
+        let mut moved = 0.0f64;
+        for (c, &(sx, sy, n)) in centroids.iter_mut().zip(&sums) {
+            if n > 0 {
+                let next = Position::new(sx / n as f64, sy / n as f64);
+                moved += c.distance_to(&next);
+                *c = next;
+            } else {
+                // Empty cluster: restart it on a random device.
+                *c = devices[rng.gen_range(0..devices.len())].position;
+                moved += 1.0;
+            }
+        }
+        if moved < 1e-6 {
+            break;
+        }
+    }
+    centroids
+}
+
+/// A topology with the same devices but new gateway positions.
+pub fn with_gateways(topology: &Topology, gateways: Vec<Position>) -> Topology {
+    Topology::from_sites(topology.devices().to_vec(), gateways, topology.radius_m())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::AllocationContext;
+    use crate::greedy::EfLora;
+    use crate::strategy::Strategy;
+    use lora_model::NetworkModel;
+    use lora_phy::path_loss::LinkEnvironment;
+    use lora_sim::SimConfig;
+
+    fn site(x: f64, y: f64) -> DeviceSite {
+        DeviceSite {
+            position: Position::new(x, y),
+            environment: LinkEnvironment::NonLineOfSight,
+        }
+    }
+
+    #[test]
+    fn single_gateway_lands_on_the_centroid() {
+        let sites = vec![site(0.0, 0.0), site(100.0, 0.0), site(50.0, 90.0)];
+        let gws = kmeans_gateways(&sites, 1, 16, 0);
+        assert_eq!(gws.len(), 1);
+        assert!((gws[0].x - 50.0).abs() < 1e-6);
+        assert!((gws[0].y - 30.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(kmeans_gateways(&[], 3, 8, 0).is_empty());
+        assert!(kmeans_gateways(&[site(1.0, 1.0)], 0, 8, 0).is_empty());
+        let gws = kmeans_gateways(&[site(1.0, 1.0)], 3, 8, 0);
+        assert_eq!(gws.len(), 3, "more gateways than devices still yields k");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let sites: Vec<DeviceSite> =
+            (0..50).map(|i| site((i * 37 % 997) as f64, (i * 61 % 991) as f64)).collect();
+        let a = kmeans_gateways(&sites, 4, 32, 9);
+        let b = kmeans_gateways(&sites, 4, 32, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn clustered_deployment_beats_the_grid() {
+        // Two device clusters far from the grid positions: k-means
+        // placement must raise the model's min EE over the default grid.
+        let config = SimConfig::default();
+        let mut sites = Vec::new();
+        let mut rng_like = 0u64;
+        for cluster in [(-3_000.0f64, -3_000.0f64), (3_000.0f64, 3_000.0f64)] {
+            for i in 0..40 {
+                rng_like = rng_like.wrapping_mul(6364136223846793005).wrapping_add(i);
+                let dx = (rng_like % 600) as f64 - 300.0;
+                let dy = ((rng_like >> 16) % 600) as f64 - 300.0;
+                sites.push(site(cluster.0 + dx, cluster.1 + dy));
+            }
+        }
+        let grid = Topology::from_sites(
+            sites.clone(),
+            lora_sim::topology::grid_gateways(2, 5_000.0),
+            5_000.0,
+        );
+        let tuned = with_gateways(&grid, kmeans_gateways(&sites, 2, 32, 3));
+
+        let min_ee = |topo: &Topology| {
+            let model = NetworkModel::new(&config, topo);
+            let ctx = AllocationContext::new(&config, topo, &model);
+            let alloc = EfLora::default().allocate(&ctx).unwrap();
+            crate::fairness::min_ee(&model.evaluate(alloc.as_slice()))
+        };
+        let grid_ee = min_ee(&grid);
+        let tuned_ee = min_ee(&tuned);
+        assert!(
+            tuned_ee > grid_ee * 1.2,
+            "k-means placement should clearly win on clusters: {tuned_ee} vs {grid_ee}"
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! The allocation-strategy abstraction.
+
+use crate::allocation::Allocation;
+use crate::context::AllocationContext;
+use crate::error::AllocError;
+
+/// An algorithm that assigns every device a (SF, TP, channel) triple.
+///
+/// The trait is object-safe so experiment harnesses can iterate over
+/// `&[&dyn Strategy]` (C-OBJECT).
+///
+/// ```
+/// use ef_lora::{AllocationContext, LegacyLora, RsLora, Strategy};
+/// # use lora_model::NetworkModel;
+/// # use lora_sim::{SimConfig, Topology};
+/// # let config = SimConfig::default();
+/// # let topo = Topology::disc(10, 1, 2_000.0, &config, 0);
+/// # let model = NetworkModel::new(&config, &topo);
+/// let ctx = AllocationContext::new(&config, &topo, &model);
+/// let legacy = LegacyLora::default();
+/// let rs = RsLora::default();
+/// let strategies: [&dyn Strategy; 2] = [&legacy, &rs];
+/// for s in strategies {
+///     let alloc = s.allocate(&ctx).unwrap();
+///     assert_eq!(alloc.len(), 10);
+/// }
+/// ```
+pub trait Strategy {
+    /// A short human-readable name (used in experiment output).
+    fn name(&self) -> &str;
+
+    /// Computes an allocation for the deployment in `ctx`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError`] for unallocatable deployments (no devices, no
+    /// gateways) or invalid strategy parameters.
+    fn allocate(&self, ctx: &AllocationContext<'_>) -> Result<Allocation, AllocError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixed;
+
+    impl Strategy for Fixed {
+        fn name(&self) -> &str {
+            "fixed"
+        }
+
+        fn allocate(&self, ctx: &AllocationContext<'_>) -> Result<Allocation, AllocError> {
+            ctx.check_nonempty()?;
+            Ok(Allocation::new(vec![Default::default(); ctx.device_count()]))
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let s: &dyn Strategy = &Fixed;
+        assert_eq!(s.name(), "fixed");
+    }
+}

@@ -1,0 +1,76 @@
+//! Property-based tests for the allocator crate.
+
+use ef_lora::{
+    fairness, Allocation, AllocationContext, EfLora, LegacyLora, RsLora, Strategy,
+};
+use lora_model::NetworkModel;
+use lora_phy::{SpreadingFactor, TxConfig, TxPowerDbm};
+use lora_sim::{SimConfig, Topology};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn greedy_monotone_and_constrained(n in 5usize..50, gws in 1usize..4, seed in any::<u64>()) {
+        let config = SimConfig::default();
+        let topo = Topology::disc(n, gws, 5_000.0, &config, seed);
+        let model = NetworkModel::new(&config, &topo);
+        let ctx = AllocationContext::new(&config, &topo, &model);
+        let report = EfLora::default().allocate_with_report(&ctx).unwrap();
+        prop_assert!(report.final_min_ee >= report.initial_min_ee - 1e-12);
+        prop_assert!(report.allocation.satisfies_constraints(2.0, 14.0, 8));
+        prop_assert!(report.passes >= 1);
+        // The committed answer must reproduce the reported objective.
+        let check = fairness::min_ee(&model.evaluate(report.allocation.as_slice()));
+        prop_assert!((check - report.final_min_ee).abs() < 1e-9);
+    }
+
+    #[test]
+    fn baselines_deterministic_per_seed(n in 1usize..60, seed in any::<u64>()) {
+        let config = SimConfig::default();
+        let topo = Topology::disc(n, 2, 4_000.0, &config, seed);
+        let model = NetworkModel::new(&config, &topo);
+        let ctx = AllocationContext::new(&config, &topo, &model);
+        for pair in [
+            (LegacyLora::new(seed).allocate(&ctx).unwrap(), LegacyLora::new(seed).allocate(&ctx).unwrap()),
+            (RsLora::new(seed).allocate(&ctx).unwrap(), RsLora::new(seed).allocate(&ctx).unwrap()),
+        ] {
+            prop_assert_eq!(pair.0, pair.1);
+        }
+    }
+
+    #[test]
+    fn rs_counts_partition_any_population(n in 0usize..10_000) {
+        let counts = RsLora::sf_counts(n);
+        prop_assert_eq!(counts.iter().sum::<usize>(), n);
+    }
+
+    #[test]
+    fn histogram_sums_to_len(cfgs in proptest::collection::vec((7u8..=12, 1u8..=7, 0usize..8), 0..80)) {
+        let alloc = Allocation::new(
+            cfgs.into_iter()
+                .map(|(sf, tp, ch)| {
+                    TxConfig::new(
+                        SpreadingFactor::from_u8(sf).unwrap(),
+                        TxPowerDbm::new(f64::from(tp) * 2.0),
+                        ch,
+                    )
+                })
+                .collect(),
+        );
+        prop_assert_eq!(alloc.sf_histogram().iter().sum::<usize>(), alloc.len());
+        prop_assert_eq!(alloc.channel_histogram(8).iter().sum::<usize>(), alloc.len());
+        prop_assert!(alloc.satisfies_constraints(2.0, 14.0, 8));
+    }
+
+    #[test]
+    fn improvement_percent_sign(ours in 0.0f64..10.0, baseline in 0.001f64..10.0) {
+        let imp = fairness::improvement_percent(ours, baseline);
+        if ours > baseline {
+            prop_assert!(imp > 0.0);
+        } else if ours < baseline {
+            prop_assert!(imp < 0.0);
+        }
+    }
+}

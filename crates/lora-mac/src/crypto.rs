@@ -1,0 +1,336 @@
+//! AES-128 and AES-CMAC, as required by the LoRaWAN message integrity code.
+//!
+//! LoRaWAN authenticates every uplink with a 4-byte MIC computed as
+//! AES-128-CMAC over a `B0` block and the frame bytes (LoRaWAN 1.0.x
+//! §4.4). This module implements both primitives from scratch — the AES
+//! S-box is *derived* (GF(2⁸) inversion + affine map) rather than
+//! transcribed, and both algorithms are validated against FIPS-197 and
+//! RFC 4493 test vectors in the unit tests.
+//!
+//! This is a software model for simulation realism, not a hardened
+//! implementation: it makes no constant-time claims.
+
+/// Multiplies two elements of GF(2⁸) with the AES polynomial
+/// `x⁸ + x⁴ + x³ + x + 1` (0x11b).
+const fn gf_mul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    let mut i = 0;
+    while i < 8 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        let hi = a & 0x80;
+        a <<= 1;
+        if hi != 0 {
+            a ^= 0x1b;
+        }
+        b >>= 1;
+        i += 1;
+    }
+    p
+}
+
+/// The AES S-box, derived at compile time: multiplicative inverse in
+/// GF(2⁸) followed by the affine transformation of FIPS-197 §5.1.1.
+const SBOX: [u8; 256] = {
+    let mut sbox = [0u8; 256];
+    let mut x = 0usize;
+    while x < 256 {
+        // Multiplicative inverse (0 maps to 0) by brute force — fine at
+        // compile time.
+        let mut inv = 0u8;
+        if x != 0 {
+            let mut candidate = 1usize;
+            while candidate < 256 {
+                if gf_mul(x as u8, candidate as u8) == 1 {
+                    inv = candidate as u8;
+                    break;
+                }
+                candidate += 1;
+            }
+        }
+        // Affine transform: s = b ^ rotl1(b) ^ rotl2(b) ^ rotl3(b) ^ rotl4(b) ^ 0x63
+        let b = inv;
+        sbox[x] = b
+            ^ b.rotate_left(1)
+            ^ b.rotate_left(2)
+            ^ b.rotate_left(3)
+            ^ b.rotate_left(4)
+            ^ 0x63;
+        x += 1;
+    }
+    sbox
+};
+
+/// AES round constants for 128-bit key expansion.
+const RCON: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
+
+/// An expanded AES-128 key ready to encrypt blocks.
+#[derive(Clone)]
+pub struct Aes128 {
+    round_keys: [[u8; 16]; 11],
+}
+
+impl std::fmt::Debug for Aes128 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print key material.
+        f.debug_struct("Aes128").finish_non_exhaustive()
+    }
+}
+
+impl Aes128 {
+    /// Expands a 16-byte key.
+    pub fn new(key: &[u8; 16]) -> Self {
+        let mut w = [[0u8; 4]; 44];
+        for i in 0..4 {
+            w[i] = [key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]];
+        }
+        for i in 4..44 {
+            let mut temp = w[i - 1];
+            if i % 4 == 0 {
+                temp.rotate_left(1);
+                for b in &mut temp {
+                    *b = SBOX[*b as usize];
+                }
+                temp[0] ^= RCON[i / 4 - 1];
+            }
+            for j in 0..4 {
+                w[i][j] = w[i - 4][j] ^ temp[j];
+            }
+        }
+        let mut round_keys = [[0u8; 16]; 11];
+        for r in 0..11 {
+            for c in 0..4 {
+                round_keys[r][4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
+            }
+        }
+        Aes128 { round_keys }
+    }
+
+    /// Encrypts one 16-byte block in place.
+    pub fn encrypt_block(&self, block: &mut [u8; 16]) {
+        add_round_key(block, &self.round_keys[0]);
+        for round in 1..10 {
+            sub_bytes(block);
+            shift_rows(block);
+            mix_columns(block);
+            add_round_key(block, &self.round_keys[round]);
+        }
+        sub_bytes(block);
+        shift_rows(block);
+        add_round_key(block, &self.round_keys[10]);
+    }
+
+    /// Encrypts one block, returning the ciphertext.
+    pub fn encrypt(&self, block: [u8; 16]) -> [u8; 16] {
+        let mut b = block;
+        self.encrypt_block(&mut b);
+        b
+    }
+}
+
+fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+    for (s, k) in state.iter_mut().zip(rk) {
+        *s ^= k;
+    }
+}
+
+fn sub_bytes(state: &mut [u8; 16]) {
+    for s in state.iter_mut() {
+        *s = SBOX[*s as usize];
+    }
+}
+
+/// State is column-major: byte `state[4c + r]` is row `r`, column `c`.
+fn shift_rows(state: &mut [u8; 16]) {
+    // Row 1: shift left by 1.
+    let t = state[1];
+    state[1] = state[5];
+    state[5] = state[9];
+    state[9] = state[13];
+    state[13] = t;
+    // Row 2: shift left by 2.
+    state.swap(2, 10);
+    state.swap(6, 14);
+    // Row 3: shift left by 3 (= right by 1).
+    let t = state[15];
+    state[15] = state[11];
+    state[11] = state[7];
+    state[7] = state[3];
+    state[3] = t;
+}
+
+fn mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+        state[4 * c] = gf_mul(col[0], 2) ^ gf_mul(col[1], 3) ^ col[2] ^ col[3];
+        state[4 * c + 1] = col[0] ^ gf_mul(col[1], 2) ^ gf_mul(col[2], 3) ^ col[3];
+        state[4 * c + 2] = col[0] ^ col[1] ^ gf_mul(col[2], 2) ^ gf_mul(col[3], 3);
+        state[4 * c + 3] = gf_mul(col[0], 3) ^ col[1] ^ col[2] ^ gf_mul(col[3], 2);
+    }
+}
+
+/// AES-CMAC (RFC 4493) keyed with AES-128.
+#[derive(Debug, Clone)]
+pub struct Cmac {
+    cipher: Aes128,
+    k1: [u8; 16],
+    k2: [u8; 16],
+}
+
+/// Doubles a value in GF(2¹²⁸) with the CMAC polynomial (left shift, xor
+/// 0x87 into the last byte on carry).
+fn dbl(input: &[u8; 16]) -> [u8; 16] {
+    let mut out = [0u8; 16];
+    let mut carry = 0u8;
+    for i in (0..16).rev() {
+        out[i] = (input[i] << 1) | carry;
+        carry = input[i] >> 7;
+    }
+    if carry != 0 {
+        out[15] ^= 0x87;
+    }
+    out
+}
+
+impl Cmac {
+    /// Creates a CMAC instance from a 16-byte key.
+    pub fn new(key: &[u8; 16]) -> Self {
+        let cipher = Aes128::new(key);
+        let l = cipher.encrypt([0u8; 16]);
+        let k1 = dbl(&l);
+        let k2 = dbl(&k1);
+        Cmac { cipher, k1, k2 }
+    }
+
+    /// Computes the full 16-byte CMAC tag over `message`.
+    pub fn tag(&self, message: &[u8]) -> [u8; 16] {
+        let n_blocks = message.len().div_ceil(16).max(1);
+        let complete_last = !message.is_empty() && message.len().is_multiple_of(16);
+
+        let mut x = [0u8; 16];
+        // All blocks but the last.
+        for block in 0..n_blocks - 1 {
+            for i in 0..16 {
+                x[i] ^= message[16 * block + i];
+            }
+            self.cipher.encrypt_block(&mut x);
+        }
+        // Last block: xor K1 if complete, pad + xor K2 otherwise.
+        let mut last = [0u8; 16];
+        let tail = &message[16 * (n_blocks - 1)..];
+        if complete_last {
+            last.copy_from_slice(tail);
+            for (l, k) in last.iter_mut().zip(&self.k1) {
+                *l ^= k;
+            }
+        } else {
+            last[..tail.len()].copy_from_slice(tail);
+            last[tail.len()] = 0x80;
+            for (l, k) in last.iter_mut().zip(&self.k2) {
+                *l ^= k;
+            }
+        }
+        for (x_i, l) in x.iter_mut().zip(&last) {
+            *x_i ^= l;
+        }
+        self.cipher.encrypt_block(&mut x);
+        x
+    }
+
+    /// Computes the truncated 4-byte MIC used by LoRaWAN (the first four
+    /// bytes of the CMAC tag).
+    pub fn mic(&self, message: &[u8]) -> [u8; 4] {
+        let tag = self.tag(message);
+        [tag[0], tag[1], tag[2], tag[3]]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len()).step_by(2).map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap()).collect()
+    }
+
+    #[test]
+    fn sbox_known_entries() {
+        assert_eq!(SBOX[0x00], 0x63);
+        assert_eq!(SBOX[0x01], 0x7c);
+        assert_eq!(SBOX[0x53], 0xed);
+        assert_eq!(SBOX[0xff], 0x16);
+    }
+
+    #[test]
+    fn fips197_appendix_c_vector() {
+        // FIPS-197 appendix C.1: AES-128
+        let key: [u8; 16] = hex("000102030405060708090a0b0c0d0e0f").try_into().unwrap();
+        let pt: [u8; 16] = hex("00112233445566778899aabbccddeeff").try_into().unwrap();
+        let ct = Aes128::new(&key).encrypt(pt);
+        assert_eq!(ct.to_vec(), hex("69c4e0d86a7b0430d8cdb78070b4c55a"));
+    }
+
+    #[test]
+    fn rfc4493_empty_message() {
+        let key: [u8; 16] = hex("2b7e151628aed2a6abf7158809cf4f3c").try_into().unwrap();
+        let tag = Cmac::new(&key).tag(&[]);
+        assert_eq!(tag.to_vec(), hex("bb1d6929e95937287fa37d129b756746"));
+    }
+
+    #[test]
+    fn rfc4493_16_byte_message() {
+        let key: [u8; 16] = hex("2b7e151628aed2a6abf7158809cf4f3c").try_into().unwrap();
+        let msg = hex("6bc1bee22e409f96e93d7e117393172a");
+        let tag = Cmac::new(&key).tag(&msg);
+        assert_eq!(tag.to_vec(), hex("070a16b46b4d4144f79bdd9dd04a287c"));
+    }
+
+    #[test]
+    fn rfc4493_40_byte_message() {
+        let key: [u8; 16] = hex("2b7e151628aed2a6abf7158809cf4f3c").try_into().unwrap();
+        let msg = hex(
+            "6bc1bee22e409f96e93d7e117393172a\
+             ae2d8a571e03ac9c9eb76fac45af8e51\
+             30c81c46a35ce411",
+        );
+        let tag = Cmac::new(&key).tag(&msg);
+        assert_eq!(tag.to_vec(), hex("dfa66747de9ae63030ca32611497c827"));
+    }
+
+    #[test]
+    fn rfc4493_64_byte_message() {
+        let key: [u8; 16] = hex("2b7e151628aed2a6abf7158809cf4f3c").try_into().unwrap();
+        let msg = hex(
+            "6bc1bee22e409f96e93d7e117393172a\
+             ae2d8a571e03ac9c9eb76fac45af8e51\
+             30c81c46a35ce411e5fbc1191a0a52ef\
+             f69f2445df4f9b17ad2b417be66c3710",
+        );
+        let tag = Cmac::new(&key).tag(&msg);
+        assert_eq!(tag.to_vec(), hex("51f0bebf7e3b9d92fc49741779363cfe"));
+    }
+
+    #[test]
+    fn mic_is_tag_prefix() {
+        let key = [7u8; 16];
+        let cmac = Cmac::new(&key);
+        let msg = b"an uplink frame";
+        let tag = cmac.tag(msg);
+        assert_eq!(cmac.mic(msg), [tag[0], tag[1], tag[2], tag[3]]);
+    }
+
+    #[test]
+    fn different_keys_different_tags() {
+        let a = Cmac::new(&[1u8; 16]).tag(b"payload");
+        let b = Cmac::new(&[2u8; 16]).tag(b"payload");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn debug_does_not_leak_key() {
+        let c = Aes128::new(&[0x42; 16]);
+        let s = format!("{c:?}");
+        assert!(!s.contains("42"), "{s}");
+    }
+}

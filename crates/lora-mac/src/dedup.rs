@@ -1,0 +1,139 @@
+//! Network-server de-duplication.
+//!
+//! LoRa end devices broadcast; every gateway in range forwards its copy of
+//! an uplink to the network server, which keeps the first copy and discards
+//! the rest (paper Section III-A: "the remote server then filters the
+//! redundant received packets with de-duplication operation"). A
+//! transmission counts as delivered if *at least one* gateway received it —
+//! that is exactly the `1 − Π(1 − PDR)` structure of paper Eq. (5).
+
+use std::collections::HashMap;
+
+/// Outcome of offering a received frame copy to the de-duplicator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Reception {
+    /// First copy of this (device, counter) pair — deliver to application.
+    FirstCopy,
+    /// A redundant copy via another gateway — drop.
+    Duplicate,
+}
+
+/// De-duplicates uplink frames by `(device address, frame counter)`.
+///
+/// ```
+/// use lora_mac::{Deduplicator, Reception};
+/// let mut dedup = Deduplicator::new();
+/// assert_eq!(dedup.observe(0xa1, 5), Reception::FirstCopy);
+/// assert_eq!(dedup.observe(0xa1, 5), Reception::Duplicate);
+/// assert_eq!(dedup.observe(0xa1, 6), Reception::FirstCopy);
+/// assert_eq!(dedup.observe(0xb2, 5), Reception::FirstCopy);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Deduplicator {
+    /// Highest counter delivered per device, plus a short reordering window
+    /// of recently seen counters (gateway backhaul may reorder copies).
+    latest: HashMap<u32, u32>,
+    recent: HashMap<(u32, u32), ()>,
+    delivered: u64,
+    duplicates: u64,
+}
+
+impl Deduplicator {
+    /// Creates an empty de-duplicator.
+    pub fn new() -> Self {
+        Deduplicator::default()
+    }
+
+    /// Offers one received copy; returns whether it is the first copy.
+    pub fn observe(&mut self, dev_addr: u32, f_cnt: u32) -> Reception {
+        let key = (dev_addr, f_cnt);
+        if self.recent.contains_key(&key) {
+            self.duplicates += 1;
+            return Reception::Duplicate;
+        }
+        self.recent.insert(key, ());
+        let latest = self.latest.entry(dev_addr).or_insert(f_cnt);
+        if f_cnt > *latest {
+            *latest = f_cnt;
+        }
+        self.delivered += 1;
+        Reception::FirstCopy
+    }
+
+    /// Number of unique frames delivered so far.
+    #[inline]
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Number of redundant copies discarded so far.
+    #[inline]
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+
+    /// The highest frame counter delivered for a device, if any.
+    pub fn latest_counter(&self, dev_addr: u32) -> Option<u32> {
+        self.latest.get(&dev_addr).copied()
+    }
+
+    /// Drops the reordering window for counters at or below
+    /// `up_to_counter` for every device, bounding memory in long runs.
+    pub fn compact(&mut self, up_to_counter: u32) {
+        self.recent.retain(|&(_, cnt), _| cnt > up_to_counter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn copies_via_three_gateways_deliver_once() {
+        let mut dedup = Deduplicator::new();
+        assert_eq!(dedup.observe(1, 0), Reception::FirstCopy);
+        assert_eq!(dedup.observe(1, 0), Reception::Duplicate);
+        assert_eq!(dedup.observe(1, 0), Reception::Duplicate);
+        assert_eq!(dedup.delivered(), 1);
+        assert_eq!(dedup.duplicates(), 2);
+    }
+
+    #[test]
+    fn devices_are_independent() {
+        let mut dedup = Deduplicator::new();
+        dedup.observe(1, 0);
+        assert_eq!(dedup.observe(2, 0), Reception::FirstCopy);
+    }
+
+    #[test]
+    fn out_of_order_copies_still_dedup() {
+        let mut dedup = Deduplicator::new();
+        dedup.observe(1, 3);
+        dedup.observe(1, 4);
+        // A late copy of counter 3 via a slow gateway:
+        assert_eq!(dedup.observe(1, 3), Reception::Duplicate);
+    }
+
+    #[test]
+    fn latest_counter_tracks_maximum() {
+        let mut dedup = Deduplicator::new();
+        assert_eq!(dedup.latest_counter(9), None);
+        dedup.observe(9, 2);
+        dedup.observe(9, 7);
+        dedup.observe(9, 5);
+        assert_eq!(dedup.latest_counter(9), Some(7));
+    }
+
+    #[test]
+    fn compact_bounds_memory_without_losing_new_frames() {
+        let mut dedup = Deduplicator::new();
+        for cnt in 0..100 {
+            dedup.observe(1, cnt);
+        }
+        dedup.compact(98);
+        // Counter 99 is still within the window.
+        assert_eq!(dedup.observe(1, 99), Reception::Duplicate);
+        // New frames continue to deliver.
+        assert_eq!(dedup.observe(1, 100), Reception::FirstCopy);
+    }
+}

@@ -1,0 +1,58 @@
+//! Error type for MAC-layer operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by MAC-layer operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MacError {
+    /// A frame buffer was too short or malformed to decode.
+    MalformedFrame {
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// The frame MIC did not verify under the given key.
+    MicMismatch,
+    /// The application payload exceeds the maximum for the data rate.
+    PayloadTooLarge {
+        /// The offending length in bytes.
+        len: usize,
+        /// Maximum accepted length in bytes.
+        max: usize,
+    },
+    /// A schedule with a non-positive reporting interval.
+    InvalidInterval,
+}
+
+impl fmt::Display for MacError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MacError::MalformedFrame { reason } => write!(f, "malformed frame: {reason}"),
+            MacError::MicMismatch => write!(f, "message integrity code mismatch"),
+            MacError::PayloadTooLarge { len, max } => {
+                write!(f, "application payload of {len} bytes exceeds maximum of {max} bytes")
+            }
+            MacError::InvalidInterval => write!(f, "reporting interval must be positive"),
+        }
+    }
+}
+
+impl Error for MacError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MacError>();
+    }
+
+    #[test]
+    fn display_messages() {
+        assert!(MacError::MicMismatch.to_string().contains("integrity"));
+        assert!(MacError::MalformedFrame { reason: "short" }.to_string().contains("short"));
+    }
+}

@@ -1,0 +1,152 @@
+//! Gateway capacity probability `θ` (paper Eq. 12).
+//!
+//! A gateway decodes at most eight concurrent packets, so the model needs
+//! the probability that — at the moment a tagged device transmits — the
+//! *other* devices occupy at most seven demodulator paths. Device `j`
+//! occupies a path at gateway `k` with probability
+//! `q_{j,k} = α_j · P{rx_{j,k} ≥ sensitivity}` (it must be transmitting
+//! *and* detectable).
+//!
+//! The paper writes this as a sum over all subsets of contenders, which is
+//! exponential; the same distribution is the **Poisson–binomial** over the
+//! `q_{j,k}`, computed here with an exact `O(n·k)` dynamic program and,
+//! for very large populations, a Poisson tail with matched mean. The unit
+//! tests cross-check the DP against brute-force subset enumeration.
+
+/// Exact probability that at most `k` of the independent events with
+/// probabilities `probs` occur (Poisson–binomial CDF at `k`).
+///
+/// The dynamic program caps the count dimension at `k + 1`, so the cost is
+/// `O(n·k)` regardless of how many events there are.
+///
+/// ```
+/// // Three fair coins: P(at most 1 head) = 1/8 + 3/8 = 0.5.
+/// let p = lora_model::capacity::poisson_binomial_at_most(&[0.5, 0.5, 0.5], 1);
+/// assert!((p - 0.5).abs() < 1e-12);
+/// ```
+pub fn poisson_binomial_at_most(probs: &[f64], k: usize) -> f64 {
+    // dp[c] = P(exactly c occurred so far), with c = k+1 absorbing
+    // "more than k".
+    let mut dp = vec![0.0f64; k + 2];
+    dp[0] = 1.0;
+    for &q in probs {
+        debug_assert!((0.0..=1.0).contains(&q), "probability out of range: {q}");
+        for c in (0..=k).rev() {
+            let move_up = dp[c] * q;
+            dp[c] -= move_up;
+            dp[c + 1] += move_up;
+        }
+        // dp[k+1] absorbs: events landing there stay there (already > k).
+    }
+    dp[..=k].iter().sum::<f64>().clamp(0.0, 1.0)
+}
+
+/// Probability that a Poisson variable with the given mean is at most `k`.
+///
+/// Used as the large-population approximation of
+/// [`poisson_binomial_at_most`] with `mean = Σ q_j` (Le Cam's theorem
+/// bounds the error by `2·Σ q_j²`).
+pub fn poisson_at_most(mean: f64, k: usize) -> f64 {
+    debug_assert!(mean >= 0.0);
+    if mean == 0.0 {
+        return 1.0;
+    }
+    let mut term = (-mean).exp(); // P(X = 0)
+    let mut acc = term;
+    for i in 1..=k {
+        term *= mean / i as f64;
+        acc += term;
+    }
+    acc.clamp(0.0, 1.0)
+}
+
+/// The SX1301 path budget available to the *other* devices when one path
+/// is implicitly reserved for the tagged transmission: `8 − 1`.
+pub const OTHERS_BUDGET: usize = lora_mac::GATEWAY_MAX_CONCURRENT - 1;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force subset enumeration of the paper's Eq. 12 (exponential).
+    fn brute_force_at_most(probs: &[f64], k: usize) -> f64 {
+        let n = probs.len();
+        assert!(n <= 20);
+        let mut total = 0.0;
+        for mask in 0u32..(1 << n) {
+            if (mask.count_ones() as usize) > k {
+                continue;
+            }
+            let mut p = 1.0;
+            for (j, &q) in probs.iter().enumerate() {
+                p *= if mask & (1 << j) != 0 { q } else { 1.0 - q };
+            }
+            total += p;
+        }
+        total
+    }
+
+    #[test]
+    fn dp_matches_brute_force() {
+        let probs = [0.1, 0.9, 0.5, 0.3, 0.25, 0.8, 0.05, 0.6, 0.45, 0.7];
+        for k in 0..probs.len() {
+            let dp = poisson_binomial_at_most(&probs, k);
+            let bf = brute_force_at_most(&probs, k);
+            assert!((dp - bf).abs() < 1e-12, "k={k}: {dp} vs {bf}");
+        }
+    }
+
+    #[test]
+    fn empty_population_always_fits() {
+        assert_eq!(poisson_binomial_at_most(&[], 7), 1.0);
+        assert_eq!(poisson_at_most(0.0, 7), 1.0);
+    }
+
+    #[test]
+    fn certain_events_count_deterministically() {
+        let probs = vec![1.0; 9];
+        // Nine certain occupants never fit in 7 paths …
+        assert!(poisson_binomial_at_most(&probs, 7) < 1e-12);
+        // … but 9 fit in 9.
+        assert!((poisson_binomial_at_most(&probs, 9) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_in_k_and_antitone_in_load() {
+        let light = vec![0.01; 100];
+        let heavy = vec![0.2; 100];
+        for k in 0..7 {
+            assert!(
+                poisson_binomial_at_most(&light, k) <= poisson_binomial_at_most(&light, k + 1)
+            );
+        }
+        assert!(
+            poisson_binomial_at_most(&heavy, 7) < poisson_binomial_at_most(&light, 7),
+            "heavier load must reduce availability"
+        );
+    }
+
+    #[test]
+    fn poisson_approximates_many_small_probabilities() {
+        // 2000 devices, each occupying with probability 0.002: Le Cam bound
+        // 2·Σq² = 0.016.
+        let probs = vec![0.002; 2000];
+        let exact = poisson_binomial_at_most(&probs, 7);
+        let approx = poisson_at_most(4.0, 7);
+        assert!((exact - approx).abs() < 0.02, "{exact} vs {approx}");
+    }
+
+    #[test]
+    fn poisson_tail_sanity() {
+        // Mean 8, k = 7: a bit under half the mass is ≤ 7.
+        let p = poisson_at_most(8.0, 7);
+        assert!((0.4..0.5).contains(&p), "{p}");
+        // Tiny mean: essentially always available.
+        assert!(poisson_at_most(0.01, 7) > 0.999_999);
+    }
+
+    #[test]
+    fn others_budget_is_seven() {
+        assert_eq!(OTHERS_BUDGET, 7);
+    }
+}

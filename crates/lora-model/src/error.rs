@@ -1,0 +1,54 @@
+//! Error type for model evaluation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by the analytical model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// The allocation length does not match the modelled device count.
+    AllocationLengthMismatch {
+        /// Devices in the model.
+        devices: usize,
+        /// Entries in the allocation.
+        allocation: usize,
+    },
+    /// A channel index outside the modelled plan.
+    ChannelOutOfRange {
+        /// Device with the offending entry.
+        device: usize,
+        /// The channel index.
+        channel: usize,
+        /// Channels in the plan.
+        plan_len: usize,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::AllocationLengthMismatch { devices, allocation } => write!(
+                f,
+                "allocation has {allocation} entries but the model has {devices} devices"
+            ),
+            ModelError::ChannelOutOfRange { device, channel, plan_len } => write!(
+                f,
+                "device {device} allocated channel {channel} outside plan of {plan_len} channels"
+            ),
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ModelError>();
+    }
+}

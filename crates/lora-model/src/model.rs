@@ -1,0 +1,951 @@
+//! The network-wide energy-efficiency model (paper Eq. 17–18) with
+//! incremental evaluation.
+//!
+//! [`NetworkModel`] captures everything that does not depend on the
+//! allocation: attenuations, per-SF time-on-air, thresholds and the energy
+//! model. [`ModelState`] then binds an allocation and maintains the
+//! group-level aggregates — member lists, mean interference power sums and
+//! gateway occupancy loads — that let the greedy allocator evaluate
+//! "what is the network minimum EE if device *i* moves to configuration
+//! *c*?" in time proportional to the two affected contention groups rather
+//! than the whole network.
+//!
+//! ## Approximations (documented deviations)
+//!
+//! * The gateway-capacity factor `θ` uses a Poisson tail with mean
+//!   `Λ_k − q_{i,k}` where `Λ_k` is the total expected demodulator
+//!   occupancy at gateway `k`. `Λ` is updated on committed moves but *not*
+//!   during a hypothetical candidate scan (one device among thousands
+//!   perturbs it negligibly); [`ModelState::refresh`] recomputes it, and the
+//!   allocator calls it between passes. The exact Poisson–binomial is
+//!   available in [`crate::capacity`] and is used by
+//!   [`NetworkModel::evaluate_exact_theta`].
+//! * EE values cached for devices in *unaffected* groups are not
+//!   recomputed when `Λ` drifts; `refresh` flushes this too.
+
+use lora_phy::energy::RadioEnergyModel;
+use lora_phy::link::noise_floor_dbm;
+use lora_phy::toa::ToaParams;
+use lora_phy::{dbm_to_mw, Bandwidth, SpreadingFactor, TxConfig, TxPowerDbm};
+use lora_sim::{SimConfig, Topology, Traffic};
+
+use crate::capacity::{poisson_at_most, poisson_binomial_at_most, OTHERS_BUDGET};
+use crate::contention::{group_count, group_index, overlap_from_load};
+use crate::error::ModelError;
+use crate::interference::{group_density, laplace_transform};
+use crate::pdr::{pdr_with, prr, PdrForm};
+
+/// Allocation-independent model of one deployment.
+#[derive(Debug, Clone)]
+pub struct NetworkModel {
+    /// Linear attenuation `[device][gateway]`.
+    attenuation: Vec<Vec<f64>>,
+    /// Number of gateways (kept explicitly: the attenuation matrix is
+    /// empty for a zero-device deployment).
+    n_gateways: usize,
+    /// Per-device path-loss exponent (for the Laplace variant).
+    beta: Vec<f64>,
+    /// Time-on-air per SF for the configured payload, seconds.
+    toa_by_sf: [f64; 6],
+    /// Sensitivity per SF, mW.
+    sens_mw: [f64; 6],
+    /// SNR threshold per SF, linear ratio.
+    th_lin: [f64; 6],
+    /// Noise floor, mW.
+    noise_mw: f64,
+    /// Delivered bits per frame (`L` of Eq. 2).
+    payload_bits: f64,
+    /// Common reporting interval `T_g`, seconds.
+    interval_s: f64,
+    /// Per-device reporting intervals (all equal to `interval_s` unless
+    /// the Section III-E heterogeneous-rates extension is configured).
+    /// Under [`Traffic::DutyCycleTarget`] intervals depend on the SF, so
+    /// this vector is ignored in favour of `traffic`.
+    intervals: Vec<f64>,
+    /// Traffic model (fixes the duty cycle under `DutyCycleTarget`).
+    traffic: Traffic,
+    /// Radio energy model.
+    energy: RadioEnergyModel,
+    /// Number of uplink channels.
+    n_channels: usize,
+    /// Overall deployment density, devices per m².
+    density_per_m2: f64,
+    /// Which analytical PDR form to evaluate (see [`PdrForm`]).
+    pdr_form: PdrForm,
+}
+
+impl NetworkModel {
+    /// Builds the model for a deployment under a simulation configuration,
+    /// guaranteeing model and simulator share every physical parameter.
+    pub fn new(config: &SimConfig, topology: &Topology) -> Self {
+        let bw = Bandwidth::Bw125;
+        let payload = config.phy_payload_len();
+        let mut toa_by_sf = [0.0; 6];
+        let mut sens_mw = [0.0; 6];
+        let mut th_lin = [0.0; 6];
+        for sf in SpreadingFactor::ALL {
+            toa_by_sf[sf.index()] = ToaParams::new(sf, bw, config.coding_rate)
+                .time_on_air_s(payload)
+                .expect("payload validated by SimConfig usage");
+            sens_mw[sf.index()] = dbm_to_mw(sf.sensitivity_dbm(bw, config.noise_figure_db));
+            th_lin[sf.index()] = dbm_to_mw(sf.snr_threshold_db());
+        }
+        let attenuation = topology
+            .devices()
+            .iter()
+            .map(|site| {
+                let beta = config.betas.beta(site.environment);
+                topology
+                    .gateways()
+                    .iter()
+                    .map(|gw| config.path_loss.attenuation(site.position.distance_to(gw), beta))
+                    .collect()
+            })
+            .collect();
+        let beta = topology
+            .devices()
+            .iter()
+            .map(|site| config.betas.beta(site.environment))
+            .collect();
+        let area = std::f64::consts::PI * topology.radius_m().powi(2);
+        let density_per_m2 =
+            if area > 0.0 { topology.device_count() as f64 / area } else { 0.0 };
+        NetworkModel {
+            attenuation,
+            n_gateways: topology.gateway_count(),
+            beta,
+            toa_by_sf,
+            sens_mw,
+            th_lin,
+            noise_mw: dbm_to_mw(noise_floor_dbm(bw, config.noise_figure_db)),
+            payload_bits: config.payload_bits(),
+            interval_s: config.report_interval_s,
+            intervals: (0..topology.device_count()).map(|i| config.interval_of(i)).collect(),
+            traffic: config.traffic,
+            energy: config.energy.clone(),
+            n_channels: config.region.uplink_channel_count(),
+            density_per_m2,
+            pdr_form: PdrForm::default(),
+        }
+    }
+
+    /// Selects the analytical PDR form. The default,
+    /// [`PdrForm::JointExponential`], is the exact joint probability that
+    /// matches the packet simulator; [`PdrForm::PaperEq10`] evaluates the
+    /// paper's literal product form.
+    #[must_use]
+    pub fn with_pdr_form(mut self, form: PdrForm) -> Self {
+        self.pdr_form = form;
+        self
+    }
+
+    /// Number of modelled devices.
+    pub fn device_count(&self) -> usize {
+        self.attenuation.len()
+    }
+
+    /// Number of modelled gateways.
+    pub fn gateway_count(&self) -> usize {
+        self.n_gateways
+    }
+
+    /// Number of uplink channels in the plan.
+    pub fn channel_count(&self) -> usize {
+        self.n_channels
+    }
+
+    /// Linear attenuation between device `i` and gateway `k`.
+    pub fn attenuation(&self, device: usize, gateway: usize) -> f64 {
+        self.attenuation[device][gateway]
+    }
+
+    /// Time-on-air for the configured payload at `sf`, seconds.
+    pub fn time_on_air_s(&self, sf: SpreadingFactor) -> f64 {
+        self.toa_by_sf[sf.index()]
+    }
+
+    /// The duty cycle `α = T/T_g` at `sf` under the *common* reporting
+    /// interval (paper Eq. 15).
+    pub fn duty_cycle(&self, sf: SpreadingFactor) -> f64 {
+        self.toa_by_sf[sf.index()] / self.interval_s
+    }
+
+    /// The duty cycle of device `i` if it used `sf`, honouring its own
+    /// reporting interval (the heterogeneous-rates generalisation of
+    /// Eq. 15). Under [`Traffic::DutyCycleTarget`] this is the fixed duty
+    /// regardless of SF.
+    pub fn duty_of(&self, device: usize, sf: SpreadingFactor) -> f64 {
+        match self.traffic {
+            Traffic::Periodic => self.toa_by_sf[sf.index()] / self.intervals[device],
+            Traffic::DutyCycleTarget { duty } => duty,
+        }
+    }
+
+    /// The reporting interval device `i` would use at `sf`: its configured
+    /// interval under periodic traffic, `ToA(sf)/duty` under a duty-cycle
+    /// target.
+    pub fn interval_for(&self, device: usize, sf: SpreadingFactor) -> f64 {
+        match self.traffic {
+            Traffic::Periodic => self.intervals[device],
+            Traffic::DutyCycleTarget { duty } => self.toa_by_sf[sf.index()] / duty,
+        }
+    }
+
+    /// Energy of one reporting cycle under configuration `cfg` at the
+    /// common interval, joules (the `E_s` of Eq. 2, including sleep).
+    pub fn cycle_energy_j(&self, cfg: &TxConfig) -> f64 {
+        self.energy.cycle_energy_j(cfg.tp, self.time_on_air_s(cfg.sf), self.interval_s)
+    }
+
+    /// Energy of one reporting cycle of device `i` under configuration
+    /// `cfg`, honouring its own reporting interval and the traffic model.
+    pub fn cycle_energy_of(&self, device: usize, cfg: &TxConfig) -> f64 {
+        self.energy.cycle_energy_j(
+            cfg.tp,
+            self.time_on_air_s(cfg.sf),
+            self.interval_for(device, cfg.sf),
+        )
+    }
+
+    /// The common reporting interval `T_g`, seconds.
+    pub fn interval_s(&self) -> f64 {
+        self.interval_s
+    }
+
+    /// The reporting interval of device `i`, seconds.
+    pub fn interval_of(&self, device: usize) -> f64 {
+        self.intervals[device]
+    }
+
+    /// Delivered bits per frame (the `L` of Eq. 2).
+    pub fn payload_bits(&self) -> f64 {
+        self.payload_bits
+    }
+
+    /// The smallest SF whose mean received power reaches *some* gateway's
+    /// sensitivity at transmit power `tp`, or `None` if even SF12 falls
+    /// short everywhere. This is the legacy-LoRa SF rule (estimated SNR,
+    /// no interference).
+    pub fn min_feasible_sf(&self, device: usize, tp: TxPowerDbm) -> Option<SpreadingFactor> {
+        let p_mw = tp.milliwatts();
+        let best_atten =
+            self.attenuation[device].iter().copied().fold(0.0f64, f64::max);
+        SpreadingFactor::ALL
+            .into_iter()
+            .find(|sf| p_mw * best_atten >= self.sens_mw[sf.index()])
+    }
+
+    /// Occupancy probability `q_{i,k}`: the chance device `i` holds a
+    /// demodulator path at gateway `k` at a random instant — transmitting
+    /// (duty cycle) and detectable (Rayleigh survival of the sensitivity).
+    pub fn occupancy_probability(&self, device: usize, cfg: &TxConfig, gateway: usize) -> f64 {
+        let mean_rx = cfg.tp.milliwatts() * self.attenuation[device][gateway];
+        if mean_rx <= 0.0 {
+            return 0.0;
+        }
+        let detect = (-self.sens_mw[cfg.sf.index()] / mean_rx).exp();
+        self.duty_of(device, cfg.sf) * detect
+    }
+
+    /// Validates an allocation against this model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::AllocationLengthMismatch`] or
+    /// [`ModelError::ChannelOutOfRange`].
+    pub fn validate(&self, alloc: &[TxConfig]) -> Result<(), ModelError> {
+        if alloc.len() != self.device_count() {
+            return Err(ModelError::AllocationLengthMismatch {
+                devices: self.device_count(),
+                allocation: alloc.len(),
+            });
+        }
+        for (device, cfg) in alloc.iter().enumerate() {
+            if cfg.channel >= self.n_channels {
+                return Err(ModelError::ChannelOutOfRange {
+                    device,
+                    channel: cfg.channel,
+                    plan_len: self.n_channels,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluates the energy efficiency (bits/mJ, Eq. 17) of every device
+    /// under `alloc`, using the incremental machinery once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the allocation is invalid; use [`NetworkModel::validate`]
+    /// or [`NetworkModel::state`] for fallible entry points.
+    pub fn evaluate(&self, alloc: &[TxConfig]) -> Vec<f64> {
+        self.state(alloc.to_vec()).expect("valid allocation").ee_all().to_vec()
+    }
+
+    /// Like [`NetworkModel::evaluate`] but with the exact Poisson–binomial
+    /// capacity factor instead of the Poisson approximation. `O(N²·G)` —
+    /// use for validation, not inside the allocator.
+    pub fn evaluate_exact_theta(&self, alloc: &[TxConfig]) -> Vec<f64> {
+        self.validate(alloc).expect("valid allocation");
+        let n = self.device_count();
+        let g = self.gateway_count();
+        // q[k][j]
+        let mut q = vec![vec![0.0; n]; g];
+        for j in 0..n {
+            for (k, qk) in q.iter_mut().enumerate() {
+                qk[j] = self.occupancy_probability(j, &alloc[j], k);
+            }
+        }
+        let state = self.state(alloc.to_vec()).expect("validated");
+        (0..n)
+            .map(|i| {
+                let cfg = &alloc[i];
+                let h = state.overlap_for(i);
+                let per_gw = (0..g).map(|k| {
+                    let probs: Vec<f64> = (0..n).filter(|&j| j != i).map(|j| q[k][j]).collect();
+                    let theta = poisson_binomial_at_most(&probs, OTHERS_BUDGET);
+                    let mean_rx = cfg.tp.milliwatts() * self.attenuation[i][k];
+                    let interference = state.interference_on(i, k);
+                    let p = pdr_with(
+                        self.pdr_form,
+                        mean_rx,
+                        self.th_lin[cfg.sf.index()],
+                        h,
+                        interference,
+                        self.noise_mw,
+                        self.sens_mw[cfg.sf.index()],
+                    );
+                    (theta, p)
+                });
+                self.payload_bits * prr(per_gw) / (self.cycle_energy_j(cfg) * 1_000.0)
+            })
+            .collect()
+    }
+
+    /// Evaluates EE with the paper's PPP/Laplace interference reduction
+    /// (Eq. 18–20) instead of the per-device mean-field sum: the cumulative
+    /// interference term is replaced by
+    /// `L_I(th·h/(p·a))` at group density `λ_{s,c}` (Eq. 20).
+    ///
+    /// Requires every per-device path-loss exponent to exceed 2 (the PPP
+    /// integral diverges otherwise); exponents are clamped to 2.05.
+    pub fn evaluate_laplace(&self, alloc: &[TxConfig]) -> Vec<f64> {
+        self.validate(alloc).expect("valid allocation");
+        let n = self.device_count();
+        let counts = crate::contention::group_occupancy(alloc, self.n_channels);
+        let state = self.state(alloc.to_vec()).expect("validated");
+        (0..n)
+            .map(|i| {
+                let cfg = &alloc[i];
+                let sfi = cfg.sf.index();
+                let group = group_index(cfg.sf, cfg.channel, self.n_channels);
+                let lambda_sc = group_density(
+                    self.density_per_m2,
+                    counts[group].saturating_sub(1),
+                    n,
+                );
+                let h = state.overlap_for(i);
+                let beta = self.beta[i].max(2.05);
+                let per_gw = (0..self.gateway_count()).map(|k| {
+                    let mean_rx = cfg.tp.milliwatts() * self.attenuation[i][k];
+                    if mean_rx <= 0.0 {
+                        return (1.0, 0.0);
+                    }
+                    let s = self.th_lin[sfi] * h / mean_rx;
+                    let l = laplace_transform(s, cfg.tp.milliwatts(), beta, lambda_sc);
+                    let noise_part = (-(self.th_lin[sfi] * self.noise_mw
+                        + self.sens_mw[sfi])
+                        / mean_rx)
+                        .exp();
+                    let theta = state.theta(i, k);
+                    (theta, (l * noise_part).clamp(0.0, 1.0))
+                });
+                self.payload_bits * prr(per_gw) / (self.cycle_energy_j(cfg) * 1_000.0)
+            })
+            .collect()
+    }
+
+    /// Binds an allocation, producing the incrementally updatable state.
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation errors of [`NetworkModel::validate`].
+    pub fn state(&self, alloc: Vec<TxConfig>) -> Result<ModelState<'_>, ModelError> {
+        self.validate(&alloc)?;
+        Ok(ModelState::build(self, alloc))
+    }
+}
+
+/// An allocation bound to a [`NetworkModel`], with the aggregates needed to
+/// evaluate single-device moves incrementally.
+#[derive(Debug, Clone)]
+pub struct ModelState<'m> {
+    model: &'m NetworkModel,
+    alloc: Vec<TxConfig>,
+    /// Device ids per (SF, channel) group.
+    members: Vec<Vec<usize>>,
+    /// `Σ_{j∈group} p_j·a_{j,k}` per group and gateway, mW.
+    power_sum: Vec<Vec<f64>>,
+    /// `Σ_{j∈group} α_j` per group — the ALOHA contention load used by the
+    /// heterogeneous-rates generalisation of Eq. (14).
+    alpha_sum: Vec<f64>,
+    /// Occupancy probability `q_{i,k}` per device and gateway.
+    q: Vec<Vec<f64>>,
+    /// Total expected occupancy `Λ_k` per gateway.
+    lambda: Vec<f64>,
+    /// Cached EE per device, bits/mJ.
+    ee: Vec<f64>,
+    /// Cached minimum EE per group (`∞` for empty groups).
+    group_min: Vec<f64>,
+}
+
+impl<'m> ModelState<'m> {
+    fn build(model: &'m NetworkModel, alloc: Vec<TxConfig>) -> Self {
+        let n = model.device_count();
+        let g = model.gateway_count();
+        let n_groups = group_count(model.n_channels);
+        let mut state = ModelState {
+            model,
+            alloc,
+            members: vec![Vec::new(); n_groups],
+            power_sum: vec![vec![0.0; g]; n_groups],
+            alpha_sum: vec![0.0; n_groups],
+            q: vec![vec![0.0; g]; n],
+            lambda: vec![0.0; g],
+            ee: vec![0.0; n],
+            group_min: vec![f64::INFINITY; n_groups],
+        };
+        for i in 0..n {
+            let cfg = state.alloc[i];
+            let grp = state.group_of(&cfg);
+            state.members[grp].push(i);
+            state.alpha_sum[grp] += model.duty_of(i, cfg.sf);
+            let p_mw = cfg.tp.milliwatts();
+            for k in 0..g {
+                state.power_sum[grp][k] += p_mw * model.attenuation[i][k];
+                let q = model.occupancy_probability(i, &cfg, k);
+                state.q[i][k] = q;
+                state.lambda[k] += q;
+            }
+        }
+        state.recompute_all_ee();
+        state
+    }
+
+    #[inline]
+    fn group_of(&self, cfg: &TxConfig) -> usize {
+        group_index(cfg.sf, cfg.channel, self.model.n_channels)
+    }
+
+    /// The bound allocation.
+    pub fn alloc(&self) -> &[TxConfig] {
+        &self.alloc
+    }
+
+    /// The model this state is bound to.
+    pub fn model_ref(&self) -> &NetworkModel {
+        self.model
+    }
+
+    /// Cached EE of device `i`, bits/mJ.
+    pub fn ee(&self, i: usize) -> f64 {
+        self.ee[i]
+    }
+
+    /// Cached EE of every device.
+    pub fn ee_all(&self) -> &[f64] {
+        &self.ee
+    }
+
+    /// The network minimum EE (the paper's fairness objective).
+    pub fn min_ee(&self) -> f64 {
+        self.ee.iter().copied().fold(f64::INFINITY, f64::min).min(f64::MAX)
+    }
+
+    /// The contention overlap probability `h_i` of device `i` under the
+    /// bound allocation — `1 − exp(−Σ_{j∈group, j≠i} α_j)`, which reduces
+    /// to the paper's Eq. (14) when all group members share one duty
+    /// cycle.
+    pub fn overlap_for(&self, i: usize) -> f64 {
+        let cfg = &self.alloc[i];
+        let grp = self.group_of(cfg);
+        let load = (self.alpha_sum[grp] - self.model.duty_of(i, cfg.sf)).max(0.0);
+        overlap_from_load(load)
+    }
+
+    /// Mean co-group interference power on device `i` at gateway `k`, mW.
+    pub fn interference_on(&self, i: usize, k: usize) -> f64 {
+        let cfg = &self.alloc[i];
+        let grp = self.group_of(cfg);
+        (self.power_sum[grp][k] - cfg.tp.milliwatts() * self.model.attenuation[i][k]).max(0.0)
+    }
+
+    /// The capacity factor `θ_{i,k}`: Poisson tail at the others' load.
+    pub fn theta(&self, i: usize, k: usize) -> f64 {
+        poisson_at_most((self.lambda[k] - self.q[i][k]).max(0.0), OTHERS_BUDGET)
+    }
+
+    /// EE of device `i` under a hypothetical configuration and group shape:
+    /// `load` is the summed duty cycle of its co-group contenders and
+    /// `interference(k)` the mean co-group interference at each gateway.
+    fn ee_raw(
+        &self,
+        i: usize,
+        cfg: &TxConfig,
+        load: f64,
+        interference: impl Fn(usize) -> f64,
+    ) -> f64 {
+        let model = self.model;
+        let sfi = cfg.sf.index();
+        let h = overlap_from_load(load.max(0.0));
+        let p_mw = cfg.tp.milliwatts();
+        let per_gw = (0..model.gateway_count()).map(|k| {
+            let mean_rx = p_mw * model.attenuation[i][k];
+            let theta = self.theta(i, k);
+            let p = pdr_with(
+                model.pdr_form,
+                mean_rx,
+                model.th_lin[sfi],
+                h,
+                interference(k).max(0.0),
+                model.noise_mw,
+                model.sens_mw[sfi],
+            );
+            (theta, p)
+        });
+        model.payload_bits * prr(per_gw) / (model.cycle_energy_of(i, cfg) * 1_000.0)
+    }
+
+    fn current_ee(&self, i: usize) -> f64 {
+        let cfg = self.alloc[i];
+        let grp = self.group_of(&cfg);
+        let load = self.alpha_sum[grp] - self.model.duty_of(i, cfg.sf);
+        let own = cfg.tp.milliwatts();
+        self.ee_raw(i, &cfg, load, |k| {
+            self.power_sum[grp][k] - own * self.model.attenuation[i][k]
+        })
+    }
+
+    fn recompute_all_ee(&mut self) {
+        for i in 0..self.alloc.len() {
+            self.ee[i] = self.current_ee(i);
+        }
+        for g in 0..self.members.len() {
+            self.recompute_group_min(g);
+        }
+    }
+
+    fn recompute_group_min(&mut self, grp: usize) {
+        self.group_min[grp] = self.members[grp]
+            .iter()
+            .map(|&j| self.ee[j])
+            .fold(f64::INFINITY, f64::min);
+    }
+
+    /// The EE device `i` itself would have after moving to `cfg`
+    /// (other devices unchanged). Cheap — `O(gateways)` — and used by the
+    /// greedy allocator to break ties between moves that leave the
+    /// network minimum unchanged.
+    pub fn ee_if(&self, i: usize, cfg: TxConfig) -> f64 {
+        let g_old = self.group_of(&self.alloc[i]);
+        let g_new = self.group_of(&cfg);
+        let same_group = g_old == g_new;
+        let old_p = self.alloc[i].tp.milliwatts();
+        // Same group implies same SF, hence the same α for device i.
+        let load = if same_group {
+            self.alpha_sum[g_old] - self.model.duty_of(i, cfg.sf)
+        } else {
+            self.alpha_sum[g_new]
+        };
+        self.ee_raw(i, &cfg, load, |k| {
+            if same_group {
+                self.power_sum[g_old][k] - old_p * self.model.attenuation[i][k]
+            } else {
+                self.power_sum[g_new][k]
+            }
+        })
+    }
+
+    /// The network minimum EE if device `i` moved to `cfg`, or `None` as
+    /// soon as it can be shown not to exceed `floor` (pruning for the
+    /// greedy scan). `floor = f64::NEG_INFINITY` disables pruning.
+    pub fn min_ee_if(&self, i: usize, cfg: TxConfig, floor: f64) -> Option<f64> {
+        let model = self.model;
+        let g_old = self.group_of(&self.alloc[i]);
+        let g_new = self.group_of(&cfg);
+        let same_group = g_old == g_new;
+        let old_cfg = self.alloc[i];
+        let old_p = old_cfg.tp.milliwatts();
+        let new_p = cfg.tp.milliwatts();
+
+        let alpha_old = model.duty_of(i, old_cfg.sf);
+        let alpha_new = model.duty_of(i, cfg.sf);
+
+        // 1. The moved device itself.
+        let load_i = if same_group {
+            self.alpha_sum[g_old] - alpha_old
+        } else {
+            self.alpha_sum[g_new]
+        };
+        let ee_i = self.ee_raw(i, &cfg, load_i, |k| {
+            if same_group {
+                self.power_sum[g_old][k] - old_p * model.attenuation[i][k]
+            } else {
+                self.power_sum[g_new][k]
+            }
+        });
+        if ee_i <= floor {
+            return None;
+        }
+        let mut min = ee_i;
+
+        // 2. Devices in the old group (losing i, or seeing its power change).
+        for &j in &self.members[g_old] {
+            if j == i {
+                continue;
+            }
+            let jc = self.alloc[j];
+            let jp = jc.tp.milliwatts();
+            let load_j = if same_group {
+                // Only i's power changed; its duty cycle is unchanged.
+                self.alpha_sum[g_old] - model.duty_of(j, jc.sf)
+            } else {
+                self.alpha_sum[g_old] - model.duty_of(j, jc.sf) - alpha_old
+            };
+            let ee_j = self.ee_raw(j, &jc, load_j, |k| {
+                let base = self.power_sum[g_old][k] - jp * model.attenuation[j][k];
+                if same_group {
+                    base - old_p * model.attenuation[i][k] + new_p * model.attenuation[i][k]
+                } else {
+                    base - old_p * model.attenuation[i][k]
+                }
+            });
+            if ee_j <= floor {
+                return None;
+            }
+            min = min.min(ee_j);
+        }
+
+        // 3. Devices in the new group (gaining i).
+        if !same_group {
+            for &j in &self.members[g_new] {
+                let jc = self.alloc[j];
+                let jp = jc.tp.milliwatts();
+                let load_j =
+                    self.alpha_sum[g_new] - model.duty_of(j, jc.sf) + alpha_new;
+                let ee_j = self.ee_raw(j, &jc, load_j, |k| {
+                    self.power_sum[g_new][k] - jp * model.attenuation[j][k]
+                        + new_p * model.attenuation[i][k]
+                });
+                if ee_j <= floor {
+                    return None;
+                }
+                min = min.min(ee_j);
+            }
+        }
+
+        // 4. Every other group, from the cached per-group minima.
+        for (g, &gm) in self.group_min.iter().enumerate() {
+            if g == g_old || g == g_new {
+                continue;
+            }
+            if gm <= floor {
+                return None;
+            }
+            min = min.min(gm);
+        }
+
+        if min > floor {
+            Some(min)
+        } else {
+            None
+        }
+    }
+
+    /// Commits the move of device `i` to `cfg`, updating all aggregates and
+    /// the cached EE of every device in the two affected groups.
+    pub fn apply(&mut self, i: usize, cfg: TxConfig) {
+        let model = self.model;
+        let g_old = self.group_of(&self.alloc[i]);
+        let g_new = self.group_of(&cfg);
+        let old_cfg = self.alloc[i];
+        let old_p = old_cfg.tp.milliwatts();
+        let new_p = cfg.tp.milliwatts();
+
+        for k in 0..model.gateway_count() {
+            self.power_sum[g_old][k] -= old_p * model.attenuation[i][k];
+            let q_new = model.occupancy_probability(i, &cfg, k);
+            self.lambda[k] += q_new - self.q[i][k];
+            self.q[i][k] = q_new;
+        }
+        self.alpha_sum[g_old] -= model.duty_of(i, old_cfg.sf);
+        self.alpha_sum[g_new] += model.duty_of(i, cfg.sf);
+        if g_new != g_old {
+            let pos = self.members[g_old]
+                .iter()
+                .position(|&j| j == i)
+                .expect("device must be in its group");
+            self.members[g_old].swap_remove(pos);
+            self.members[g_new].push(i);
+        }
+        for k in 0..model.gateway_count() {
+            self.power_sum[g_new][k] += new_p * model.attenuation[i][k];
+        }
+        self.alloc[i] = cfg;
+
+        // Refresh cached EEs in the affected groups.
+        let affected: Vec<usize> = if g_new == g_old {
+            self.members[g_old].clone()
+        } else {
+            self.members[g_old].iter().chain(&self.members[g_new]).copied().collect()
+        };
+        for j in affected {
+            self.ee[j] = self.current_ee(j);
+        }
+        self.recompute_group_min(g_old);
+        if g_new != g_old {
+            self.recompute_group_min(g_new);
+        }
+    }
+
+    /// Recomputes every aggregate and cached value from scratch, flushing
+    /// the θ/Λ drift accumulated across committed moves. The greedy
+    /// allocator calls this between passes.
+    pub fn refresh(&mut self) {
+        let rebuilt = ModelState::build(self.model, std::mem::take(&mut self.alloc));
+        *self = rebuilt;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lora_phy::path_loss::LinkEnvironment;
+    use lora_sim::{DeviceSite, Position};
+
+    fn line_topology(n: usize, spacing: f64, gws: usize) -> Topology {
+        let devices = (0..n)
+            .map(|i| DeviceSite {
+                position: Position::new(200.0 + spacing * i as f64, 0.0),
+                environment: LinkEnvironment::NonLineOfSight,
+            })
+            .collect();
+        let gateways = (0..gws)
+            .map(|k| Position::new(k as f64 * 1_000.0, 0.0))
+            .collect();
+        Topology::from_sites(devices, gateways, 5_000.0)
+    }
+
+    fn model_for(topo: &Topology) -> NetworkModel {
+        NetworkModel::new(&SimConfig::default(), topo)
+    }
+
+    fn uniform_alloc(n: usize, sf: SpreadingFactor, ch: usize) -> Vec<TxConfig> {
+        vec![TxConfig::new(sf, TxPowerDbm::new(14.0), ch); n]
+    }
+
+    #[test]
+    fn lone_device_ee_matches_hand_computation() {
+        let topo = line_topology(1, 0.0, 1);
+        let model = model_for(&topo);
+        let alloc = uniform_alloc(1, SpreadingFactor::Sf7, 0);
+        let ee = model.evaluate(&alloc);
+        // Strong link, no contention: PRR ≈ 1, EE ≈ L / (E_s · 1000).
+        let e_s = model.cycle_energy_j(&alloc[0]);
+        let expected = 168.0 / (e_s * 1_000.0);
+        assert!((ee[0] - expected).abs() / expected < 0.01, "{} vs {expected}", ee[0]);
+        assert!((2.0..2.6).contains(&ee[0]), "paper-scale bits/mJ: {}", ee[0]);
+    }
+
+    #[test]
+    fn contention_reduces_ee() {
+        let topo = line_topology(40, 5.0, 1);
+        let model = model_for(&topo);
+        let together = model.evaluate(&uniform_alloc(40, SpreadingFactor::Sf7, 0));
+        let spread: Vec<TxConfig> = (0..40)
+            .map(|i| TxConfig::new(SpreadingFactor::Sf7, TxPowerDbm::new(14.0), i % 8))
+            .collect();
+        let spread_ee = model.evaluate(&spread);
+        let min_together = together.iter().copied().fold(f64::INFINITY, f64::min);
+        let min_spread = spread_ee.iter().copied().fold(f64::INFINITY, f64::min);
+        assert!(
+            min_spread > min_together,
+            "channel spreading must relieve contention: {min_spread} vs {min_together}"
+        );
+    }
+
+    #[test]
+    fn larger_sf_costs_energy_for_near_devices() {
+        let topo = line_topology(1, 0.0, 1);
+        let model = model_for(&topo);
+        let sf7 = model.evaluate(&uniform_alloc(1, SpreadingFactor::Sf7, 0))[0];
+        let sf12 = model.evaluate(&uniform_alloc(1, SpreadingFactor::Sf12, 0))[0];
+        assert!(sf7 > 2.0 * sf12, "SF12 should waste energy up close: {sf7} vs {sf12}");
+    }
+
+    #[test]
+    fn distant_device_needs_large_sf() {
+        // 5.5 km NLoS: SF7 is below sensitivity, SF12 reaches.
+        let devices = vec![DeviceSite {
+            position: Position::new(5_500.0, 0.0),
+            environment: LinkEnvironment::NonLineOfSight,
+        }];
+        let topo = Topology::from_sites(devices, vec![Position::new(0.0, 0.0)], 6_000.0);
+        let model = model_for(&topo);
+        let sf7 = model.evaluate(&uniform_alloc(1, SpreadingFactor::Sf7, 0))[0];
+        let sf12 = model.evaluate(&uniform_alloc(1, SpreadingFactor::Sf12, 0))[0];
+        assert!(sf12 > sf7, "far out, SF12 must beat SF7: {sf12} vs {sf7}");
+        assert_eq!(
+            model.min_feasible_sf(0, TxPowerDbm::new(14.0)),
+            Some(SpreadingFactor::Sf12)
+        );
+    }
+
+    #[test]
+    fn min_feasible_sf_none_when_unreachable() {
+        let devices = vec![DeviceSite {
+            position: Position::new(50_000.0, 0.0),
+            environment: LinkEnvironment::NonLineOfSight,
+        }];
+        let topo = Topology::from_sites(devices, vec![Position::new(0.0, 0.0)], 60_000.0);
+        let model = model_for(&topo);
+        assert_eq!(model.min_feasible_sf(0, TxPowerDbm::new(14.0)), None);
+    }
+
+    #[test]
+    fn more_gateways_improve_prr_and_ee() {
+        let one = model_for(&line_topology(10, 300.0, 1));
+        let three = model_for(&line_topology(10, 300.0, 3));
+        let alloc = uniform_alloc(10, SpreadingFactor::Sf9, 0);
+        let ee1 = one.evaluate(&alloc);
+        let ee3 = three.evaluate(&alloc);
+        for (a, b) in ee1.iter().zip(&ee3) {
+            assert!(b >= a, "extra gateways can only help the model: {b} vs {a}");
+        }
+    }
+
+    #[test]
+    fn min_ee_if_matches_apply() {
+        let topo = line_topology(20, 150.0, 2);
+        let model = model_for(&topo);
+        let alloc: Vec<TxConfig> = (0..20)
+            .map(|i| {
+                TxConfig::new(
+                    if i % 2 == 0 { SpreadingFactor::Sf7 } else { SpreadingFactor::Sf8 },
+                    TxPowerDbm::new(14.0),
+                    i % 4,
+                )
+            })
+            .collect();
+        let mut state = model.state(alloc).unwrap();
+        let candidates = [
+            TxConfig::new(SpreadingFactor::Sf9, TxPowerDbm::new(8.0), 5),
+            TxConfig::new(SpreadingFactor::Sf7, TxPowerDbm::new(2.0), 0),
+            TxConfig::new(SpreadingFactor::Sf8, TxPowerDbm::new(14.0), 1),
+        ];
+        for (device, cfg) in [(3usize, candidates[0]), (7, candidates[1]), (12, candidates[2])]
+        {
+            let predicted = state
+                .min_ee_if(device, cfg, f64::NEG_INFINITY)
+                .expect("no pruning floor");
+            state.apply(device, cfg);
+            let actual = state.min_ee();
+            assert!(
+                (predicted - actual).abs() < 1e-9,
+                "device {device}: predicted {predicted}, actual {actual}"
+            );
+        }
+    }
+
+    #[test]
+    fn min_ee_if_identity_move_returns_current_min() {
+        let topo = line_topology(15, 200.0, 2);
+        let model = model_for(&topo);
+        let alloc = uniform_alloc(15, SpreadingFactor::Sf8, 2);
+        let state = model.state(alloc.clone()).unwrap();
+        let current = state.min_ee();
+        let same = state.min_ee_if(4, alloc[4], f64::NEG_INFINITY).unwrap();
+        assert!((same - current).abs() < 1e-12, "{same} vs {current}");
+    }
+
+    #[test]
+    fn pruning_floor_rejects_non_improving_moves() {
+        let topo = line_topology(15, 200.0, 1);
+        let model = model_for(&topo);
+        let alloc = uniform_alloc(15, SpreadingFactor::Sf7, 0);
+        let state = model.state(alloc.clone()).unwrap();
+        let current = state.min_ee();
+        // Moving a device to the same configuration cannot beat the
+        // current minimum.
+        assert_eq!(state.min_ee_if(0, alloc[0], current), None);
+    }
+
+    #[test]
+    fn refresh_preserves_semantics() {
+        let topo = line_topology(25, 120.0, 2);
+        let model = model_for(&topo);
+        let alloc = uniform_alloc(25, SpreadingFactor::Sf9, 3);
+        let mut state = model.state(alloc).unwrap();
+        state.apply(0, TxConfig::new(SpreadingFactor::Sf10, TxPowerDbm::new(4.0), 1));
+        state.apply(5, TxConfig::new(SpreadingFactor::Sf7, TxPowerDbm::new(14.0), 0));
+        let before: Vec<f64> = state.ee_all().to_vec();
+        state.refresh();
+        let after: Vec<f64> = state.ee_all().to_vec();
+        for (a, b) in before.iter().zip(&after) {
+            // Λ was kept live through apply, so refresh should agree to
+            // numerical noise.
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn exact_theta_agrees_with_poisson_at_scale() {
+        let topo = line_topology(60, 60.0, 2);
+        let model = model_for(&topo);
+        let alloc: Vec<TxConfig> = (0..60)
+            .map(|i| TxConfig::new(SpreadingFactor::Sf7, TxPowerDbm::new(14.0), i % 8))
+            .collect();
+        let approx = model.evaluate(&alloc);
+        let exact = model.evaluate_exact_theta(&alloc);
+        for (a, e) in approx.iter().zip(&exact) {
+            assert!((a - e).abs() / e.max(1e-9) < 0.05, "{a} vs {e}");
+        }
+    }
+
+    #[test]
+    fn laplace_variant_is_sane_and_cheaper_shaped() {
+        let config = SimConfig::default();
+        let topo = Topology::disc(80, 2, 4_000.0, &config, 11);
+        let model = NetworkModel::new(&config, &topo);
+        let alloc: Vec<TxConfig> = (0..80)
+            .map(|i| TxConfig::new(SpreadingFactor::Sf8, TxPowerDbm::new(14.0), i % 8))
+            .collect();
+        let lap = model.evaluate_laplace(&alloc);
+        let mf = model.evaluate(&alloc);
+        assert_eq!(lap.len(), 80);
+        for (l, m) in lap.iter().zip(&mf) {
+            assert!(*l >= 0.0 && l.is_finite());
+            // Same order of magnitude as the mean-field evaluation.
+            if *m > 0.1 {
+                assert!(*l < m * 10.0 + 1.0, "laplace {l} vs mean-field {m}");
+            }
+        }
+    }
+
+    #[test]
+    fn validation_errors() {
+        let topo = line_topology(3, 100.0, 1);
+        let model = model_for(&topo);
+        assert!(matches!(
+            model.validate(&uniform_alloc(2, SpreadingFactor::Sf7, 0)),
+            Err(ModelError::AllocationLengthMismatch { .. })
+        ));
+        let mut bad = uniform_alloc(3, SpreadingFactor::Sf7, 0);
+        bad[1].channel = 9;
+        assert!(matches!(
+            model.validate(&bad),
+            Err(ModelError::ChannelOutOfRange { device: 1, channel: 9, .. })
+        ));
+    }
+}

@@ -1,0 +1,126 @@
+//! Per-device goodput model — the paper's "throughput fairness" future
+//! work (Section III-B closing remark).
+//!
+//! A device's goodput is the delivered information rate,
+//! `L · PRR_i / T_{g,i}` bits per second. Because the reporting interval
+//! enters, the throughput and energy-efficiency objectives *disagree*
+//! under duty-cycle-target traffic (small SFs deliver more bits per second
+//! *and* per mJ) but diverge under fixed-rate traffic (where EE is
+//! insensitive to the interval). The functions here evaluate goodput for
+//! any allocation bound to a [`crate::ModelState`], so max-min throughput
+//! studies can reuse the entire machinery.
+
+use crate::model::{ModelState, NetworkModel};
+use lora_phy::TxConfig;
+
+/// Per-device goodput in bits per second under the bound allocation.
+pub fn goodput_bps(state: &ModelState<'_>) -> Vec<f64> {
+    let model = state.model_ref();
+    state
+        .alloc()
+        .iter()
+        .enumerate()
+        .map(|(i, cfg)| device_goodput_bps(model, state, i, cfg))
+        .collect()
+}
+
+fn device_goodput_bps(
+    model: &NetworkModel,
+    state: &ModelState<'_>,
+    device: usize,
+    cfg: &TxConfig,
+) -> f64 {
+    // EE · cycle energy = L · PRR; divide by the interval for bits/s.
+    let ee_bits_per_mj = state.ee(device);
+    let delivered_bits_per_cycle = ee_bits_per_mj * model.cycle_energy_of(device, cfg) * 1_000.0;
+    delivered_bits_per_cycle / model.interval_for(device, cfg.sf)
+}
+
+/// The minimum goodput across devices — the max-min throughput objective.
+pub fn min_goodput_bps(state: &ModelState<'_>) -> f64 {
+    goodput_bps(state).into_iter().fold(f64::INFINITY, f64::min)
+}
+
+/// Jain's fairness index over per-device goodput.
+pub fn goodput_jain(state: &ModelState<'_>) -> f64 {
+    lora_sim::metrics::jain_index(&goodput_bps(state))
+}
+
+/// Aggregate network goodput, bits per second.
+pub fn total_goodput_bps(state: &ModelState<'_>) -> f64 {
+    goodput_bps(state).into_iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lora_phy::{SpreadingFactor, TxPowerDbm};
+    use lora_sim::{SimConfig, Topology, Traffic};
+
+    fn state_for(
+        config: &SimConfig,
+        topo: &Topology,
+        alloc: Vec<TxConfig>,
+    ) -> (NetworkModel, Vec<TxConfig>) {
+        (NetworkModel::new(config, topo), alloc)
+    }
+
+    #[test]
+    fn goodput_scales_with_rate() {
+        let config = SimConfig::default(); // 600 s interval
+        let topo = Topology::disc(5, 1, 800.0, &config, 1);
+        let alloc = vec![TxConfig::new(SpreadingFactor::Sf7, TxPowerDbm::new(14.0), 0); 5];
+        let (model, alloc) = state_for(&config, &topo, alloc);
+        let state = model.state(alloc.clone()).unwrap();
+        let slow = goodput_bps(&state);
+
+        let fast_config = SimConfig { report_interval_s: 300.0, ..SimConfig::default() };
+        let fast_model = NetworkModel::new(&fast_config, &topo);
+        let fast_state = fast_model.state(alloc).unwrap();
+        let fast = goodput_bps(&fast_state);
+        for (s, f) in slow.iter().zip(&fast) {
+            // Twice the rate ≈ twice the goodput (contention still light).
+            assert!((f / s - 2.0).abs() < 0.1, "{f} vs {s}");
+        }
+    }
+
+    #[test]
+    fn near_sf7_device_has_paper_scale_goodput() {
+        // 168 bits / 600 s ≈ 0.28 bit/s at PRR ≈ 1.
+        let config = SimConfig::default();
+        let topo = Topology::disc(1, 1, 500.0, &config, 2);
+        let alloc = vec![TxConfig::new(SpreadingFactor::Sf7, TxPowerDbm::new(14.0), 0)];
+        let model = NetworkModel::new(&config, &topo);
+        let state = model.state(alloc).unwrap();
+        let g = goodput_bps(&state)[0];
+        assert!((g - 0.28).abs() < 0.02, "{g}");
+    }
+
+    #[test]
+    fn duty_target_favours_small_sf_throughput() {
+        let config =
+            SimConfig { traffic: Traffic::DutyCycleTarget { duty: 0.01 }, ..SimConfig::default() };
+        let topo = Topology::disc(2, 1, 500.0, &config, 3);
+        let model = NetworkModel::new(&config, &topo);
+        let alloc = vec![
+            TxConfig::new(SpreadingFactor::Sf7, TxPowerDbm::new(14.0), 0),
+            TxConfig::new(SpreadingFactor::Sf12, TxPowerDbm::new(14.0), 1),
+        ];
+        let state = model.state(alloc).unwrap();
+        let g = goodput_bps(&state);
+        // At equal airtime share, SF7 carries ~SF-ratio more bits/s.
+        assert!(g[0] > 5.0 * g[1], "{} vs {}", g[0], g[1]);
+    }
+
+    #[test]
+    fn fairness_metrics_are_well_formed() {
+        let config = SimConfig::default();
+        let topo = Topology::disc(20, 2, 4_000.0, &config, 4);
+        let model = NetworkModel::new(&config, &topo);
+        let alloc = vec![TxConfig::default(); 20];
+        let state = model.state(alloc).unwrap();
+        assert!(min_goodput_bps(&state) >= 0.0);
+        assert!((0.0..=1.0).contains(&goodput_jain(&state)));
+        assert!(total_goodput_bps(&state) >= min_goodput_bps(&state) * 20.0 - 1e-9);
+    }
+}

@@ -1,0 +1,141 @@
+//! Model↔simulator agreement diagnostics.
+//!
+//! The allocator trusts the analytical model; the experiments trust the
+//! packet simulator. This module quantifies how well they agree for a
+//! given deployment and allocation — per-device correlation, bias and
+//! rank agreement between modelled and measured energy efficiency — so a
+//! calibration change that silently decouples the two is caught by a
+//! number, not a vibe.
+
+use serde::Serialize;
+
+/// Agreement statistics between modelled and measured per-device values.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Agreement {
+    /// Pearson correlation coefficient.
+    pub pearson: f64,
+    /// Spearman rank correlation (computed on average ranks).
+    pub spearman: f64,
+    /// Mean of model − measured (positive: the model is optimistic).
+    pub mean_bias: f64,
+    /// Mean absolute error.
+    pub mean_absolute_error: f64,
+    /// Number of devices compared.
+    pub n: usize,
+}
+
+/// Computes agreement statistics between two equally long slices.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn agreement(model: &[f64], measured: &[f64]) -> Agreement {
+    assert_eq!(model.len(), measured.len(), "series must pair up");
+    assert!(!model.is_empty(), "need at least one device");
+    let n = model.len();
+    Agreement {
+        pearson: pearson(model, measured),
+        spearman: pearson(&ranks(model), &ranks(measured)),
+        mean_bias: model
+            .iter()
+            .zip(measured)
+            .map(|(a, b)| a - b)
+            .sum::<f64>()
+            / n as f64,
+        mean_absolute_error: model
+            .iter()
+            .zip(measured)
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f64>()
+            / n as f64,
+        n,
+    }
+}
+
+/// Pearson correlation; 0 when either series is constant.
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len() as f64;
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let cov: f64 = a.iter().zip(b).map(|(x, y)| (x - ma) * (y - mb)).sum();
+    let va: f64 = a.iter().map(|x| (x - ma).powi(2)).sum();
+    let vb: f64 = b.iter().map(|y| (y - mb).powi(2)).sum();
+    if va <= 0.0 || vb <= 0.0 {
+        0.0
+    } else {
+        cov / (va.sqrt() * vb.sqrt())
+    }
+}
+
+/// Average ranks (ties share the mean rank), the basis of Spearman's ρ.
+pub fn ranks(values: &[f64]) -> Vec<f64> {
+    let mut order: Vec<usize> = (0..values.len()).collect();
+    order.sort_by(|&i, &j| values[i].total_cmp(&values[j]));
+    let mut out = vec![0.0; values.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && values[order[j + 1]] == values[order[i]] {
+            j += 1;
+        }
+        let mean_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            out[idx] = mean_rank;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_agreement() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let s = agreement(&a, &a);
+        assert!((s.pearson - 1.0).abs() < 1e-12);
+        assert!((s.spearman - 1.0).abs() < 1e-12);
+        assert_eq!(s.mean_bias, 0.0);
+        assert_eq!(s.mean_absolute_error, 0.0);
+    }
+
+    #[test]
+    fn anti_correlation() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [3.0, 2.0, 1.0];
+        let s = agreement(&a, &b);
+        assert!((s.pearson + 1.0).abs() < 1e-12);
+        assert!((s.spearman + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_series_has_zero_correlation() {
+        let s = agreement(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]);
+        assert_eq!(s.pearson, 0.0);
+    }
+
+    #[test]
+    fn bias_sign() {
+        // Model says 2.0 everywhere, measurement 1.0: optimistic by 1.
+        let s = agreement(&[2.0, 2.0], &[1.0, 1.0]);
+        assert_eq!(s.mean_bias, 1.0);
+        assert_eq!(s.mean_absolute_error, 1.0);
+    }
+
+    #[test]
+    fn ranks_handle_ties() {
+        let r = ranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn spearman_ignores_monotone_distortion() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b: Vec<f64> = a.iter().map(|x: &f64| x.exp()).collect(); // monotone, nonlinear
+        let s = agreement(&a, &b);
+        assert!((s.spearman - 1.0).abs() < 1e-12);
+        assert!(s.pearson < 1.0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests for the analytical model.
+
+use lora_model::capacity::{poisson_at_most, poisson_binomial_at_most};
+use lora_model::contention::{group_occupancy, overlap_probability};
+use lora_model::interference::laplace_transform;
+use lora_model::model::NetworkModel;
+use lora_model::pdr::{pdr, prr};
+use lora_phy::{SpreadingFactor, TxConfig, TxPowerDbm};
+use lora_sim::{SimConfig, Topology};
+use proptest::prelude::*;
+
+fn any_cfg() -> impl Strategy<Value = TxConfig> {
+    ((7u8..=12), (1u8..=7), (0usize..8)).prop_map(|(sf, tp, ch)| {
+        TxConfig::new(
+            SpreadingFactor::from_u8(sf).unwrap(),
+            TxPowerDbm::new(f64::from(tp) * 2.0),
+            ch,
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn pdr_is_probability(
+        rx in 0.0f64..1e-3,
+        th in 1e-3f64..1.0,
+        h in 0.0f64..1.0,
+        interference in 0.0f64..1e-3,
+        noise in 1e-13f64..1e-11,
+        sens in 1e-13f64..1e-11,
+    ) {
+        let p = pdr(rx, th, h, interference, noise, sens);
+        prop_assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn prr_bounded_and_monotone_in_gateway_count(
+        pairs in proptest::collection::vec((0.0f64..=1.0, 0.0f64..=1.0), 0..12),
+    ) {
+        let full = prr(pairs.clone());
+        prop_assert!((0.0..=1.0).contains(&full));
+        if !pairs.is_empty() {
+            let fewer = prr(pairs[..pairs.len() - 1].iter().copied());
+            prop_assert!(full >= fewer - 1e-12, "adding a gateway cannot hurt");
+        }
+    }
+
+    #[test]
+    fn poisson_binomial_is_cdf(probs in proptest::collection::vec(0.0f64..=1.0, 0..60)) {
+        let mut last = 0.0;
+        for k in 0..10 {
+            let p = poisson_binomial_at_most(&probs, k);
+            prop_assert!((0.0..=1.0).contains(&p));
+            prop_assert!(p >= last - 1e-12);
+            last = p;
+        }
+    }
+
+    #[test]
+    fn poisson_tail_close_to_poisson_binomial_for_small_probs(
+        n in 50usize..500,
+        q_milli in 1u32..20,
+    ) {
+        let q = f64::from(q_milli) / 1000.0;
+        let probs = vec![q; n];
+        let exact = poisson_binomial_at_most(&probs, 7);
+        let approx = poisson_at_most(q * n as f64, 7);
+        // Le Cam: total variation ≤ 2·n·q².
+        let bound = (2.0 * n as f64 * q * q).max(0.02);
+        prop_assert!((exact - approx).abs() <= bound, "{exact} vs {approx} (bound {bound})");
+    }
+
+    #[test]
+    fn overlap_probability_valid(alpha_milli in 0u32..=1000, m in 0usize..10_000) {
+        let h = overlap_probability(f64::from(alpha_milli) / 1000.0, m);
+        prop_assert!((0.0..=1.0).contains(&h));
+    }
+
+    #[test]
+    fn laplace_transform_valid(
+        s in 0.0f64..1e6,
+        p in 0.1f64..100.0,
+        beta in 2.1f64..4.5,
+        lambda in 0.0f64..1e-3,
+    ) {
+        let v = laplace_transform(s, p, beta, lambda);
+        prop_assert!((0.0..=1.0).contains(&v));
+    }
+
+    #[test]
+    fn occupancy_sums_match_allocation(allocs in proptest::collection::vec(any_cfg(), 1..60)) {
+        let counts = group_occupancy(&allocs, 8);
+        prop_assert_eq!(counts.iter().sum::<usize>(), allocs.len());
+    }
+
+    #[test]
+    fn incremental_prediction_matches_commit(
+        n in 5usize..30,
+        seed in any::<u64>(),
+        device_pick in any::<usize>(),
+        cfg in any_cfg(),
+    ) {
+        let config = SimConfig::default();
+        let topo = Topology::disc(n, 2, 4_000.0, &config, seed);
+        let model = NetworkModel::new(&config, &topo);
+        let alloc = vec![TxConfig::default(); n];
+        let mut state = model.state(alloc).unwrap();
+        let device = device_pick % n;
+        let predicted = state.min_ee_if(device, cfg, f64::NEG_INFINITY).unwrap();
+        state.apply(device, cfg);
+        let actual = state.min_ee();
+        prop_assert!(
+            (predicted - actual).abs() <= 1e-9 * actual.max(1.0),
+            "predicted {predicted}, actual {actual}"
+        );
+    }
+
+    #[test]
+    fn model_ee_values_are_finite_nonnegative(
+        n in 1usize..40,
+        gws in 1usize..4,
+        seed in any::<u64>(),
+        allocs in proptest::collection::vec(any_cfg(), 40),
+    ) {
+        let config = SimConfig::default();
+        let topo = Topology::disc(n, gws, 5_000.0, &config, seed);
+        let model = NetworkModel::new(&config, &topo);
+        let alloc = allocs[..n].to_vec();
+        for ee in model.evaluate(&alloc) {
+            prop_assert!(ee.is_finite());
+            prop_assert!(ee >= 0.0);
+            // 168 bits per frame and at least ~60 mJ per cycle bound EE.
+            prop_assert!(ee < 3.0, "EE out of physical range: {ee}");
+        }
+    }
+}

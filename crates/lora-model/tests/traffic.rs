@@ -1,0 +1,119 @@
+//! Model-side tests for heterogeneous rates and the duty-cycle-target
+//! traffic regime.
+
+use lora_model::contention::{overlap_from_load, overlap_probability};
+use lora_model::NetworkModel;
+use lora_phy::{SpreadingFactor, TxConfig, TxPowerDbm};
+use lora_sim::{SimConfig, Topology, Traffic};
+
+fn small_topo(n: usize, config: &SimConfig) -> Topology {
+    Topology::disc(n, 1, 1_000.0, config, 3)
+}
+
+#[test]
+fn load_generalisation_reduces_to_eq14() {
+    for (alpha, m) in [(0.001, 10usize), (0.01, 100), (0.05, 3)] {
+        let uniform = overlap_probability(alpha, m);
+        let load = overlap_from_load(alpha * m as f64);
+        assert!((uniform - load).abs() < 1e-15);
+    }
+}
+
+#[test]
+fn faster_reporters_contend_harder() {
+    // Two configurations of the same deployment: common 600 s interval vs
+    // one device reporting 10× faster. The fast reporter inflates its
+    // co-group members' contention and lowers their EE.
+    let mut config = SimConfig::default();
+    let topo = small_topo(12, &config);
+    let alloc = vec![TxConfig::new(SpreadingFactor::Sf8, TxPowerDbm::new(14.0), 0); 12];
+
+    let base_model = NetworkModel::new(&config, &topo);
+    let base_ee = base_model.evaluate(&alloc);
+
+    let mut intervals = vec![600.0; 12];
+    intervals[0] = 60.0;
+    config.per_device_intervals_s = Some(intervals);
+    let fast_model = NetworkModel::new(&config, &topo);
+    let fast_ee = fast_model.evaluate(&alloc);
+
+    for j in 1..12 {
+        assert!(
+            fast_ee[j] < base_ee[j],
+            "device {j} should suffer from the fast reporter: {} vs {}",
+            fast_ee[j],
+            base_ee[j]
+        );
+    }
+}
+
+#[test]
+fn duty_target_makes_duty_sf_independent() {
+    let config =
+        SimConfig { traffic: Traffic::DutyCycleTarget { duty: 0.01 }, ..SimConfig::default() };
+    let topo = small_topo(5, &config);
+    let model = NetworkModel::new(&config, &topo);
+    for sf in SpreadingFactor::ALL {
+        assert!((model.duty_of(0, sf) - 0.01).abs() < 1e-15, "{sf}");
+        // And the interval scales with the time-on-air.
+        let expected = model.time_on_air_s(sf) / 0.01;
+        assert!((model.interval_for(0, sf) - expected).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn duty_target_cycle_energy_scales_with_airtime() {
+    let config =
+        SimConfig { traffic: Traffic::DutyCycleTarget { duty: 0.01 }, ..SimConfig::default() };
+    let topo = small_topo(3, &config);
+    let model = NetworkModel::new(&config, &topo);
+    let sf7 = model.cycle_energy_of(0, &TxConfig::new(SpreadingFactor::Sf7, TxPowerDbm::new(14.0), 0));
+    let sf12 =
+        model.cycle_energy_of(0, &TxConfig::new(SpreadingFactor::Sf12, TxPowerDbm::new(14.0), 0));
+    // An SF12 cycle is one frame + its 99 frames' worth of sleep — roughly
+    // the ToA ratio more expensive than SF7's (not 1:1 as under common
+    // periodic reporting where sleep dominates both).
+    assert!(sf12 / sf7 > 3.0, "{sf12} vs {sf7}");
+}
+
+#[test]
+fn duty_target_increases_modelled_contention() {
+    let mut periodic = SimConfig::default();
+    let topo = small_topo(40, &periodic);
+    let alloc = vec![TxConfig::new(SpreadingFactor::Sf9, TxPowerDbm::new(14.0), 0); 40];
+    let light = NetworkModel::new(&periodic, &topo);
+    periodic.traffic = Traffic::DutyCycleTarget { duty: 0.01 };
+    let heavy = NetworkModel::new(&periodic, &topo);
+    let light_state = light.state(alloc.clone()).unwrap();
+    let heavy_state = heavy.state(alloc).unwrap();
+    assert!(
+        heavy_state.overlap_for(0) > light_state.overlap_for(0) * 5.0,
+        "1% duty should dominate the light periodic load: {} vs {}",
+        heavy_state.overlap_for(0),
+        light_state.overlap_for(0)
+    );
+}
+
+#[test]
+fn incremental_state_consistent_under_duty_target() {
+    let config =
+        SimConfig { traffic: Traffic::DutyCycleTarget { duty: 0.01 }, ..SimConfig::default() };
+    let topo = Topology::disc(25, 2, 4_000.0, &config, 9);
+    let model = NetworkModel::new(&config, &topo);
+    let alloc = vec![TxConfig::default(); 25];
+    let mut state = model.state(alloc).unwrap();
+    let cfg = TxConfig::new(SpreadingFactor::Sf10, TxPowerDbm::new(6.0), 4);
+    let predicted = state.min_ee_if(7, cfg, f64::NEG_INFINITY).unwrap();
+    state.apply(7, cfg);
+    let actual = state.min_ee();
+    assert!(
+        (predicted - actual).abs() <= 1e-9 * actual.max(1.0),
+        "{predicted} vs {actual}"
+    );
+    // Refresh agrees with live updates.
+    let before = state.ee_all().to_vec();
+    state.refresh();
+    for (a, b) in before.iter().zip(state.ee_all()) {
+        assert!((a - b).abs() < 1e-9);
+    }
+}

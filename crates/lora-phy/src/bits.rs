@@ -1,0 +1,217 @@
+//! LoRa bit-level processing: whitening, diagonal interleaving and Gray
+//! symbol mapping.
+//!
+//! Together with [`crate::codec`] these complete the transmit-side bit
+//! pipeline of a LoRa modem (Knight & Seeber, "Decoding LoRa", cited by
+//! the paper for its coding-rate discussion):
+//!
+//! ```text
+//! payload → whitening → Hamming coding → diagonal interleaving → Gray map → chirps
+//! ```
+//!
+//! Whitening decorrelates payload bits so receiver gain control sees a
+//! balanced spectrum; the diagonal interleaver spreads each codeword
+//! across `SF` symbols so an interference burst that corrupts one symbol
+//! touches at most one bit per codeword (which the Hamming code then
+//! corrects — the mechanism behind the paper's choice of CR 4/7); Gray
+//! mapping makes the most likely demodulation error (±1 bin) cost a
+//! single bit flip.
+
+use crate::sf::SpreadingFactor;
+
+/// The whitening sequence generator: a Galois LFSR over x⁸+x⁶+x⁵+x⁴+1
+/// seeded with 0xFF, one byte per payload byte.
+#[derive(Debug, Clone)]
+pub struct Whitener {
+    state: u8,
+}
+
+impl Whitener {
+    /// Creates a whitener at the start of the sequence.
+    pub fn new() -> Self {
+        Whitener { state: 0xFF }
+    }
+
+    /// The next whitening byte.
+    pub fn next_byte(&mut self) -> u8 {
+        let out = self.state;
+        for _ in 0..8 {
+            let lsb = self.state & 1;
+            self.state >>= 1;
+            if lsb != 0 {
+                self.state ^= 0xB8; // taps 8,6,5,4 reflected
+            }
+        }
+        out
+    }
+
+    /// Whitens (or de-whitens — the operation is an involution) a buffer
+    /// in place.
+    pub fn apply(&mut self, data: &mut [u8]) {
+        for byte in data {
+            *byte ^= self.next_byte();
+        }
+    }
+}
+
+impl Default for Whitener {
+    fn default() -> Self {
+        Whitener::new()
+    }
+}
+
+/// Diagonally interleaves `sf` codewords of `cr_bits` bits each into
+/// `cr_bits` symbols of `sf` bits: output symbol `j` takes bit
+/// `(i + j) mod sf` … from codeword `i`'s bit `j` — so consecutive bits of
+/// one codeword land in different symbols.
+///
+/// # Panics
+///
+/// Panics unless exactly `sf` codewords are supplied.
+pub fn interleave(codewords: &[u8], sf: SpreadingFactor, cr_bits: u8) -> Vec<u16> {
+    let rows = usize::from(sf.bits_per_symbol());
+    assert_eq!(codewords.len(), rows, "need SF codewords per interleaver block");
+    let cols = usize::from(cr_bits);
+    let mut symbols = vec![0u16; cols];
+    for (i, &cw) in codewords.iter().enumerate() {
+        for (j, symbol) in symbols.iter_mut().enumerate() {
+            let bit = (cw >> j) & 1;
+            let row = (i + j) % rows;
+            *symbol |= u16::from(bit) << row;
+        }
+    }
+    symbols
+}
+
+/// Inverse of [`interleave`].
+///
+/// # Panics
+///
+/// Panics unless exactly `cr_bits` symbols are supplied.
+pub fn deinterleave(symbols: &[u16], sf: SpreadingFactor, cr_bits: u8) -> Vec<u8> {
+    let rows = usize::from(sf.bits_per_symbol());
+    let cols = usize::from(cr_bits);
+    assert_eq!(symbols.len(), cols, "need CR symbols per interleaver block");
+    let mut codewords = vec![0u8; rows];
+    for (j, &symbol) in symbols.iter().enumerate() {
+        for (i, cw) in codewords.iter_mut().enumerate() {
+            let row = (i + j) % rows;
+            let bit = (symbol >> row) & 1;
+            *cw |= (bit as u8) << j;
+        }
+    }
+    codewords
+}
+
+/// Gray-codes a symbol value (adjacent chirp bins differ in one bit).
+#[inline]
+pub fn gray_encode(value: u16) -> u16 {
+    value ^ (value >> 1)
+}
+
+/// Inverts [`gray_encode`].
+#[inline]
+pub fn gray_decode(mut gray: u16) -> u16 {
+    let mut value = gray;
+    while gray > 0 {
+        gray >>= 1;
+        value ^= gray;
+    }
+    value
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{decode_payload, encode_payload};
+    use crate::toa::CodingRate;
+
+    #[test]
+    fn whitening_is_an_involution() {
+        let original: Vec<u8> = (0..64u8).collect();
+        let mut data = original.clone();
+        Whitener::new().apply(&mut data);
+        assert_ne!(data, original, "whitening must change the data");
+        Whitener::new().apply(&mut data);
+        assert_eq!(data, original);
+    }
+
+    #[test]
+    fn whitening_sequence_is_balanced() {
+        // Over a long run the LFSR output should be near 50 % ones.
+        let mut w = Whitener::new();
+        let ones: u32 = (0..255).map(|_| w.next_byte().count_ones()).sum();
+        let frac = f64::from(ones) / (255.0 * 8.0);
+        assert!((frac - 0.5).abs() < 0.05, "{frac}");
+    }
+
+    #[test]
+    fn whitener_period_is_maximal() {
+        // A maximal 8-bit LFSR revisits its seed after 255 steps.
+        let mut w = Whitener::new();
+        let first = w.next_byte();
+        for _ in 0..254 {
+            w.next_byte();
+        }
+        assert_eq!(w.next_byte(), first);
+    }
+
+    #[test]
+    fn interleaver_round_trips() {
+        for sf in SpreadingFactor::ALL {
+            let rows = usize::from(sf.bits_per_symbol());
+            let codewords: Vec<u8> = (0..rows as u8).map(|i| (i * 37) & 0x7f).collect();
+            let symbols = interleave(&codewords, sf, 7);
+            assert_eq!(symbols.len(), 7);
+            let back = deinterleave(&symbols, sf, 7);
+            assert_eq!(back, codewords, "{sf}");
+        }
+    }
+
+    #[test]
+    fn one_corrupted_symbol_touches_one_bit_per_codeword() {
+        // The design property the paper's CR 4/7 choice leans on.
+        let sf = SpreadingFactor::Sf9;
+        let rows = usize::from(sf.bits_per_symbol());
+        let codewords: Vec<u8> = (0..rows as u8).map(|i| i * 11 & 0x7f).collect();
+        let mut symbols = interleave(&codewords, sf, 7);
+        symbols[3] ^= 0x1ff; // destroy one whole symbol
+        let damaged = deinterleave(&symbols, sf, 7);
+        for (a, b) in damaged.iter().zip(&codewords) {
+            assert!(
+                (a ^ b).count_ones() <= 1,
+                "codeword took more than one bit of damage: {a:08b} vs {b:08b}"
+            );
+        }
+    }
+
+    #[test]
+    fn burst_plus_hamming_recovers_payload() {
+        // End-to-end: encode, interleave, kill a symbol, deinterleave,
+        // decode — the payload survives.
+        let sf = SpreadingFactor::Sf8;
+        let rows = usize::from(sf.bits_per_symbol());
+        let payload: Vec<u8> = (0..rows as u8 / 2).map(|i| i.wrapping_mul(73)).collect();
+        let codewords = encode_payload(&payload, CodingRate::Cr4_7);
+        assert_eq!(codewords.len(), rows);
+        let mut symbols = interleave(&codewords, sf, 7);
+        symbols[5] ^= 0xff;
+        let back = deinterleave(&symbols, sf, 7);
+        let (decoded, corrected, failed) = decode_payload(&back, CodingRate::Cr4_7);
+        assert_eq!(decoded, payload);
+        assert!(corrected > 0);
+        assert_eq!(failed, 0);
+    }
+
+    #[test]
+    fn gray_round_trip_and_adjacency() {
+        for v in 0u16..4096 {
+            assert_eq!(gray_decode(gray_encode(v)), v);
+        }
+        // Adjacent values differ by exactly one bit after Gray coding.
+        for v in 0u16..4095 {
+            let d = (gray_encode(v) ^ gray_encode(v + 1)).count_ones();
+            assert_eq!(d, 1, "{v}");
+        }
+    }
+}

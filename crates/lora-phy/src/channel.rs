@@ -1,0 +1,118 @@
+//! Frequency channels and bandwidths.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// LoRa channel bandwidth.
+///
+/// The paper (and LoRaWAN regional parameters for sub-GHz uplinks) fixes the
+/// uplink bandwidth to 125 kHz; 250 and 500 kHz are provided for
+/// completeness and downlink modelling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum Bandwidth {
+    /// 125 kHz — the standard uplink bandwidth.
+    #[default]
+    Bw125,
+    /// 250 kHz.
+    Bw250,
+    /// 500 kHz — used for downlink channels in US915.
+    Bw500,
+}
+
+impl Bandwidth {
+    /// The bandwidth in Hz.
+    ///
+    /// ```
+    /// use lora_phy::Bandwidth;
+    /// assert_eq!(Bandwidth::Bw125.hz(), 125_000.0);
+    /// ```
+    #[inline]
+    pub fn hz(self) -> f64 {
+        match self {
+            Bandwidth::Bw125 => 125_000.0,
+            Bandwidth::Bw250 => 250_000.0,
+            Bandwidth::Bw500 => 500_000.0,
+        }
+    }
+
+    /// The bandwidth in kHz.
+    #[inline]
+    pub fn khz(self) -> f64 {
+        self.hz() / 1000.0
+    }
+}
+
+
+impl fmt::Display for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}kHz", self.khz())
+    }
+}
+
+/// An uplink frequency channel: a centre frequency plus bandwidth.
+///
+/// Channels multiplex transmissions: per the paper's collision rule two
+/// packets interfere only if they share *both* the channel and the
+/// spreading factor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Channel {
+    /// Index of the channel within its regional plan (0-based).
+    index: usize,
+    /// Centre frequency in Hz.
+    frequency_hz: f64,
+    /// Channel bandwidth.
+    bandwidth: Bandwidth,
+}
+
+impl Channel {
+    /// Creates a channel.
+    pub fn new(index: usize, frequency_hz: f64, bandwidth: Bandwidth) -> Self {
+        Channel { index, frequency_hz, bandwidth }
+    }
+
+    /// Index of the channel within its regional plan.
+    #[inline]
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Centre frequency in Hz.
+    #[inline]
+    pub fn frequency_hz(&self) -> f64 {
+        self.frequency_hz
+    }
+
+    /// Channel bandwidth.
+    #[inline]
+    pub fn bandwidth(&self) -> Bandwidth {
+        self.bandwidth
+    }
+}
+
+impl fmt::Display for Channel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ch{} @ {:.1} MHz/{}", self.index, self.frequency_hz / 1e6, self.bandwidth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_values() {
+        assert_eq!(Bandwidth::Bw125.hz(), 125_000.0);
+        assert_eq!(Bandwidth::Bw250.hz(), 250_000.0);
+        assert_eq!(Bandwidth::Bw500.hz(), 500_000.0);
+    }
+
+    #[test]
+    fn channel_display_mentions_frequency() {
+        let ch = Channel::new(0, 902_300_000.0, Bandwidth::Bw125);
+        let s = ch.to_string();
+        assert!(s.contains("902.3"), "{s}");
+        assert!(s.contains("ch0"), "{s}");
+    }
+}

@@ -1,0 +1,145 @@
+//! LoRaWAN data-rate (DR) indices.
+//!
+//! Regional parameters expose the (SF, BW) pair to applications as a small
+//! integer: in both EU868 and the US915 uplink sub-band, DR0 is the
+//! slowest (SF12 in EU, SF10 in US) and higher DR means faster. The
+//! allocator works in (SF, TP, channel) space; this module provides the
+//! mapping a LoRaWAN network server would use to push the result to real
+//! devices via `LinkADRReq`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::channel::Bandwidth;
+use crate::error::PhyError;
+use crate::region::Region;
+use crate::sf::SpreadingFactor;
+
+/// A LoRaWAN data-rate index within a region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DataRate(u8);
+
+impl DataRate {
+    /// Creates a data-rate index, validated for the region's uplink table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhyError::InvalidQuantity`] for an index with no uplink
+    /// entry in the region.
+    pub fn new(region: Region, index: u8) -> Result<Self, PhyError> {
+        if usize::from(index) < Self::table(region).len() {
+            Ok(DataRate(index))
+        } else {
+            Err(PhyError::InvalidQuantity { what: "data-rate index", value: f64::from(index) })
+        }
+    }
+
+    /// The raw index.
+    pub fn index(self) -> u8 {
+        self.0
+    }
+
+    fn table(region: Region) -> &'static [(SpreadingFactor, Bandwidth)] {
+        match region {
+            // EU868 uplink DR0..DR5: SF12..SF7 at 125 kHz.
+            Region::Eu868 => &[
+                (SpreadingFactor::Sf12, Bandwidth::Bw125),
+                (SpreadingFactor::Sf11, Bandwidth::Bw125),
+                (SpreadingFactor::Sf10, Bandwidth::Bw125),
+                (SpreadingFactor::Sf9, Bandwidth::Bw125),
+                (SpreadingFactor::Sf8, Bandwidth::Bw125),
+                (SpreadingFactor::Sf7, Bandwidth::Bw125),
+            ],
+            // US915 uplink DR0..DR3: SF10..SF7 at 125 kHz (DR4 is
+            // SF8/500 kHz and not part of the paper's eight-channel plan).
+            Region::Us915Sub1 => &[
+                (SpreadingFactor::Sf10, Bandwidth::Bw125),
+                (SpreadingFactor::Sf9, Bandwidth::Bw125),
+                (SpreadingFactor::Sf8, Bandwidth::Bw125),
+                (SpreadingFactor::Sf7, Bandwidth::Bw125),
+            ],
+        }
+    }
+
+    /// The (SF, BW) pair of this index.
+    pub fn to_sf_bw(self, region: Region) -> (SpreadingFactor, Bandwidth) {
+        Self::table(region)[usize::from(self.0)]
+    }
+
+    /// The uplink data rate carrying `sf` at 125 kHz in `region`, or
+    /// `None` when the region's table has no such entry (e.g. SF11/SF12
+    /// uplinks in US915, which the paper's model still allocates — a real
+    /// US deployment would clamp them to DR0).
+    pub fn from_sf(region: Region, sf: SpreadingFactor) -> Option<DataRate> {
+        Self::table(region)
+            .iter()
+            .position(|&(s, b)| s == sf && b == Bandwidth::Bw125)
+            .map(|i| DataRate(i as u8))
+    }
+
+    /// All uplink data rates of the region, slowest first.
+    pub fn all(region: Region) -> Vec<DataRate> {
+        (0..Self::table(region).len() as u8).map(DataRate).collect()
+    }
+}
+
+impl std::fmt::Display for DataRate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DR{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eu_table_is_the_standard_six() {
+        let all = DataRate::all(Region::Eu868);
+        assert_eq!(all.len(), 6);
+        assert_eq!(all[0].to_sf_bw(Region::Eu868).0, SpreadingFactor::Sf12);
+        assert_eq!(all[5].to_sf_bw(Region::Eu868).0, SpreadingFactor::Sf7);
+    }
+
+    #[test]
+    fn us_table_is_dr0_to_dr3() {
+        let all = DataRate::all(Region::Us915Sub1);
+        assert_eq!(all.len(), 4);
+        assert_eq!(all[0].to_sf_bw(Region::Us915Sub1).0, SpreadingFactor::Sf10);
+        assert_eq!(all[3].to_sf_bw(Region::Us915Sub1).0, SpreadingFactor::Sf7);
+    }
+
+    #[test]
+    fn sf_round_trips_where_defined() {
+        for region in [Region::Eu868, Region::Us915Sub1] {
+            for dr in DataRate::all(region) {
+                let (sf, _) = dr.to_sf_bw(region);
+                assert_eq!(DataRate::from_sf(region, sf), Some(dr), "{region:?} {dr}");
+            }
+        }
+    }
+
+    #[test]
+    fn us_has_no_sf12_uplink() {
+        assert_eq!(DataRate::from_sf(Region::Us915Sub1, SpreadingFactor::Sf12), None);
+        assert!(DataRate::from_sf(Region::Eu868, SpreadingFactor::Sf12).is_some());
+    }
+
+    #[test]
+    fn higher_dr_is_faster() {
+        for region in [Region::Eu868, Region::Us915Sub1] {
+            let all = DataRate::all(region);
+            for pair in all.windows(2) {
+                let (slow, _) = pair[0].to_sf_bw(region);
+                let (fast, _) = pair[1].to_sf_bw(region);
+                assert!(fast < slow, "{region:?}: {} then {}", pair[0], pair[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_index_rejected() {
+        assert!(DataRate::new(Region::Eu868, 6).is_err());
+        assert!(DataRate::new(Region::Us915Sub1, 4).is_err());
+        assert!(DataRate::new(Region::Eu868, 5).is_ok());
+    }
+}

@@ -1,0 +1,256 @@
+//! Radio energy model.
+//!
+//! Follows the decomposition of Casals et al. (paper reference \[22\], used in
+//! Section III-B): a transmission cycle consists of wake-up, radio
+//! preparation, the TX burst itself, radio-off and post-processing, plus the
+//! sleep period until the next cycle. Only the TX burst depends on the
+//! resource allocation (TP sets the supply power, SF sets the duration,
+//! paper Eq. 3); the remaining actions are identical for every device, and
+//! the paper's evaluation explicitly includes sleep energy ("the energy is
+//! consumed by both active transmission and sleep", Section IV).
+
+use serde::{Deserialize, Serialize};
+
+use crate::power::TxPowerDbm;
+
+/// Electrical energy drawn from the battery for radio activity.
+///
+/// The built-in table interpolates supply current measurements of an
+/// SX1276-class radio at 3.3 V (Casals et al. / Semtech datasheet figures)
+/// for output powers between 2 and 14 dBm.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RadioEnergyModel {
+    /// Supply voltage in volts.
+    supply_voltage_v: f64,
+    /// `(output dBm, supply mA)` calibration points, sorted by dBm.
+    tx_current_ma: Vec<(f64, f64)>,
+    /// Sleep-state supply current in amperes (radio + MCU).
+    sleep_current_a: f64,
+    /// Fixed per-transmission overhead energy in joules (wake-up, radio
+    /// preparation, radio-off, post-processing).
+    overhead_energy_j: f64,
+}
+
+impl RadioEnergyModel {
+    /// The default SX1276-class model at 3.3 V:
+    ///
+    /// * TX supply current 24–44 mA between 2 and 14 dBm,
+    /// * 30 µA sleep current (MCU low-power mode + radio sleep),
+    /// * 5 mJ fixed overhead per transmission.
+    pub fn sx1276() -> Self {
+        RadioEnergyModel {
+            supply_voltage_v: 3.3,
+            tx_current_ma: vec![
+                (2.0, 24.0),
+                (4.0, 26.0),
+                (6.0, 28.0),
+                (8.0, 31.0),
+                (10.0, 34.0),
+                (12.0, 39.0),
+                (14.0, 44.0),
+            ],
+            sleep_current_a: 30e-6,
+            overhead_energy_j: 5e-3,
+        }
+    }
+
+    /// Creates a custom model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the current table is empty or not sorted by dBm.
+    pub fn new(
+        supply_voltage_v: f64,
+        tx_current_ma: Vec<(f64, f64)>,
+        sleep_current_a: f64,
+        overhead_energy_j: f64,
+    ) -> Self {
+        assert!(!tx_current_ma.is_empty(), "current table must not be empty");
+        assert!(
+            tx_current_ma.windows(2).all(|w| w[0].0 < w[1].0),
+            "current table must be sorted by dBm"
+        );
+        RadioEnergyModel { supply_voltage_v, tx_current_ma, sleep_current_a, overhead_energy_j }
+    }
+
+    /// Supply voltage in volts.
+    #[inline]
+    pub fn supply_voltage_v(&self) -> f64 {
+        self.supply_voltage_v
+    }
+
+    /// Fixed per-transmission overhead energy in joules.
+    #[inline]
+    pub fn overhead_energy_j(&self) -> f64 {
+        self.overhead_energy_j
+    }
+
+    /// Electrical power drawn while sleeping, in watts.
+    #[inline]
+    pub fn sleep_power_w(&self) -> f64 {
+        self.sleep_current_a * self.supply_voltage_v
+    }
+
+    /// Electrical power drawn while transmitting at `tp`, in watts — the
+    /// paper's `e_p` (energy per time unit with power `p`, Eq. 3).
+    ///
+    /// Output powers outside the calibration table are clamped to its ends;
+    /// between points the current is linearly interpolated.
+    pub fn tx_power_w(&self, tp: TxPowerDbm) -> f64 {
+        let dbm = tp.dbm();
+        let table = &self.tx_current_ma;
+        let ma = if dbm <= table[0].0 {
+            table[0].1
+        } else if dbm >= table[table.len() - 1].0 {
+            table[table.len() - 1].1
+        } else {
+            let idx = table.partition_point(|&(x, _)| x <= dbm);
+            let (x0, y0) = table[idx - 1];
+            let (x1, y1) = table[idx];
+            y0 + (y1 - y0) * (dbm - x0) / (x1 - x0)
+        };
+        ma * 1e-3 * self.supply_voltage_v
+    }
+
+    /// Energy of the TX burst alone: `e_p · T` (paper Eq. 3), in joules.
+    #[inline]
+    pub fn tx_energy_j(&self, tp: TxPowerDbm, toa_s: f64) -> f64 {
+        debug_assert!(toa_s >= 0.0);
+        self.tx_power_w(tp) * toa_s
+    }
+
+    /// Energy of one full transmission cycle, in joules: overhead + TX burst
+    /// + sleep for the remainder of the reporting interval `interval_s`.
+    ///
+    /// This is the `E_s` of paper Eq. (2) with the evaluation section's
+    /// sleep energy included. If `toa_s >= interval_s` no sleep energy is
+    /// charged (the device is saturated).
+    pub fn cycle_energy_j(&self, tp: TxPowerDbm, toa_s: f64, interval_s: f64) -> f64 {
+        let sleep_s = (interval_s - toa_s).max(0.0);
+        self.overhead_energy_j + self.tx_energy_j(tp, toa_s) + self.sleep_power_w() * sleep_s
+    }
+}
+
+impl Default for RadioEnergyModel {
+    fn default() -> Self {
+        RadioEnergyModel::sx1276()
+    }
+}
+
+/// A battery with a fixed energy budget.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Battery {
+    capacity_j: f64,
+}
+
+impl Battery {
+    /// Creates a battery from a capacity in joules.
+    pub fn from_joules(capacity_j: f64) -> Self {
+        Battery { capacity_j: capacity_j.max(0.0) }
+    }
+
+    /// Creates a battery from a capacity in mAh at a supply voltage.
+    ///
+    /// ```
+    /// use lora_phy::energy::Battery;
+    /// let b = Battery::from_mah(2400.0, 3.3);
+    /// assert!((b.capacity_j() - 28512.0).abs() < 1.0);
+    /// ```
+    pub fn from_mah(mah: f64, voltage_v: f64) -> Self {
+        Battery::from_joules(mah * 3.6 * voltage_v)
+    }
+
+    /// The total capacity in joules.
+    #[inline]
+    pub fn capacity_j(&self) -> f64 {
+        self.capacity_j
+    }
+
+    /// Lifetime in seconds at a constant average power draw, `None` if the
+    /// draw is zero.
+    pub fn lifetime_s(&self, average_power_w: f64) -> Option<f64> {
+        if average_power_w <= 0.0 {
+            None
+        } else {
+            Some(self.capacity_j / average_power_w)
+        }
+    }
+}
+
+impl Default for Battery {
+    /// A 2400 mAh, 3.3 V battery — two AA lithium cells, the usual LoRa
+    /// field-node configuration.
+    fn default() -> Self {
+        Battery::from_mah(2400.0, 3.3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tx_power_interpolates() {
+        let m = RadioEnergyModel::sx1276();
+        let p2 = m.tx_power_w(TxPowerDbm::new(2.0));
+        let p14 = m.tx_power_w(TxPowerDbm::new(14.0));
+        assert!((p2 - 0.0792).abs() < 1e-6);
+        assert!((p14 - 0.1452).abs() < 1e-6);
+        // interpolated midpoint between 12 (39 mA) and 14 (44 mA): 41.5 mA
+        let p13 = m.tx_power_w(TxPowerDbm::new(13.0));
+        assert!((p13 - 41.5e-3 * 3.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tx_power_clamps_outside_table() {
+        let m = RadioEnergyModel::sx1276();
+        assert_eq!(m.tx_power_w(TxPowerDbm::new(-5.0)), m.tx_power_w(TxPowerDbm::new(2.0)));
+        assert_eq!(m.tx_power_w(TxPowerDbm::new(20.0)), m.tx_power_w(TxPowerDbm::new(14.0)));
+    }
+
+    #[test]
+    fn cycle_energy_includes_sleep() {
+        let m = RadioEnergyModel::sx1276();
+        let tp = TxPowerDbm::new(14.0);
+        let toa = 0.0709;
+        let with_sleep = m.cycle_energy_j(tp, toa, 600.0);
+        let without = m.overhead_energy_j() + m.tx_energy_j(tp, toa);
+        let sleep = m.sleep_power_w() * (600.0 - toa);
+        assert!((with_sleep - without - sleep).abs() < 1e-12);
+        // sleep at 99 µW for ~600 s is ~59 mJ and dominates an SF7 cycle
+        assert!(sleep > 0.05 && sleep < 0.07);
+    }
+
+    #[test]
+    fn saturated_device_has_no_sleep_energy() {
+        let m = RadioEnergyModel::sx1276();
+        let tp = TxPowerDbm::new(14.0);
+        let e = m.cycle_energy_j(tp, 2.0, 1.0);
+        assert!((e - m.overhead_energy_j() - m.tx_energy_j(tp, 2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sf7_vs_sf12_cycle_gap_is_about_4x() {
+        // Reproduces the paper's motivating claim (from [5]) that with sleep
+        // included the SF7↔SF12 energy gap is on the order of 4×.
+        let m = RadioEnergyModel::sx1276();
+        let tp = TxPowerDbm::new(14.0);
+        let e7 = m.cycle_energy_j(tp, 0.0709, 600.0);
+        let e12 = m.cycle_energy_j(tp, 1.8104, 600.0);
+        let ratio = e12 / e7;
+        assert!((2.5..6.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn battery_lifetime() {
+        let b = Battery::from_joules(1000.0);
+        assert_eq!(b.lifetime_s(1.0), Some(1000.0));
+        assert_eq!(b.lifetime_s(0.0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_table_panics() {
+        let _ = RadioEnergyModel::new(3.3, vec![(4.0, 26.0), (2.0, 24.0)], 1e-6, 0.0);
+    }
+}

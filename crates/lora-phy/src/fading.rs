@@ -1,0 +1,112 @@
+//! Small-scale fading models.
+//!
+//! The paper models the channel between an end device and a gateway as
+//! Rayleigh fading: the complex gain is circularly-symmetric Gaussian, so
+//! the *power* gain `g = |h|²` is exponentially distributed with unit mean
+//! (`g ~ Exp(1)`), which is what produces the closed-form PDR of Eq. (10).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A small-scale fading model applied per transmission and per gateway.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum Fading {
+    /// No fading: the power gain is always exactly 1. Useful for
+    /// deterministic unit tests and link-budget reasoning.
+    None,
+    /// Rayleigh block fading: power gain `g ~ Exp(1)` drawn independently
+    /// for every (transmission, gateway) pair.
+    #[default]
+    Rayleigh,
+}
+
+impl Fading {
+    /// Draws a power gain for one reception.
+    ///
+    /// For [`Fading::Rayleigh`] the gain is `−ln(1 − U)` with
+    /// `U ~ Uniform[0, 1)`, i.e. a unit-mean exponential.
+    ///
+    /// ```
+    /// use lora_phy::Fading;
+    /// use rand::SeedableRng;
+    /// let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(7);
+    /// let g = Fading::Rayleigh.sample_power_gain(&mut rng);
+    /// assert!(g > 0.0);
+    /// assert_eq!(Fading::None.sample_power_gain(&mut rng), 1.0);
+    /// ```
+    pub fn sample_power_gain<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match self {
+            Fading::None => 1.0,
+            Fading::Rayleigh => {
+                let u: f64 = rng.gen();
+                // Guard against ln(0); the probability of u == 1.0 is zero
+                // but floating point says otherwise.
+                -(1.0 - u).max(f64::MIN_POSITIVE).ln()
+            }
+        }
+    }
+
+    /// Probability that the power gain exceeds `threshold` (the survival
+    /// function used in the paper's Eq. (10) derivation).
+    ///
+    /// For [`Fading::None`] this is a hard step; for [`Fading::Rayleigh`]
+    /// it is `exp(−threshold)`.
+    pub fn survival(&self, threshold: f64) -> f64 {
+        match self {
+            Fading::None => {
+                if threshold <= 1.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Fading::Rayleigh => (-threshold.max(0.0)).exp(),
+        }
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    #[test]
+    fn rayleigh_gain_has_unit_mean() {
+        let mut rng = ChaCha12Rng::seed_from_u64(42);
+        let n = 200_000;
+        let mean: f64 =
+            (0..n).map(|_| Fading::Rayleigh.sample_power_gain(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn rayleigh_survival_matches_empirical() {
+        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        let n = 100_000;
+        let threshold = 0.7;
+        let hits = (0..n)
+            .filter(|_| Fading::Rayleigh.sample_power_gain(&mut rng) > threshold)
+            .count();
+        let empirical = hits as f64 / n as f64;
+        let analytic = Fading::Rayleigh.survival(threshold);
+        assert!((empirical - analytic).abs() < 0.01, "{empirical} vs {analytic}");
+    }
+
+    #[test]
+    fn none_is_deterministic_unit() {
+        let mut rng = ChaCha12Rng::seed_from_u64(0);
+        for _ in 0..10 {
+            assert_eq!(Fading::None.sample_power_gain(&mut rng), 1.0);
+        }
+        assert_eq!(Fading::None.survival(0.5), 1.0);
+        assert_eq!(Fading::None.survival(1.5), 0.0);
+    }
+
+    #[test]
+    fn survival_clamps_negative_thresholds() {
+        assert_eq!(Fading::Rayleigh.survival(-3.0), 1.0);
+    }
+}

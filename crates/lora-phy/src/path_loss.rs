@@ -1,0 +1,244 @@
+//! Path-loss attenuation models.
+//!
+//! The paper's Eq. (9) defines the attenuation as
+//! `a(d) = (c / (4π f d))^β` — the *whole* Friis ratio raised to the path
+//! loss exponent β. Taken literally this model makes a 5 km disc unreachable
+//! at β = 4 (NLoS), which contradicts the deployments the paper evaluates;
+//! the LoRa-scalability literature the paper builds on (Georgiou & Raza)
+//! uses a reference-distance log-distance model instead. Both are provided:
+//!
+//! * [`PathLossModel::FriisExponent`] — the literal Eq. (9);
+//! * [`PathLossModel::LogDistance`] — free-space loss up to a reference
+//!   distance `d0`, then `10·β·log10(d/d0)` beyond it (the experiment
+//!   default, see DESIGN.md §2.1).
+//!
+//! Losses are expressed in positive dB; the linear attenuation `a(d)` of the
+//! paper equals `10^(−loss_db/10)`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::SPEED_OF_LIGHT_M_S;
+
+/// Free-space path loss in dB at distance `d` metres and frequency `f` Hz:
+/// `20·log10(4π d f / c)`.
+///
+/// ```
+/// let l = lora_phy::path_loss::free_space_loss_db(1000.0, 868e6);
+/// assert!((l - 91.2).abs() < 0.1);
+/// ```
+pub fn free_space_loss_db(distance_m: f64, frequency_hz: f64) -> f64 {
+    debug_assert!(distance_m > 0.0 && frequency_hz > 0.0);
+    20.0 * (4.0 * std::f64::consts::PI * distance_m * frequency_hz / SPEED_OF_LIGHT_M_S).log10()
+}
+
+/// The propagation environment of a device↔gateway link.
+///
+/// Section IV-B of the paper uses β = 2.7 for line-of-sight links and β = 4
+/// for non-line-of-sight links.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum LinkEnvironment {
+    /// Line-of-sight propagation.
+    #[default]
+    LineOfSight,
+    /// Non-line-of-sight propagation.
+    NonLineOfSight,
+}
+
+
+/// A pair of path-loss exponents, one per [`LinkEnvironment`].
+///
+/// The paper's Fig. 9 sweeps three profiles: base (2.7/4.0), less path loss
+/// (2.4/3.7) and more path loss (3.0/4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BetaProfile {
+    /// Exponent for line-of-sight links.
+    pub los: f64,
+    /// Exponent for non-line-of-sight links.
+    pub nlos: f64,
+}
+
+impl BetaProfile {
+    /// The paper's base profile: β = 2.7 (LoS) / 4.0 (NLoS).
+    pub const PAPER_BASE: BetaProfile = BetaProfile { los: 2.7, nlos: 4.0 };
+    /// The paper's "less path loss" profile: 2.4 / 3.7.
+    pub const PAPER_LESS: BetaProfile = BetaProfile { los: 2.4, nlos: 3.7 };
+    /// The paper's "more path loss" profile: 3.0 / 4.3.
+    pub const PAPER_MORE: BetaProfile = BetaProfile { los: 3.0, nlos: 4.3 };
+
+    /// Creates a profile from explicit exponents.
+    pub fn new(los: f64, nlos: f64) -> Self {
+        BetaProfile { los, nlos }
+    }
+
+    /// A homogeneous profile where both environments share one exponent.
+    pub fn uniform(beta: f64) -> Self {
+        BetaProfile { los: beta, nlos: beta }
+    }
+
+    /// The exponent for a given environment.
+    #[inline]
+    pub fn beta(&self, env: LinkEnvironment) -> f64 {
+        match env {
+            LinkEnvironment::LineOfSight => self.los,
+            LinkEnvironment::NonLineOfSight => self.nlos,
+        }
+    }
+}
+
+impl Default for BetaProfile {
+    fn default() -> Self {
+        BetaProfile::PAPER_BASE
+    }
+}
+
+/// A deterministic large-scale path-loss model.
+///
+/// The stochastic (fading) part of the channel lives in
+/// [`crate::fading::Fading`]; this type captures only the distance-dependent
+/// mean attenuation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PathLossModel {
+    /// The paper's literal Eq. (9): `a(d) = (c/(4πfd))^β`, i.e. a loss of
+    /// `β/2 · FSPL(d)` dB where FSPL is the free-space loss.
+    FriisExponent {
+        /// Carrier frequency in Hz.
+        frequency_hz: f64,
+    },
+    /// Free-space loss up to `reference_m`, then `10·β·log10(d/d0)` beyond
+    /// it. This is the standard model of the LoRa literature and the
+    /// experiment default.
+    LogDistance {
+        /// Carrier frequency in Hz.
+        frequency_hz: f64,
+        /// Reference distance `d0` in metres at which free-space propagation
+        /// ends.
+        reference_m: f64,
+    },
+}
+
+impl PathLossModel {
+    /// Creates the literal paper Eq. (9) model.
+    pub fn friis_exponent(frequency_hz: f64) -> Self {
+        PathLossModel::FriisExponent { frequency_hz }
+    }
+
+    /// Creates a log-distance model with the given reference distance.
+    pub fn log_distance(frequency_hz: f64, reference_m: f64) -> Self {
+        PathLossModel::LogDistance { frequency_hz, reference_m }
+    }
+
+    /// The carrier frequency of the model in Hz.
+    pub fn frequency_hz(&self) -> f64 {
+        match *self {
+            PathLossModel::FriisExponent { frequency_hz }
+            | PathLossModel::LogDistance { frequency_hz, .. } => frequency_hz,
+        }
+    }
+
+    /// Path loss in positive dB for a link of `distance_m` metres with path
+    /// loss exponent `beta`.
+    ///
+    /// Distances below 1 m (or below the reference distance for
+    /// [`PathLossModel::LogDistance`]) are clamped so the loss never becomes
+    /// a gain.
+    pub fn loss_db(&self, distance_m: f64, beta: f64) -> f64 {
+        debug_assert!(beta > 0.0, "path loss exponent must be positive");
+        match *self {
+            PathLossModel::FriisExponent { frequency_hz } => {
+                let d = distance_m.max(1.0);
+                // (c/(4πfd))^β in dB: β/2 · 20·log10(4πfd/c)
+                beta / 2.0 * free_space_loss_db(d, frequency_hz)
+            }
+            PathLossModel::LogDistance { frequency_hz, reference_m } => {
+                let d0 = reference_m.max(1.0);
+                let d = distance_m.max(d0);
+                free_space_loss_db(d0, frequency_hz) + 10.0 * beta * (d / d0).log10()
+            }
+        }
+    }
+
+    /// The linear attenuation `a(d)` of the paper's Eq. (9): received power
+    /// is `p_tx · g · a(d)` with `g` the fading gain.
+    pub fn attenuation(&self, distance_m: f64, beta: f64) -> f64 {
+        10f64.powf(-self.loss_db(distance_m, beta) / 10.0)
+    }
+}
+
+impl Default for PathLossModel {
+    /// The experiment default: log-distance at 903 MHz with a 40 m
+    /// reference distance, calibrated so that with the paper's β profile
+    /// (2.7 LoS / 4.0 NLoS) the sensitivity-feasible SF of NLoS devices
+    /// spans SF7 (≤ ~2.7 km) to SF12 (≤ ~6.1 km) at 14 dBm across the
+    /// paper's 5 km deployment disc (DESIGN.md §2.1).
+    fn default() -> Self {
+        PathLossModel::log_distance(903e6, 40.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn friis_exponent_beta2_equals_free_space() {
+        let m = PathLossModel::friis_exponent(868e6);
+        let l = m.loss_db(500.0, 2.0);
+        assert!((l - free_space_loss_db(500.0, 868e6)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_distance_continuous_at_reference() {
+        let m = PathLossModel::log_distance(903e6, 100.0);
+        let at_ref = m.loss_db(100.0, 3.5);
+        assert!((at_ref - free_space_loss_db(100.0, 903e6)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn loss_monotone_in_distance_and_beta() {
+        for model in [
+            PathLossModel::friis_exponent(903e6),
+            PathLossModel::log_distance(903e6, 100.0),
+        ] {
+            let mut last = 0.0;
+            for d in [150.0, 400.0, 1000.0, 2500.0, 5000.0] {
+                let l = model.loss_db(d, 3.2);
+                assert!(l > last, "{model:?} at {d}: {l}");
+                last = l;
+            }
+            assert!(model.loss_db(1000.0, 4.0) > model.loss_db(1000.0, 2.7));
+        }
+    }
+
+    #[test]
+    fn attenuation_is_inverse_of_loss() {
+        let m = PathLossModel::default();
+        let a = m.attenuation(2000.0, 3.2);
+        assert!((10.0 * a.log10() + m.loss_db(2000.0, 3.2)).abs() < 1e-9);
+        assert!(a > 0.0 && a < 1.0);
+    }
+
+    #[test]
+    fn paper_base_profile_values() {
+        let p = BetaProfile::PAPER_BASE;
+        assert_eq!(p.beta(LinkEnvironment::LineOfSight), 2.7);
+        assert_eq!(p.beta(LinkEnvironment::NonLineOfSight), 4.0);
+    }
+
+    #[test]
+    fn literal_friis_beta4_is_brutal() {
+        // Documents why LogDistance is the experiment default: the literal
+        // Eq. (9) at β = 4 loses > 180 dB over 1 km, beyond the ~151 dB
+        // maximum LoRa link budget (14 dBm TX − (−137 dBm) sensitivity).
+        let m = PathLossModel::friis_exponent(903e6);
+        assert!(m.loss_db(1000.0, 4.0) > 180.0);
+    }
+
+    #[test]
+    fn short_distances_clamp() {
+        let m = PathLossModel::log_distance(903e6, 100.0);
+        assert_eq!(m.loss_db(1.0, 3.2), m.loss_db(100.0, 3.2));
+        let f = PathLossModel::friis_exponent(903e6);
+        assert_eq!(f.loss_db(0.1, 3.2), f.loss_db(1.0, 3.2));
+    }
+}

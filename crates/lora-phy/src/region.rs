@@ -1,0 +1,154 @@
+//! Regional parameters: channel plans and transmission-power sets.
+//!
+//! The paper evaluates on eight 125 kHz uplink channels from 902.3 MHz
+//! (US915 sub-band 1) with the European-style power set 2..14 dBm; both the
+//! US sub-band and the EU868 plan are provided. Per the paper, even in the
+//! US a deployment selects only eight uplink channels so that every end
+//! device can be heard by all surrounding gateways.
+
+use serde::{Deserialize, Serialize};
+
+use crate::channel::{Bandwidth, Channel};
+use crate::error::PhyError;
+use crate::power::TxPowerDbm;
+
+/// A LoRaWAN operating region (simplified to what the paper exercises).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Region {
+    /// US 915 MHz band, sub-band 1: eight 125 kHz uplink channels starting
+    /// at 902.3 MHz with 200 kHz spacing — the paper's evaluation setting.
+    Us915Sub1,
+    /// EU 868 MHz band: eight 125 kHz uplink channels (the three mandatory
+    /// join channels plus five commonly provisioned ones).
+    Eu868,
+}
+
+impl Region {
+    /// The uplink channel plan for this region.
+    ///
+    /// ```
+    /// use lora_phy::Region;
+    /// let plan = Region::Us915Sub1.uplink_channels();
+    /// assert_eq!(plan.len(), 8);
+    /// assert_eq!(plan[0].frequency_hz(), 902_300_000.0);
+    /// assert_eq!(plan[7].frequency_hz(), 903_700_000.0);
+    /// ```
+    pub fn uplink_channels(self) -> Vec<Channel> {
+        match self {
+            Region::Us915Sub1 => (0..8)
+                .map(|i| {
+                    Channel::new(i, 902_300_000.0 + 200_000.0 * i as f64, Bandwidth::Bw125)
+                })
+                .collect(),
+            Region::Eu868 => {
+                let freqs = [
+                    868_100_000.0,
+                    868_300_000.0,
+                    868_500_000.0,
+                    867_100_000.0,
+                    867_300_000.0,
+                    867_500_000.0,
+                    867_700_000.0,
+                    867_900_000.0,
+                ];
+                freqs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &f)| Channel::new(i, f, Bandwidth::Bw125))
+                    .collect()
+            }
+        }
+    }
+
+    /// Number of uplink channels (always 8 for the supported regions,
+    /// matching constraint C₃ of paper Eq. 1).
+    pub fn uplink_channel_count(self) -> usize {
+        8
+    }
+
+    /// The allocatable transmission-power levels, lowest first.
+    ///
+    /// Both regions use the paper's 2..14 dBm set in 2 dB steps.
+    pub fn tx_power_levels(self) -> Vec<TxPowerDbm> {
+        TxPowerDbm::eu_levels()
+    }
+
+    /// The regulatory duty-cycle cap (fraction of time a device may occupy
+    /// the channel). ETSI limits sub-GHz ISM uplinks to 1 % (paper
+    /// Section III-A); the same 1 % is applied to the US simulation for
+    /// parity with the paper's setup.
+    pub fn duty_cycle_cap(self) -> f64 {
+        0.01
+    }
+
+    /// The representative carrier frequency used for path-loss computations.
+    pub fn carrier_frequency_hz(self) -> f64 {
+        match self {
+            Region::Us915Sub1 => 903e6,
+            Region::Eu868 => 868e6,
+        }
+    }
+
+    /// Looks up a channel of this region's plan by index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhyError::InvalidChannel`] if `index` is out of range.
+    pub fn channel(self, index: usize) -> Result<Channel, PhyError> {
+        self.uplink_channels()
+            .get(index)
+            .copied()
+            .ok_or(PhyError::InvalidChannel { index, plan_len: self.uplink_channel_count() })
+    }
+}
+
+impl Default for Region {
+    /// The paper's evaluation region.
+    fn default() -> Self {
+        Region::Us915Sub1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn us_plan_spans_paper_frequencies() {
+        // "channel frequency from 902.3 MHz to 903.7 MHz with 125 kHz
+        // bandwidth" (Section IV).
+        let plan = Region::Us915Sub1.uplink_channels();
+        assert_eq!(plan.first().unwrap().frequency_hz(), 902.3e6);
+        assert_eq!(plan.last().unwrap().frequency_hz(), 903.7e6);
+        assert!(plan.iter().all(|c| c.bandwidth() == Bandwidth::Bw125));
+    }
+
+    #[test]
+    fn eu_plan_has_eight_distinct_channels() {
+        let plan = Region::Eu868.uplink_channels();
+        assert_eq!(plan.len(), 8);
+        for (i, c) in plan.iter().enumerate() {
+            assert_eq!(c.index(), i);
+            for other in &plan[i + 1..] {
+                assert_ne!(c.frequency_hz(), other.frequency_hz());
+            }
+        }
+    }
+
+    #[test]
+    fn channel_lookup_bounds() {
+        assert!(Region::Us915Sub1.channel(7).is_ok());
+        assert!(matches!(
+            Region::Us915Sub1.channel(8),
+            Err(PhyError::InvalidChannel { index: 8, plan_len: 8 })
+        ));
+    }
+
+    #[test]
+    fn power_levels_and_duty_cycle() {
+        for region in [Region::Us915Sub1, Region::Eu868] {
+            assert_eq!(region.tx_power_levels().len(), 7);
+            assert_eq!(region.duty_cycle_cap(), 0.01);
+        }
+    }
+}

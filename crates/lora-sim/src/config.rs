@@ -1,0 +1,363 @@
+//! Simulation configuration.
+
+use serde::{Deserialize, Serialize};
+
+use lora_mac::class_a::ClassAParams;
+use lora_mac::collision::InterSfPolicy;
+use lora_phy::energy::{Battery, RadioEnergyModel};
+use lora_phy::path_loss::{BetaProfile, PathLossModel};
+use lora_phy::sf::DEFAULT_NOISE_FIGURE_DB;
+use lora_phy::toa::CodingRate;
+use lora_phy::{Fading, Region};
+
+/// A gateway outage window for failure-injection experiments: the gateway
+/// receives nothing in `[from_s, to_s)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GatewayOutage {
+    /// Index of the affected gateway.
+    pub gateway: usize,
+    /// Start of the outage, seconds.
+    pub from_s: f64,
+    /// End of the outage, seconds.
+    pub to_s: f64,
+}
+
+impl GatewayOutage {
+    /// Whether the outage covers time `t` for gateway `gw`.
+    #[inline]
+    pub fn covers(&self, gw: usize, t: f64) -> bool {
+        self.gateway == gw && (self.from_s..self.to_s).contains(&t)
+    }
+}
+
+/// How uplink traffic is generated.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum Traffic {
+    /// Periodic reporting every `report_interval_s` seconds (or the
+    /// per-device overrides) regardless of the spreading factor.
+    #[default]
+    Periodic,
+    /// Every device offers a fixed duty cycle: its reporting interval is
+    /// `ToA(SF)/duty`, so an SF7 device sends ~25× more often than an SF12
+    /// one. This is the paper's Section IV setting ("duty cycle was set to
+    /// 1 %") and the regime in which contention — not range — dominates.
+    DutyCycleTarget {
+        /// The offered duty cycle, e.g. 0.01 for the ETSI 1 % cap.
+        duty: f64,
+    },
+}
+
+
+/// Confirmed-uplink retransmission policy (LoRaWAN class A confirmed
+/// traffic): a cycle's frame is retransmitted after a random backoff until
+/// a gateway receives it or the attempt budget is exhausted. This turns
+/// the paper's Eq. (2) retransmission energy `E_s/PRR` into a *measured*
+/// quantity — lossy devices burn real simulated energy on retries.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConfirmedTraffic {
+    /// Maximum transmissions per application frame (LoRaWAN default: 8).
+    pub max_attempts: u8,
+    /// Minimum retransmission backoff, seconds. LoRaWAN retries after the
+    /// RX2 window closes plus `ACK_TIMEOUT` jitter, so ≥ ~2 s.
+    pub backoff_min_s: f64,
+    /// Maximum retransmission backoff, seconds.
+    pub backoff_max_s: f64,
+    /// Class-A receive-window parameters: every attempt pays the RX1+RX2
+    /// listening energy on top of the TX burst.
+    pub class_a: ClassAParams,
+}
+
+impl Default for ConfirmedTraffic {
+    fn default() -> Self {
+        ConfirmedTraffic {
+            max_attempts: 8,
+            backoff_min_s: 2.0,
+            backoff_max_s: 4.0,
+            class_a: ClassAParams::default(),
+        }
+    }
+}
+
+/// Full configuration of a simulation run.
+///
+/// Defaults reproduce the paper's evaluation setup (Section IV): US915
+/// sub-band channels, 8-byte application payload (21-byte PHY payload),
+/// CR 4/7, Rayleigh fading, eight demodulator paths per gateway, 1 %
+/// duty-cycle region, and the β = 2.7/4.0 LoS/NLoS profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// RNG seed; equal seeds with equal inputs give bit-identical reports.
+    pub seed: u64,
+    /// Simulated duration in seconds.
+    pub duration_s: f64,
+    /// Reporting interval `T_g` in seconds (paper Eq. 15).
+    pub report_interval_s: f64,
+    /// Optional per-device reporting intervals, overriding
+    /// `report_interval_s` device by device — the paper's Section III-E
+    /// "different transmission rates" extension. Length must equal the
+    /// device count when set. Ignored under
+    /// [`Traffic::DutyCycleTarget`].
+    pub per_device_intervals_s: Option<Vec<f64>>,
+    /// Traffic generation model.
+    pub traffic: Traffic,
+    /// Confirmed-uplink retransmissions; `None` (the default) is plain
+    /// unconfirmed traffic.
+    pub confirmed: Option<ConfirmedTraffic>,
+    /// Application payload size in bytes (paper: 8).
+    pub app_payload: usize,
+    /// Operating region (channel plan, TP levels, duty-cycle cap).
+    pub region: Region,
+    /// Coding rate (paper: 4/7).
+    pub coding_rate: CodingRate,
+    /// Large-scale path loss model.
+    pub path_loss: PathLossModel,
+    /// LoS/NLoS path-loss exponents.
+    pub betas: BetaProfile,
+    /// Probability that a device is line-of-sight (drawn at topology
+    /// generation).
+    pub p_los: f64,
+    /// Small-scale fading model.
+    pub fading: Fading,
+    /// Gateway receiver noise figure in dB.
+    pub noise_figure_db: f64,
+    /// Co-SF capture threshold in dB: with interference present, the signal
+    /// must exceed the (weighted) interference power by this margin to be
+    /// captured. 6 dB is the standard LoRa figure (Goursaud & Gorce, used
+    /// by the NS-3 module the paper simulates on); with near-equal powers
+    /// this reproduces the paper's "same SF + same channel + any overlap →
+    /// both collide" rule.
+    pub capture_threshold_db: f64,
+    /// Cross-SF interference policy.
+    pub inter_sf: InterSfPolicy,
+    /// Demodulator paths per gateway (SX1301: 8).
+    pub demod_capacity: usize,
+    /// Radio energy model.
+    pub energy: RadioEnergyModel,
+    /// Device battery.
+    pub battery: Battery,
+    /// Gateway outage windows for failure injection.
+    pub outages: Vec<GatewayOutage>,
+}
+
+impl SimConfig {
+    /// Starts building a configuration from the paper defaults.
+    pub fn builder() -> SimConfigBuilder {
+        SimConfigBuilder::default()
+    }
+
+    /// The PHY payload length implied by the application payload
+    /// (LoRaWAN adds 13 bytes of MAC overhead).
+    pub fn phy_payload_len(&self) -> usize {
+        self.app_payload + lora_mac::frame::MAC_OVERHEAD
+    }
+
+    /// Delivered data bits per successfully received frame, used for the
+    /// bits/mJ energy-efficiency metric (the paper's `L` in Eq. 2).
+    pub fn payload_bits(&self) -> f64 {
+        (self.phy_payload_len() * 8) as f64
+    }
+
+    /// The reporting interval of device `i`: its per-device override when
+    /// [`SimConfig::per_device_intervals_s`] is set, the common `T_g`
+    /// otherwise.
+    pub fn interval_of(&self, device: usize) -> f64 {
+        self.per_device_intervals_s
+            .as_ref()
+            .and_then(|v| v.get(device).copied())
+            .unwrap_or(self.report_interval_s)
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 0,
+            duration_s: 6_000.0,
+            report_interval_s: 600.0,
+            per_device_intervals_s: None,
+            traffic: Traffic::default(),
+            confirmed: None,
+            app_payload: 8,
+            region: Region::Us915Sub1,
+            coding_rate: CodingRate::Cr4_7,
+            path_loss: PathLossModel::default(),
+            betas: BetaProfile::PAPER_BASE,
+            p_los: 0.3,
+            fading: Fading::Rayleigh,
+            noise_figure_db: DEFAULT_NOISE_FIGURE_DB,
+            capture_threshold_db: 6.0,
+            inter_sf: InterSfPolicy::Orthogonal,
+            demod_capacity: lora_mac::GATEWAY_MAX_CONCURRENT,
+            energy: RadioEnergyModel::sx1276(),
+            battery: Battery::default(),
+            outages: Vec::new(),
+        }
+    }
+}
+
+/// Builder for [`SimConfig`] (non-consuming, per C-BUILDER).
+#[derive(Debug, Clone, Default)]
+pub struct SimConfigBuilder {
+    config: SimConfig,
+}
+
+impl SimConfigBuilder {
+    /// Sets the RNG seed.
+    pub fn seed(&mut self, seed: u64) -> &mut Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Sets the simulated duration in seconds.
+    pub fn duration_s(&mut self, duration_s: f64) -> &mut Self {
+        self.config.duration_s = duration_s;
+        self
+    }
+
+    /// Sets the reporting interval `T_g` in seconds.
+    pub fn report_interval_s(&mut self, interval_s: f64) -> &mut Self {
+        self.config.report_interval_s = interval_s;
+        self
+    }
+
+    /// Sets per-device reporting intervals (the Section III-E
+    /// heterogeneous-rates extension). Must have one entry per device.
+    pub fn per_device_intervals_s(&mut self, intervals: Vec<f64>) -> &mut Self {
+        self.config.per_device_intervals_s = Some(intervals);
+        self
+    }
+
+    /// Sets the traffic model.
+    pub fn traffic(&mut self, traffic: Traffic) -> &mut Self {
+        self.config.traffic = traffic;
+        self
+    }
+
+    /// Enables confirmed-uplink retransmissions.
+    pub fn confirmed(&mut self, policy: ConfirmedTraffic) -> &mut Self {
+        self.config.confirmed = Some(policy);
+        self
+    }
+
+    /// Sets the application payload size in bytes.
+    pub fn app_payload(&mut self, bytes: usize) -> &mut Self {
+        self.config.app_payload = bytes;
+        self
+    }
+
+    /// Sets the operating region.
+    pub fn region(&mut self, region: Region) -> &mut Self {
+        self.config.region = region;
+        self
+    }
+
+    /// Sets the path-loss model.
+    pub fn path_loss(&mut self, model: PathLossModel) -> &mut Self {
+        self.config.path_loss = model;
+        self
+    }
+
+    /// Sets the LoS/NLoS exponent profile.
+    pub fn betas(&mut self, betas: BetaProfile) -> &mut Self {
+        self.config.betas = betas;
+        self
+    }
+
+    /// Sets the probability that a generated device is line-of-sight.
+    pub fn p_los(&mut self, p: f64) -> &mut Self {
+        self.config.p_los = p;
+        self
+    }
+
+    /// Sets the fading model.
+    pub fn fading(&mut self, fading: Fading) -> &mut Self {
+        self.config.fading = fading;
+        self
+    }
+
+    /// Sets the cross-SF interference policy.
+    pub fn inter_sf(&mut self, policy: InterSfPolicy) -> &mut Self {
+        self.config.inter_sf = policy;
+        self
+    }
+
+    /// Sets the co-SF capture threshold in dB.
+    pub fn capture_threshold_db(&mut self, db: f64) -> &mut Self {
+        self.config.capture_threshold_db = db;
+        self
+    }
+
+    /// Sets the number of demodulator paths per gateway.
+    pub fn demod_capacity(&mut self, paths: usize) -> &mut Self {
+        self.config.demod_capacity = paths;
+        self
+    }
+
+    /// Sets the radio energy model.
+    pub fn energy(&mut self, model: RadioEnergyModel) -> &mut Self {
+        self.config.energy = model;
+        self
+    }
+
+    /// Sets the device battery.
+    pub fn battery(&mut self, battery: Battery) -> &mut Self {
+        self.config.battery = battery;
+        self
+    }
+
+    /// Adds a gateway outage window.
+    pub fn outage(&mut self, outage: GatewayOutage) -> &mut Self {
+        self.config.outages.push(outage);
+        self
+    }
+
+    /// Finalises the configuration.
+    pub fn build(&self) -> SimConfig {
+        self.config.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_evaluation() {
+        let c = SimConfig::default();
+        assert_eq!(c.app_payload, 8);
+        assert_eq!(c.phy_payload_len(), 21);
+        assert_eq!(c.payload_bits(), 168.0);
+        assert_eq!(c.region, Region::Us915Sub1);
+        assert_eq!(c.coding_rate, CodingRate::Cr4_7);
+        assert_eq!(c.demod_capacity, 8);
+        assert_eq!(c.betas, BetaProfile::PAPER_BASE);
+    }
+
+    #[test]
+    fn builder_sets_fields() {
+        let c = SimConfig::builder()
+            .seed(99)
+            .duration_s(100.0)
+            .report_interval_s(10.0)
+            .app_payload(16)
+            .demod_capacity(4)
+            .p_los(0.7)
+            .build();
+        assert_eq!(c.seed, 99);
+        assert_eq!(c.duration_s, 100.0);
+        assert_eq!(c.report_interval_s, 10.0);
+        assert_eq!(c.phy_payload_len(), 29);
+        assert_eq!(c.demod_capacity, 4);
+        assert_eq!(c.p_los, 0.7);
+    }
+
+    #[test]
+    fn outage_window_is_half_open() {
+        let o = GatewayOutage { gateway: 2, from_s: 10.0, to_s: 20.0 };
+        assert!(o.covers(2, 10.0));
+        assert!(o.covers(2, 19.99));
+        assert!(!o.covers(2, 20.0));
+        assert!(!o.covers(1, 15.0));
+    }
+}

@@ -1,0 +1,133 @@
+//! The discrete-event queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::TimeKey;
+
+/// A simulator event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// Device `device` begins its `seq`-th transmission.
+    TxStart {
+        /// Device index.
+        device: usize,
+        /// 0-based transmission sequence number.
+        seq: u32,
+    },
+    /// Device `device` finishes its `seq`-th transmission.
+    TxEnd {
+        /// Device index.
+        device: usize,
+        /// 0-based transmission sequence number.
+        seq: u32,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Queued {
+    time: TimeKey,
+    /// Monotone tie-breaker so simultaneous events pop in insertion order,
+    /// keeping runs deterministic.
+    tie: u64,
+    event: Event,
+}
+
+impl Ord for Queued {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        other.time.cmp(&self.time).then_with(|| other.tie.cmp(&self.tie))
+    }
+}
+
+impl PartialOrd for Queued {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic earliest-first event queue.
+///
+/// ```
+/// use lora_sim::event::{Event, EventQueue};
+/// let mut q = EventQueue::new();
+/// q.push(2.0, Event::TxEnd { device: 0, seq: 0 });
+/// q.push(1.0, Event::TxStart { device: 0, seq: 0 });
+/// let (t, e) = q.pop().unwrap();
+/// assert_eq!(t, 1.0);
+/// assert_eq!(e, Event::TxStart { device: 0, seq: 0 });
+/// ```
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Queued>,
+    next_tie: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedules `event` at time `at_s`.
+    pub fn push(&mut self, at_s: f64, event: Event) {
+        let tie = self.next_tie;
+        self.next_tie += 1;
+        self.heap.push(Queued { time: TimeKey::new(at_s), tie, event });
+    }
+
+    /// Pops the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(f64, Event)> {
+        self.heap.pop().map(|q| (q.time.seconds(), q.event))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        for (i, t) in [5.0, 1.0, 3.0, 2.0, 4.0].iter().enumerate() {
+            q.push(*t, Event::TxStart { device: i, seq: 0 });
+        }
+        let mut last = f64::NEG_INFINITY;
+        while let Some((t, _)) = q.pop() {
+            assert!(t >= last);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn simultaneous_events_pop_in_insertion_order() {
+        let mut q = EventQueue::new();
+        q.push(1.0, Event::TxStart { device: 0, seq: 0 });
+        q.push(1.0, Event::TxStart { device: 1, seq: 0 });
+        q.push(1.0, Event::TxStart { device: 2, seq: 0 });
+        assert_eq!(q.pop().unwrap().1, Event::TxStart { device: 0, seq: 0 });
+        assert_eq!(q.pop().unwrap().1, Event::TxStart { device: 1, seq: 0 });
+        assert_eq!(q.pop().unwrap().1, Event::TxStart { device: 2, seq: 0 });
+    }
+
+    #[test]
+    fn len_tracks_pushes_and_pops() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(1.0, Event::TxEnd { device: 0, seq: 3 });
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+    }
+}

@@ -1,0 +1,126 @@
+//! Fairness and distribution metrics.
+
+/// Jain's fairness index of a set of non-negative values:
+/// `(Σx)² / (n · Σx²)`. 1.0 means perfectly equal; `1/n` means one value
+/// holds everything.
+///
+/// Returns 0 for an empty slice or all-zero values.
+///
+/// ```
+/// let j = lora_sim::metrics::jain_index(&[1.0, 1.0, 1.0, 1.0]);
+/// assert!((j - 1.0).abs() < 1e-12);
+/// let j = lora_sim::metrics::jain_index(&[1.0, 0.0, 0.0, 0.0]);
+/// assert!((j - 0.25).abs() < 1e-12);
+/// ```
+pub fn jain_index(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = values.iter().sum();
+    let sum_sq: f64 = values.iter().map(|v| v * v).sum();
+    if sum_sq == 0.0 {
+        return 0.0;
+    }
+    sum * sum / (values.len() as f64 * sum_sq)
+}
+
+/// The minimum of a slice, or 0 for an empty (or all-NaN) slice. NaNs are
+/// ignored.
+pub fn minimum(values: &[f64]) -> f64 {
+    let m = values.iter().copied().filter(|v| !v.is_nan()).fold(f64::INFINITY, f64::min);
+    if m.is_finite() {
+        m
+    } else {
+        0.0
+    }
+}
+
+/// The arithmetic mean, or 0 for an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// The `q`-th percentile (0..=100) by linear interpolation over the sorted
+/// values, or 0 for an empty slice.
+pub fn percentile(values: &[f64], q: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let rank = (q.clamp(0.0, 100.0) / 100.0) * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// The empirical CDF of the values: `(x, P[X ≤ x])` pairs in ascending
+/// order, one per sample. Used to regenerate the paper's Fig. 5.
+pub fn empirical_cdf(values: &[f64]) -> Vec<(f64, f64)> {
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let n = sorted.len() as f64;
+    sorted
+        .into_iter()
+        .enumerate()
+        .map(|(i, x)| (x, (i + 1) as f64 / n))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jain_bounds() {
+        let equal = jain_index(&[2.0; 10]);
+        assert!((equal - 1.0).abs() < 1e-12);
+        let concentrated = jain_index(&[5.0, 0.0, 0.0, 0.0, 0.0]);
+        assert!((concentrated - 0.2).abs() < 1e-12);
+        assert_eq!(jain_index(&[]), 0.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn minimum_handles_edge_cases() {
+        assert_eq!(minimum(&[3.0, 1.0, 2.0]), 1.0);
+        assert_eq!(minimum(&[]), 0.0);
+        assert_eq!(minimum(&[f64::NAN, 2.0]), 2.0);
+    }
+
+    #[test]
+    fn mean_of_values() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [10.0, 20.0, 30.0, 40.0, 50.0];
+        assert_eq!(percentile(&v, 0.0), 10.0);
+        assert_eq!(percentile(&v, 100.0), 50.0);
+        assert_eq!(percentile(&v, 50.0), 30.0);
+        assert_eq!(percentile(&v, 25.0), 20.0);
+        assert_eq!(percentile(&v, 10.0), 14.0);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let cdf = empirical_cdf(&[3.0, 1.0, 2.0, 2.0]);
+        assert_eq!(cdf.len(), 4);
+        assert_eq!(cdf.last().unwrap().1, 1.0);
+        for w in cdf.windows(2) {
+            assert!(w[1].0 >= w[0].0);
+            assert!(w[1].1 >= w[0].1);
+        }
+    }
+}

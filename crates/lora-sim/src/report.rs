@@ -1,0 +1,256 @@
+//! Simulation results.
+
+use serde::{Deserialize, Serialize};
+
+use lora_phy::{SpreadingFactor, TxConfig};
+
+use crate::metrics;
+
+/// Per-device statistics from one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceStats {
+    /// Number of transmission attempts.
+    pub attempts: u32,
+    /// Number of transmissions delivered (received by ≥ 1 gateway).
+    pub delivered: u32,
+    /// Total electrical energy consumed, joules (TX + overhead + sleep).
+    pub energy_j: f64,
+    /// Energy efficiency in bits per millijoule (paper Eq. 2):
+    /// delivered payload bits / consumed energy.
+    pub ee_bits_per_mj: f64,
+    /// Projected battery lifetime in seconds at this consumption rate,
+    /// `None` for a device that never transmitted.
+    pub lifetime_s: Option<f64>,
+}
+
+impl DeviceStats {
+    /// The measured packet reception ratio.
+    pub fn prr(&self) -> f64 {
+        if self.attempts == 0 {
+            0.0
+        } else {
+            f64::from(self.delivered) / f64::from(self.attempts)
+        }
+    }
+}
+
+/// Per-gateway statistics from one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct GatewayStats {
+    /// Copies successfully decoded.
+    pub decoded: u64,
+    /// Receptions lost because all demodulator paths were busy (the
+    /// paper's Eq. 6 capacity limit binding).
+    pub demod_refused: u64,
+    /// Receptions that locked a path but failed the SINR check (co-SF
+    /// collisions).
+    pub sinr_failures: u64,
+    /// Transmissions whose received power was below this gateway's
+    /// sensitivity (out of range / deep fade).
+    pub below_sensitivity: u64,
+    /// Receptions dropped because the gateway was in an injected outage.
+    pub outage_drops: u64,
+    /// Receptions dropped because the half-duplex gateway was transmitting
+    /// a downlink acknowledgement (confirmed traffic only).
+    pub half_duplex_drops: u64,
+}
+
+/// The result of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Per-device statistics, indexed like the topology's device list.
+    pub devices: Vec<DeviceStats>,
+    /// Per-gateway statistics.
+    pub gateways: Vec<GatewayStats>,
+    /// Unique frames delivered network-wide.
+    pub frames_delivered: u64,
+    /// Redundant copies discarded by de-duplication.
+    pub duplicate_copies: u64,
+    /// Simulated duration in seconds.
+    pub duration_s: f64,
+}
+
+impl SimReport {
+    /// Energy efficiency of every device, bits per millijoule.
+    pub fn ee_values(&self) -> Vec<f64> {
+        self.devices.iter().map(|d| d.ee_bits_per_mj).collect()
+    }
+
+    /// The paper's fairness metric: the minimum energy efficiency across
+    /// devices, bits per millijoule.
+    pub fn min_energy_efficiency_bits_per_mj(&self) -> f64 {
+        metrics::minimum(&self.ee_values())
+    }
+
+    /// Mean energy efficiency, bits per millijoule.
+    pub fn mean_energy_efficiency_bits_per_mj(&self) -> f64 {
+        metrics::mean(&self.ee_values())
+    }
+
+    /// Jain's fairness index of the energy efficiencies.
+    pub fn jain_fairness(&self) -> f64 {
+        metrics::jain_index(&self.ee_values())
+    }
+
+    /// Mean packet reception ratio across devices.
+    pub fn mean_prr(&self) -> f64 {
+        metrics::mean(&self.devices.iter().map(DeviceStats::prr).collect::<Vec<_>>())
+    }
+
+    /// Network lifetime per the paper's Section IV definition: the time at
+    /// which `dead_fraction` (e.g. 0.10) of the devices have exhausted
+    /// their batteries — the `dead_fraction`-quantile of device lifetimes.
+    /// Devices that never transmitted are excluded.
+    pub fn network_lifetime_s(&self, dead_fraction: f64) -> f64 {
+        let lifetimes: Vec<f64> = self.devices.iter().filter_map(|d| d.lifetime_s).collect();
+        metrics::percentile(&lifetimes, dead_fraction * 100.0)
+    }
+
+    /// The empirical CDF of energy efficiencies (paper Fig. 5).
+    pub fn ee_cdf(&self) -> Vec<(f64, f64)> {
+        metrics::empirical_cdf(&self.ee_values())
+    }
+
+    /// Per-spreading-factor breakdown of the run, given the allocation the
+    /// run used: device count, mean PRR and mean EE per SF — the view the
+    /// paper's Fig. 4 discussion reasons in ("end devices that use large
+    /// spreading factors…").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alloc` does not have one entry per reported device.
+    pub fn per_sf_breakdown(&self, alloc: &[TxConfig]) -> [SfBreakdown; 6] {
+        assert_eq!(alloc.len(), self.devices.len(), "allocation/report size mismatch");
+        let mut out = [SfBreakdown::default(); 6];
+        for (cfg, d) in alloc.iter().zip(&self.devices) {
+            let b = &mut out[cfg.sf.index()];
+            b.devices += 1;
+            b.mean_prr += d.prr();
+            b.mean_ee_bits_per_mj += d.ee_bits_per_mj;
+        }
+        for b in &mut out {
+            if b.devices > 0 {
+                b.mean_prr /= b.devices as f64;
+                b.mean_ee_bits_per_mj /= b.devices as f64;
+            }
+        }
+        out
+    }
+}
+
+/// Aggregated statistics for the devices sharing one spreading factor.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SfBreakdown {
+    /// Devices allocated this SF.
+    pub devices: usize,
+    /// Their mean packet reception ratio.
+    pub mean_prr: f64,
+    /// Their mean energy efficiency, bits/mJ.
+    pub mean_ee_bits_per_mj: f64,
+}
+
+impl SfBreakdown {
+    /// Convenience: the six SFs in order, for labelling breakdown rows.
+    pub fn sf_labels() -> [SpreadingFactor; 6] {
+        SpreadingFactor::ALL
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> SimReport {
+        SimReport {
+            devices: vec![
+                DeviceStats {
+                    attempts: 10,
+                    delivered: 9,
+                    energy_j: 1.0,
+                    ee_bits_per_mj: 1.5,
+                    lifetime_s: Some(1_000.0),
+                },
+                DeviceStats {
+                    attempts: 10,
+                    delivered: 5,
+                    energy_j: 2.0,
+                    ee_bits_per_mj: 0.5,
+                    lifetime_s: Some(500.0),
+                },
+                DeviceStats {
+                    attempts: 10,
+                    delivered: 8,
+                    energy_j: 1.5,
+                    ee_bits_per_mj: 1.0,
+                    lifetime_s: Some(750.0),
+                },
+            ],
+            gateways: vec![GatewayStats::default()],
+            frames_delivered: 22,
+            duplicate_copies: 3,
+            duration_s: 6_000.0,
+        }
+    }
+
+    #[test]
+    fn min_and_mean_ee() {
+        let r = report();
+        assert_eq!(r.min_energy_efficiency_bits_per_mj(), 0.5);
+        assert!((r.mean_energy_efficiency_bits_per_mj() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prr_per_device_and_mean() {
+        let r = report();
+        assert!((r.devices[0].prr() - 0.9).abs() < 1e-12);
+        assert!((r.mean_prr() - (0.9 + 0.5 + 0.8) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_attempts_prr_is_zero() {
+        let d = DeviceStats {
+            attempts: 0,
+            delivered: 0,
+            energy_j: 0.0,
+            ee_bits_per_mj: 0.0,
+            lifetime_s: None,
+        };
+        assert_eq!(d.prr(), 0.0);
+    }
+
+    #[test]
+    fn network_lifetime_is_low_quantile() {
+        let r = report();
+        // 10 % quantile of {500, 750, 1000} by interpolation: 550.
+        assert!((r.network_lifetime_s(0.10) - 550.0).abs() < 1e-9);
+        // First-death definition (fraction → 0).
+        assert_eq!(r.network_lifetime_s(0.0), 500.0);
+    }
+
+    #[test]
+    fn per_sf_breakdown_partitions_devices() {
+        let r = report();
+        let alloc = vec![
+            TxConfig::new(SpreadingFactor::Sf7, lora_phy::TxPowerDbm::new(14.0), 0),
+            TxConfig::new(SpreadingFactor::Sf9, lora_phy::TxPowerDbm::new(14.0), 1),
+            TxConfig::new(SpreadingFactor::Sf9, lora_phy::TxPowerDbm::new(2.0), 2),
+        ];
+        let b = r.per_sf_breakdown(&alloc);
+        assert_eq!(b[SpreadingFactor::Sf7.index()].devices, 1);
+        assert_eq!(b[SpreadingFactor::Sf9.index()].devices, 2);
+        assert_eq!(b.iter().map(|x| x.devices).sum::<usize>(), 3);
+        // SF9 group: PRRs 0.5 and 0.8 → mean 0.65.
+        assert!((b[SpreadingFactor::Sf9.index()].mean_prr - 0.65).abs() < 1e-12);
+        // Empty SFs stay zeroed.
+        assert_eq!(b[SpreadingFactor::Sf12.index()], SfBreakdown::default());
+    }
+
+    #[test]
+    fn cdf_covers_all_devices() {
+        let r = report();
+        let cdf = r.ee_cdf();
+        assert_eq!(cdf.len(), 3);
+        assert_eq!(cdf[0].0, 0.5);
+        assert_eq!(cdf.last().unwrap().1, 1.0);
+    }
+}

@@ -1,0 +1,71 @@
+//! Simulation time as a totally ordered key.
+//!
+//! Event times are `f64` seconds; `f64` is not `Ord`, so the event queue
+//! keys on [`TimeKey`], which wraps `f64::total_cmp`. Event times produced
+//! by the simulator are always finite; the wrapper asserts that in debug
+//! builds.
+
+use std::cmp::Ordering;
+
+/// A totally ordered, finite simulation timestamp in seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeKey(f64);
+
+impl TimeKey {
+    /// Wraps a timestamp.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `seconds` is not finite.
+    #[inline]
+    pub fn new(seconds: f64) -> Self {
+        debug_assert!(seconds.is_finite(), "simulation time must be finite");
+        TimeKey(seconds)
+    }
+
+    /// The timestamp in seconds.
+    #[inline]
+    pub fn seconds(self) -> f64 {
+        self.0
+    }
+}
+
+impl Eq for TimeKey {}
+
+impl PartialOrd for TimeKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TimeKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl From<f64> for TimeKey {
+    fn from(seconds: f64) -> Self {
+        TimeKey::new(seconds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(TimeKey::new(1.0) < TimeKey::new(2.0));
+        assert!(TimeKey::new(-1.0) < TimeKey::new(0.0));
+        assert_eq!(TimeKey::new(3.5), TimeKey::new(3.5));
+    }
+
+    #[test]
+    fn zero_signs_are_ordered_consistently() {
+        // total_cmp puts −0.0 before +0.0; all we need is a total order.
+        let mut v = [TimeKey::new(0.0), TimeKey::new(-0.0), TimeKey::new(1.0)];
+        v.sort();
+        assert_eq!(v[2], TimeKey::new(1.0));
+    }
+}

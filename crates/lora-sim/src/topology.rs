@@ -1,0 +1,282 @@
+//! Network deployments: device and gateway placement.
+//!
+//! The paper deploys end devices uniformly inside a disc of 5 km radius and
+//! places gateways on the cross positions of a mesh over the region — one
+//! gateway sits at the centre, multiple gateways form a grid scaled to the
+//! coverage (Section IV).
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+
+use lora_phy::path_loss::LinkEnvironment;
+
+use crate::config::SimConfig;
+
+/// A 2-D position in metres.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Position {
+    /// X coordinate, metres.
+    pub x: f64,
+    /// Y coordinate, metres.
+    pub y: f64,
+}
+
+impl Position {
+    /// Creates a position.
+    pub fn new(x: f64, y: f64) -> Self {
+        Position { x, y }
+    }
+
+    /// Euclidean distance to another position, metres.
+    ///
+    /// ```
+    /// use lora_sim::Position;
+    /// let d = Position::new(0.0, 0.0).distance_to(&Position::new(3.0, 4.0));
+    /// assert!((d - 5.0).abs() < 1e-12);
+    /// ```
+    #[inline]
+    pub fn distance_to(&self, other: &Position) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+}
+
+/// One end-device site: where the device sits and how it propagates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceSite {
+    /// Device position.
+    pub position: Position,
+    /// Line-of-sight or not — selects the path-loss exponent from the
+    /// configured [`lora_phy::path_loss::BetaProfile`].
+    pub environment: LinkEnvironment,
+}
+
+/// A deployment: device sites plus gateway positions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Topology {
+    devices: Vec<DeviceSite>,
+    gateways: Vec<Position>,
+    radius_m: f64,
+}
+
+impl Topology {
+    /// Creates a topology from explicit sites (for tests and motivation
+    /// scenarios).
+    pub fn from_sites(devices: Vec<DeviceSite>, gateways: Vec<Position>, radius_m: f64) -> Self {
+        Topology { devices, gateways, radius_m }
+    }
+
+    /// Generates the paper's deployment: `n_devices` uniform in a disc of
+    /// `radius_m`, `n_gateways` on a mesh grid (one gateway → centre), and
+    /// LoS/NLoS environments drawn with probability `config.p_los`.
+    ///
+    /// The `seed` controls placement only; it is independent of the
+    /// simulation seed so that the same topology can be re-simulated under
+    /// different channel randomness (the paper repeats each deployment 100
+    /// times).
+    pub fn disc(
+        n_devices: usize,
+        n_gateways: usize,
+        radius_m: f64,
+        config: &SimConfig,
+        seed: u64,
+    ) -> Self {
+        let mut rng = ChaCha12Rng::seed_from_u64(seed ^ 0x746f_706f_6c6f_6779); // "topology"
+        let devices = (0..n_devices)
+            .map(|_| {
+                // Uniform in a disc: r = R·sqrt(u), θ uniform.
+                let r = radius_m * rng.gen::<f64>().sqrt();
+                let theta = rng.gen::<f64>() * std::f64::consts::TAU;
+                let environment = if rng.gen::<f64>() < config.p_los {
+                    LinkEnvironment::LineOfSight
+                } else {
+                    LinkEnvironment::NonLineOfSight
+                };
+                DeviceSite {
+                    position: Position::new(r * theta.cos(), r * theta.sin()),
+                    environment,
+                }
+            })
+            .collect();
+        let gateways = grid_gateways(n_gateways, radius_m);
+        Topology { devices, gateways, radius_m }
+    }
+
+    /// The device sites.
+    #[inline]
+    pub fn devices(&self) -> &[DeviceSite] {
+        &self.devices
+    }
+
+    /// The gateway positions.
+    #[inline]
+    pub fn gateways(&self) -> &[Position] {
+        &self.gateways
+    }
+
+    /// The deployment radius in metres.
+    #[inline]
+    pub fn radius_m(&self) -> f64 {
+        self.radius_m
+    }
+
+    /// Number of devices.
+    #[inline]
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Number of gateways.
+    #[inline]
+    pub fn gateway_count(&self) -> usize {
+        self.gateways.len()
+    }
+
+    /// Distance matrix `[device][gateway]` in metres.
+    pub fn distances(&self) -> Vec<Vec<f64>> {
+        self.devices
+            .iter()
+            .map(|d| self.gateways.iter().map(|g| d.position.distance_to(g)).collect())
+            .collect()
+    }
+
+    /// Distance from device `i` to its nearest gateway.
+    pub fn nearest_gateway_distance(&self, device: usize) -> f64 {
+        let p = self.devices[device].position;
+        self.gateways
+            .iter()
+            .map(|g| p.distance_to(g))
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// Places `n` gateways on the cross positions of a mesh over a disc of
+/// radius `radius_m`: one gateway sits at the centre; otherwise a
+/// `ceil(sqrt(n)) × ceil(sqrt(n))` grid is scaled to the inscribed square
+/// and the first `n` cells (row-major, centred) are used.
+pub fn grid_gateways(n: usize, radius_m: f64) -> Vec<Position> {
+    match n {
+        0 => Vec::new(),
+        1 => vec![Position::new(0.0, 0.0)],
+        _ => {
+            let side = (n as f64).sqrt().ceil() as usize;
+            // Inscribed square of the disc has half-side R/√2; grid cross
+            // positions sit at the cell centres so every gateway is inside
+            // the coverage.
+            let half = radius_m / std::f64::consts::SQRT_2;
+            let step = 2.0 * half / side as f64;
+            let mut out = Vec::with_capacity(n);
+            'outer: for row in 0..side {
+                for col in 0..side {
+                    if out.len() == n {
+                        break 'outer;
+                    }
+                    let x = -half + step * (col as f64 + 0.5);
+                    let y = -half + step * (row as f64 + 0.5);
+                    out.push(Position::new(x, y));
+                }
+            }
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn devices_stay_inside_disc() {
+        let config = SimConfig::default();
+        let topo = Topology::disc(500, 3, 5_000.0, &config, 1);
+        let origin = Position::default();
+        for d in topo.devices() {
+            assert!(d.position.distance_to(&origin) <= 5_000.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn disc_sampling_is_roughly_uniform() {
+        // Half the area of a disc lies beyond r = R/√2: check the split.
+        let config = SimConfig::default();
+        let topo = Topology::disc(4_000, 1, 1_000.0, &config, 2);
+        let origin = Position::default();
+        let outer = topo
+            .devices()
+            .iter()
+            .filter(|d| d.position.distance_to(&origin) > 1_000.0 / std::f64::consts::SQRT_2)
+            .count();
+        let frac = outer as f64 / 4_000.0;
+        assert!((frac - 0.5).abs() < 0.03, "outer fraction {frac}");
+    }
+
+    #[test]
+    fn single_gateway_is_central() {
+        assert_eq!(grid_gateways(1, 5_000.0), vec![Position::new(0.0, 0.0)]);
+    }
+
+    #[test]
+    fn grid_gateways_inside_disc_and_distinct() {
+        for n in [2, 3, 4, 5, 9, 16, 25] {
+            let gws = grid_gateways(n, 5_000.0);
+            assert_eq!(gws.len(), n);
+            let origin = Position::default();
+            for (i, g) in gws.iter().enumerate() {
+                assert!(g.distance_to(&origin) <= 5_000.0, "n={n} gw={i}");
+                for other in &gws[i + 1..] {
+                    assert!(g.distance_to(other) > 1.0, "n={n}: coincident gateways");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn four_gateways_form_a_symmetric_square() {
+        let gws = grid_gateways(4, 1_000.0);
+        let origin = Position::default();
+        let d0 = gws[0].distance_to(&origin);
+        for g in &gws {
+            assert!((g.distance_to(&origin) - d0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn topology_seed_is_reproducible() {
+        let config = SimConfig::default();
+        let a = Topology::disc(100, 3, 5_000.0, &config, 7);
+        let b = Topology::disc(100, 3, 5_000.0, &config, 7);
+        assert_eq!(a, b);
+        let c = Topology::disc(100, 3, 5_000.0, &config, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn p_los_controls_environment_mix() {
+        let mut config = SimConfig { p_los: 1.0, ..SimConfig::default() };
+        let all_los = Topology::disc(200, 1, 1_000.0, &config, 3);
+        assert!(all_los
+            .devices()
+            .iter()
+            .all(|d| d.environment == LinkEnvironment::LineOfSight));
+        config.p_los = 0.0;
+        let all_nlos = Topology::disc(200, 1, 1_000.0, &config, 3);
+        assert!(all_nlos
+            .devices()
+            .iter()
+            .all(|d| d.environment == LinkEnvironment::NonLineOfSight));
+    }
+
+    #[test]
+    fn distance_matrix_shape() {
+        let config = SimConfig::default();
+        let topo = Topology::disc(10, 4, 2_000.0, &config, 5);
+        let m = topo.distances();
+        assert_eq!(m.len(), 10);
+        assert!(m.iter().all(|row| row.len() == 4));
+        for (i, row) in m.iter().enumerate() {
+            let nearest = row.iter().copied().fold(f64::INFINITY, f64::min);
+            assert!((topo.nearest_gateway_distance(i) - nearest).abs() < 1e-12);
+        }
+    }
+}

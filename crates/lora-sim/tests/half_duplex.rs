@@ -1,0 +1,67 @@
+//! Tests for half-duplex gateway behaviour under confirmed traffic.
+
+use lora_phy::path_loss::LinkEnvironment;
+use lora_phy::{Fading, SpreadingFactor, TxConfig, TxPowerDbm};
+use lora_sim::{
+    ConfirmedTraffic, DeviceSite, Position, SimConfig, Simulation, Topology, Traffic,
+};
+
+fn dense_cell(n: usize, confirmed: bool) -> Simulation {
+    let devices = (0..n)
+        .map(|i| DeviceSite {
+            position: Position::new(150.0 + i as f64, 0.0),
+            environment: LinkEnvironment::LineOfSight,
+        })
+        .collect();
+    let topo = Topology::from_sites(devices, vec![Position::new(0.0, 0.0)], 1_000.0);
+    let mut config = SimConfig {
+        fading: Fading::None,
+        traffic: Traffic::DutyCycleTarget { duty: 0.01 },
+        ..SimConfig::builder().seed(2).duration_s(2_000.0).build()
+    };
+    if confirmed {
+        config.confirmed = Some(ConfirmedTraffic::default());
+    }
+    let alloc = (0..n)
+        .map(|i| TxConfig::new(SpreadingFactor::Sf8, TxPowerDbm::new(14.0), i % 8))
+        .collect();
+    Simulation::new(config, topo, alloc).unwrap()
+}
+
+#[test]
+fn acknowledgements_deafen_the_gateway() {
+    // A busy single-gateway cell with confirmed traffic: acks occupy the
+    // gateway's transmitter and some uplinks must be lost to half-duplex.
+    let report = dense_cell(40, true).run();
+    let hd: u64 = report.gateways.iter().map(|g| g.half_duplex_drops).sum();
+    assert!(hd > 0, "acks should cost uplink receptions in a busy cell");
+}
+
+#[test]
+fn unconfirmed_traffic_never_half_duplex_drops() {
+    let report = dense_cell(40, false).run();
+    let hd: u64 = report.gateways.iter().map(|g| g.half_duplex_drops).sum();
+    assert_eq!(hd, 0);
+}
+
+#[test]
+fn half_duplex_cost_reduces_capacity() {
+    let unconfirmed = dense_cell(40, false).run();
+    let confirmed = dense_cell(40, true).run();
+    // Confirmed delivers at most as many unique frames per attempt: the
+    // ack tax plus retry congestion cannot make reception *better* per
+    // attempt in a saturated cell.
+    assert!(confirmed.mean_prr() <= unconfirmed.mean_prr() + 0.05);
+    // And the dropped receptions are visible in the trace counters too.
+    let mut counts = lora_sim::trace::CountingSink::default();
+    dense_cell(40, true).run_with_trace(&mut counts);
+    let hd: u64 = confirmed.gateways.iter().map(|g| g.half_duplex_drops).sum();
+    assert_eq!(counts.gateway_transmitting, hd);
+}
+
+#[test]
+fn deterministic_with_acks() {
+    let a = dense_cell(25, true).run();
+    let b = dense_cell(25, true).run();
+    assert_eq!(a, b);
+}

@@ -1,0 +1,105 @@
+//! Property-based tests for the simulator.
+
+use lora_phy::{SpreadingFactor, TxConfig, TxPowerDbm};
+use lora_sim::metrics::{empirical_cdf, jain_index, mean, minimum, percentile};
+use lora_sim::{SimConfig, Simulation, Topology};
+use proptest::prelude::*;
+
+fn random_alloc(n: usize, seed: u64) -> Vec<TxConfig> {
+    // Deterministic pseudo-random allocation without pulling in rand here.
+    (0..n)
+        .map(|i| {
+            let h = seed
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(i as u64)
+                .wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            let sf = SpreadingFactor::from_u8(7 + (h % 6) as u8).unwrap();
+            let tp = TxPowerDbm::new(2.0 + 2.0 * ((h >> 8) % 7) as f64);
+            let ch = ((h >> 16) % 8) as usize;
+            TxConfig::new(sf, tp, ch)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn simulation_invariants_hold(
+        n_devices in 1usize..40,
+        n_gateways in 1usize..5,
+        seed in any::<u64>(),
+        alloc_seed in any::<u64>(),
+    ) {
+        let config = SimConfig::builder()
+            .seed(seed)
+            .duration_s(2_400.0)
+            .report_interval_s(600.0)
+            .build();
+        let topo = Topology::disc(n_devices, n_gateways, 5_000.0, &config, seed);
+        let alloc = random_alloc(n_devices, alloc_seed);
+        let report = Simulation::new(config, topo, alloc).unwrap().run();
+
+        prop_assert_eq!(report.devices.len(), n_devices);
+        prop_assert_eq!(report.gateways.len(), n_gateways);
+        let mut total_delivered = 0u64;
+        for d in &report.devices {
+            prop_assert!(d.delivered <= d.attempts, "delivered > attempts");
+            prop_assert!(d.energy_j >= 0.0);
+            prop_assert!(d.ee_bits_per_mj >= 0.0);
+            prop_assert!(d.ee_bits_per_mj.is_finite());
+            prop_assert!((0.0..=1.0).contains(&d.prr()));
+            if let Some(l) = d.lifetime_s {
+                prop_assert!(l > 0.0);
+            }
+            total_delivered += u64::from(d.delivered);
+        }
+        // Every delivered transmission corresponds to exactly one unique
+        // frame at the server.
+        prop_assert_eq!(report.frames_delivered, total_delivered);
+        prop_assert!((0.0..=1.0).contains(&report.jain_fairness()));
+        prop_assert!(
+            report.min_energy_efficiency_bits_per_mj()
+                <= report.mean_energy_efficiency_bits_per_mj() + 1e-12
+        );
+    }
+
+    #[test]
+    fn same_seed_same_report(seed in any::<u64>()) {
+        let config = SimConfig::builder().seed(seed).duration_s(1_800.0).build();
+        let topo = Topology::disc(15, 2, 4_000.0, &config, seed);
+        let alloc = random_alloc(15, seed);
+        let sim = Simulation::new(config, topo, alloc).unwrap();
+        prop_assert_eq!(sim.run(), sim.run());
+    }
+
+    #[test]
+    fn jain_index_is_in_unit_interval(values in proptest::collection::vec(0.0f64..100.0, 0..50)) {
+        let j = jain_index(&values);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&j));
+    }
+
+    #[test]
+    fn percentile_is_bounded_by_extremes(
+        values in proptest::collection::vec(-50.0f64..50.0, 1..40),
+        q in 0.0f64..100.0,
+    ) {
+        let p = percentile(&values, q);
+        let lo = minimum(&values).min(values.iter().copied().fold(f64::INFINITY, f64::min));
+        let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9);
+    }
+
+    #[test]
+    fn cdf_is_a_distribution(values in proptest::collection::vec(0.0f64..10.0, 1..60)) {
+        let cdf = empirical_cdf(&values);
+        prop_assert_eq!(cdf.len(), values.len());
+        prop_assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+        for w in cdf.windows(2) {
+            prop_assert!(w[1].0 >= w[0].0);
+            prop_assert!(w[1].1 >= w[0].1);
+        }
+        let m = mean(&values);
+        prop_assert!(m >= cdf[0].0 - 1e-9 && m <= cdf.last().unwrap().0 + 1e-9);
+    }
+}

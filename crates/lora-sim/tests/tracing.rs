@@ -1,0 +1,101 @@
+//! Tests for the simulation trace facility.
+
+use lora_phy::path_loss::LinkEnvironment;
+use lora_phy::{Fading, SpreadingFactor, TxConfig, TxPowerDbm};
+use lora_sim::trace::{CountingSink, ReceptionOutcome, TraceEvent, VecSink};
+use lora_sim::{DeviceSite, Position, SimConfig, Simulation, Topology};
+
+fn sim(n: usize, distance: f64) -> Simulation {
+    let devices = (0..n)
+        .map(|i| DeviceSite {
+            position: Position::new(distance + i as f64, 0.0),
+            environment: LinkEnvironment::LineOfSight,
+        })
+        .collect();
+    let topo = Topology::from_sites(devices, vec![Position::new(0.0, 0.0)], 10_000.0);
+    let config = SimConfig {
+        fading: Fading::None,
+        ..SimConfig::builder().seed(1).duration_s(3_000.0).report_interval_s(600.0).build()
+    };
+    let alloc =
+        (0..n).map(|i| TxConfig::new(SpreadingFactor::Sf7, TxPowerDbm::new(14.0), i % 8)).collect();
+    Simulation::new(config, topo, alloc).unwrap()
+}
+
+#[test]
+fn counting_sink_matches_report() {
+    let sim = sim(5, 200.0);
+    let mut counts = CountingSink::default();
+    let report = sim.run_with_trace(&mut counts);
+    let attempts: u64 = report.devices.iter().map(|d| u64::from(d.attempts)).sum();
+    assert_eq!(counts.tx_starts, attempts);
+    assert_eq!(counts.delivered, report.frames_delivered);
+    let decoded: u64 = report.gateways.iter().map(|g| g.decoded).sum();
+    assert_eq!(counts.decoded, decoded);
+}
+
+#[test]
+fn traced_and_untraced_runs_agree() {
+    let sim = sim(8, 300.0);
+    let mut sink = VecSink::default();
+    let traced = sim.run_with_trace(&mut sink);
+    let untraced = sim.run();
+    assert_eq!(traced, untraced, "tracing must not perturb the simulation");
+    assert!(!sink.events.is_empty());
+}
+
+#[test]
+fn events_are_time_ordered() {
+    let sim = sim(6, 250.0);
+    let mut sink = VecSink::default();
+    sim.run_with_trace(&mut sink);
+    let mut last = f64::NEG_INFINITY;
+    for e in &sink.events {
+        let t = match *e {
+            TraceEvent::TxStart { t, .. }
+            | TraceEvent::Reception { t, .. }
+            | TraceEvent::Delivered { t, .. } => t,
+        };
+        assert!(t >= last, "events out of order: {t} after {last}");
+        last = t;
+    }
+}
+
+#[test]
+fn out_of_range_devices_trace_below_sensitivity() {
+    let sim = sim(1, 50_000.0);
+    let mut counts = CountingSink::default();
+    let report = sim.run_with_trace(&mut counts);
+    assert_eq!(report.frames_delivered, 0);
+    assert_eq!(counts.below_sensitivity, counts.tx_starts);
+    assert_eq!(counts.decoded, 0);
+}
+
+#[test]
+fn each_delivery_has_a_decode() {
+    let sim = sim(4, 150.0);
+    let mut sink = VecSink::default();
+    sim.run_with_trace(&mut sink);
+    let delivered: Vec<(usize, u32)> = sink
+        .events
+        .iter()
+        .filter_map(|e| match *e {
+            TraceEvent::Delivered { device, seq, .. } => Some((device, seq)),
+            _ => None,
+        })
+        .collect();
+    for (device, seq) in delivered {
+        assert!(
+            sink.events.iter().any(|e| matches!(
+                *e,
+                TraceEvent::Reception {
+                    device: d,
+                    seq: s,
+                    outcome: ReceptionOutcome::Decoded,
+                    ..
+                } if d == device && s == seq
+            )),
+            "delivery of ({device},{seq}) without a decode"
+        );
+    }
+}

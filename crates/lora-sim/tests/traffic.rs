@@ -1,0 +1,113 @@
+//! Tests for the traffic models: per-device intervals (Section III-E
+//! heterogeneous rates) and the duty-cycle-target regime (Section IV).
+
+use lora_phy::path_loss::LinkEnvironment;
+use lora_phy::{Fading, SpreadingFactor, TxConfig, TxPowerDbm};
+use lora_sim::{DeviceSite, Position, SimConfig, SimError, Simulation, Topology, Traffic};
+
+fn near_topology(n: usize) -> Topology {
+    let devices = (0..n)
+        .map(|i| DeviceSite {
+            position: Position::new(100.0 + i as f64, 0.0),
+            environment: LinkEnvironment::LineOfSight,
+        })
+        .collect();
+    Topology::from_sites(devices, vec![Position::new(0.0, 0.0)], 1_000.0)
+}
+
+#[test]
+fn per_device_intervals_control_attempt_counts() {
+    let config = SimConfig {
+        fading: Fading::None,
+        per_device_intervals_s: Some(vec![600.0, 1_200.0]),
+        ..SimConfig::builder().seed(1).duration_s(6_000.0).build()
+    };
+    let alloc = vec![
+        TxConfig::new(SpreadingFactor::Sf7, TxPowerDbm::new(14.0), 0),
+        TxConfig::new(SpreadingFactor::Sf7, TxPowerDbm::new(14.0), 1),
+    ];
+    let report = Simulation::new(config, near_topology(2), alloc).unwrap().run();
+    assert_eq!(report.devices[0].attempts, 10);
+    assert_eq!(report.devices[1].attempts, 5);
+    // The faster reporter also consumes more energy in total.
+    assert!(report.devices[0].energy_j > report.devices[1].energy_j);
+}
+
+#[test]
+fn interval_length_mismatch_is_rejected() {
+    let config = SimConfig {
+        per_device_intervals_s: Some(vec![600.0]),
+        ..SimConfig::default()
+    };
+    let alloc = vec![TxConfig::default(); 2];
+    assert!(matches!(
+        Simulation::new(config, near_topology(2), alloc),
+        Err(SimError::InvalidConfig { .. })
+    ));
+}
+
+#[test]
+fn nonpositive_interval_is_rejected() {
+    let config = SimConfig {
+        per_device_intervals_s: Some(vec![600.0, 0.0]),
+        ..SimConfig::default()
+    };
+    let alloc = vec![TxConfig::default(); 2];
+    assert!(matches!(
+        Simulation::new(config, near_topology(2), alloc),
+        Err(SimError::InvalidConfig { .. })
+    ));
+}
+
+#[test]
+fn duty_cycle_target_equalises_airtime_share() {
+    // SF7 and SF12 devices at 1 % duty: attempts scale inversely with
+    // time-on-air but attempted airtime is equal.
+    let mut config = SimConfig::builder().seed(2).duration_s(10_000.0).build();
+    config.fading = Fading::None;
+    config.traffic = Traffic::DutyCycleTarget { duty: 0.01 };
+    let alloc = vec![
+        TxConfig::new(SpreadingFactor::Sf7, TxPowerDbm::new(14.0), 0),
+        TxConfig::new(SpreadingFactor::Sf12, TxPowerDbm::new(14.0), 1),
+    ];
+    let sim = Simulation::new(config, near_topology(2), alloc).unwrap();
+    assert!((sim.interval_s(0) - sim.time_on_air_s(0) / 0.01).abs() < 1e-12);
+    assert!((sim.interval_s(1) - sim.time_on_air_s(1) / 0.01).abs() < 1e-12);
+    let report = sim.run();
+    let airtime0 = f64::from(report.devices[0].attempts) * sim.time_on_air_s(0);
+    let airtime1 = f64::from(report.devices[1].attempts) * sim.time_on_air_s(1);
+    let ratio = airtime0 / airtime1;
+    assert!((0.8..1.25).contains(&ratio), "airtime shares should match: {ratio}");
+    // And the SF7 device sends far more packets.
+    assert!(report.devices[0].attempts > 20 * report.devices[1].attempts);
+}
+
+#[test]
+fn invalid_duty_target_is_rejected() {
+    for duty in [0.0, -0.1, 1.5, f64::NAN] {
+        let config =
+            SimConfig { traffic: Traffic::DutyCycleTarget { duty }, ..SimConfig::default() };
+        let alloc = vec![TxConfig::default()];
+        assert!(
+            matches!(
+                Simulation::new(config, near_topology(1), alloc),
+                Err(SimError::InvalidConfig { .. })
+            ),
+            "duty {duty} should be rejected"
+        );
+    }
+}
+
+#[test]
+fn duty_target_produces_contention() {
+    // 30 co-SF, co-channel devices at 1 % duty each: expect collisions
+    // that the light periodic default would not show.
+    let mut config = SimConfig::builder().seed(3).duration_s(2_000.0).build();
+    config.fading = Fading::None;
+    config.traffic = Traffic::DutyCycleTarget { duty: 0.01 };
+    let alloc = vec![TxConfig::new(SpreadingFactor::Sf9, TxPowerDbm::new(14.0), 0); 30];
+    let report = Simulation::new(config, near_topology(30), alloc).unwrap().run();
+    let sinr_failures: u64 = report.gateways.iter().map(|g| g.sinr_failures).sum();
+    assert!(sinr_failures > 0, "1% duty × 30 co-SF devices must collide");
+    assert!(report.mean_prr() < 0.95, "PRR should visibly suffer: {}", report.mean_prr());
+}

@@ -1,0 +1,89 @@
+//! Precision-agriculture monitoring: a sparse long-range deployment with a
+//! gateway outage.
+//!
+//! A farm spreads 150 soil/weather probes over a 5 km radius with two
+//! gateways on barn roofs. Range — not contention — is the problem: remote
+//! NLoS probes sit near the SF12 sensitivity limit. The example shows
+//! (a) how EF-LoRa trades SF and TP at the coverage edge, and (b) what a
+//! 12-hour gateway outage (generator failure) does to delivery, using the
+//! simulator's failure injection.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example farm_monitoring
+//! ```
+
+use ef_lora_repro::prelude::*;
+use lora_sim::GatewayOutage;
+
+fn main() {
+    let config = SimConfig::builder()
+        .seed(11)
+        .duration_s(86_400.0) // one day
+        .report_interval_s(1_800.0) // a reading every 30 minutes
+        .p_los(0.4)
+        .build();
+    let topo = Topology::disc(150, 2, 5_000.0, &config, 11);
+    let model = NetworkModel::new(&config, &topo);
+    let ctx = AllocationContext::new(&config, &topo, &model);
+
+    let report = EfLora::default().allocate_with_report(&ctx).expect("allocation");
+    let alloc = report.allocation;
+    println!("EF-LoRa allocation for the farm: {alloc}");
+    let hist = alloc.sf_histogram();
+    for (i, sf) in SpreadingFactor::ALL.iter().enumerate() {
+        if hist[i] > 0 {
+            println!("  {sf}: {:>3} probes", hist[i]);
+        }
+    }
+
+    // Healthy day.
+    let healthy = Simulation::new(config.clone(), topo.clone(), alloc.as_slice().to_vec())
+        .expect("simulation")
+        .run();
+
+    // Same day, but gateway 1 loses power from 06:00 to 18:00.
+    let mut outage_config = config.clone();
+    outage_config.outages.push(GatewayOutage {
+        gateway: 1,
+        from_s: 6.0 * 3_600.0,
+        to_s: 18.0 * 3_600.0,
+    });
+    let degraded = Simulation::new(outage_config, topo.clone(), alloc.as_slice().to_vec())
+        .expect("simulation")
+        .run();
+
+    println!("\n{:<28} {:>12} {:>12}", "", "healthy", "12h outage");
+    println!(
+        "{:<28} {:>12.3} {:>12.3}",
+        "mean PRR",
+        healthy.mean_prr(),
+        degraded.mean_prr()
+    );
+    println!(
+        "{:<28} {:>12.3} {:>12.3}",
+        "min EE (bits/mJ)",
+        healthy.min_energy_efficiency_bits_per_mj(),
+        degraded.min_energy_efficiency_bits_per_mj()
+    );
+    println!(
+        "{:<28} {:>12} {:>12}",
+        "frames delivered",
+        healthy.frames_delivered,
+        degraded.frames_delivered
+    );
+    println!(
+        "{:<28} {:>12} {:>12}",
+        "redundant copies discarded",
+        healthy.duplicate_copies,
+        degraded.duplicate_copies
+    );
+    let outage_drops: u64 = degraded.gateways.iter().map(|g| g.outage_drops).sum();
+    println!("{:<28} {:>25}", "receptions lost to outage", outage_drops);
+
+    println!("\nreading: probes that EF-LoRa pointed at both barns (higher TP)");
+    println!("ride out the outage through the surviving gateway; single-homed");
+    println!("probes lose the window — exactly the multi-gateway diversity the");
+    println!("paper's power-allocation example argues for.");
+}

@@ -1,0 +1,74 @@
+//! Gateway-count planning: how many gateways does a deployment actually
+//! need before energy fairness stops improving?
+//!
+//! The paper's Fig. 7 shows minimum energy efficiency rising with gateway
+//! count and then flattening (or dipping) once everyone is on SF7 and
+//! collisions dominate. This example runs that trade-off for a concrete
+//! 800-device deployment and prints the marginal gain per added gateway —
+//! the number a network planner would take to a budget meeting, given the
+//! paper's ~$300-per-gateway price point.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example gateway_planning
+//! ```
+
+use ef_lora_repro::prelude::*;
+
+fn main() {
+    let config = SimConfig::builder().seed(23).duration_s(9_000.0).build();
+    println!("gateway planning for 800 devices in a 5 km disc (EF-LoRa)\n");
+    println!(
+        "{:>8} {:>16} {:>16} {:>14} {:>12}",
+        "gateways", "min EE (model)", "min EE (meas.)", "mean PRR", "SF7 share"
+    );
+
+    let mut last_min: Option<f64> = None;
+    for gws in [1usize, 2, 4, 6, 9, 12, 16] {
+        let topo = Topology::disc(800, gws, 5_000.0, &config, 23);
+        let model = NetworkModel::new(&config, &topo);
+        let ctx = AllocationContext::new(&config, &topo, &model);
+        let alloc = EfLora::default().allocate(&ctx).expect("allocation");
+        let model_min = fairness::min_ee(&model.evaluate(alloc.as_slice()));
+        let report = Simulation::new(config.clone(), topo.clone(), alloc.as_slice().to_vec())
+            .expect("simulation")
+            .run();
+        let sf7_share = alloc.sf_histogram()[0] as f64 / alloc.len() as f64;
+        let delta = last_min
+            .map(|l| format!(" ({:+.1}% vs previous)", (model_min - l) / l * 100.0))
+            .unwrap_or_default();
+        println!(
+            "{gws:>8} {model_min:>16.3} {:>16.3} {:>14.3} {:>11.0}%{delta}",
+            report.min_energy_efficiency_bits_per_mj(),
+            report.mean_prr(),
+            sf7_share * 100.0,
+        );
+        last_min = Some(model_min);
+    }
+
+    println!("\nreading: the knee of the curve is where the marginal gain per");
+    println!("gateway collapses — beyond it, new gateways mostly push devices");
+    println!("onto SF7 where they contend with each other (the paper's Fig. 7");
+    println!("plateau/dip).");
+
+    // Placement matters too: compare the paper's mesh grid against
+    // k-means placement at the knee.
+    let gws = 4;
+    let topo = Topology::disc(800, gws, 5_000.0, &config, 23);
+    let tuned = ef_lora::placement::with_gateways(
+        &topo,
+        ef_lora::placement::kmeans_gateways(topo.devices(), gws, 32, 23),
+    );
+    let evaluate = |t: &Topology| {
+        let model = NetworkModel::new(&config, t);
+        let ctx = AllocationContext::new(&config, t, &model);
+        let alloc = EfLora::default().allocate(&ctx).expect("allocation");
+        fairness::min_ee(&model.evaluate(alloc.as_slice()))
+    };
+    println!(
+        "\nplacement at {gws} gateways: mesh grid min EE {:.3} vs k-means {:.3}",
+        evaluate(&topo),
+        evaluate(&tuned)
+    );
+}

@@ -1,0 +1,79 @@
+//! Smart-city metering: a dense urban deployment where most links are
+//! non-line-of-sight and collisions — not range — dominate.
+//!
+//! The scenario mirrors the paper's motivation: a municipality rolls out
+//! 1200 water/electricity meters in a 3 km district and wants the fleet to
+//! last one maintenance cycle (all meters share one battery budget, so the
+//! *first* meters to die set the truck-roll date). We compare network
+//! lifetime under legacy LoRa, RS-LoRa and EF-LoRa, then show how adding
+//! gateways shifts the answer.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example smart_city
+//! ```
+
+use ef_lora_repro::prelude::*;
+
+fn lifetime_years(
+    config: &SimConfig,
+    topo: &Topology,
+    model: &NetworkModel,
+    strategy: &dyn Strategy,
+) -> (f64, f64) {
+    let ctx = AllocationContext::new(config, topo, model);
+    let alloc = strategy.allocate(&ctx).expect("allocation");
+    let sim = Simulation::new(config.clone(), topo.clone(), alloc.as_slice().to_vec())
+        .expect("simulation");
+    let report = sim.run();
+    // ETX-adjusted lifetime: a delivered reading costs E_s / PRR.
+    let year = 365.25 * 24.0 * 3600.0;
+    let mut lifetimes: Vec<f64> = report
+        .devices
+        .iter()
+        .map(|d| {
+            if d.attempts == 0 || d.delivered == 0 {
+                return 0.0;
+            }
+            let prr = f64::from(d.delivered) / f64::from(d.attempts);
+            let cycle = d.energy_j / f64::from(d.attempts);
+            config.battery.capacity_j() * config.report_interval_s * prr / cycle / year
+        })
+        .collect();
+    lifetimes.sort_by(|a, b| a.total_cmp(b));
+    let ten_pct = lifetimes[lifetimes.len() / 10];
+    (ten_pct, report.min_energy_efficiency_bits_per_mj())
+}
+
+fn main() {
+    // Urban district: 3 km radius, 80 % NLoS, meters report every 5 min.
+    let mut config = SimConfig::builder()
+        .seed(7)
+        .duration_s(12_000.0)
+        .report_interval_s(300.0)
+        .p_los(0.2)
+        .build();
+    config.betas = lora_phy::path_loss::BetaProfile::PAPER_BASE;
+
+    println!("smart-city metering: 1200 devices, 3 km district, 80% NLoS\n");
+    println!(
+        "{:<10} {:<14} {:>22} {:>18}",
+        "gateways", "strategy", "lifetime@10%dead (yr)", "min EE (bits/mJ)"
+    );
+    let legacy = LegacyLora::default();
+    let rs = RsLora::default();
+    let ef = EfLora::default();
+    for gws in [2usize, 4] {
+        let topo = Topology::disc(1200, gws, 3_000.0, &config, 7);
+        let model = NetworkModel::new(&config, &topo);
+        for strategy in [&legacy as &dyn Strategy, &rs, &ef] {
+            let (life, min_ee) = lifetime_years(&config, &topo, &model, strategy);
+            println!("{gws:<10} {:<14} {life:>22.2} {min_ee:>18.3}", strategy.name());
+        }
+        println!();
+    }
+    println!("reading: EF-LoRa postpones the first truck roll by flattening the");
+    println!("energy drain across meters; extra gateways amplify the effect by");
+    println!("letting close meters drop to faster spreading factors.");
+}

@@ -1,0 +1,35 @@
+//! Root crate of the EF-LoRa reproduction workspace.
+//!
+//! Re-exports the workspace crates for convenient single-import use and
+//! hosts the cross-crate integration tests (`tests/`) and runnable
+//! examples (`examples/`).
+//!
+//! ```
+//! use ef_lora_repro::prelude::*;
+//!
+//! let config = SimConfig::default();
+//! let topology = Topology::disc(10, 1, 2_000.0, &config, 0);
+//! let model = NetworkModel::new(&config, &topology);
+//! let ctx = AllocationContext::new(&config, &topology, &model);
+//! let alloc = LegacyLora::default().allocate(&ctx).unwrap();
+//! assert_eq!(alloc.len(), 10);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use ef_lora;
+pub use lora_mac;
+pub use lora_model;
+pub use lora_phy;
+pub use lora_sim;
+
+/// The most commonly used types across the workspace, in one import.
+pub mod prelude {
+    pub use ef_lora::{
+        fairness, lifetime, AdrLora, Allocation, AllocationContext, EfLora, EfLoraFixedTp,
+        ExhaustiveSearch, IncrementalAllocator, LegacyLora, RsLora, Strategy,
+    };
+    pub use lora_model::NetworkModel;
+    pub use lora_phy::{Bandwidth, CodingRate, Region, SpreadingFactor, TxConfig, TxPowerDbm};
+    pub use lora_sim::{SimConfig, SimReport, Simulation, Topology};
+}
