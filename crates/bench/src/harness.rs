@@ -41,28 +41,73 @@ pub struct Scale {
     /// transmissions to 24 demodulator-servers and flatline every
     /// strategy at θ ≈ 0.
     pub duty: f64,
+    /// Worker threads for the replication fan-out (`EF_LORA_THREADS`).
+    /// Results are byte-identical for every value — per-repetition seeds
+    /// are derived up front and repetitions reduce in index order — so
+    /// this is purely a wall-clock knob. `1` reproduces the historical
+    /// serial loop exactly.
+    pub threads: usize,
+}
+
+/// Parses an `EF_LORA_REPS`-style value: a positive integer. Zero is
+/// rejected explicitly — every aggregate divides by the repetition count,
+/// so `reps = 0` would previously sail through and poison all metrics
+/// with a silent divide-by-zero NaN.
+///
+/// # Errors
+///
+/// Returns a human-readable message for malformed or zero values.
+pub fn parse_reps(raw: &str) -> Result<u64, String> {
+    match raw.trim().parse::<u64>() {
+        Ok(0) => Err(format!("EF_LORA_REPS={raw:?} must be at least 1")),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!("EF_LORA_REPS={raw:?} is not a positive integer")),
+    }
+}
+
+/// Parses an `EF_LORA_DURATION`-style value: a finite number of simulated
+/// seconds, strictly positive.
+///
+/// # Errors
+///
+/// Returns a human-readable message for malformed or non-positive values.
+pub fn parse_duration(raw: &str) -> Result<f64, String> {
+    match raw.trim().parse::<f64>() {
+        Ok(d) if d.is_finite() && d > 0.0 => Ok(d),
+        Ok(_) => Err(format!("EF_LORA_DURATION={raw:?} must be a positive, finite number")),
+        Err(_) => Err(format!("EF_LORA_DURATION={raw:?} is not a number")),
+    }
 }
 
 impl Scale {
     /// Reads `EF_LORA_SCALE` (`smoke`/`small`/`paper`), defaulting to
-    /// `small`; `EF_LORA_REPS` and `EF_LORA_DURATION` override the
-    /// preset's repetition count and simulated seconds.
+    /// `small`; `EF_LORA_REPS`, `EF_LORA_DURATION` and `EF_LORA_THREADS`
+    /// override the preset's repetition count, simulated seconds and
+    /// worker count. Malformed overrides are rejected with a warning on
+    /// stderr and the preset value is kept — previously they were
+    /// silently ignored, and `EF_LORA_REPS=0` was silently *accepted*,
+    /// turning every averaged metric into NaN.
     pub fn from_env() -> Scale {
         let mut scale = match std::env::var("EF_LORA_SCALE").as_deref() {
             Ok("smoke") => Scale::smoke(),
             Ok("paper") => Scale::paper(),
             _ => Scale::small(),
         };
-        if let Ok(reps) = std::env::var("EF_LORA_REPS") {
-            if let Ok(reps) = reps.parse() {
-                scale.reps = reps;
+        if let Ok(raw) = std::env::var("EF_LORA_REPS") {
+            match parse_reps(&raw) {
+                Ok(reps) => scale.reps = reps,
+                Err(msg) => eprintln!("warning: {msg}; keeping reps={}", scale.reps),
             }
         }
-        if let Ok(duration) = std::env::var("EF_LORA_DURATION") {
-            if let Ok(duration) = duration.parse() {
-                scale.duration_s = duration;
+        if let Ok(raw) = std::env::var("EF_LORA_DURATION") {
+            match parse_duration(&raw) {
+                Ok(duration) => scale.duration_s = duration,
+                Err(msg) => {
+                    eprintln!("warning: {msg}; keeping duration={}", scale.duration_s);
+                }
             }
         }
+        scale.threads = lora_parallel::threads_from_env();
         scale
     }
 
@@ -74,6 +119,7 @@ impl Scale {
             duration_s: 3_000.0,
             device_factor: 0.02,
             duty: 0.01,
+            threads: lora_parallel::available_threads(),
         }
     }
 
@@ -85,6 +131,7 @@ impl Scale {
             duration_s: 6_000.0,
             device_factor: 0.2,
             duty: 0.01,
+            threads: lora_parallel::available_threads(),
         }
     }
 
@@ -97,7 +144,18 @@ impl Scale {
             duration_s: 30_000.0,
             device_factor: 1.0,
             duty: 0.002,
+            threads: lora_parallel::available_threads(),
         }
+    }
+
+    /// Returns the scale with an explicit worker count (`0` = available
+    /// parallelism). Tests use this instead of `EF_LORA_THREADS` to avoid
+    /// process-global environment races.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Scale {
+        self.threads =
+            if threads == 0 { lora_parallel::available_threads() } else { threads };
+        self
     }
 
     /// Scales one of the paper's device counts, keeping at least 10.
@@ -108,8 +166,8 @@ impl Scale {
     /// A banner line describing the preset.
     pub fn banner(&self) -> String {
         format!(
-            "scale={:?} (device factor {}, {} repetitions of {} simulated seconds; set EF_LORA_SCALE=paper for full size)",
-            self.kind, self.device_factor, self.reps, self.duration_s
+            "scale={:?} (device factor {}, {} repetitions of {} simulated seconds on {} thread(s); set EF_LORA_SCALE=paper for full size)",
+            self.kind, self.device_factor, self.reps, self.duration_s, self.threads
         )
     }
 }
@@ -152,7 +210,7 @@ impl Deployment {
 }
 
 /// Aggregated outcome of one (deployment, strategy) pair.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct StrategyOutcome {
     /// Strategy name.
     pub strategy: String,
@@ -201,8 +259,25 @@ pub fn etx_lifetime_years(
     battery_j * prr * duration_s / energy_j / (365.25 * 24.0 * 3_600.0)
 }
 
+/// Per-device metrics from a single simulation repetition, computed on a
+/// worker thread and reduced sequentially in repetition order.
+struct RepMetrics {
+    ee: Vec<f64>,
+    prr: Vec<f64>,
+    lifetime: Vec<f64>,
+    etx: Vec<f64>,
+}
+
 /// Runs `strategy` on the deployment: allocate once, simulate `reps`
 /// times with distinct seeds, average per device.
+///
+/// Repetitions fan out across `scale.threads` workers. Determinism is
+/// preserved by construction: each repetition's simulator seed is derived
+/// from the master seed and the repetition index *before* any work is
+/// scheduled, and per-device accumulators fold the repetition results in
+/// strict index order — so float addition happens in the same order the
+/// old serial loop used, and results are byte-identical for any worker
+/// count.
 pub fn run_strategy(
     config: &SimConfig,
     topology: &Topology,
@@ -215,33 +290,56 @@ pub fn run_strategy(
     let model_ee = model.evaluate(alloc.as_slice());
 
     let n = topology.device_count();
-    let mut ee_acc = vec![0.0f64; n];
-    let mut prr_acc = vec![0.0f64; n];
-    let mut lifetime_acc = vec![0.0f64; n];
-    let mut etx_acc = vec![0.0f64; n];
-    for rep in 0..scale.reps {
+    let year = 365.25 * 24.0 * 3_600.0;
+    // One simulator seed per repetition, all derived up front from the
+    // master seed (same formula the serial loop used).
+    let rep_seeds: Vec<u64> = (0..scale.reps)
+        .map(|rep| config.seed ^ (rep.wrapping_mul(0x9e37_79b9) + 1))
+        .collect();
+
+    let simulate_rep = |rep: usize| -> RepMetrics {
         let mut cfg = config.clone();
-        cfg.seed = config.seed ^ (rep.wrapping_mul(0x9e37_79b9) + 1);
+        cfg.seed = rep_seeds[rep];
         cfg.duration_s = scale.duration_s;
         let sim = Simulation::new(cfg, topology.clone(), alloc.as_slice().to_vec())
             .expect("validated allocation");
         let report = sim.run();
-        let year = 365.25 * 24.0 * 3_600.0;
-        for (i, d) in report.devices.iter().enumerate() {
-            ee_acc[i] += d.ee_bits_per_mj;
-            prr_acc[i] += d.prr();
-            lifetime_acc[i] += if d.energy_j > 0.0 {
+        let mut m = RepMetrics {
+            ee: Vec::with_capacity(n),
+            prr: Vec::with_capacity(n),
+            lifetime: Vec::with_capacity(n),
+            etx: Vec::with_capacity(n),
+        };
+        for d in &report.devices {
+            m.ee.push(d.ee_bits_per_mj);
+            m.prr.push(d.prr());
+            m.lifetime.push(if d.energy_j > 0.0 {
                 config.battery.capacity_j() * scale.duration_s / d.energy_j / year
             } else {
                 0.0
-            };
-            etx_acc[i] += etx_lifetime_years(
+            });
+            m.etx.push(etx_lifetime_years(
                 config.battery.capacity_j(),
                 scale.duration_s,
                 d.attempts,
                 d.delivered,
                 d.energy_j,
-            );
+            ));
+        }
+        m
+    };
+
+    let mut ee_acc = vec![0.0f64; n];
+    let mut prr_acc = vec![0.0f64; n];
+    let mut lifetime_acc = vec![0.0f64; n];
+    let mut etx_acc = vec![0.0f64; n];
+    let rep_count = usize::try_from(scale.reps).expect("repetition count fits in usize");
+    for m in lora_parallel::par_map_indexed(rep_count, scale.threads, simulate_rep) {
+        for i in 0..n {
+            ee_acc[i] += m.ee[i];
+            prr_acc[i] += m.prr[i];
+            lifetime_acc[i] += m.lifetime[i];
+            etx_acc[i] += m.etx[i];
         }
     }
     let reps = scale.reps as f64;
@@ -321,6 +419,72 @@ mod tests {
         for s in [Scale::small(), Scale::paper()] {
             let load = s.duty * s.device_factor * 3_000.0;
             assert!((load - 6.0).abs() < 1e-9, "{load}");
+        }
+    }
+
+    #[test]
+    fn env_override_parsers_reject_garbage() {
+        assert_eq!(parse_reps("7"), Ok(7));
+        assert_eq!(parse_reps(" 100 "), Ok(100));
+        assert!(parse_reps("0").is_err(), "reps=0 would divide every metric by zero");
+        assert!(parse_reps("-3").is_err());
+        assert!(parse_reps("three").is_err());
+        assert!(parse_reps("").is_err());
+
+        assert_eq!(parse_duration("6000"), Ok(6000.0));
+        assert_eq!(parse_duration("1.5e3"), Ok(1500.0));
+        assert!(parse_duration("0").is_err());
+        assert!(parse_duration("-10").is_err());
+        assert!(parse_duration("inf").is_err());
+        assert!(parse_duration("NaN").is_err());
+        assert!(parse_duration("long").is_err());
+    }
+
+    #[test]
+    fn with_threads_zero_means_available_parallelism() {
+        let scale = Scale::smoke().with_threads(0);
+        assert_eq!(scale.threads, lora_parallel::available_threads());
+        assert_eq!(Scale::smoke().with_threads(5).threads, 5);
+    }
+
+    #[test]
+    fn replication_fanout_is_thread_invariant() {
+        // Satellite (d): the same deployment and master seed must produce
+        // identical StrategyOutcome aggregates — and identical EF-LoRa
+        // allocations — whether the repetitions run on 1 worker or 4.
+        use ef_lora::{AllocationContext, EfLora};
+        use lora_model::NetworkModel;
+
+        let config = paper_config();
+        let mut scale = Scale::smoke().with_threads(1);
+        scale.reps = 4;
+        let deployment = Deployment::disc(24, 2, 11);
+        let topology = Topology::disc(
+            deployment.n_devices,
+            deployment.n_gateways,
+            deployment.radius_m,
+            &config,
+            deployment.seed,
+        );
+        let model = NetworkModel::new(&config, &topology);
+        let ctx = AllocationContext::new(&config, &topology, &model);
+
+        let alloc_serial =
+            EfLora::default().with_threads(1).allocate(&ctx).expect("allocates");
+        let alloc_parallel =
+            EfLora::default().with_threads(4).allocate(&ctx).expect("allocates");
+        assert_eq!(
+            alloc_serial.as_slice(),
+            alloc_parallel.as_slice(),
+            "EF-LoRa allocation must not depend on the scan worker count"
+        );
+
+        let ef = EfLora::default();
+        let serial = run_strategy(&config, &topology, &model, &ef, &scale);
+        for threads in [2usize, 4] {
+            let outcome =
+                run_strategy(&config, &topology, &model, &ef, &scale.with_threads(threads));
+            assert_eq!(serial, outcome, "threads={threads}");
         }
     }
 

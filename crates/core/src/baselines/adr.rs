@@ -181,8 +181,7 @@ mod tests {
     fn compact_cells_stampede_to_sf7() {
         // ADR's known failure mode: link-margin-driven allocation ignores
         // contention and puts a well-covered fleet on SF7.
-        let mut config = SimConfig::default();
-        config.p_los = 1.0;
+        let config = SimConfig { p_los: 1.0, ..SimConfig::default() };
         let topo = Topology::disc(50, 1, 600.0, &config, 7);
         let model = NetworkModel::new(&config, &topo);
         let ctx = AllocationContext::new(&config, &topo, &model);

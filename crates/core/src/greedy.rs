@@ -19,6 +19,33 @@
 //! which touches only the two contention groups a move affects, with a
 //! rising floor that prunes non-improving candidates after a handful of
 //! arithmetic operations.
+//!
+//! ## Parallel candidate scan
+//!
+//! The step-3 scan is read-only against [`ModelState`], so
+//! [`EfLora::with_threads`] partitions the (SF, channel, TP) grid into
+//! contiguous chunks scanned by scoped worker threads. Determinism is
+//! preserved by selecting winners with an *exact total order* instead of
+//! scan-order-dependent banded comparisons:
+//!
+//! * a **strict improver** raises the network minimum beyond the
+//!   tie slack; among improvers the winner maximises
+//!   `(min EE, own EE)` lexicographically under exact `f64` comparison,
+//!   ties broken by the earliest candidate in canonical grid order
+//!   (SF ascending, then channel, then TP);
+//! * a **plateau move** keeps the minimum within the tie slack while
+//!   raising the moving device's own EE; among plateau moves the winner
+//!   maximises `(own EE, min EE)`, same tie-break;
+//! * any strict improver beats every plateau move.
+//!
+//! Each chunk keeps its own pruning floor, raised only on strict-improver
+//! finds — a pruned candidate always loses the exact comparison to the
+//! candidate that raised the floor, and plateau winners are only
+//! consulted when *no* chunk found an improver (in which case no floor
+//! ever rose and plateau scanning saw identical pruning in every
+//! partitioning). The merged move is therefore a pure function of the
+//! model state, byte-identical for every thread count, and committed
+//! moves stay sequential so the pass semantics are unchanged.
 
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -73,13 +100,20 @@ pub struct EfLora {
     max_passes: usize,
     ordering: DeviceOrdering,
     fixed_tp: Option<TxPowerDbm>,
+    threads: usize,
 }
 
 impl Default for EfLora {
     /// δ = 0.01 (the paper's trigger parameter), density-first ordering,
-    /// full TP allocation, at most 16 passes.
+    /// full TP allocation, at most 16 passes, single-threaded scan.
     fn default() -> Self {
-        EfLora { delta: 0.01, max_passes: 16, ordering: DeviceOrdering::DensityFirst, fixed_tp: None }
+        EfLora {
+            delta: 0.01,
+            max_passes: 16,
+            ordering: DeviceOrdering::DensityFirst,
+            fixed_tp: None,
+            threads: 1,
+        }
     }
 }
 
@@ -116,6 +150,22 @@ impl EfLora {
     pub fn with_fixed_tp(mut self, tp: TxPowerDbm) -> Self {
         self.fixed_tp = Some(tp);
         self
+    }
+
+    /// Sets the worker-thread count for the candidate scan. `0` means
+    /// "the host's available parallelism". The allocation is byte-
+    /// identical for every thread count (see the module docs); this knob
+    /// trades spawn overhead for scan throughput only.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads =
+            if threads == 0 { lora_parallel::available_threads() } else { threads };
+        self
+    }
+
+    /// The configured candidate-scan thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// The convergence threshold `δ`.
@@ -207,38 +257,10 @@ impl EfLora {
             passes += 1;
             let mut moves_this_pass = 0usize;
             for &device in &order {
-                let current_min = state.min_ee();
-                let current_own = state.ee(device);
-                let current = state.alloc()[device];
-                let tie_slack = (current_min.abs() * 1e-9).max(1e-15);
-                let mut floor = current_min - tie_slack;
-                let mut best: Option<(f64, f64, TxConfig)> = None;
-                for sf in SpreadingFactor::ALL {
-                    for channel in 0..ctx.channel_count() {
-                        for &tp in &tp_levels {
-                            let cfg = TxConfig::new(sf, tp, channel);
-                            if cfg == current {
-                                continue;
-                            }
-                            candidates_evaluated += 1;
-                            let Some(min) = state.min_ee_if(device, cfg, floor) else {
-                                continue;
-                            };
-                            let own = state.ee_if(device, cfg);
-                            let (best_min, best_own) = best
-                                .map(|(m, o, _)| (m, o))
-                                .unwrap_or((current_min, current_own));
-                            let improves = min > best_min + tie_slack
-                                || (min >= best_min - tie_slack && own > best_own + tie_slack);
-                            if improves {
-                                best = Some((min, own, cfg));
-                                floor = min - tie_slack;
-                            }
-                        }
-                    }
-                }
-                if let Some((_, _, cfg)) = best {
-                    state.apply(device, cfg);
+                let scan = scan_device(&state, ctx, device, &tp_levels, self.threads);
+                candidates_evaluated += scan.evaluated;
+                if let Some(choice) = scan.winner() {
+                    state.apply(device, choice.cfg);
                     moves_applied += 1;
                     moves_this_pass += 1;
                 }
@@ -266,6 +288,164 @@ impl EfLora {
             }
         }
     }
+}
+
+/// A surviving candidate: predicted network minimum, the mover's own EE,
+/// its index in canonical grid order, and the configuration itself.
+#[derive(Debug, Clone, Copy)]
+struct Candidate {
+    min: f64,
+    own: f64,
+    idx: usize,
+    cfg: TxConfig,
+}
+
+/// One chunk's (or the whole grid's) scan outcome.
+#[derive(Debug, Clone, Copy, Default)]
+struct DeviceScan {
+    /// Best strict improver — exact max of `(min, own)`, earliest idx.
+    improver: Option<Candidate>,
+    /// Best plateau move — exact max of `(own, min)`, earliest idx.
+    plateau: Option<Candidate>,
+    /// Candidates examined (identity configuration excluded).
+    evaluated: u64,
+}
+
+impl DeviceScan {
+    /// The move to commit: any strict improver beats every plateau move.
+    fn winner(&self) -> Option<Candidate> {
+        self.improver.or(self.plateau)
+    }
+
+    /// Folds another chunk's result in. The explicit lowest-`idx`
+    /// tie-break makes the merge independent of chunk arrival order.
+    fn merge(&mut self, other: DeviceScan) {
+        self.evaluated += other.evaluated;
+        if let Some(c) = other.improver {
+            let better = match self.improver {
+                None => true,
+                Some(b) => {
+                    c.min > b.min
+                        || (c.min == b.min && (c.own > b.own || (c.own == b.own && c.idx < b.idx)))
+                }
+            };
+            if better {
+                self.improver = Some(c);
+            }
+        }
+        if let Some(c) = other.plateau {
+            let better = match self.plateau {
+                None => true,
+                Some(b) => {
+                    c.own > b.own
+                        || (c.own == b.own && (c.min > b.min || (c.min == b.min && c.idx < b.idx)))
+                }
+            };
+            if better {
+                self.plateau = Some(c);
+            }
+        }
+    }
+}
+
+/// The canonical candidate grid for one device: SF ascending, then
+/// channel, then TP (ascending — [`AllocationContext::tp_levels`] is
+/// sorted), with the device's current configuration excluded. Chunk
+/// boundaries and tie-breaking are defined over this order.
+fn candidate_grid(
+    ctx: &AllocationContext<'_>,
+    tp_levels: &[TxPowerDbm],
+    current: TxConfig,
+) -> Vec<TxConfig> {
+    let mut grid =
+        Vec::with_capacity(6 * ctx.channel_count() * tp_levels.len());
+    for sf in SpreadingFactor::ALL {
+        for channel in 0..ctx.channel_count() {
+            for &tp in tp_levels {
+                let cfg = TxConfig::new(sf, tp, channel);
+                if cfg != current {
+                    grid.push(cfg);
+                }
+            }
+        }
+    }
+    grid
+}
+
+/// Scans `grid[range]` with a chunk-local pruning floor. The floor starts
+/// at the global eligibility bound and rises only when a strict improver
+/// is found; see the module docs for why this keeps the merged result
+/// partition-invariant.
+fn scan_chunk(
+    state: &ModelState<'_>,
+    device: usize,
+    grid: &[TxConfig],
+    range: std::ops::Range<usize>,
+    current_min: f64,
+    current_own: f64,
+    tie_slack: f64,
+) -> DeviceScan {
+    let mut scan = DeviceScan::default();
+    let mut floor = current_min - tie_slack;
+    for idx in range {
+        let cfg = grid[idx];
+        scan.evaluated += 1;
+        let Some(min) = state.min_ee_if(device, cfg, floor) else {
+            continue;
+        };
+        let own = state.ee_if(device, cfg);
+        let candidate = Candidate { min, own, idx, cfg };
+        if min > current_min + tie_slack {
+            let better = match scan.improver {
+                None => true,
+                Some(b) => min > b.min || (min == b.min && own > b.own),
+            };
+            if better {
+                scan.improver = Some(candidate);
+                floor = min - tie_slack;
+            }
+        } else if min >= current_min - tie_slack && own > current_own + tie_slack {
+            let better = match scan.plateau {
+                None => true,
+                Some(b) => own > b.own || (own == b.own && min > b.min),
+            };
+            if better {
+                scan.plateau = Some(candidate);
+            }
+        }
+    }
+    scan
+}
+
+/// Full candidate scan for one device, fanned out over `threads` workers
+/// when the grid is large enough to amortise the spawns.
+fn scan_device(
+    state: &ModelState<'_>,
+    ctx: &AllocationContext<'_>,
+    device: usize,
+    tp_levels: &[TxPowerDbm],
+    threads: usize,
+) -> DeviceScan {
+    let current_min = state.min_ee();
+    let current_own = state.ee(device);
+    let current = state.alloc()[device];
+    let tie_slack = (current_min.abs() * 1e-9).max(1e-15);
+    let grid = candidate_grid(ctx, tp_levels, current);
+
+    // Below ~8 candidates per worker, spawn overhead dwarfs the scan.
+    let threads = threads.clamp(1, (grid.len() / 8).max(1));
+    if threads <= 1 {
+        return scan_chunk(state, device, &grid, 0..grid.len(), current_min, current_own, tie_slack);
+    }
+    let ranges = lora_parallel::chunk_ranges(grid.len(), threads);
+    let chunks = lora_parallel::par_map_indexed(ranges.len(), threads, |c| {
+        scan_chunk(state, device, &grid, ranges[c].clone(), current_min, current_own, tie_slack)
+    });
+    let mut merged = DeviceScan::default();
+    for chunk in chunks {
+        merged.merge(chunk);
+    }
+    merged
 }
 
 impl Strategy for EfLora {
@@ -413,6 +593,33 @@ mod tests {
             .allocate_with_report(&ctx)
             .unwrap();
         assert!(report.passes <= 2);
+    }
+
+    #[test]
+    fn candidate_scan_is_thread_invariant() {
+        // The tentpole determinism guarantee: the allocator is a pure
+        // function of the deployment, byte-identical for every worker
+        // count — full reports (allocation, passes, move and candidate
+        // counts, exact f64 objectives) must match.
+        let (config, topo) = setup(40, 2, 3);
+        let model = NetworkModel::new(&config, &topo);
+        let ctx = AllocationContext::new(&config, &topo, &model);
+        let serial = EfLora::default().with_threads(1).allocate_with_report(&ctx).unwrap();
+        for threads in [2usize, 4, 7] {
+            let parallel = EfLora::default()
+                .with_threads(threads)
+                .allocate_with_report(&ctx)
+                .unwrap();
+            assert_eq!(serial, parallel, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn with_threads_zero_means_available_parallelism() {
+        let ef = EfLora::default().with_threads(0);
+        assert_eq!(ef.threads(), lora_parallel::available_threads());
+        assert_eq!(EfLora::default().threads(), 1);
+        assert_eq!(EfLora::default().with_threads(3).threads(), 3);
     }
 
     #[test]

@@ -23,6 +23,14 @@ pub enum ModelError {
         /// Channels in the plan.
         plan_len: usize,
     },
+    /// The configured PHY payload exceeds the LoRa maximum, so no
+    /// time-on-air exists for it.
+    PayloadTooLarge {
+        /// Configured payload length, bytes.
+        len: usize,
+        /// Largest representable PHY payload, bytes.
+        max: usize,
+    },
 }
 
 impl fmt::Display for ModelError {
@@ -35,6 +43,10 @@ impl fmt::Display for ModelError {
             ModelError::ChannelOutOfRange { device, channel, plan_len } => write!(
                 f,
                 "device {device} allocated channel {channel} outside plan of {plan_len} channels"
+            ),
+            ModelError::PayloadTooLarge { len, max } => write!(
+                f,
+                "configured PHY payload of {len} bytes exceeds the LoRa maximum of {max}"
             ),
         }
     }

@@ -77,7 +77,23 @@ pub struct NetworkModel {
 impl NetworkModel {
     /// Builds the model for a deployment under a simulation configuration,
     /// guaranteeing model and simulator share every physical parameter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured payload exceeds the LoRa maximum; use
+    /// [`NetworkModel::try_new`] to handle that case as an error.
     pub fn new(config: &SimConfig, topology: &Topology) -> Self {
+        Self::try_new(config, topology).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`NetworkModel::new`]: an oversize payload surfaces as
+    /// [`ModelError::PayloadTooLarge`] instead of a panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::PayloadTooLarge`] when no time-on-air exists
+    /// for `config.phy_payload_len()`.
+    pub fn try_new(config: &SimConfig, topology: &Topology) -> Result<Self, ModelError> {
         let bw = Bandwidth::Bw125;
         let payload = config.phy_payload_len();
         let mut toa_by_sf = [0.0; 6];
@@ -86,22 +102,18 @@ impl NetworkModel {
         for sf in SpreadingFactor::ALL {
             toa_by_sf[sf.index()] = ToaParams::new(sf, bw, config.coding_rate)
                 .time_on_air_s(payload)
-                .expect("payload validated by SimConfig usage");
+                .map_err(|e| match e {
+                    lora_phy::PhyError::PayloadTooLarge { len, max } => {
+                        ModelError::PayloadTooLarge { len, max }
+                    }
+                    other => panic!("unexpected time-on-air failure: {other}"),
+                })?;
             sens_mw[sf.index()] = dbm_to_mw(sf.sensitivity_dbm(bw, config.noise_figure_db));
             th_lin[sf.index()] = dbm_to_mw(sf.snr_threshold_db());
         }
-        let attenuation = topology
-            .devices()
-            .iter()
-            .map(|site| {
-                let beta = config.betas.beta(site.environment);
-                topology
-                    .gateways()
-                    .iter()
-                    .map(|gw| config.path_loss.attenuation(site.position.distance_to(gw), beta))
-                    .collect()
-            })
-            .collect();
+        // Shared with the simulator — and parallelised there for large
+        // deployments (see `lora_sim::attenuation_matrix`).
+        let attenuation = lora_sim::attenuation_matrix(config, topology);
         let beta = topology
             .devices()
             .iter()
@@ -110,7 +122,7 @@ impl NetworkModel {
         let area = std::f64::consts::PI * topology.radius_m().powi(2);
         let density_per_m2 =
             if area > 0.0 { topology.device_count() as f64 / area } else { 0.0 };
-        NetworkModel {
+        Ok(NetworkModel {
             attenuation,
             n_gateways: topology.gateway_count(),
             beta,
@@ -126,7 +138,7 @@ impl NetworkModel {
             n_channels: config.region.uplink_channel_count(),
             density_per_m2,
             pdr_form: PdrForm::default(),
-        }
+        })
     }
 
     /// Selects the analytical PDR form. The default,
@@ -743,6 +755,20 @@ mod tests {
 
     fn uniform_alloc(n: usize, sf: SpreadingFactor, ch: usize) -> Vec<TxConfig> {
         vec![TxConfig::new(sf, TxPowerDbm::new(14.0), ch); n]
+    }
+
+    #[test]
+    fn oversize_payload_is_an_error_not_a_panic() {
+        let topo = line_topology(3, 10.0, 1);
+        let config = SimConfig { app_payload: 10_000, ..SimConfig::default() };
+        match NetworkModel::try_new(&config, &topo) {
+            Err(ModelError::PayloadTooLarge { len, max }) => {
+                assert_eq!(len, config.phy_payload_len());
+                assert!(len > max);
+            }
+            other => panic!("expected PayloadTooLarge, got {other:?}"),
+        }
+        assert!(NetworkModel::try_new(&SimConfig::default(), &topo).is_ok());
     }
 
     #[test]

@@ -160,7 +160,8 @@ mod tests {
     fn interleaver_round_trips() {
         for sf in SpreadingFactor::ALL {
             let rows = usize::from(sf.bits_per_symbol());
-            let codewords: Vec<u8> = (0..rows as u8).map(|i| (i * 37) & 0x7f).collect();
+            // wrapping_mul: i*37 exceeds u8 for SF ≥ 10 (i up to 11).
+            let codewords: Vec<u8> = (0..rows as u8).map(|i| i.wrapping_mul(37) & 0x7f).collect();
             let symbols = interleave(&codewords, sf, 7);
             assert_eq!(symbols.len(), 7);
             let back = deinterleave(&symbols, sf, 7);
@@ -173,7 +174,7 @@ mod tests {
         // The design property the paper's CR 4/7 choice leans on.
         let sf = SpreadingFactor::Sf9;
         let rows = usize::from(sf.bits_per_symbol());
-        let codewords: Vec<u8> = (0..rows as u8).map(|i| i * 11 & 0x7f).collect();
+        let codewords: Vec<u8> = (0..rows as u8).map(|i| (i * 11) & 0x7f).collect();
         let mut symbols = interleave(&codewords, sf, 7);
         symbols[3] ^= 0x1ff; // destroy one whole symbol
         let damaged = deinterleave(&symbols, sf, 7);

@@ -119,7 +119,7 @@ pub fn encode_payload(payload: &[u8], cr: CodingRate) -> Vec<u8> {
 ///
 /// Panics if `codewords` has odd length (nibble pairs make bytes).
 pub fn decode_payload(codewords: &[u8], cr: CodingRate) -> (Vec<u8>, u32, u32) {
-    assert!(codewords.len() % 2 == 0, "codeword stream must pair into bytes");
+    assert!(codewords.len().is_multiple_of(2), "codeword stream must pair into bytes");
     let mut out = Vec::with_capacity(codewords.len() / 2);
     let mut corrected = 0;
     let mut failed = 0;

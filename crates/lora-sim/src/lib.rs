@@ -62,4 +62,4 @@ pub use config::{ConfirmedTraffic, GatewayOutage, SimConfig, SimConfigBuilder, T
 pub use error::SimError;
 pub use report::{DeviceStats, GatewayStats, SimReport};
 pub use sim::Simulation;
-pub use topology::{DeviceSite, Position, Topology};
+pub use topology::{attenuation_matrix, DeviceSite, Position, Topology};

@@ -134,20 +134,7 @@ impl Simulation {
             }
         };
 
-        let attenuation = topology
-            .devices()
-            .iter()
-            .map(|site| {
-                let beta = config.betas.beta(site.environment);
-                topology
-                    .gateways()
-                    .iter()
-                    .map(|gw| {
-                        config.path_loss.attenuation(site.position.distance_to(gw), beta)
-                    })
-                    .collect()
-            })
-            .collect();
+        let attenuation = crate::topology::attenuation_matrix(&config, &topology);
 
         let sensitivity_mw = alloc
             .iter()

@@ -151,6 +151,40 @@ impl Topology {
     }
 }
 
+/// Builds the linear path-loss attenuation matrix `[device][gateway]`
+/// for a deployment — the O(devices × gateways) kernel shared by the
+/// simulator and the analytical model.
+///
+/// Large matrices (≥ [`ATTENUATION_PARALLEL_THRESHOLD`] cells) are built
+/// with one scoped worker per contiguous device chunk, controlled by
+/// `EF_LORA_THREADS`. Each row is a pure function of its device index, so
+/// the result is byte-identical for every worker count.
+pub fn attenuation_matrix(
+    config: &crate::config::SimConfig,
+    topology: &Topology,
+) -> Vec<Vec<f64>> {
+    let cells = topology.device_count() * topology.gateway_count();
+    let threads = if cells >= ATTENUATION_PARALLEL_THRESHOLD {
+        lora_parallel::threads_from_env()
+    } else {
+        1
+    };
+    lora_parallel::par_map_indexed(topology.device_count(), threads, |i| {
+        let site = &topology.devices()[i];
+        let beta = config.betas.beta(site.environment);
+        topology
+            .gateways()
+            .iter()
+            .map(|gw| config.path_loss.attenuation(site.position.distance_to(gw), beta))
+            .collect()
+    })
+}
+
+/// Matrix size (device × gateway cells) above which
+/// [`attenuation_matrix`] fans out across threads. Below this the scoped
+/// spawn overhead outweighs the arithmetic.
+pub const ATTENUATION_PARALLEL_THRESHOLD: usize = 16_384;
+
 /// Places `n` gateways on the cross positions of a mesh over a disc of
 /// radius `radius_m`: one gateway sits at the centre; otherwise a
 /// `ceil(sqrt(n)) × ceil(sqrt(n))` grid is scaled to the inscribed square

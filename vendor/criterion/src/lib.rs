@@ -1,0 +1,318 @@
+//! Offline vendored micro-benchmark harness.
+//!
+//! Covers the `criterion` 0.5 surface the workspace's benches use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::sample_size`],
+//! [`BenchmarkGroup::throughput`], `bench_function`/`bench_with_input`,
+//! [`BenchmarkId`], [`Throughput`], [`black_box`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple: each benchmark warms up briefly,
+//! then times `sample_size` samples of an adaptively chosen iteration
+//! batch and reports the median per-iteration time (plus derived
+//! throughput when set). There is no statistical analysis, plotting, or
+//! `target/criterion` persistence — this harness exists so `cargo bench`
+//! runs offline and produces comparable wall-clock numbers.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// An opaque value barrier. Newer Rust makes `std::hint::black_box`
+/// available directly; this re-export keeps `criterion::black_box`
+/// call-sites working.
+pub use std::hint::black_box;
+
+/// A benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id for `function` at `parameter` (rendered as `function/parameter`).
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { function: function.into(), parameter: Some(parameter.to_string()) }
+    }
+
+    /// An id consisting only of a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { function: String::new(), parameter: Some(parameter.to_string()) }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.function[..], &self.parameter) {
+            ("", Some(p)) => write!(f, "{p}"),
+            (func, Some(p)) => write!(f, "{func}/{p}"),
+            (func, None) => write!(f, "{func}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(function: &str) -> Self {
+        BenchmarkId { function: function.to_string(), parameter: None }
+    }
+}
+impl From<String> for BenchmarkId {
+    fn from(function: String) -> Self {
+        BenchmarkId { function, parameter: None }
+    }
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements (e.g. transmissions) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// Times closures; handed to benchmark definitions.
+pub struct Bencher {
+    /// Iterations to run per timed sample.
+    iters_per_sample: u64,
+    /// Collected per-sample durations.
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, running it in batches and recording samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            black_box(routine());
+        }
+        self.samples.push(start.elapsed());
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Declares the per-iteration workload for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `routine` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id);
+        let sample_size = self.sample_size;
+        let throughput = self.throughput;
+        self.criterion.run_one(&label, sample_size, throughput, |b| routine(b));
+        self
+    }
+
+    /// Benchmarks `routine` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id);
+        let sample_size = self.sample_size;
+        let throughput = self.throughput;
+        self.criterion.run_one(&label, sample_size, throughput, |b| routine(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API parity; all reporting is immediate).
+    pub fn finish(self) {}
+}
+
+/// The benchmark manager: entry point created by [`criterion_group!`].
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { default_sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Accepts CLI arguments for parity with real criterion. Filters and
+    /// baselines are not implemented; arguments are ignored.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size, throughput: None }
+    }
+
+    /// Benchmarks `routine` as a stand-alone (group-less) benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.default_sample_size;
+        self.run_one(name, sample_size, None, |b| routine(b));
+        self
+    }
+
+    /// Calibrates a batch size, collects samples, prints the median.
+    fn run_one<F>(&mut self, label: &str, sample_size: usize, throughput: Option<Throughput>, mut routine: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        // Calibration: find an iteration count that takes ≥ ~5 ms per
+        // sample, so timer resolution stays negligible.
+        let mut iters: u64 = 1;
+        loop {
+            let mut b = Bencher { iters_per_sample: iters, samples: Vec::new() };
+            routine(&mut b);
+            let elapsed = b.samples.first().copied().unwrap_or_default();
+            if elapsed >= Duration::from_millis(5) || iters >= 1 << 20 {
+                break;
+            }
+            iters = iters.saturating_mul(2);
+        }
+
+        let mut bencher = Bencher { iters_per_sample: iters, samples: Vec::with_capacity(sample_size) };
+        for _ in 0..sample_size {
+            routine(&mut bencher);
+        }
+
+        let mut per_iter: Vec<f64> = bencher
+            .samples
+            .iter()
+            .map(|d| d.as_secs_f64() / iters as f64)
+            .collect();
+        per_iter.sort_by(f64::total_cmp);
+        let median = per_iter[per_iter.len() / 2];
+        let lo = per_iter.first().copied().unwrap_or(median);
+        let hi = per_iter.last().copied().unwrap_or(median);
+
+        print!(
+            "{label:<50} time: [{} {} {}]",
+            format_time(lo),
+            format_time(median),
+            format_time(hi)
+        );
+        match throughput {
+            Some(Throughput::Elements(n)) if median > 0.0 => {
+                print!("  thrpt: {:.4} Kelem/s", n as f64 / median / 1e3);
+            }
+            Some(Throughput::Bytes(n)) if median > 0.0 => {
+                print!("  thrpt: {:.4} MiB/s", n as f64 / median / (1024.0 * 1024.0));
+            }
+            _ => {}
+        }
+        println!();
+    }
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.3} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.3} s")
+    }
+}
+
+/// Bundles benchmark functions into a runnable group, mirroring real
+/// criterion's two accepted forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates `main` for a bench target (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_rendering() {
+        assert_eq!(BenchmarkId::new("f", 10).to_string(), "f/10");
+        assert_eq!(BenchmarkId::from_parameter(3).to_string(), "3");
+        assert_eq!(BenchmarkId::from("plain").to_string(), "plain");
+    }
+
+    #[test]
+    fn groups_run_their_routines() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("unit");
+        group.sample_size(2);
+        group.throughput(Throughput::Elements(4));
+        let mut calls = 0u32;
+        group.bench_with_input(BenchmarkId::new("noop", 1), &7u32, |b, &x| {
+            calls += 1;
+            b.iter(|| black_box(x) + 1)
+        });
+        group.finish();
+        assert!(calls >= 3, "calibration + samples should invoke the routine");
+    }
+
+    #[test]
+    fn bench_function_without_group_runs() {
+        let mut c = Criterion::default();
+        c.bench_function("standalone", |b| b.iter(|| black_box(2u64) * 2));
+    }
+
+    #[test]
+    fn time_formatting_scales() {
+        assert!(format_time(5e-9).ends_with("ns"));
+        assert!(format_time(5e-6).ends_with("µs"));
+        assert!(format_time(5e-3).ends_with("ms"));
+        assert!(format_time(5.0).ends_with('s'));
+    }
+}

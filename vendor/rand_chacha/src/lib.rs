@@ -1,0 +1,192 @@
+//! Offline vendored ChaCha generators.
+//!
+//! Implements the ChaCha stream cipher (D. J. Bernstein's original
+//! 64-bit-counter/64-bit-nonce variant) as a deterministic random number
+//! generator for the vendored [`rand`] traits. [`ChaCha12Rng`] is the
+//! workspace's workhorse: every simulation, topology and baseline seed
+//! goes through it, so its output must be stable forever — the block
+//! function below is the textbook ChaCha quarter-round network and has
+//! golden-value tests pinning the keystream.
+//!
+//! Note: because the sibling `rand` crate is itself a vendored subset,
+//! the `seed_from_u64` expansion matches rand_core 0.6, but the word
+//! consumption order is this crate's own (sequential words of sequential
+//! blocks; `next_u64` = low word then high word). All workspace results
+//! are internally consistent under that ordering.
+
+#![forbid(unsafe_code)]
+
+use rand::{RngCore, SeedableRng};
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// "expand 32-byte k", the ChaCha constant words.
+const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+macro_rules! chacha_rng {
+    ($name:ident, $doc:literal, $double_rounds:expr) => {
+        #[doc = $doc]
+        #[derive(Debug, Clone, PartialEq, Eq)]
+        pub struct $name {
+            /// Input block: constants, key, 64-bit counter, 64-bit nonce.
+            state: [u32; 16],
+            /// Current keystream block.
+            buf: [u32; 16],
+            /// Next unconsumed word index in `buf`; 16 forces a refill.
+            idx: usize,
+        }
+
+        impl $name {
+            fn refill(&mut self) {
+                let mut working = self.state;
+                for _ in 0..$double_rounds {
+                    // Column round.
+                    quarter_round(&mut working, 0, 4, 8, 12);
+                    quarter_round(&mut working, 1, 5, 9, 13);
+                    quarter_round(&mut working, 2, 6, 10, 14);
+                    quarter_round(&mut working, 3, 7, 11, 15);
+                    // Diagonal round.
+                    quarter_round(&mut working, 0, 5, 10, 15);
+                    quarter_round(&mut working, 1, 6, 11, 12);
+                    quarter_round(&mut working, 2, 7, 8, 13);
+                    quarter_round(&mut working, 3, 4, 9, 14);
+                }
+                for (out, inp) in working.iter_mut().zip(self.state.iter()) {
+                    *out = out.wrapping_add(*inp);
+                }
+                self.buf = working;
+                self.idx = 0;
+                // 64-bit block counter in words 12..14.
+                let (lo, carry) = self.state[12].overflowing_add(1);
+                self.state[12] = lo;
+                if carry {
+                    self.state[13] = self.state[13].wrapping_add(1);
+                }
+            }
+
+            /// Selects one of 2⁶⁴ independent keystreams for the same
+            /// seed (the ChaCha nonce). Resets the block position.
+            pub fn set_stream(&mut self, stream: u64) {
+                self.state[12] = 0;
+                self.state[13] = 0;
+                self.state[14] = stream as u32;
+                self.state[15] = (stream >> 32) as u32;
+                self.idx = 16;
+            }
+        }
+
+        impl SeedableRng for $name {
+            type Seed = [u8; 32];
+
+            fn from_seed(seed: [u8; 32]) -> Self {
+                let mut state = [0u32; 16];
+                state[..4].copy_from_slice(&SIGMA);
+                for (i, chunk) in seed.chunks_exact(4).enumerate() {
+                    state[4 + i] =
+                        u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+                }
+                // Counter and nonce start at zero.
+                $name { state, buf: [0; 16], idx: 16 }
+            }
+        }
+
+        impl RngCore for $name {
+            fn next_u32(&mut self) -> u32 {
+                if self.idx >= 16 {
+                    self.refill();
+                }
+                let word = self.buf[self.idx];
+                self.idx += 1;
+                word
+            }
+
+            fn next_u64(&mut self) -> u64 {
+                let lo = self.next_u32();
+                let hi = self.next_u32();
+                (u64::from(hi) << 32) | u64::from(lo)
+            }
+        }
+    };
+}
+
+chacha_rng!(ChaCha8Rng, "ChaCha with 8 rounds (4 double rounds).", 4);
+chacha_rng!(ChaCha12Rng, "ChaCha with 12 rounds (6 double rounds).", 6);
+chacha_rng!(ChaCha20Rng, "ChaCha with 20 rounds (10 double rounds).", 10);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RFC 7539 §2.3.2 test vector adapted to the djb (64-bit nonce)
+    /// layout: with an all-zero key and nonce the first ChaCha20 block
+    /// must match the published keystream for the zero IV.
+    #[test]
+    fn chacha20_zero_key_block_matches_reference() {
+        let rng = &mut ChaCha20Rng::from_seed([0u8; 32]);
+        // First words of the well-known ChaCha20 zero-key, zero-nonce,
+        // counter-0 keystream block (RFC 8439 A.1 test vector #1):
+        // 76 b8 e0 ad a0 f1 3d 90 40 5d 6a e5 53 86 bd 28 ...
+        let expected_first = [0xade0_b876u32, 0x903d_f1a0, 0xe56a_5d40, 0x28bd_8653];
+        // Our words are the raw little-endian u32 state words; the hex
+        // above is the byte stream, so compare against LE-decoded words.
+        for &e in &expected_first {
+            assert_eq!(rng.next_u32(), e);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_divergent_across_seeds() {
+        let mut a = ChaCha12Rng::seed_from_u64(7);
+        let mut b = ChaCha12Rng::seed_from_u64(7);
+        let mut c = ChaCha12Rng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..32).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn keystream_crosses_block_boundaries() {
+        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        // 16 words per block; draw three blocks' worth and check the
+        // stream does not repeat block-to-block.
+        let block1: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        let block2: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        assert_ne!(block1, block2);
+    }
+
+    #[test]
+    fn streams_are_independent() {
+        let mut a = ChaCha12Rng::seed_from_u64(5);
+        let mut b = ChaCha12Rng::seed_from_u64(5);
+        b.set_stream(1);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn fill_bytes_matches_word_stream() {
+        let mut a = ChaCha12Rng::seed_from_u64(3);
+        let mut b = ChaCha12Rng::seed_from_u64(3);
+        let mut bytes = [0u8; 12];
+        a.fill_bytes(&mut bytes);
+        let w0 = b.next_u32().to_le_bytes();
+        let w1 = b.next_u32().to_le_bytes();
+        let w2 = b.next_u32().to_le_bytes();
+        assert_eq!(&bytes[..4], &w0);
+        assert_eq!(&bytes[4..8], &w1);
+        assert_eq!(&bytes[8..], &w2);
+    }
+}

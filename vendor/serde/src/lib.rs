@@ -1,0 +1,461 @@
+//! Offline vendored serde facade.
+//!
+//! The workspace builds against an offline registry, so this crate
+//! replaces the real `serde` with a small value-model design: a type
+//! serialises by converting to a JSON-shaped [`Value`]
+//! (`Serialize::to_value`) and deserialises from one
+//! (`Deserialize::from_value`). The sibling `serde_json` vendored crate
+//! renders and parses `Value` as JSON text.
+//!
+//! Differences from real serde, by design:
+//!
+//! * no `Serializer`/`Deserializer` visitor machinery — everything goes
+//!   through [`Value`], which is plenty for experiment archiving and CLI
+//!   round-trips;
+//! * `Deserialize` has no lifetime parameter (borrowing deserialisation
+//!   is not supported);
+//! * object key order is preserved via `Vec<(String, Value)>`, so struct
+//!   field order in JSON output matches declaration order, exactly like
+//!   real serde_json with default settings.
+//!
+//! `#[serde(...)]` attributes are not supported; the derive fails loudly
+//! if it meets a shape it cannot handle.
+
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped value: the interchange format between `Serialize`,
+/// `Deserialize` and the vendored `serde_json`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` (also used for non-finite floats).
+    Null,
+    /// JSON booleans.
+    Bool(bool),
+    /// Integral numbers (wide enough for every `u64`/`i64`).
+    Int(i128),
+    /// Floating-point numbers.
+    Float(f64),
+    /// JSON strings.
+    Str(String),
+    /// JSON arrays.
+    Array(Vec<Value>),
+    /// JSON objects with preserved key order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// A short noun for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "integer",
+            Value::Float(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// The entries of an object, if this is one.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The elements of an array, if this is one.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The float view of a number (integers widen losslessly for the
+    /// magnitudes the workspace uses).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The integer view of a number.
+    pub fn as_i128(&self) -> Option<i128> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Float(f) if f.fract() == 0.0 && f.is_finite() => Some(*f as i128),
+            _ => None,
+        }
+    }
+}
+
+/// Serialisation/deserialisation failure with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Creates an error from any displayable message.
+    pub fn custom(message: impl fmt::Display) -> Self {
+        Error { message: message.to_string() }
+    }
+
+    /// Prefixes the message with the field path being deserialised.
+    pub fn contextualize(self, context: &str) -> Self {
+        Error { message: format!("{context}: {}", self.message) }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Conversion into the [`Value`] interchange format.
+pub trait Serialize {
+    /// Converts `self` to a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion from the [`Value`] interchange format.
+pub trait Deserialize: Sized {
+    /// Builds `Self` from a [`Value`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when the value's shape does not match.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+
+    /// Called for struct fields absent from the input object. `Option`
+    /// fields default to `None` (matching real serde); everything else
+    /// errors.
+    #[doc(hidden)]
+    fn from_missing_field(field: &str) -> Result<Self, Error> {
+        Err(Error::custom(format!("missing field `{field}`")))
+    }
+}
+
+pub mod de {
+    //! Deserialisation traits, mirroring `serde::de`.
+
+    pub use crate::{Deserialize, Error};
+
+    /// Marker for deserialisable types that own their data. The vendored
+    /// [`Deserialize`] never borrows, so every implementor qualifies.
+    pub trait DeserializeOwned: Deserialize {}
+    impl<T: Deserialize> DeserializeOwned for T {}
+}
+
+pub mod ser {
+    //! Serialisation traits, mirroring `serde::ser`.
+
+    pub use crate::{Error, Serialize};
+}
+
+// ---------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------
+
+macro_rules! impl_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i128)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let i = value
+                    .as_i128()
+                    .ok_or_else(|| Error::custom(format!("expected integer, got {}", value.kind())))?;
+                <$t>::try_from(i)
+                    .map_err(|_| Error::custom(format!("integer {i} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, i128);
+
+macro_rules! impl_float {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Float(f64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    // Non-finite floats serialise as null; accept the round trip.
+                    Value::Null => Ok(<$t>::NAN),
+                    _ => value
+                        .as_f64()
+                        .map(|f| f as $t)
+                        .ok_or_else(|| Error::custom(format!("expected number, got {}", value.kind()))),
+                }
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!("expected bool, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl Deserialize for char {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(Error::custom(format!("expected single-char string, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!("expected string, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+    fn from_missing_field(_field: &str) -> Result<Self, Error> {
+        Ok(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_array()
+            .ok_or_else(|| Error::custom(format!("expected array, got {}", value.kind())))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let items: Vec<T> = Deserialize::from_value(value)?;
+        <[T; N]>::try_from(items)
+            .map_err(|v| Error::custom(format!("expected array of length {N}, got {}", v.len())))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($idx:tt $t:ident),+)),* $(,)?) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let arr = value
+                    .as_array()
+                    .ok_or_else(|| Error::custom(format!("expected tuple array, got {}", value.kind())))?;
+                Ok(($(
+                    $t::from_value(arr.get($idx).ok_or_else(|| {
+                        Error::custom(format!("tuple is missing element {}", $idx))
+                    })?)?,
+                )+))
+            }
+        }
+    )*};
+}
+impl_tuple!(
+    (0 A),
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+);
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+    }
+}
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_object()
+            .ok_or_else(|| Error::custom(format!("expected object, got {}", value.kind())))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        // Deterministic output: sort keys.
+        let mut entries: Vec<(String, Value)> =
+            self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries)
+    }
+}
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_object()
+            .ok_or_else(|| Error::custom(format!("expected object, got {}", value.kind())))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+impl Deserialize for () {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(()),
+            other => Err(Error::custom(format!("expected null, got {}", other.kind()))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_round_trip_and_missing_field() {
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<u32>::from_value(&Value::Int(5)).unwrap(), Some(5));
+        assert_eq!(Option::<u32>::from_missing_field("x").unwrap(), None);
+        assert!(u32::from_missing_field("x").is_err());
+    }
+
+    #[test]
+    fn numeric_widening_and_range_checks() {
+        assert_eq!(f64::from_value(&Value::Int(3)).unwrap(), 3.0);
+        assert_eq!(u8::from_value(&Value::Int(255)).unwrap(), 255);
+        assert!(u8::from_value(&Value::Int(256)).is_err());
+        assert!(u32::from_value(&Value::Int(-1)).is_err());
+    }
+
+    #[test]
+    fn tuples_and_vecs_round_trip() {
+        let v = (1u32, 2.5f64, "x".to_string()).to_value();
+        let back: (u32, f64, String) = Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, (1, 2.5, "x".to_string()));
+        let arr = vec![1u8, 2, 3].to_value();
+        let bytes: Vec<u8> = Deserialize::from_value(&arr).unwrap();
+        assert_eq!(bytes, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn fixed_arrays_check_length() {
+        let v = [1u8, 2, 3].to_value();
+        let ok: [u8; 3] = Deserialize::from_value(&v).unwrap();
+        assert_eq!(ok, [1, 2, 3]);
+        let err: Result<[u8; 4], _> = Deserialize::from_value(&v);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn nan_round_trips_through_null() {
+        let v = f64::NAN.to_value();
+        // Float(NaN) stays a float at the Value layer; serde_json renders
+        // it as null, and null parses back as NaN.
+        let back = f64::from_value(&Value::Null).unwrap();
+        assert!(back.is_nan());
+        assert!(matches!(v, Value::Float(f) if f.is_nan()));
+    }
+}

@@ -1,0 +1,413 @@
+//! Offline vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]`.
+//!
+//! Generates impls of the vendored `serde` value-model traits
+//! (`Serialize::to_value` / `Deserialize::from_value`) for the shapes the
+//! workspace actually uses:
+//!
+//! * structs with named fields, tuple structs and unit structs;
+//! * enums whose variants are unit, newtype, tuple or struct-like,
+//!   serialised in serde's externally-tagged format (`"Variant"`,
+//!   `{"Variant": value}`, `{"Variant": [..]}`, `{"Variant": {..}}`).
+//!
+//! Field *types* never need parsing: generated code calls
+//! `Serialize::to_value` / `Deserialize::from_value` and lets inference
+//! pick the impl, so the parser below only extracts names and arities.
+//! Generic type parameters and `#[serde(...)]` attributes are not
+//! supported and fail the build loudly.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl must parse")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl must parse")
+}
+
+/// The shape of one enum variant.
+enum VariantKind {
+    Unit,
+    /// Tuple variant with the given arity (arity 1 = newtype).
+    Tuple(usize),
+    /// Struct variant with named fields.
+    Struct(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Item {
+    NamedStruct { name: String, fields: Vec<String> },
+    TupleStruct { name: String, arity: usize },
+    UnitStruct { name: String },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+impl Item {
+    fn name(&self) -> &str {
+        match self {
+            Item::NamedStruct { name, .. }
+            | Item::TupleStruct { name, .. }
+            | Item::UnitStruct { name }
+            | Item::Enum { name, .. } => name,
+        }
+    }
+}
+
+/// Consumes leading outer attributes (`#[...]`, including doc comments)
+/// and visibility (`pub`, `pub(...)`).
+fn skip_attrs_and_vis(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                // The attribute body group.
+                tokens.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut tokens);
+    let keyword = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive (vendored): generic type `{name}` is not supported");
+        }
+    }
+    match keyword.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::NamedStruct { name, fields: parse_named_fields(g.stream()) }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct { name, arity: count_tuple_fields(g.stream()) }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::UnitStruct { name },
+            other => panic!("serde_derive: unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::Enum { name, variants: parse_variants(g.stream()) }
+            }
+            other => panic!("serde_derive: expected enum body for `{name}`, got {other:?}"),
+        },
+        kw => panic!("serde_derive: cannot derive for `{kw} {name}`"),
+    }
+}
+
+/// Extracts field names from the tokens inside a named-struct brace group.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut tokens);
+        let field = match tokens.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive: expected field name, got {other:?}"),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after `{field}`, got {other:?}"),
+        }
+        skip_type(&mut tokens);
+        fields.push(field);
+    }
+    fields
+}
+
+/// Skips one type, stopping after the field-separating comma (or at the
+/// end of the stream). Tracks `<`/`>` depth so commas inside generic
+/// arguments (e.g. `HashMap<String, f64>`) do not terminate the field.
+fn skip_type(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    let mut angle_depth = 0i32;
+    for token in tokens.by_ref() {
+        if let TokenTree::Punct(p) = &token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Counts the fields of a tuple struct/variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut tokens = stream.into_iter().peekable();
+    let mut arity = 0;
+    loop {
+        skip_attrs_and_vis(&mut tokens);
+        if tokens.peek().is_none() {
+            break;
+        }
+        skip_type(&mut tokens);
+        arity += 1;
+    }
+    arity
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut tokens);
+        let name = match tokens.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive: expected variant name, got {other:?}"),
+        };
+        let kind = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                tokens.next();
+                VariantKind::Struct(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                tokens.next();
+                VariantKind::Tuple(arity)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        let mut depth = 0i32;
+        while let Some(token) = tokens.peek() {
+            match token {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    tokens.next();
+                    break;
+                }
+                _ => {}
+            }
+            tokens.next();
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = item.name();
+    let body = match item {
+        Item::NamedStruct { fields, .. } => {
+            let mut pushes = String::new();
+            for f in fields {
+                pushes.push_str(&format!(
+                    "obj.push((\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
+                ));
+            }
+            format!(
+                "let mut obj: Vec<(String, ::serde::Value)> = Vec::with_capacity({});\n{pushes}::serde::Value::Object(obj)",
+                fields.len()
+            )
+        }
+        Item::TupleStruct { arity, .. } => {
+            if *arity == 1 {
+                "::serde::Serialize::to_value(&self.0)".to_string()
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Array(vec![{}])", items.join(", "))
+            }
+        }
+        Item::UnitStruct { .. } => "::serde::Value::Null".to_string(),
+        Item::Enum { variants, .. } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::Str(\"{vname}\".to_string()),\n"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let binders: Vec<String> =
+                            (0..*arity).map(|i| format!("f{i}")).collect();
+                        let value = if *arity == 1 {
+                            "::serde::Serialize::to_value(f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({binds}) => ::serde::Value::Object(vec![(\"{vname}\".to_string(), {value})]),\n",
+                            binds = binders.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds = fields.join(", ");
+                        let pushes: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {binds} }} => ::serde::Value::Object(vec![(\"{vname}\".to_string(), ::serde::Value::Object(vec![{}]))]),\n",
+                            pushes.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = item.name();
+    let body = match item {
+        Item::NamedStruct { fields, .. } => {
+            let mut inits = String::new();
+            for f in fields {
+                inits.push_str(&format!(
+                    "{f}: match obj.iter().find(|(k, _)| k.as_str() == \"{f}\") {{\n\
+                       Some((_, field_value)) => ::serde::Deserialize::from_value(field_value)\n\
+                         .map_err(|e| e.contextualize(\"{name}.{f}\"))?,\n\
+                       None => ::serde::Deserialize::from_missing_field(\"{name}.{f}\")?,\n\
+                     }},\n"
+                ));
+            }
+            format!(
+                "let obj = value.as_object().ok_or_else(|| \
+                 ::serde::Error::custom(format!(\"expected object for struct {name}, got {{}}\", value.kind())))?;\n\
+                 Ok({name} {{\n{inits}}})"
+            )
+        }
+        Item::TupleStruct { arity, .. } => {
+            if *arity == 1 {
+                format!("Ok({name}(::serde::Deserialize::from_value(value)?))")
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|i| {
+                        format!(
+                            "::serde::Deserialize::from_value(arr.get({i}).ok_or_else(|| \
+                             ::serde::Error::custom(\"tuple struct {name} is missing element {i}\"))?)?"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "let arr = value.as_array().ok_or_else(|| \
+                     ::serde::Error::custom(\"expected array for tuple struct {name}\"))?;\n\
+                     Ok({name}({}))",
+                    items.join(", ")
+                )
+            }
+        }
+        Item::UnitStruct { .. } => format!("Ok({name})"),
+        Item::Enum { variants, .. } => {
+            // Unit variants arrive as plain strings; data variants as
+            // single-key objects {"Variant": payload}.
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!("\"{vname}\" => Ok({name}::{vname}),\n"));
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => Ok({name}::{vname}),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(arity) => {
+                        let build = if *arity == 1 {
+                            format!("Ok({name}::{vname}(::serde::Deserialize::from_value(payload)?))")
+                        } else {
+                            let items: Vec<String> = (0..*arity)
+                                .map(|i| {
+                                    format!(
+                                        "::serde::Deserialize::from_value(arr.get({i}).ok_or_else(|| \
+                                         ::serde::Error::custom(\"variant {name}::{vname} is missing element {i}\"))?)?"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{{ let arr = payload.as_array().ok_or_else(|| \
+                                 ::serde::Error::custom(\"expected array payload for {name}::{vname}\"))?;\n\
+                                 Ok({name}::{vname}({})) }}",
+                                items.join(", ")
+                            )
+                        };
+                        tagged_arms.push_str(&format!("\"{vname}\" => {build},\n"));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            inits.push_str(&format!(
+                                "{f}: match obj.iter().find(|(k, _)| k.as_str() == \"{f}\") {{\n\
+                                   Some((_, field_value)) => ::serde::Deserialize::from_value(field_value)\n\
+                                     .map_err(|e| e.contextualize(\"{name}::{vname}.{f}\"))?,\n\
+                                   None => ::serde::Deserialize::from_missing_field(\"{name}::{vname}.{f}\")?,\n\
+                                 }},\n"
+                            ));
+                        }
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => {{ let obj = payload.as_object().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected object payload for {name}::{vname}\"))?;\n\
+                             Ok({name}::{vname} {{\n{inits}}}) }},\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match value {{\n\
+                   ::serde::Value::Str(tag) => match tag.as_str() {{\n{unit_arms}\
+                     other => Err(::serde::Error::custom(format!(\"unknown variant `{{other}}` for enum {name}\"))),\n\
+                   }},\n\
+                   ::serde::Value::Object(entries) if entries.len() == 1 => {{\n\
+                     let (tag, payload) = &entries[0];\n\
+                     match tag.as_str() {{\n{tagged_arms}\
+                       other => Err(::serde::Error::custom(format!(\"unknown variant `{{other}}` for enum {name}\"))),\n\
+                     }}\n\
+                   }},\n\
+                   other => Err(::serde::Error::custom(format!(\"expected variant of enum {name}, got {{}}\", other.kind()))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{\n\
+         fn from_value(value: &::serde::Value) -> Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
