@@ -1,0 +1,81 @@
+//! Process-isolated coverage for `Scale::from_env` and the
+//! `EF_LORA_THREADS` override.
+//!
+//! Environment variables are process-global, so everything lives in ONE
+//! `#[test]` inside its own integration-test binary: cargo gives the file
+//! a dedicated process, and the single test mutates the environment
+//! sequentially without racing any other test.
+
+use ef_lora_bench::harness::{Scale, ScaleKind};
+
+fn clear_overrides() {
+    for var in ["EF_LORA_SCALE", "EF_LORA_REPS", "EF_LORA_DURATION", "EF_LORA_THREADS"] {
+        std::env::remove_var(var);
+    }
+}
+
+#[test]
+fn from_env_handles_every_override_shape() {
+    clear_overrides();
+
+    // Defaults: no variables set → the `small` preset, all cores.
+    let base = Scale::from_env();
+    assert_eq!(base.kind, ScaleKind::Small);
+    assert_eq!(base, Scale::small());
+    assert_eq!(base.threads, lora_parallel::available_threads());
+
+    // Preset selection, including an unknown name falling back to small.
+    std::env::set_var("EF_LORA_SCALE", "smoke");
+    assert_eq!(Scale::from_env().kind, ScaleKind::Smoke);
+    std::env::set_var("EF_LORA_SCALE", "paper");
+    assert_eq!(Scale::from_env().kind, ScaleKind::Paper);
+    std::env::set_var("EF_LORA_SCALE", "enormous");
+    assert_eq!(Scale::from_env().kind, ScaleKind::Small);
+    std::env::set_var("EF_LORA_SCALE", "smoke");
+
+    // Well-formed numeric overrides are applied verbatim.
+    std::env::set_var("EF_LORA_REPS", "7");
+    std::env::set_var("EF_LORA_DURATION", "1234.5");
+    let tuned = Scale::from_env();
+    assert_eq!(tuned.reps, 7);
+    assert_eq!(tuned.duration_s, 1_234.5);
+
+    // Malformed overrides are rejected and the preset value is kept:
+    // zero reps (would NaN every averaged metric), negative duration,
+    // and plain garbage.
+    for bad_reps in ["0", "-3", "three", ""] {
+        std::env::set_var("EF_LORA_REPS", bad_reps);
+        assert_eq!(Scale::from_env().reps, Scale::smoke().reps, "reps={bad_reps:?}");
+    }
+    for bad_duration in ["0", "-10", "inf", "NaN", "long"] {
+        std::env::set_var("EF_LORA_DURATION", bad_duration);
+        assert_eq!(
+            Scale::from_env().duration_s,
+            Scale::smoke().duration_s,
+            "duration={bad_duration:?}"
+        );
+    }
+    std::env::remove_var("EF_LORA_REPS");
+    std::env::remove_var("EF_LORA_DURATION");
+
+    // EF_LORA_THREADS: 0 means "available parallelism", a plain count is
+    // taken at face value (even an absurd one — it is a wall-clock knob,
+    // not a correctness knob, and chunking clamps the fan-out to the
+    // number of repetitions), and garbage falls back with a warning.
+    std::env::set_var("EF_LORA_THREADS", "0");
+    assert_eq!(Scale::from_env().threads, lora_parallel::available_threads());
+    std::env::set_var("EF_LORA_THREADS", "3");
+    assert_eq!(Scale::from_env().threads, 3);
+    std::env::set_var("EF_LORA_THREADS", "100000");
+    assert_eq!(Scale::from_env().threads, 100_000);
+    for bad_threads in ["-1", "many", "1.5", ""] {
+        std::env::set_var("EF_LORA_THREADS", bad_threads);
+        assert_eq!(
+            Scale::from_env().threads,
+            lora_parallel::available_threads(),
+            "threads={bad_threads:?}"
+        );
+    }
+
+    clear_overrides();
+}

@@ -41,24 +41,35 @@ mod tests {
     use lora_sim::SimConfig;
 
     #[test]
-    fn allocates_each_strategy() {
+    fn allocates_each_strategy() -> Result<(), String> {
         let dir = std::env::temp_dir();
         let topo_path = dir
             .join(format!("ef-lora-alloc-topo-{}.json", std::process::id()))
             .to_string_lossy()
             .into_owned();
         let topo = Topology::disc(15, 1, 2_000.0, &SimConfig::default(), 4);
-        write_json(&topo_path, &topo).unwrap();
+        write_json(&topo_path, &topo)?;
         for strategy in ["ef-lora", "legacy", "rs-lora", "ef-lora-14dbm"] {
             let opts = Options::parse(&[
                 "--topology".into(),
                 topo_path.clone(),
                 "--strategy".into(),
                 strategy.into(),
-            ])
-            .unwrap();
-            run(&opts).unwrap_or_else(|e| panic!("{strategy}: {e}"));
+            ])?;
+            run(&opts).map_err(|e| format!("{strategy}: {e}"))?;
         }
         std::fs::remove_file(&topo_path).ok();
+        Ok(())
+    }
+
+    #[test]
+    fn missing_topology_propagates_an_error() {
+        let opts = Options::parse(&[
+            "--topology".into(),
+            "/nonexistent/ef-lora-no-such-topo.json".into(),
+        ])
+        .unwrap();
+        let err = run(&opts).unwrap_err();
+        assert!(err.contains("cannot read"), "{err}");
     }
 }

@@ -5,6 +5,7 @@ pub mod compare;
 pub mod generate;
 pub mod grow;
 pub mod simulate;
+pub mod validate;
 
 use ef_lora::{AdrLora, EfLora, EfLoraFixedTp, LegacyLora, RsLora, Strategy};
 use lora_sim::{SimConfig, Traffic};

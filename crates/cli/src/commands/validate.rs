@@ -1,0 +1,77 @@
+//! `ef-lora-plan validate` — run the differential conformance engine.
+//!
+//! Cross-validates the analytical model, the discrete-event simulator and
+//! (on enumerable instances) the exhaustive optimum over the deterministic
+//! scenario matrix of the `conformance` crate, then applies the tolerance
+//! gates. Exits non-zero if any gate fails, so the subcommand slots
+//! directly into CI.
+
+use conformance::{Profile, Tolerances};
+
+use crate::args::Options;
+use crate::io::write_text;
+
+/// Runs the conformance matrix selected by `--scale` (`smoke`, the
+/// default, or `full`), printing a per-scenario summary; `--output FILE`
+/// archives the full machine-readable report, `--threads N` bounds the
+/// worker count (default: all cores; results are identical either way).
+pub fn run(opts: &Options) -> Result<(), String> {
+    let profile = Profile::parse(opts.optional("scale").unwrap_or("smoke"))?;
+    let threads: usize = opts.parse_or("threads", 0)?;
+    let report = conformance::run_matrix(profile, Tolerances::default(), threads);
+
+    println!(
+        "{:<28} {:>9} {:>9} {:>8} {:>10}",
+        "scenario", "pearson", "spearman", "opt%", "violations"
+    );
+    for record in &report.scenarios {
+        // The worst (most pessimistic) agreement across strategies.
+        let pearson = record
+            .strategies
+            .iter()
+            .map(|s| s.agreement.pearson)
+            .fold(f64::INFINITY, f64::min);
+        let spearman = record
+            .strategies
+            .iter()
+            .map(|s| s.agreement.spearman)
+            .fold(f64::INFINITY, f64::min);
+        let opt = record
+            .exhaustive
+            .as_ref()
+            .map_or("-".to_string(), |e| format!("{:.1}", 100.0 * e.ratio));
+        let n_violations: usize =
+            record.strategies.iter().map(|s| s.invariant_violations.len()).sum();
+        let gated = if record.scenario.agreement_gated { "" } else { " (ungated)" };
+        println!(
+            "{:<28} {:>9.3} {:>9.3} {:>8} {:>10}{gated}",
+            record.scenario.id, pearson, spearman, opt, n_violations
+        );
+    }
+    for v in &report.violations {
+        eprintln!("gate violation [{}] {}: {}", v.gate, v.scenario, v.detail);
+    }
+    println!("{}", report.summary());
+
+    if let Some(output) = opts.optional("output") {
+        write_text(output, &report.to_json())?;
+        println!("wrote {output}");
+    }
+    if report.passed {
+        Ok(())
+    } else {
+        Err(format!("conformance failed: {} gate violation(s)", report.violations.len()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_unknown_scale() {
+        let opts =
+            Options::parse(&["--scale".into(), "galactic".into()]).unwrap();
+        assert!(run(&opts).unwrap_err().contains("galactic"));
+    }
+}

@@ -15,6 +15,11 @@ pub fn read_json<T: DeserializeOwned>(path: &str) -> Result<T, String> {
 pub fn write_json<T: Serialize>(path: &str, value: &T) -> Result<(), String> {
     let body =
         serde_json::to_string_pretty(value).map_err(|e| format!("cannot serialise: {e}"))?;
+    write_text(path, &body)
+}
+
+/// Writes pre-rendered text to `path`, creating parent directories.
+pub fn write_text(path: &str, body: &str) -> Result<(), String> {
     if let Some(parent) = Path::new(path).parent() {
         if !parent.as_os_str().is_empty() {
             std::fs::create_dir_all(parent)

@@ -44,6 +44,7 @@ pub(crate) fn run(argv: &[String]) -> Result<(), String> {
         "simulate" => commands::simulate::run(&opts),
         "compare" => commands::compare::run(&opts),
         "grow" => commands::grow::run(&opts),
+        "validate" => commands::validate::run(&opts),
         "help" | "--help" | "-h" => {
             print_usage();
             Ok(())
@@ -65,6 +66,7 @@ fn print_usage() {
          \x20 simulate  --topology FILE --allocation FILE [--duration S] [--seed N] [--duty F]\n\
          \x20 compare   --topology FILE [--duration S] [--duty F]\n\
          \x20 grow      --topology FILE --allocation FILE [--repair true|false] [-o FILE]\n\
+         \x20 validate  [--scale smoke|full] [--threads N] [--output FILE]\n\
          \n\
          all files are JSON; see the repository README for the schema"
     );

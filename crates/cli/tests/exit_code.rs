@@ -1,0 +1,36 @@
+//! Binary-level exit-code contract: `ef-lora-plan` must fail with a
+//! non-zero status and an `error:` diagnostic on stderr — never panic —
+//! when a subcommand cannot do its job.
+
+use std::process::Command;
+
+fn plan() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ef-lora-plan"))
+}
+
+#[test]
+fn allocate_with_missing_topology_exits_nonzero() {
+    let out = plan()
+        .args(["allocate", "--topology", "/nonexistent/ef-lora-no-such-topo.json"])
+        .output()
+        .expect("spawn ef-lora-plan");
+    assert!(!out.status.success(), "expected failure, got {:?}", out.status);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("error:"), "stderr: {stderr}");
+    assert!(stderr.contains("cannot read"), "stderr: {stderr}");
+    // A panic would print a backtrace header instead of the diagnostic.
+    assert!(!stderr.contains("panicked"), "stderr: {stderr}");
+}
+
+#[test]
+fn unknown_subcommand_exits_nonzero() {
+    let out = plan().arg("frobnicate").output().expect("spawn ef-lora-plan");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown subcommand"));
+}
+
+#[test]
+fn help_exits_zero() {
+    let out = plan().arg("help").output().expect("spawn ef-lora-plan");
+    assert!(out.status.success());
+}

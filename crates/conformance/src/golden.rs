@@ -1,0 +1,93 @@
+//! Golden-snapshot comparison with an explicit refresh flow.
+//!
+//! Golden files live under `tests/golden/` at the repository root and pin
+//! the byte-exact JSON of conformance artefacts. A mismatch fails with the
+//! first differing line; setting `EF_LORA_UPDATE_GOLDEN=1` rewrites the
+//! snapshot instead (the diff then shows up in `git status`, where it
+//! belongs — a reviewed golden refresh is the *only* sanctioned way to
+//! change pinned semantics).
+
+use std::path::PathBuf;
+
+/// Environment variable that switches comparison to refresh mode.
+pub const UPDATE_ENV: &str = "EF_LORA_UPDATE_GOLDEN";
+
+/// The golden-snapshot directory (`<repo>/tests/golden`).
+pub fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden")
+}
+
+/// Whether the current process runs in refresh mode.
+pub fn update_mode() -> bool {
+    std::env::var(UPDATE_ENV).as_deref() == Ok("1")
+}
+
+/// Compares `actual` against the golden snapshot `<name>.json`, or
+/// rewrites the snapshot in refresh mode.
+///
+/// # Errors
+///
+/// * the snapshot is missing (with the refresh command to create it);
+/// * the snapshot differs (with the first differing line of each side);
+/// * the snapshot cannot be read or written.
+pub fn check_or_update(name: &str, actual: &str) -> Result<(), String> {
+    let path = golden_dir().join(format!("{name}.json"));
+    if update_mode() {
+        std::fs::create_dir_all(golden_dir())
+            .map_err(|e| format!("cannot create {}: {e}", golden_dir().display()))?;
+        std::fs::write(&path, actual)
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        eprintln!("updated golden snapshot {}", path.display());
+        return Ok(());
+    }
+    let expected = std::fs::read_to_string(&path).map_err(|_| {
+        format!(
+            "golden snapshot {} is missing; run the same test with {UPDATE_ENV}=1 to create it",
+            path.display()
+        )
+    })?;
+    if expected == actual {
+        return Ok(());
+    }
+    // Locate the first differing line for a readable failure.
+    let mut line_no = 0usize;
+    let (want, got);
+    let mut exp_lines = expected.lines();
+    let mut act_lines = actual.lines();
+    loop {
+        line_no += 1;
+        match (exp_lines.next(), act_lines.next()) {
+            (Some(e), Some(a)) if e == a => continue,
+            (e, a) => {
+                want = e.unwrap_or("<end of file>");
+                got = a.unwrap_or("<end of file>");
+                break;
+            }
+        }
+    }
+    Err(format!(
+        "golden snapshot {} differs at line {line_no}:\n  golden: {want}\n  actual: {got}\n\
+         re-run with {UPDATE_ENV}=1 if the change is intentional, then review the diff",
+        path.display()
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_dir_points_at_repo_tests() {
+        let dir = golden_dir();
+        assert!(dir.ends_with("tests/golden"));
+    }
+
+    #[test]
+    fn missing_snapshot_names_the_refresh_env() {
+        if update_mode() {
+            return; // refresh mode would create the probe file
+        }
+        let err = check_or_update("definitely-not-a-snapshot", "{}").unwrap_err();
+        assert!(err.contains(UPDATE_ENV), "{err}");
+    }
+}

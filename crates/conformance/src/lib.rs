@@ -1,0 +1,57 @@
+//! Differential conformance engine for the EF-LoRa reproduction.
+//!
+//! The repository's correctness story rests on three oracles agreeing:
+//!
+//! 1. the **analytical model** (`lora-model`, paper Eq. 5–20) the
+//!    allocator optimises,
+//! 2. the **discrete-event simulator** (`lora-sim`) the figures measure,
+//! 3. the **exhaustive optimum** (`ef-lora`'s `ExhaustiveSearch`) the
+//!    greedy Algorithm 1 is supposed to track.
+//!
+//! This crate cross-validates them systematically instead of ad hoc: a
+//! deterministic [scenario matrix](scenario::matrix) (seeded grids over
+//! device/gateway counts, traffic regimes and outage windows) runs every
+//! scenario through all applicable oracles ([`oracle::run_scenario`]),
+//! checks hard accounting invariants on every simulated repetition
+//! ([`oracle::check_invariants`]), and applies tolerance
+//! [gates](gates::Tolerances) — model↔simulator correlation, greedy
+//! within a fixed fraction of the enumerated optimum. The outcome is a
+//! machine-readable [`ConformanceReport`] whose JSON is byte-identical
+//! across runs and worker counts, so it doubles as a
+//! [golden snapshot](golden) pinned under `tests/golden/` and refreshed
+//! only via `EF_LORA_UPDATE_GOLDEN=1`.
+//!
+//! Entry points: [`run_matrix_records`] (oracle runs only, re-gateable)
+//! and [`run_matrix`] (records + gates → report). The CLI exposes the
+//! same path as `ef-lora-plan validate --scale smoke|full`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gates;
+pub mod golden;
+pub mod oracle;
+pub mod report;
+pub mod scenario;
+
+pub use gates::{GateViolation, Tolerances};
+pub use oracle::{ScenarioRecord, StrategyConformance};
+pub use report::ConformanceReport;
+pub use scenario::{matrix, Profile, Scenario};
+
+/// Runs every scenario of a profile's matrix through the oracles.
+///
+/// `threads` is purely a wall-clock knob (`0` = available parallelism):
+/// the records are byte-identical for every worker count.
+pub fn run_matrix_records(profile: Profile, threads: usize) -> Vec<ScenarioRecord> {
+    let threads = if threads == 0 { lora_parallel::available_threads() } else { threads };
+    scenario::matrix(profile)
+        .iter()
+        .map(|s| oracle::run_scenario(s, threads))
+        .collect()
+}
+
+/// Runs a profile's matrix and gates it: the one-call conformance engine.
+pub fn run_matrix(profile: Profile, tolerances: Tolerances, threads: usize) -> ConformanceReport {
+    ConformanceReport::gate(profile.name(), run_matrix_records(profile, threads), tolerances)
+}

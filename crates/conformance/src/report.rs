@@ -1,0 +1,119 @@
+//! The machine-readable conformance report.
+
+use serde::Serialize;
+
+use crate::gates::{check_scenario, GateViolation, Tolerances};
+use crate::oracle::ScenarioRecord;
+
+/// Bumped whenever the report schema changes incompatibly, so golden
+/// snapshots fail with a schema message instead of a wall of diffs.
+pub const REPORT_VERSION: u32 = 1;
+
+/// The full outcome of one conformance run: every scenario's oracle
+/// statistics, the tolerances they were gated under, and the verdict.
+///
+/// Serialization is deterministic — struct fields keep declaration order,
+/// scenario records keep matrix order — so two runs of the same matrix
+/// produce byte-identical JSON.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ConformanceReport {
+    /// Report schema version.
+    pub version: u32,
+    /// Matrix profile name (`smoke` / `full`).
+    pub profile: String,
+    /// The tolerances the gates used.
+    pub tolerances: Tolerances,
+    /// Per-scenario oracle statistics, in matrix order.
+    pub scenarios: Vec<ScenarioRecord>,
+    /// Every failed gate, in matrix order.
+    pub violations: Vec<GateViolation>,
+    /// `true` iff no gate failed.
+    pub passed: bool,
+}
+
+impl ConformanceReport {
+    /// Gates a set of oracle records and assembles the report.
+    pub fn gate(profile: &str, records: Vec<ScenarioRecord>, tolerances: Tolerances) -> Self {
+        let violations: Vec<GateViolation> =
+            records.iter().flat_map(|r| check_scenario(r, &tolerances)).collect();
+        ConformanceReport {
+            version: REPORT_VERSION,
+            profile: profile.to_string(),
+            tolerances,
+            passed: violations.is_empty(),
+            scenarios: records,
+            violations,
+        }
+    }
+
+    /// Pretty-printed JSON (the golden-snapshot / `--output` format).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+
+    /// A short human-readable verdict for CLI output.
+    pub fn summary(&self) -> String {
+        let n_strategies: usize = self.scenarios.iter().map(|s| s.strategies.len()).sum();
+        format!(
+            "{} scenarios, {} oracle pairs, {} gate violation(s): {}",
+            self.scenarios.len(),
+            n_strategies,
+            self.violations.len(),
+            if self.passed { "PASS" } else { "FAIL" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::StrategyConformance;
+    use crate::scenario::{Regime, Scenario};
+    use lora_model::validation::agreement;
+
+    fn one_record(violation: Option<&str>) -> Vec<ScenarioRecord> {
+        let series = [1.0, 2.0, 3.0];
+        vec![ScenarioRecord {
+            scenario: Scenario {
+                id: "unit".into(),
+                n_devices: 3,
+                n_gateways: 1,
+                radius_m: 1_000.0,
+                seed: 9,
+                regime: Regime::Periodic { interval_s: 600.0 },
+                outage: None,
+                duration_s: 600.0,
+                reps: 1,
+                exhaustive: false,
+                agreement_gated: true,
+            },
+            strategies: vec![StrategyConformance {
+                strategy: "EF-LoRa".into(),
+                model_min_ee: 1.0,
+                sim_min_ee: 1.0,
+                agreement: agreement(&series, &series),
+                invariant_violations: violation.map(String::from).into_iter().collect(),
+            }],
+            exhaustive: None,
+        }]
+    }
+
+    #[test]
+    fn clean_records_pass_and_serialize_deterministically() {
+        let a = ConformanceReport::gate("smoke", one_record(None), Tolerances::default());
+        let b = ConformanceReport::gate("smoke", one_record(None), Tolerances::default());
+        assert!(a.passed);
+        assert_eq!(a.to_json(), b.to_json());
+        assert!(a.summary().contains("PASS"));
+    }
+
+    #[test]
+    fn violations_flip_the_verdict() {
+        let r =
+            ConformanceReport::gate("smoke", one_record(Some("boom")), Tolerances::default());
+        assert!(!r.passed);
+        assert_eq!(r.violations.len(), 1);
+        assert!(r.summary().contains("FAIL"));
+        assert!(r.to_json().contains("boom"));
+    }
+}

@@ -1,0 +1,262 @@
+//! Deterministic scenario-matrix generation.
+//!
+//! A scenario is one fully specified deployment-plus-workload the three
+//! oracles are cross-validated on: device/gateway counts, disc radius,
+//! topology seed, traffic regime, optional gateway-outage window and the
+//! repetition budget. Matrices are seeded grids — every scenario's seed is
+//! derived from a fixed base with a SplitMix64-style mixer, so the same
+//! profile always produces the identical list, independent of host, clock
+//! or thread count.
+
+use serde::Serialize;
+
+use lora_sim::{GatewayOutage, SimConfig, Traffic};
+
+/// Base seed of every generated matrix; mixing it with the grid indices
+/// yields the per-scenario topology/simulation seeds.
+pub const MATRIX_BASE_SEED: u64 = 0x5EED_C04F;
+
+/// How a scenario's devices generate uplink traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub enum Regime {
+    /// Fixed reporting interval for every device, seconds.
+    Periodic {
+        /// The common reporting interval `T_g`.
+        interval_s: f64,
+    },
+    /// Every device offers the same duty cycle (the paper's Section IV
+    /// contention-dominated setting).
+    DutyCycle {
+        /// Offered duty cycle, e.g. 0.01.
+        duty: f64,
+    },
+}
+
+/// An injected gateway-outage window, expressed as fractions of the run
+/// so the same spec scales with the scenario duration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct OutageSpec {
+    /// Index of the deaf gateway.
+    pub gateway: usize,
+    /// Outage start as a fraction of the duration.
+    pub start_frac: f64,
+    /// Outage end as a fraction of the duration.
+    pub end_frac: f64,
+}
+
+/// One fully specified conformance scenario.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Scenario {
+    /// Stable identifier (used in reports, gates and golden files).
+    pub id: String,
+    /// Number of end devices.
+    pub n_devices: usize,
+    /// Number of gateways.
+    pub n_gateways: usize,
+    /// Disc radius in metres.
+    pub radius_m: f64,
+    /// Topology and master simulation seed.
+    pub seed: u64,
+    /// Traffic regime.
+    pub regime: Regime,
+    /// Optional injected outage.
+    pub outage: Option<OutageSpec>,
+    /// Simulated seconds per repetition.
+    pub duration_s: f64,
+    /// Simulation repetitions (averaged like the bench harness).
+    pub reps: u64,
+    /// Whether the exhaustive-search oracle runs on this scenario (only
+    /// sensible for instances small enough to enumerate).
+    pub exhaustive: bool,
+    /// Whether model↔simulator agreement gates apply. Outage scenarios
+    /// switch this off: the analytical model deliberately excludes
+    /// failure injection, so only the hard invariants are gated there.
+    pub agreement_gated: bool,
+}
+
+impl Scenario {
+    /// The simulator configuration this scenario prescribes.
+    pub fn sim_config(&self) -> SimConfig {
+        let mut config = SimConfig { seed: self.seed, ..SimConfig::default() };
+        config.duration_s = self.duration_s;
+        match self.regime {
+            Regime::Periodic { interval_s } => {
+                config.traffic = Traffic::Periodic;
+                config.report_interval_s = interval_s;
+            }
+            Regime::DutyCycle { duty } => {
+                config.traffic = Traffic::DutyCycleTarget { duty };
+            }
+        }
+        if let Some(o) = self.outage {
+            config.outages.push(GatewayOutage {
+                gateway: o.gateway,
+                from_s: o.start_frac * self.duration_s,
+                to_s: o.end_frac * self.duration_s,
+            });
+        }
+        config
+    }
+}
+
+/// Which matrix to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Profile {
+    /// CI-sized: seconds of wall clock, run by `cargo test -p conformance`
+    /// and the `validate --scale smoke` CLI path.
+    Smoke,
+    /// The full grid: more populations, three gateways, longer runs.
+    Full,
+}
+
+impl Profile {
+    /// The profile's name as used in reports and CLI flags.
+    pub fn name(self) -> &'static str {
+        match self {
+            Profile::Smoke => "smoke",
+            Profile::Full => "full",
+        }
+    }
+
+    /// Parses a CLI `--scale` value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the accepted values.
+    pub fn parse(raw: &str) -> Result<Profile, String> {
+        match raw {
+            "smoke" => Ok(Profile::Smoke),
+            "full" => Ok(Profile::Full),
+            other => Err(format!("unknown conformance scale `{other}` (expected smoke or full)")),
+        }
+    }
+}
+
+/// SplitMix64 — the scenario-seed mixer (pure, platform-independent).
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Derives the seed of the grid cell `(a, b, c, d)`.
+fn cell_seed(a: u64, b: u64, c: u64, d: u64) -> u64 {
+    mix(MATRIX_BASE_SEED ^ mix(a) ^ mix(b.wrapping_mul(3)) ^ mix(c.wrapping_mul(5)) ^ mix(d.wrapping_mul(7)))
+}
+
+/// Generates the scenario matrix for a profile: the cross product of
+/// device counts × gateway counts × traffic regimes × outage settings,
+/// plus the exhaustive-oracle instances (small enough to enumerate).
+pub fn matrix(profile: Profile) -> Vec<Scenario> {
+    let (device_counts, gateway_counts, duration_s, reps): (&[usize], &[usize], f64, u64) =
+        match profile {
+            Profile::Smoke => (&[12, 24], &[1, 2], 2_400.0, 3),
+            Profile::Full => (&[60, 150], &[1, 2, 3], 6_000.0, 4),
+        };
+    let regimes =
+        [Regime::Periodic { interval_s: 600.0 }, Regime::DutyCycle { duty: 0.01 }];
+    let outages: [Option<OutageSpec>; 2] =
+        [None, Some(OutageSpec { gateway: 0, start_frac: 0.25, end_frac: 0.5 })];
+
+    let mut scenarios = Vec::new();
+    for (di, &n_devices) in device_counts.iter().enumerate() {
+        for (gi, &n_gateways) in gateway_counts.iter().enumerate() {
+            for (ri, &regime) in regimes.iter().enumerate() {
+                for (oi, &outage) in outages.iter().enumerate() {
+                    let regime_tag = match regime {
+                        Regime::Periodic { .. } => "periodic",
+                        Regime::DutyCycle { .. } => "duty",
+                    };
+                    let outage_tag = if outage.is_some() { "outage" } else { "clear" };
+                    scenarios.push(Scenario {
+                        id: format!("d{n_devices}-g{n_gateways}-{regime_tag}-{outage_tag}"),
+                        n_devices,
+                        n_gateways,
+                        radius_m: 5_000.0,
+                        seed: cell_seed(di as u64, gi as u64, ri as u64, oi as u64),
+                        regime,
+                        outage,
+                        duration_s,
+                        reps,
+                        exhaustive: false,
+                        agreement_gated: outage.is_none(),
+                    });
+                }
+            }
+        }
+    }
+
+    // Exhaustive-oracle instances: tiny single-gateway deployments whose
+    // restricted candidate space the brute-force search can enumerate.
+    let exhaustive_seeds: &[u64] = match profile {
+        Profile::Smoke => &[2, 7, 11],
+        Profile::Full => &[2, 5, 7, 11, 13],
+    };
+    for (i, &seed) in exhaustive_seeds.iter().enumerate() {
+        scenarios.push(Scenario {
+            id: format!("exhaustive-{i}"),
+            n_devices: 4,
+            n_gateways: 1,
+            radius_m: 3_000.0,
+            seed: cell_seed(0xE0, i as u64, seed, 0),
+            regime: Regime::Periodic { interval_s: 600.0 },
+            outage: None,
+            duration_s: duration_s.min(2_400.0),
+            reps,
+            exhaustive: true,
+            agreement_gated: false, // 4 devices are too few for a stable rank correlation
+        });
+    }
+    scenarios
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_is_deterministic_and_ids_unique() {
+        let a = matrix(Profile::Smoke);
+        let b = matrix(Profile::Smoke);
+        assert_eq!(a, b);
+        let mut ids: Vec<&str> = a.iter().map(|s| s.id.as_str()).collect();
+        let before = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), before, "scenario ids must be unique");
+    }
+
+    #[test]
+    fn smoke_matrix_shape() {
+        let m = matrix(Profile::Smoke);
+        // 2 device counts × 2 gateway counts × 2 regimes × 2 outage
+        // settings + 3 exhaustive instances.
+        assert_eq!(m.len(), 16 + 3);
+        assert_eq!(m.iter().filter(|s| s.exhaustive).count(), 3);
+        assert!(m.iter().filter(|s| s.outage.is_some()).all(|s| !s.agreement_gated));
+    }
+
+    #[test]
+    fn sim_config_reflects_scenario() {
+        let m = matrix(Profile::Smoke);
+        let duty = m.iter().find(|s| matches!(s.regime, Regime::DutyCycle { .. })).unwrap();
+        let config = duty.sim_config();
+        assert_eq!(config.seed, duty.seed);
+        assert_eq!(config.duration_s, duty.duration_s);
+        assert!(matches!(config.traffic, Traffic::DutyCycleTarget { .. }));
+
+        let outage = m.iter().find(|s| s.outage.is_some()).unwrap();
+        let config = outage.sim_config();
+        assert_eq!(config.outages.len(), 1);
+        let o = config.outages[0];
+        assert!(o.from_s < o.to_s && o.to_s <= outage.duration_s);
+    }
+
+    #[test]
+    fn profile_parse_round_trips() {
+        assert_eq!(Profile::parse("smoke"), Ok(Profile::Smoke));
+        assert_eq!(Profile::parse("full"), Ok(Profile::Full));
+        assert!(Profile::parse("paper").is_err());
+    }
+}

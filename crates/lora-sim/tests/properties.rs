@@ -2,7 +2,7 @@
 
 use lora_phy::{SpreadingFactor, TxConfig, TxPowerDbm};
 use lora_sim::metrics::{empirical_cdf, jain_index, mean, minimum, percentile};
-use lora_sim::{SimConfig, Simulation, Topology};
+use lora_sim::{GatewayOutage, SimConfig, Simulation, Topology};
 use proptest::prelude::*;
 
 fn random_alloc(n: usize, seed: u64) -> Vec<TxConfig> {
@@ -88,6 +88,77 @@ proptest! {
         let lo = minimum(&values).min(values.iter().copied().fold(f64::INFINITY, f64::min));
         let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9);
+    }
+
+    #[test]
+    fn outage_window_is_half_open(
+        gateway in 0usize..4,
+        probe_gw in 0usize..4,
+        from in 0.0f64..5_000.0,
+        len in 0.0f64..5_000.0,
+        frac in 0.0f64..1.0,
+    ) {
+        let o = GatewayOutage { gateway, from_s: from, to_s: from + len };
+        // Half-open `[from, to)`: the start is covered iff non-empty, the
+        // end never is, and interior points are covered exactly for the
+        // outage's own gateway.
+        prop_assert_eq!(o.covers(gateway, from), len > 0.0);
+        prop_assert!(!o.covers(gateway, from + len));
+        prop_assert!(!o.covers(gateway, from - 1e-9));
+        let t = from + frac * len;
+        if t < from + len {
+            prop_assert!(o.covers(gateway, t));
+            prop_assert_eq!(o.covers(probe_gw, t), probe_gw == gateway);
+        }
+        // An empty window covers nothing, anywhere.
+        let empty = GatewayOutage { gateway, from_s: from, to_s: from };
+        prop_assert!(!empty.covers(gateway, from));
+        prop_assert!(!empty.covers(gateway, from + 1.0));
+    }
+
+    #[test]
+    fn outage_accounting_is_conserved(
+        n_devices in 4usize..25,
+        seed in any::<u64>(),
+        alloc_seed in any::<u64>(),
+        start_frac in 0.0f64..0.8,
+        len_frac in 0.05f64..0.5,
+    ) {
+        let duration = 2_400.0;
+        let from = start_frac * duration;
+        let to = (start_frac + len_frac).min(1.0) * duration;
+        let mut builder = SimConfig::builder();
+        builder.seed(seed).duration_s(duration).report_interval_s(600.0);
+        builder.outage(GatewayOutage { gateway: 0, from_s: from, to_s: to });
+        let config = builder.build();
+        let topo = Topology::disc(n_devices, 2, 4_000.0, &config, seed);
+        let alloc = random_alloc(n_devices, alloc_seed);
+        let report = Simulation::new(config, topo, alloc).unwrap().run();
+
+        let attempts: u64 = report.devices.iter().map(|d| u64::from(d.attempts)).sum();
+        let delivered: u64 = report.devices.iter().map(|d| u64::from(d.delivered)).sum();
+        for (i, g) in report.gateways.iter().enumerate() {
+            // Every attempt meets exactly one fate at every gateway.
+            prop_assert_eq!(
+                g.decoded
+                    + g.demod_refused
+                    + g.sinr_failures
+                    + g.below_sensitivity
+                    + g.outage_drops
+                    + g.half_duplex_drops,
+                attempts,
+                "gateway {} accounting", i
+            );
+            // ISSUE gate: drops + deliveries + collisions never exceed attempts.
+            prop_assert!(g.outage_drops + g.decoded + g.sinr_failures <= attempts);
+        }
+        // The outage was injected on gateway 0 only.
+        prop_assert_eq!(report.gateways[1].outage_drops, 0);
+        // De-duplication conserves copies: every decoded copy is either the
+        // first of its frame or a discarded duplicate.
+        let decoded: u64 = report.gateways.iter().map(|g| g.decoded).sum();
+        prop_assert_eq!(decoded, report.frames_delivered + report.duplicate_copies);
+        prop_assert_eq!(report.frames_delivered, delivered);
     }
 
     #[test]
