@@ -1,0 +1,9 @@
+//! Runs the resilience experiment: min EE and fairness vs gateway
+//! failure rate under Static / Reactive / Oracle recovery.
+use ef_lora_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("{}", scale.banner());
+    ef_lora_bench::experiments::resilience::run(&scale);
+}

@@ -22,6 +22,7 @@ fn main() {
     ext_incremental::run(&scale);
     ext_confirmed_traffic::run(&scale);
     ext_adr::run(&scale);
+    resilience::run(&scale);
 
     // Headline numbers (paper: +177.8 % fairness vs. state of the art at
     // 3 GW / 3000 ED; +64 % lifetime vs. legacy).

@@ -35,6 +35,7 @@ pub mod experiments {
     pub mod fig8_network_lifetime;
     pub mod fig9_decomposition;
     pub mod model_validation;
+    pub mod resilience;
     pub mod table1_sf_motivation;
     pub mod table2_tp_motivation;
 }

@@ -1,0 +1,202 @@
+//! `ef-lora-plan faults` — replay a gateway-churn scenario epoch by
+//! epoch and report degradation detection and recovery.
+
+use ef_lora::{
+    run_faulted, AllocationContext, EfLora, RecoveryMode, ResilienceConfig, Strategy,
+};
+use lora_model::NetworkModel;
+use lora_sim::{FaultConfig, GatewayChurn, SimConfig, Topology};
+
+use crate::args::Options;
+use crate::commands::config_from;
+use crate::io::{read_json, write_json};
+
+/// Runs a faulted scenario on `--topology` (or a generated disc) under
+/// one recovery policy and prints the per-epoch degradation/recovery
+/// report. Fails when recovery is enabled but never converges — the CI
+/// resilience smoke job keys off that exit code.
+pub fn run(opts: &Options) -> Result<(), String> {
+    let mut config = config_from(opts)?;
+    config.duration_s = opts.parse_or("epoch-duration", 1_800.0)?;
+
+    let topology: Topology = match opts.optional("topology") {
+        Some(path) => read_json(path)?,
+        None => {
+            let devices = opts.parse_or("devices", 30usize)?;
+            let gateways = opts.parse_or("gateways", 2usize)?;
+            let radius = opts.parse_or("radius", 4_000.0)?;
+            Topology::disc(devices, gateways, radius, &config, config.seed)
+        }
+    };
+
+    let epochs: u32 = opts.parse_or("epochs", 4u32)?;
+    let gateway: usize = opts.parse_or("gateway", topology.gateway_count() - 1)?;
+    if gateway >= topology.gateway_count() {
+        return Err(format!(
+            "gateway {gateway} out of range (the topology has {})",
+            topology.gateway_count()
+        ));
+    }
+    config.faults = Some(FaultConfig {
+        churn: vec![GatewayChurn {
+            gateway,
+            mtbf_s: opts.parse_or("mtbf", 3_600.0)?,
+            mttr_s: opts.parse_or("mttr", 1_800.0)?,
+        }],
+        ..FaultConfig::default()
+    });
+    SimConfig::builder().faults(config.faults.clone().unwrap()).try_build().map_err(|e| {
+        format!("invalid fault configuration: {e}")
+    })?;
+
+    let mode = match opts.optional("recovery").unwrap_or("reactive") {
+        "static" => RecoveryMode::Static,
+        "reactive" => RecoveryMode::Reactive,
+        "oracle" => RecoveryMode::Oracle,
+        other => {
+            return Err(format!(
+                "unknown recovery policy `{other}` (expected static, reactive or oracle)"
+            ))
+        }
+    };
+
+    let model = NetworkModel::new(&config, &topology);
+    let ctx = AllocationContext::new(&config, &topology, &model);
+    let initial = EfLora::default().allocate(&ctx).map_err(|e| e.to_string())?;
+
+    let defaults = ResilienceConfig::default();
+    let rc = ResilienceConfig {
+        degraded_fraction: opts.parse_or("threshold", defaults.degraded_fraction)?,
+        ..defaults
+    };
+    if !(rc.degraded_fraction > 0.0 && rc.degraded_fraction <= 1.0) {
+        return Err("flag --threshold must be in (0, 1]".into());
+    }
+    let report = run_faulted(&config, &topology, initial.as_slice(), epochs, mode, &rc)
+        .map_err(|e| e.to_string())?;
+
+    println!(
+        "faulted run: {} device(s), {} gateway(s), churning gateway {gateway}, {epochs} epoch(s) of {:.0} s, {mode:?} recovery",
+        topology.device_count(),
+        topology.gateway_count(),
+        config.duration_s
+    );
+    println!("healthy baseline min EE: {:.3} bits/mJ", report.baseline_min_ee);
+    println!("epoch  min EE  mean EE  Jain   PRR    failed  suspects  state");
+    for e in &report.epochs {
+        let state = if e.reallocated {
+            format!("re-allocated ({} device(s) moved)", e.reconfigured)
+        } else if e.degraded {
+            "degraded".into()
+        } else {
+            "healthy".into()
+        };
+        println!(
+            "{:>5}  {:>6.3}  {:>7.3}  {:>5.3}  {:>5.3}  {:>6}  {:>8}  {state}",
+            e.epoch,
+            e.min_ee,
+            e.mean_ee,
+            e.jain,
+            e.mean_prr,
+            format!("{:?}", e.failed_gateways),
+            format!("{:?}", e.suspects),
+        );
+    }
+    match (report.first_degraded_epoch, report.recovered_epoch) {
+        (None, _) => println!("no epoch degraded below the recovery threshold"),
+        (Some(d), Some(r)) => println!(
+            "degraded at epoch {d}, recovered at epoch {r} ({:.0} s)",
+            report.time_to_recover_s.unwrap_or(0.0)
+        ),
+        (Some(d), None) => println!("degraded at epoch {d} and never recovered"),
+    }
+
+    if let Some(output) = opts.optional("output") {
+        write_json(output, &report)?;
+        println!("wrote {output}");
+    }
+
+    if mode != RecoveryMode::Static
+        && report.first_degraded_epoch.is_some()
+        && report.recovered_epoch.is_none()
+    {
+        return Err("recovery never converged within the horizon".into());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn smoke_scenario_runs_and_archives() {
+        let out = std::env::temp_dir()
+            .join(format!("ef-lora-faults-{}.json", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+        let opts = Options::parse(&s(&[
+            "--devices",
+            "12",
+            "--gateways",
+            "2",
+            "--radius",
+            "2000",
+            "--seed",
+            "11",
+            "--epochs",
+            "6",
+            "--epoch-duration",
+            "900",
+            "--mtbf",
+            "1200",
+            "--mttr",
+            "600",
+            "-o",
+            &out,
+        ]))
+        .unwrap();
+        run(&opts).unwrap();
+        let body = std::fs::read_to_string(&out).unwrap();
+        assert!(body.contains("baseline_min_ee"));
+        std::fs::remove_file(out).ok();
+    }
+
+    #[test]
+    fn static_mode_reports_without_failing() {
+        // Recovery disabled: degradation alone must not flip the exit code.
+        let opts = Options::parse(&s(&[
+            "--devices",
+            "12",
+            "--epochs",
+            "3",
+            "--epoch-duration",
+            "900",
+            "--mtbf",
+            "600",
+            "--mttr",
+            "900",
+            "--recovery",
+            "static",
+        ]))
+        .unwrap();
+        run(&opts).unwrap();
+    }
+
+    #[test]
+    fn bad_inputs_error() {
+        let opts =
+            Options::parse(&s(&["--devices", "12", "--recovery", "psychic"])).unwrap();
+        assert!(run(&opts).unwrap_err().contains("unknown recovery policy"));
+        let opts = Options::parse(&s(&["--devices", "12", "--gateway", "7"])).unwrap();
+        assert!(run(&opts).unwrap_err().contains("out of range"));
+        let opts = Options::parse(&s(&["--devices", "12", "--mtbf", "-5"])).unwrap();
+        assert!(run(&opts).unwrap_err().contains("invalid fault configuration"));
+        let opts = Options::parse(&s(&["--devices", "12", "--threshold", "1.5"])).unwrap();
+        assert!(run(&opts).unwrap_err().contains("--threshold"));
+    }
+}

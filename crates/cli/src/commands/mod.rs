@@ -2,6 +2,7 @@
 
 pub mod allocate;
 pub mod compare;
+pub mod faults;
 pub mod generate;
 pub mod grow;
 pub mod simulate;

@@ -45,6 +45,7 @@ pub(crate) fn run(argv: &[String]) -> Result<(), String> {
         "compare" => commands::compare::run(&opts),
         "grow" => commands::grow::run(&opts),
         "validate" => commands::validate::run(&opts),
+        "faults" => commands::faults::run(&opts),
         "help" | "--help" | "-h" => {
             print_usage();
             Ok(())
@@ -67,6 +68,9 @@ fn print_usage() {
          \x20 compare   --topology FILE [--duration S] [--duty F]\n\
          \x20 grow      --topology FILE --allocation FILE [--repair true|false] [-o FILE]\n\
          \x20 validate  [--scale smoke|full] [--threads N] [--output FILE]\n\
+         \x20 faults    [--topology FILE | --devices N --gateways G --radius M] [--gateway K]\n\
+         \x20           [--mtbf S] [--mttr S] [--epochs N] [--epoch-duration S]\n\
+         \x20           [--recovery static|reactive|oracle] [--threshold F] [--seed N] [-o FILE]\n\
          \n\
          all files are JSON; see the repository README for the schema"
     );

@@ -84,17 +84,27 @@ fn toa_per_device(config: &SimConfig, alloc: &[TxConfig]) -> Vec<f64> {
 /// 1. per device: `delivered ≤ attempts`;
 /// 2. per gateway: every (attempt, gateway) pair resolves to exactly one
 ///    of {decoded, demod_refused, sinr_failure, below_sensitivity,
-///    outage_drop, half_duplex_drop} — the six counters sum to the
-///    network-wide attempt count;
+///    outage_drop, half_duplex_drop, jammed_drop, backhaul_drop} — the
+///    eight counters sum to the network-wide attempt count;
 /// 3. network: `Σ decoded = frames_delivered + duplicate_copies` and
 ///    `frames_delivered = Σ delivered`;
-/// 4. outage attribution: no configured outage ⇒ zero `outage_drops`, and
-///    gateways outside every outage window stay at zero;
-/// 5. energy bookkeeping (unconfirmed traffic): consumed energy equals
-///    `attempts·(E_overhead + E_tx(TP, ToA)) + P_sleep·(T − attempts·ToA)`
-///    and the reported EE equals `delivered·L / (1000·energy)`;
+/// 4. fault attribution: a gateway accrues `outage_drops` only when a
+///    static outage or a churn process targets it, `jammed_drops` only
+///    when a jammer or jam burst is configured, and `backhaul_drops` only
+///    when its own backhaul link has a positive drop probability — a
+///    backhaul loss consumes a PHY-decoded copy, so it can never
+///    double-count against a PHY-level drop fate;
+/// 5. energy bookkeeping: consumed energy equals
+///    `attempts·(E_overhead + E_tx(TP, ToA) + E_listen) + P_sleep·(T −
+///    attempts·ToA)` — `E_listen` the class-A RX1+RX2 listening energy
+///    per attempt for confirmed traffic, 0 otherwise — and the reported
+///    EE equals `delivered·L / (1000·energy)`. Charged per *attempt*, so
+///    a retransmission inside an outage-spanning retry window pays
+///    exactly one overhead + TX + listen quantum, never two;
 /// 6. duty-cycle compliance: measured airtime never exceeds the offered
-///    duty cycle's budget by more than one frame.
+///    duty cycle's budget by more than one frame (confirmed traffic may
+///    retransmit up to `max_attempts` times per cycle, scaling the
+///    budget accordingly).
 pub fn check_invariants(
     config: &SimConfig,
     alloc: &[TxConfig],
@@ -118,24 +128,29 @@ pub fn check_invariants(
         }
     }
 
-    // (2) per-gateway reception conservation.
+    // (2) per-gateway reception conservation over all eight fates.
     for (k, g) in report.gateways.iter().enumerate() {
         let resolved = g.decoded
             + g.demod_refused
             + g.sinr_failures
             + g.below_sensitivity
             + g.outage_drops
-            + g.half_duplex_drops;
+            + g.half_duplex_drops
+            + g.jammed_drops
+            + g.backhaul_drops;
         if resolved != total_attempts {
             fail(format!(
                 "gateway {k}: decoded {} + refused {} + sinr {} + below-sens {} + outage {} \
-                 + half-duplex {} = {resolved} ≠ attempts {total_attempts}",
+                 + half-duplex {} + jammed {} + backhaul {} = {resolved} ≠ attempts \
+                 {total_attempts}",
                 g.decoded,
                 g.demod_refused,
                 g.sinr_failures,
                 g.below_sensitivity,
                 g.outage_drops,
                 g.half_duplex_drops,
+                g.jammed_drops,
+                g.backhaul_drops,
             ));
         }
     }
@@ -155,52 +170,74 @@ pub fn check_invariants(
         ));
     }
 
-    // (4) outage attribution.
+    // (4) fault attribution: every fault-class counter needs a configured
+    // cause. Backhaul drops in particular consume PHY-decoded copies, so
+    // a spurious count here would double-book against a PHY fate.
+    let faults = config.faults.as_ref();
+    let has_jam =
+        faults.is_some_and(|f| !f.jammers.is_empty() || !f.jam_bursts.is_empty());
     for (k, g) in report.gateways.iter().enumerate() {
-        let has_outage = config.outages.iter().any(|o| o.gateway == k);
+        let has_outage = config.outages.iter().any(|o| o.gateway == k)
+            || faults.is_some_and(|f| f.churn.iter().any(|c| c.gateway == k));
         if !has_outage && g.outage_drops > 0 {
             fail(format!("gateway {k}: {} outage drops without a configured outage", g.outage_drops));
         }
+        if !has_jam && g.jammed_drops > 0 {
+            fail(format!("gateway {k}: {} jammed drops without a configured jammer", g.jammed_drops));
+        }
+        let has_lossy_backhaul =
+            faults.is_some_and(|f| f.backhaul.iter().any(|b| b.gateway == k && b.drop_prob > 0.0));
+        if !has_lossy_backhaul && g.backhaul_drops > 0 {
+            fail(format!(
+                "gateway {k}: {} backhaul drops without a lossy backhaul link",
+                g.backhaul_drops
+            ));
+        }
     }
 
-    // (5) energy bookkeeping — exact for unconfirmed traffic.
+    // (5) energy bookkeeping — exact for both traffic kinds. Each attempt
+    // (first transmission or retry, delivered or lost to any fate) pays
+    // one overhead + TX + listening quantum, so a retry whose window
+    // spans an outage is charged exactly once, never twice.
     let payload_bits = config.payload_bits();
-    if config.confirmed.is_none() {
-        for (i, d) in report.devices.iter().enumerate() {
-            let airtime = f64::from(d.attempts) * toa[i];
-            let expected = f64::from(d.attempts)
-                * (config.energy.overhead_energy_j() + config.energy.tx_energy_j(alloc[i].tp, toa[i]))
-                + config.energy.sleep_power_w() * (report.duration_s - airtime).max(0.0);
-            if (d.energy_j - expected).abs() > 1e-6 * expected.max(1e-12) {
-                fail(format!(
-                    "device {i}: energy {} J ≠ expected {expected} J from {} attempts",
-                    d.energy_j, d.attempts
-                ));
-            }
-            let expected_ee = if d.energy_j > 0.0 {
-                f64::from(d.delivered) * payload_bits / (d.energy_j * 1_000.0)
-            } else {
-                0.0
-            };
-            if (d.ee_bits_per_mj - expected_ee).abs() > 1e-9 * expected_ee.max(1e-12) {
-                fail(format!(
-                    "device {i}: EE {} bits/mJ ≠ delivered·L/energy = {expected_ee}",
-                    d.ee_bits_per_mj
-                ));
-            }
+    let listen_j = config.confirmed.map_or(0.0, |c| c.class_a.listening_energy_j());
+    for (i, d) in report.devices.iter().enumerate() {
+        let airtime = f64::from(d.attempts) * toa[i];
+        let expected = f64::from(d.attempts)
+            * (config.energy.overhead_energy_j()
+                + config.energy.tx_energy_j(alloc[i].tp, toa[i])
+                + listen_j)
+            + config.energy.sleep_power_w() * (report.duration_s - airtime).max(0.0);
+        if (d.energy_j - expected).abs() > 1e-6 * expected.max(1e-12) {
+            fail(format!(
+                "device {i}: energy {} J ≠ expected {expected} J from {} attempts",
+                d.energy_j, d.attempts
+            ));
+        }
+        let expected_ee = if d.energy_j > 0.0 {
+            f64::from(d.delivered) * payload_bits / (d.energy_j * 1_000.0)
+        } else {
+            0.0
+        };
+        if (d.ee_bits_per_mj - expected_ee).abs() > 1e-9 * expected_ee.max(1e-12) {
+            fail(format!(
+                "device {i}: EE {} bits/mJ ≠ delivered·L/energy = {expected_ee}",
+                d.ee_bits_per_mj
+            ));
         }
     }
 
     // (6) duty-cycle compliance: the traffic generator must never offer
     // more airtime than the regime's duty budget plus one frame of
     // schedule-boundary slack.
+    let retry_factor = config.confirmed.map_or(1.0, |c| f64::from(c.max_attempts));
     for (i, d) in report.devices.iter().enumerate() {
         let offered_duty = match config.traffic {
             Traffic::DutyCycleTarget { duty } => duty,
             Traffic::Periodic => toa[i] / config.interval_of(i),
         };
         let airtime = f64::from(d.attempts) * toa[i];
-        let budget = offered_duty * report.duration_s + toa[i] + 1e-9;
+        let budget = retry_factor * offered_duty * report.duration_s + toa[i] + 1e-9;
         if airtime > budget {
             fail(format!(
                 "device {i}: airtime {airtime} s exceeds duty budget {budget} s \
@@ -369,6 +406,94 @@ mod tests {
         let ex = record.exhaustive.expect("exhaustive scenario");
         assert!(ex.optimal_min_ee > 0.0);
         assert!(ex.ratio > 0.0);
+    }
+
+    #[test]
+    fn confirmed_retry_energy_is_charged_once_per_attempt_across_outages() {
+        // Satellite fix: an outage spanning the retry window must not
+        // double-charge (or skip) the retransmission energy. The outage
+        // blacks out the only gateway mid-run, so every cycle in the
+        // window burns its full retry budget; the per-attempt energy
+        // identity in `check_invariants` must still hold exactly.
+        use lora_sim::ConfirmedTraffic;
+        let mut config = SimConfig::builder()
+            .seed(7)
+            .duration_s(3_600.0)
+            .report_interval_s(600.0)
+            .confirmed(ConfirmedTraffic::default())
+            .outage(lora_sim::GatewayOutage { gateway: 0, from_s: 900.0, to_s: 2_700.0 })
+            .build();
+        config.fading = lora_phy::Fading::None;
+        let topology = Topology::disc(6, 1, 2_000.0, &config, 7);
+        let alloc = vec![TxConfig::default(); 6];
+        let report = Simulation::new(config.clone(), topology, alloc.clone()).unwrap().run();
+
+        // The outage must actually force retransmissions: more attempts
+        // than cycles, and losses despite the quiet channel.
+        let attempts: u64 = report.devices.iter().map(|d| u64::from(d.attempts)).sum();
+        let delivered: u64 = report.devices.iter().map(|d| u64::from(d.delivered)).sum();
+        assert!(report.gateways[0].outage_drops > 0, "outage must bite");
+        assert!(attempts > delivered, "lost frames must trigger retries");
+
+        let violations = check_invariants(&config, &alloc, &report, 0);
+        assert!(violations.is_empty(), "{violations:?}");
+
+        // Spot-check the identity by hand for the worst-hit device.
+        let toa = toa_per_device(&config, &alloc);
+        let conf = config.confirmed.unwrap();
+        for (i, d) in report.devices.iter().enumerate() {
+            let expected = f64::from(d.attempts)
+                * (config.energy.overhead_energy_j()
+                    + config.energy.tx_energy_j(alloc[i].tp, toa[i])
+                    + conf.class_a.listening_energy_j())
+                + config.energy.sleep_power_w()
+                    * (report.duration_s - f64::from(d.attempts) * toa[i]);
+            assert!(
+                (d.energy_j - expected).abs() <= 1e-9 * expected,
+                "device {i}: {} J vs {expected} J",
+                d.energy_j
+            );
+        }
+    }
+
+    #[test]
+    fn invariant_checker_accepts_faulted_reports_and_flags_phantom_fault_drops() {
+        use lora_sim::{BackhaulLink, FaultConfig, GatewayChurn, JamBurst};
+        let mut builder = SimConfig::builder();
+        builder.seed(5).duration_s(2_400.0).report_interval_s(600.0);
+        builder.faults(FaultConfig {
+            churn: vec![GatewayChurn { gateway: 0, mtbf_s: 500.0, mttr_s: 400.0 }],
+            jam_bursts: vec![JamBurst {
+                channel: 0,
+                from_s: 600.0,
+                to_s: 1_800.0,
+                power_mw: 1.0,
+            }],
+            backhaul: vec![BackhaulLink { gateway: 1, drop_prob: 0.5, latency_s: 0.01 }],
+            ..FaultConfig::default()
+        });
+        let config = builder.try_build().unwrap();
+        let topology = Topology::disc(10, 2, 3_000.0, &config, 5);
+        let alloc = vec![TxConfig::default(); 10];
+        let mut report =
+            Simulation::new(config.clone(), topology, alloc.clone()).unwrap().run();
+        let violations = check_invariants(&config, &alloc, &report, 0);
+        assert!(violations.is_empty(), "{violations:?}");
+
+        // A fault-class drop without a configured cause is an attribution
+        // bug: credit each new counter on the *wrong* gateway and the
+        // checker must object.
+        report.gateways[1].outage_drops += 1;
+        report.gateways[0].backhaul_drops += 1;
+        let violations = check_invariants(&config, &alloc, &report, 0);
+        assert!(
+            violations.iter().any(|v| v.contains("outage drops without")),
+            "{violations:?}"
+        );
+        assert!(
+            violations.iter().any(|v| v.contains("backhaul drops without")),
+            "{violations:?}"
+        );
     }
 
     #[test]

@@ -128,6 +128,57 @@ impl IncrementalAllocator {
         })
     }
 
+    /// Repairs the configurations of an explicit set of devices in place.
+    ///
+    /// Each listed device is re-scanned with the full lexicographic
+    /// candidate rule against `ctx`'s link budget; everyone else keeps
+    /// `current` verbatim. This is the resilience-recovery entry point:
+    /// after a gateway failure, the caller rebuilds `ctx` from the masked
+    /// topology and passes the devices whose link budget the failure
+    /// changed, bounding the over-the-air reconfiguration cost by the
+    /// blast radius instead of the network size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError::InvalidParameter`] when `current` does not
+    /// cover `ctx`'s topology exactly or a device index is out of range,
+    /// and the usual empty-deployment errors.
+    pub fn repair(
+        &self,
+        ctx: &AllocationContext<'_>,
+        current: &[TxConfig],
+        devices: &[usize],
+    ) -> Result<IncrementalOutcome, AllocError> {
+        ctx.check_nonempty()?;
+        if current.len() != ctx.device_count() {
+            return Err(AllocError::InvalidParameter {
+                reason: "current allocation must cover the topology exactly",
+            });
+        }
+        if devices.iter().any(|&d| d >= current.len()) {
+            return Err(AllocError::InvalidParameter {
+                reason: "repair device index out of range",
+            });
+        }
+        let mut state = ctx.model().state(current.to_vec())?;
+        let mut candidates = 0u64;
+        let mut reconfigured = 0usize;
+        for &device in devices {
+            let before = state.alloc()[device];
+            candidates += scan_and_apply(ctx, &mut state, device);
+            if state.alloc()[device] != before {
+                reconfigured += 1;
+            }
+        }
+        state.refresh();
+        Ok(IncrementalOutcome {
+            min_ee: state.min_ee(),
+            allocation: Allocation::new(state.alloc().to_vec()),
+            reconfigured,
+            candidates_evaluated: candidates,
+        })
+    }
+
     /// Repairs an allocation after devices left the deployment.
     ///
     /// `ctx` describes the shrunk topology, `remaining` the surviving

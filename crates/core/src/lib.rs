@@ -19,6 +19,9 @@
 //!   with power control disabled (every device at 14 dBm);
 //! * [`incremental::IncrementalAllocator`] — the Section III-E future-work
 //!   extension: bounded re-allocation on device additions/removals;
+//! * [`resilience`] — degradation detection and online recovery under
+//!   gateway/channel faults: [`resilience::ResilienceController`] plus the
+//!   masked-repair loop of [`resilience::run_faulted`];
 //! * [`fairness`], [`lifetime`] — the evaluation metrics.
 //!
 //! # Quick start
@@ -58,6 +61,7 @@ pub mod greedy;
 pub mod incremental;
 pub mod lifetime;
 pub mod placement;
+pub mod resilience;
 pub mod strategy;
 
 pub use allocation::Allocation;
@@ -67,4 +71,8 @@ pub use error::AllocError;
 pub use exhaustive::ExhaustiveSearch;
 pub use greedy::{DeviceOrdering, EfLora, GreedyReport};
 pub use incremental::{IncrementalAllocator, IncrementalOutcome};
+pub use resilience::{
+    reallocate_masked, run_faulted, Decision, EpochReport, RecoveryMode, ResilienceConfig,
+    ResilienceController, ResilienceRun,
+};
 pub use strategy::Strategy;

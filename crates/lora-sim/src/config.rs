@@ -2,6 +2,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::error::SimError;
+use crate::faults::FaultConfig;
 use lora_mac::class_a::ClassAParams;
 use lora_mac::collision::InterSfPolicy;
 use lora_phy::energy::{Battery, RadioEnergyModel};
@@ -138,6 +140,12 @@ pub struct SimConfig {
     pub battery: Battery,
     /// Gateway outage windows for failure injection.
     pub outages: Vec<GatewayOutage>,
+    /// Fault-injection model: churn/jammer processes, hand-placed jam
+    /// bursts and lossy backhaul links. `None` (the default, and the
+    /// value deserialised from pre-fault-engine JSON) disables the
+    /// engine entirely; the simulator output is then bit-identical to a
+    /// build without it.
+    pub faults: Option<FaultConfig>,
 }
 
 impl SimConfig {
@@ -192,6 +200,7 @@ impl Default for SimConfig {
             energy: RadioEnergyModel::sx1276(),
             battery: Battery::default(),
             outages: Vec::new(),
+            faults: None,
         }
     }
 }
@@ -312,9 +321,45 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Sets the fault-injection model (churn/jammer processes, jam
+    /// bursts, backhaul links).
+    pub fn faults(&mut self, faults: FaultConfig) -> &mut Self {
+        self.config.faults = Some(faults);
+        self
+    }
+
     /// Finalises the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed fault window (see
+    /// [`SimConfigBuilder::try_build`] for the fallible variant).
     pub fn build(&self) -> SimConfig {
-        self.config.clone()
+        self.try_build().expect("SimConfigBuilder holds an invalid fault window")
+    }
+
+    /// Finalises the configuration, rejecting malformed fault injection
+    /// up front instead of letting an inverted or NaN window silently
+    /// never match at run time.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidFault`] for an outage or jam window with
+    /// `from_s > to_s` or NaN/negative bounds, or fault-process
+    /// parameters that are non-positive or out of range. Gateway and
+    /// channel indices are checked against the actual deployment shape in
+    /// [`Simulation::new`](crate::Simulation::new), which repeats all of
+    /// these checks for configurations assembled without the builder.
+    pub fn try_build(&self) -> Result<SimConfig, SimError> {
+        for (i, o) in self.config.outages.iter().enumerate() {
+            crate::faults::validate_window(o.from_s, o.to_s, &format!("outages[{i}]"))?;
+        }
+        if let Some(faults) = &self.config.faults {
+            // The deployment shape is unknown until `Simulation::new`;
+            // validate everything else with out-of-range sentinels.
+            faults.validate(usize::MAX, usize::MAX)?;
+        }
+        Ok(self.config.clone())
     }
 }
 
@@ -350,6 +395,45 @@ mod tests {
         assert_eq!(c.phy_payload_len(), 29);
         assert_eq!(c.demod_capacity, 4);
         assert_eq!(c.p_los, 0.7);
+    }
+
+    #[test]
+    fn builder_rejects_inverted_outage_window() {
+        let mut b = SimConfig::builder();
+        b.outage(GatewayOutage { gateway: 0, from_s: 50.0, to_s: 10.0 });
+        assert!(matches!(b.try_build(), Err(SimError::InvalidFault { .. })));
+    }
+
+    #[test]
+    fn builder_rejects_nan_and_negative_bounds() {
+        let mut b = SimConfig::builder();
+        b.outage(GatewayOutage { gateway: 0, from_s: f64::NAN, to_s: 10.0 });
+        assert!(b.try_build().is_err());
+        let mut b = SimConfig::builder();
+        b.outage(GatewayOutage { gateway: 0, from_s: -5.0, to_s: 10.0 });
+        assert!(b.try_build().is_err());
+    }
+
+    #[test]
+    fn builder_accepts_valid_faults() {
+        let mut b = SimConfig::builder();
+        b.outage(GatewayOutage { gateway: 3, from_s: 0.0, to_s: 10.0 });
+        b.faults(FaultConfig {
+            churn: vec![crate::faults::GatewayChurn { gateway: 1, mtbf_s: 100.0, mttr_s: 50.0 }],
+            ..FaultConfig::default()
+        });
+        let c = b.try_build().unwrap();
+        assert_eq!(c.faults.as_ref().unwrap().churn.len(), 1);
+    }
+
+    #[test]
+    fn builder_rejects_bad_fault_process() {
+        let mut b = SimConfig::builder();
+        b.faults(FaultConfig {
+            churn: vec![crate::faults::GatewayChurn { gateway: 0, mtbf_s: -1.0, mttr_s: 50.0 }],
+            ..FaultConfig::default()
+        });
+        assert!(matches!(b.try_build(), Err(SimError::InvalidFault { .. })));
     }
 
     #[test]

@@ -28,6 +28,13 @@ pub enum SimError {
         /// Human-readable reason.
         reason: &'static str,
     },
+    /// A fault-injection entry (outage window, churn/jammer process or
+    /// backhaul link) is invalid: NaN or negative bounds, an inverted
+    /// window, or an index outside the deployment.
+    InvalidFault {
+        /// Human-readable reason naming the offending entry.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -42,6 +49,7 @@ impl fmt::Display for SimError {
                 "device {device} allocated channel {channel} outside plan of {plan_len} channels"
             ),
             SimError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            SimError::InvalidFault { reason } => write!(f, "invalid fault injection: {reason}"),
         }
     }
 }

@@ -1,0 +1,446 @@
+//! Deterministic fault injection: stochastic failure processes compiled
+//! into static windows before the event loop starts.
+//!
+//! Three fault classes, mirroring how real LoRaWAN deployments degrade:
+//!
+//! * **Gateway churn** ([`GatewayChurn`]): a gateway alternates between up
+//!   and down states with exponentially distributed sojourn times (MTBF /
+//!   MTTR), compiled into [`GatewayOutage`] windows;
+//! * **Channel jammers** ([`JammerProcess`] / [`JamBurst`]): bursts of
+//!   elevated noise floor on one uplink channel, raising the denominator
+//!   of the SINR check for every overlapping reception;
+//! * **Lossy backhaul** ([`BackhaulLink`]): the gateway→network-server
+//!   link drops a fraction of decoded frames (before de-duplication) and
+//!   delays the rest, which shifts which gateway serves the downlink
+//!   acknowledgement.
+//!
+//! Everything is seed-derived and compiled up front in
+//! [`Simulation::new`](crate::Simulation::new) with an RNG stream
+//! *separate* from the traffic RNG (`seed ^ salt`), so enabling a fault
+//! process never perturbs the phases, fading draws or backoffs of the
+//! main simulation — and a config with no fault processes is bit-identical
+//! to a simulator without the fault engine at all.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::config::GatewayOutage;
+use crate::error::SimError;
+
+/// Domain-separation salt for the fault RNG streams: the compiled windows
+/// must be a pure function of `(seed, process)` and independent of the
+/// traffic stream.
+const FAULT_SEED_SALT: u64 = 0xFA11_7C0D_E5EE_D000;
+
+/// SplitMix64 finalizer, used to give every fault process its own
+/// decorrelated RNG stream and to hash backhaul drop decisions.
+#[inline]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// An exponential draw with the given mean (inverse-CDF method).
+#[inline]
+fn sample_exp<R: Rng>(rng: &mut R, mean_s: f64) -> f64 {
+    // `1 - u` keeps the argument in (0, 1] so `ln` is finite.
+    -mean_s * (1.0 - rng.gen::<f64>()).ln()
+}
+
+/// A jammer burst: the noise floor on `channel` is raised by `power_mw`
+/// during `[from_s, to_s)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JamBurst {
+    /// The jammed uplink channel index.
+    pub channel: usize,
+    /// Start of the burst, seconds.
+    pub from_s: f64,
+    /// End of the burst, seconds.
+    pub to_s: f64,
+    /// Additional noise power at the gateway input, milliwatts.
+    pub power_mw: f64,
+}
+
+impl JamBurst {
+    /// Whether the burst overlaps a reception of `channel` spanning
+    /// `[start_s, end_s)`.
+    #[inline]
+    pub fn overlaps(&self, channel: usize, start_s: f64, end_s: f64) -> bool {
+        self.channel == channel && self.from_s < end_s && start_s < self.to_s
+    }
+}
+
+/// A lossy, delayed gateway→network-server backhaul link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BackhaulLink {
+    /// The gateway whose uplink copies traverse this link.
+    pub gateway: usize,
+    /// Probability that a decoded copy is dropped before reaching the
+    /// network server (and its de-duplication stage).
+    pub drop_prob: f64,
+    /// One-way forwarding latency, seconds. Copies arriving later lose
+    /// the serving-gateway election for the downlink acknowledgement.
+    pub latency_s: f64,
+}
+
+/// A gateway churn process: exponential up/down cycles with the given
+/// mean time between failures and mean time to repair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GatewayChurn {
+    /// The churning gateway.
+    pub gateway: usize,
+    /// Mean up-time before a failure, seconds.
+    pub mtbf_s: f64,
+    /// Mean down-time per failure, seconds.
+    pub mttr_s: f64,
+}
+
+impl GatewayChurn {
+    /// Compiles the process into concrete outage windows over
+    /// `[0, duration_s)`. Deterministic in `(seed, self)`: the RNG stream
+    /// is derived from the seed and the gateway index, so reordering the
+    /// process list does not change any gateway's windows.
+    pub fn compile(&self, seed: u64, duration_s: f64) -> Vec<GatewayOutage> {
+        let stream = splitmix64(seed ^ FAULT_SEED_SALT ^ (self.gateway as u64));
+        let mut rng = ChaCha12Rng::seed_from_u64(stream);
+        let mut windows = Vec::new();
+        let mut t = sample_exp(&mut rng, self.mtbf_s);
+        while t < duration_s {
+            let down = sample_exp(&mut rng, self.mttr_s);
+            windows.push(GatewayOutage {
+                gateway: self.gateway,
+                from_s: t,
+                to_s: (t + down).min(duration_s),
+            });
+            t += down + sample_exp(&mut rng, self.mtbf_s);
+        }
+        windows
+    }
+}
+
+/// A channel jammer process: exponential quiet gaps between bursts of
+/// exponential duration, at a fixed jamming power.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JammerProcess {
+    /// The jammed uplink channel index.
+    pub channel: usize,
+    /// Mean quiet gap between bursts, seconds.
+    pub mean_gap_s: f64,
+    /// Mean burst duration, seconds.
+    pub mean_burst_s: f64,
+    /// Jamming power at the gateway input, milliwatts.
+    pub power_mw: f64,
+}
+
+impl JammerProcess {
+    /// Compiles the process into concrete bursts over `[0, duration_s)`,
+    /// deterministic in `(seed, self)` like [`GatewayChurn::compile`].
+    pub fn compile(&self, seed: u64, duration_s: f64) -> Vec<JamBurst> {
+        let stream =
+            splitmix64(seed ^ FAULT_SEED_SALT ^ splitmix64(0x1A33 ^ self.channel as u64));
+        let mut rng = ChaCha12Rng::seed_from_u64(stream);
+        let mut bursts = Vec::new();
+        let mut t = sample_exp(&mut rng, self.mean_gap_s);
+        while t < duration_s {
+            let len = sample_exp(&mut rng, self.mean_burst_s);
+            bursts.push(JamBurst {
+                channel: self.channel,
+                from_s: t,
+                to_s: (t + len).min(duration_s),
+                power_mw: self.power_mw,
+            });
+            t += len + sample_exp(&mut rng, self.mean_gap_s);
+        }
+        bursts
+    }
+}
+
+/// The full fault model of a run: stochastic processes (compiled at
+/// simulation construction) plus hand-placed static windows and backhaul
+/// links. `SimConfig::faults = None` disables the engine entirely.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Gateway churn processes (at most one per gateway is meaningful;
+    /// several on one gateway overlay their windows).
+    pub churn: Vec<GatewayChurn>,
+    /// Channel jammer processes.
+    pub jammers: Vec<JammerProcess>,
+    /// Hand-placed jammer bursts, merged with the compiled ones.
+    pub jam_bursts: Vec<JamBurst>,
+    /// Per-gateway backhaul links; gateways without an entry forward
+    /// losslessly with zero latency.
+    pub backhaul: Vec<BackhaulLink>,
+}
+
+impl FaultConfig {
+    /// Whether the configuration injects no fault at all.
+    pub fn is_empty(&self) -> bool {
+        self.churn.is_empty()
+            && self.jammers.is_empty()
+            && self.jam_bursts.is_empty()
+            && self.backhaul.is_empty()
+    }
+
+    /// Validates every process and window against the deployment shape.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidFault`] naming the offending entry.
+    pub fn validate(&self, n_gateways: usize, n_channels: usize) -> Result<(), SimError> {
+        for (i, c) in self.churn.iter().enumerate() {
+            if c.gateway >= n_gateways {
+                return Err(SimError::InvalidFault {
+                    reason: format!(
+                        "churn[{i}]: gateway {} out of range (deployment has {n_gateways})",
+                        c.gateway
+                    ),
+                });
+            }
+            if !(c.mtbf_s.is_finite() && c.mtbf_s > 0.0 && c.mttr_s.is_finite() && c.mttr_s > 0.0)
+            {
+                return Err(SimError::InvalidFault {
+                    reason: format!("churn[{i}]: MTBF and MTTR must be positive and finite"),
+                });
+            }
+        }
+        for (i, j) in self.jammers.iter().enumerate() {
+            if j.channel >= n_channels {
+                return Err(SimError::InvalidFault {
+                    reason: format!(
+                        "jammers[{i}]: channel {} outside plan of {n_channels}",
+                        j.channel
+                    ),
+                });
+            }
+            if !(j.mean_gap_s.is_finite()
+                && j.mean_gap_s > 0.0
+                && j.mean_burst_s.is_finite()
+                && j.mean_burst_s > 0.0)
+            {
+                return Err(SimError::InvalidFault {
+                    reason: format!("jammers[{i}]: gap and burst means must be positive"),
+                });
+            }
+            if !(j.power_mw.is_finite() && j.power_mw > 0.0) {
+                return Err(SimError::InvalidFault {
+                    reason: format!("jammers[{i}]: power must be positive and finite"),
+                });
+            }
+        }
+        for (i, b) in self.jam_bursts.iter().enumerate() {
+            if b.channel >= n_channels {
+                return Err(SimError::InvalidFault {
+                    reason: format!(
+                        "jam_bursts[{i}]: channel {} outside plan of {n_channels}",
+                        b.channel
+                    ),
+                });
+            }
+            validate_window(b.from_s, b.to_s, &format!("jam_bursts[{i}]"))?;
+            if !(b.power_mw.is_finite() && b.power_mw > 0.0) {
+                return Err(SimError::InvalidFault {
+                    reason: format!("jam_bursts[{i}]: power must be positive and finite"),
+                });
+            }
+        }
+        for (i, b) in self.backhaul.iter().enumerate() {
+            if b.gateway >= n_gateways {
+                return Err(SimError::InvalidFault {
+                    reason: format!(
+                        "backhaul[{i}]: gateway {} out of range (deployment has {n_gateways})",
+                        b.gateway
+                    ),
+                });
+            }
+            if !(b.drop_prob.is_finite() && (0.0..=1.0).contains(&b.drop_prob)) {
+                return Err(SimError::InvalidFault {
+                    reason: format!("backhaul[{i}]: drop probability must be in [0, 1]"),
+                });
+            }
+            if !(b.latency_s.is_finite() && b.latency_s >= 0.0) {
+                return Err(SimError::InvalidFault {
+                    reason: format!("backhaul[{i}]: latency must be non-negative and finite"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Compiles every stochastic process into static windows over
+    /// `[0, duration_s)` and merges the hand-placed ones.
+    pub fn compile(&self, seed: u64, duration_s: f64) -> (Vec<GatewayOutage>, Vec<JamBurst>) {
+        let mut outages = Vec::new();
+        for c in &self.churn {
+            outages.extend(c.compile(seed, duration_s));
+        }
+        let mut bursts = self.jam_bursts.clone();
+        for j in &self.jammers {
+            bursts.extend(j.compile(seed, duration_s));
+        }
+        (outages, bursts)
+    }
+}
+
+/// Validates a `[from_s, to_s)` fault window: bounds must be finite,
+/// non-negative and ordered (empty windows are legal — they cover
+/// nothing).
+pub(crate) fn validate_window(from_s: f64, to_s: f64, what: &str) -> Result<(), SimError> {
+    if !(from_s.is_finite() && to_s.is_finite()) {
+        return Err(SimError::InvalidFault { reason: format!("{what}: window bounds must be finite") });
+    }
+    if from_s < 0.0 || to_s < 0.0 {
+        return Err(SimError::InvalidFault {
+            reason: format!("{what}: window bounds must be non-negative"),
+        });
+    }
+    if from_s > to_s {
+        return Err(SimError::InvalidFault {
+            reason: format!("{what}: window start {from_s} exceeds end {to_s}"),
+        });
+    }
+    Ok(())
+}
+
+/// Stateless backhaul drop decision: a decoded copy `(gateway, device,
+/// seq)` is dropped iff a seed-derived hash falls below `drop_prob`.
+/// Being a pure function of the tuple, the verdict cannot depend on event
+/// interleaving or worker count.
+#[inline]
+pub(crate) fn backhaul_drops(
+    seed: u64,
+    gateway: usize,
+    device: usize,
+    seq: u32,
+    drop_prob: f64,
+) -> bool {
+    if drop_prob <= 0.0 {
+        return false;
+    }
+    let h = splitmix64(
+        splitmix64(seed ^ FAULT_SEED_SALT ^ 0xBAC4_4AE1)
+            ^ splitmix64((gateway as u64) << 40 ^ (device as u64) << 20 ^ u64::from(seq)),
+    );
+    // 53 uniform bits → [0, 1).
+    let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+    u < drop_prob
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn churn_compilation_is_deterministic_and_ordered() {
+        let churn = GatewayChurn { gateway: 1, mtbf_s: 500.0, mttr_s: 300.0 };
+        let a = churn.compile(42, 10_000.0);
+        let b = churn.compile(42, 10_000.0);
+        assert_eq!(a, b);
+        assert!(!a.is_empty(), "10 ks horizon at 500 s MTBF must fail at least once");
+        let mut last_end = 0.0;
+        for w in &a {
+            assert_eq!(w.gateway, 1);
+            assert!(w.from_s >= last_end, "windows must not overlap");
+            assert!(w.to_s <= 10_000.0, "windows are clamped to the horizon");
+            assert!(w.from_s <= w.to_s);
+            last_end = w.to_s;
+        }
+    }
+
+    #[test]
+    fn churn_windows_depend_on_seed() {
+        let churn = GatewayChurn { gateway: 0, mtbf_s: 500.0, mttr_s: 300.0 };
+        assert_ne!(churn.compile(1, 10_000.0), churn.compile(2, 10_000.0));
+    }
+
+    #[test]
+    fn jammer_compilation_stays_on_its_channel() {
+        let j = JammerProcess { channel: 3, mean_gap_s: 400.0, mean_burst_s: 200.0, power_mw: 1e-6 };
+        let bursts = j.compile(7, 8_000.0);
+        assert!(!bursts.is_empty());
+        for b in &bursts {
+            assert_eq!(b.channel, 3);
+            assert_eq!(b.power_mw, 1e-6);
+            assert!(b.from_s <= b.to_s && b.to_s <= 8_000.0);
+        }
+    }
+
+    #[test]
+    fn jam_burst_overlap_is_half_open() {
+        let b = JamBurst { channel: 0, from_s: 10.0, to_s: 20.0, power_mw: 1.0 };
+        assert!(b.overlaps(0, 15.0, 16.0));
+        assert!(b.overlaps(0, 5.0, 10.5));
+        assert!(!b.overlaps(0, 20.0, 25.0), "burst end is exclusive");
+        assert!(!b.overlaps(0, 5.0, 10.0), "reception end is exclusive");
+        assert!(!b.overlaps(1, 15.0, 16.0), "other channels are unaffected");
+    }
+
+    #[test]
+    fn validation_rejects_bad_entries() {
+        let mut f = FaultConfig::default();
+        f.churn.push(GatewayChurn { gateway: 2, mtbf_s: 100.0, mttr_s: 100.0 });
+        assert!(f.validate(2, 8).is_err(), "gateway out of range");
+        f.churn[0].gateway = 0;
+        f.churn[0].mtbf_s = f64::NAN;
+        assert!(f.validate(2, 8).is_err(), "NaN MTBF");
+        f.churn[0].mtbf_s = 100.0;
+        assert!(f.validate(2, 8).is_ok());
+
+        f.backhaul.push(BackhaulLink { gateway: 0, drop_prob: 1.5, latency_s: 0.0 });
+        assert!(f.validate(2, 8).is_err(), "drop probability above 1");
+        f.backhaul[0].drop_prob = 0.5;
+        f.backhaul[0].latency_s = -1.0;
+        assert!(f.validate(2, 8).is_err(), "negative latency");
+        f.backhaul[0].latency_s = 0.1;
+        assert!(f.validate(2, 8).is_ok());
+
+        f.jam_bursts.push(JamBurst { channel: 9, from_s: 0.0, to_s: 1.0, power_mw: 1.0 });
+        assert!(f.validate(2, 8).is_err(), "channel outside plan");
+        f.jam_bursts[0].channel = 0;
+        f.jam_bursts[0].from_s = 2.0;
+        assert!(f.validate(2, 8).is_err(), "start after end");
+    }
+
+    #[test]
+    fn empty_config_is_empty() {
+        assert!(FaultConfig::default().is_empty());
+        let f = FaultConfig {
+            backhaul: vec![BackhaulLink { gateway: 0, drop_prob: 0.0, latency_s: 0.0 }],
+            ..FaultConfig::default()
+        };
+        assert!(!f.is_empty());
+    }
+
+    #[test]
+    fn backhaul_hash_is_stable_and_respects_extremes() {
+        assert!(!backhaul_drops(1, 0, 0, 0, 0.0));
+        assert!(backhaul_drops(1, 0, 0, 0, 1.0));
+        let a = backhaul_drops(9, 1, 5, 3, 0.5);
+        assert_eq!(a, backhaul_drops(9, 1, 5, 3, 0.5));
+        // Roughly half of distinct tuples drop at p = 0.5.
+        let dropped = (0..1_000u32).filter(|&s| backhaul_drops(9, 1, 5, s, 0.5)).count();
+        assert!((350..=650).contains(&dropped), "{dropped} of 1000 dropped");
+    }
+
+    #[test]
+    fn compile_merges_static_and_stochastic() {
+        let f = FaultConfig {
+            churn: vec![GatewayChurn { gateway: 0, mtbf_s: 400.0, mttr_s: 400.0 }],
+            jammers: vec![JammerProcess {
+                channel: 1,
+                mean_gap_s: 400.0,
+                mean_burst_s: 400.0,
+                power_mw: 1.0,
+            }],
+            jam_bursts: vec![JamBurst { channel: 0, from_s: 0.0, to_s: 10.0, power_mw: 2.0 }],
+            backhaul: Vec::new(),
+        };
+        let (outages, bursts) = f.compile(3, 5_000.0);
+        assert!(!outages.is_empty());
+        assert!(bursts.len() > 1, "static burst plus compiled ones");
+        assert_eq!(bursts[0].power_mw, 2.0, "hand-placed bursts come first");
+    }
+}

@@ -50,6 +50,7 @@
 pub mod config;
 pub mod error;
 pub mod event;
+pub mod faults;
 pub mod medium;
 pub mod metrics;
 pub mod report;
@@ -60,6 +61,7 @@ pub mod trace;
 
 pub use config::{ConfirmedTraffic, GatewayOutage, SimConfig, SimConfigBuilder, Traffic};
 pub use error::SimError;
+pub use faults::{BackhaulLink, FaultConfig, GatewayChurn, JamBurst, JammerProcess};
 pub use report::{DeviceStats, GatewayStats, SimReport};
 pub use sim::Simulation;
 pub use topology::{attenuation_matrix, DeviceSite, Position, Topology};

@@ -43,6 +43,18 @@ impl ActiveTx {
         let denom = self.interference_mw[gw] + noise_mw;
         10.0 * (signal / denom).log10()
     }
+
+    /// Total jamming power overlapping this transmission, milliwatts.
+    /// Added to the noise floor in [`ActiveTx::sinr_db`]'s `noise_mw`
+    /// argument; `0.0` when no burst touches the reception, which keeps
+    /// the fault-free SINR bit-identical (`x + 0.0 == x` in IEEE 754).
+    pub fn jam_noise_mw(&self, bursts: &[crate::faults::JamBurst]) -> f64 {
+        bursts
+            .iter()
+            .filter(|b| b.overlaps(self.channel, self.start_s, self.end_s))
+            .map(|b| b.power_mw)
+            .sum()
+    }
 }
 
 /// The set of in-flight transmissions with interference bookkeeping.
@@ -189,6 +201,20 @@ mod tests {
         let _ = m.end(0, 0);
         m.start(tx(1, SpreadingFactor::Sf7, 0, 2.0));
         assert_eq!(m.end(1, 0).interference_mw, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn jam_noise_sums_overlapping_bursts_only() {
+        use crate::faults::JamBurst;
+        let t = tx(0, SpreadingFactor::Sf7, 2, 1.0); // airborne over [0, 1)
+        let bursts = [
+            JamBurst { channel: 2, from_s: 0.5, to_s: 2.0, power_mw: 1e-6 },
+            JamBurst { channel: 2, from_s: 0.0, to_s: 0.2, power_mw: 3e-6 },
+            JamBurst { channel: 1, from_s: 0.0, to_s: 2.0, power_mw: 7e-6 }, // other channel
+            JamBurst { channel: 2, from_s: 1.0, to_s: 2.0, power_mw: 9e-6 }, // starts at end
+        ];
+        assert!((t.jam_noise_mw(&bursts) - 4e-6).abs() < 1e-18);
+        assert_eq!(t.jam_noise_mw(&[]), 0.0);
     }
 
     #[test]

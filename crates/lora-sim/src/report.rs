@@ -35,9 +35,13 @@ impl DeviceStats {
 }
 
 /// Per-gateway statistics from one simulation run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+///
+/// Every transmission attempt meets exactly one of these eight fates at
+/// every gateway, so the counters sum to the network-wide attempt count —
+/// the reception-conservation invariant the conformance engine checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct GatewayStats {
-    /// Copies successfully decoded.
+    /// Copies successfully decoded *and* forwarded to the network server.
     pub decoded: u64,
     /// Receptions lost because all demodulator paths were busy (the
     /// paper's Eq. 6 capacity limit binding).
@@ -53,6 +57,70 @@ pub struct GatewayStats {
     /// Receptions dropped because the half-duplex gateway was transmitting
     /// a downlink acknowledgement (confirmed traffic only).
     pub half_duplex_drops: u64,
+    /// Receptions that failed the SINR check only because of a jammer
+    /// burst: with the jam power removed the copy would have decoded.
+    /// Disjoint from [`GatewayStats::sinr_failures`].
+    pub jammed_drops: u64,
+    /// PHY-decoded copies dropped on the lossy backhaul before reaching
+    /// the network server. Disjoint from [`GatewayStats::decoded`], so a
+    /// backhaul loss never double-counts against any PHY-level drop.
+    pub backhaul_drops: u64,
+}
+
+// Hand-written serde impls (the derive would serialise every field): the
+// fault-era counters are omitted when zero and default to zero when
+// missing, so fault-free reports stay byte-identical to the pre-fault
+// engine's JSON and old reports still parse.
+impl Serialize for GatewayStats {
+    fn to_value(&self) -> serde::Value {
+        let mut obj: Vec<(String, serde::Value)> = vec![
+            ("decoded".to_string(), self.decoded.to_value()),
+            ("demod_refused".to_string(), self.demod_refused.to_value()),
+            ("sinr_failures".to_string(), self.sinr_failures.to_value()),
+            ("below_sensitivity".to_string(), self.below_sensitivity.to_value()),
+            ("outage_drops".to_string(), self.outage_drops.to_value()),
+            ("half_duplex_drops".to_string(), self.half_duplex_drops.to_value()),
+        ];
+        if self.jammed_drops != 0 {
+            obj.push(("jammed_drops".to_string(), self.jammed_drops.to_value()));
+        }
+        if self.backhaul_drops != 0 {
+            obj.push(("backhaul_drops".to_string(), self.backhaul_drops.to_value()));
+        }
+        serde::Value::Object(obj)
+    }
+}
+
+impl Deserialize for GatewayStats {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let obj = value.as_object().ok_or_else(|| {
+            serde::Error::custom(format!("expected object for GatewayStats, got {}", value.kind()))
+        })?;
+        let required = |name: &str| -> Result<u64, serde::Error> {
+            match obj.iter().find(|(k, _)| k.as_str() == name) {
+                Some((_, v)) => Deserialize::from_value(v)
+                    .map_err(|e: serde::Error| e.contextualize(&format!("GatewayStats.{name}"))),
+                None => Err(serde::Error::custom(format!("missing field `GatewayStats.{name}`"))),
+            }
+        };
+        let optional = |name: &str| -> Result<u64, serde::Error> {
+            match obj.iter().find(|(k, _)| k.as_str() == name) {
+                Some((_, v)) => Deserialize::from_value(v)
+                    .map_err(|e: serde::Error| e.contextualize(&format!("GatewayStats.{name}"))),
+                None => Ok(0),
+            }
+        };
+        Ok(GatewayStats {
+            decoded: required("decoded")?,
+            demod_refused: required("demod_refused")?,
+            sinr_failures: required("sinr_failures")?,
+            below_sensitivity: required("below_sensitivity")?,
+            outage_drops: required("outage_drops")?,
+            half_duplex_drops: required("half_duplex_drops")?,
+            jammed_drops: optional("jammed_drops")?,
+            backhaul_drops: optional("backhaul_drops")?,
+        })
+    }
 }
 
 /// The result of one simulation run.

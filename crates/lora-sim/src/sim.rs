@@ -9,9 +9,10 @@ use lora_phy::link::noise_floor_dbm;
 use lora_phy::toa::ToaParams;
 use lora_phy::{dbm_to_mw, Bandwidth, TxConfig};
 
-use crate::config::SimConfig;
+use crate::config::{GatewayOutage, SimConfig};
 use crate::error::SimError;
 use crate::event::{Event, EventQueue};
+use crate::faults::{self, JamBurst};
 use crate::medium::{ActiveTx, Medium};
 use crate::report::{DeviceStats, GatewayStats, SimReport};
 use crate::topology::Topology;
@@ -44,6 +45,15 @@ pub struct Simulation {
     /// Time-on-air of a downlink acknowledgement at each device's SF
     /// (confirmed traffic; an empty data-down frame of 12 bytes).
     ack_toa_s: Vec<f64>,
+    /// All outage windows in effect: the hand-placed ones from the config
+    /// plus the windows compiled from churn processes.
+    outage_windows: Vec<GatewayOutage>,
+    /// All jammer bursts in effect: hand-placed plus compiled.
+    jam_bursts: Vec<JamBurst>,
+    /// Backhaul drop probability per gateway (`0.0` = lossless).
+    backhaul_drop_prob: Vec<f64>,
+    /// Backhaul forwarding latency per gateway, seconds.
+    backhaul_latency_s: Vec<f64>,
 }
 
 impl Simulation {
@@ -108,6 +118,39 @@ impl Simulation {
             }
         }
 
+        // Fault injection: validate against the actual deployment shape
+        // (the builder cannot know gateway/channel counts), then compile
+        // every stochastic process into static windows. The compilation
+        // RNG streams are derived from `seed ^ salt`, so the traffic RNG
+        // stream is untouched and a fault-free config behaves exactly as
+        // if the fault engine did not exist.
+        let n_gateways = topology.gateway_count();
+        for (i, o) in config.outages.iter().enumerate() {
+            faults::validate_window(o.from_s, o.to_s, &format!("outages[{i}]"))?;
+            if o.gateway >= n_gateways {
+                return Err(SimError::InvalidFault {
+                    reason: format!(
+                        "outages[{i}]: gateway {} out of range (deployment has {n_gateways})",
+                        o.gateway
+                    ),
+                });
+            }
+        }
+        let mut outage_windows = config.outages.clone();
+        let mut jam_bursts = Vec::new();
+        let mut backhaul_drop_prob = vec![0.0; n_gateways];
+        let mut backhaul_latency_s = vec![0.0; n_gateways];
+        if let Some(fault_cfg) = &config.faults {
+            fault_cfg.validate(n_gateways, plan_len)?;
+            let (churn_windows, bursts) = fault_cfg.compile(config.seed, config.duration_s);
+            outage_windows.extend(churn_windows);
+            jam_bursts = bursts;
+            for link in &fault_cfg.backhaul {
+                backhaul_drop_prob[link.gateway] = link.drop_prob;
+                backhaul_latency_s[link.gateway] = link.latency_s;
+            }
+        }
+
         let bw = Bandwidth::Bw125;
         let payload = config.phy_payload_len();
         let mut toa_s = Vec::with_capacity(alloc.len());
@@ -154,7 +197,22 @@ impl Simulation {
             snr_threshold_db,
             noise_mw,
             ack_toa_s,
+            outage_windows,
+            jam_bursts,
+            backhaul_drop_prob,
+            backhaul_latency_s,
         })
+    }
+
+    /// Every outage window in effect: hand-placed plus compiled from
+    /// churn processes. Sorted by process, not by time.
+    pub fn outage_windows(&self) -> &[GatewayOutage] {
+        &self.outage_windows
+    }
+
+    /// Every jammer burst in effect: hand-placed plus compiled.
+    pub fn jam_bursts(&self) -> &[JamBurst] {
+        &self.jam_bursts
     }
 
     /// The configuration under simulation.
@@ -264,7 +322,7 @@ impl Simulation {
                         rx_power_mw.push(rx_mw);
 
                         let in_outage =
-                            self.config.outages.iter().any(|o| o.covers(gw, now));
+                            self.outage_windows.iter().any(|o| o.covers(gw, now));
                         // Prune expired ack windows, then check overlap
                         // with this reception interval.
                         ack_windows[gw].retain(|&(_, end)| end > now);
@@ -343,6 +401,11 @@ impl Simulation {
                     let tx = medium.end(device, seq);
                     let mut any_copy = false;
                     let mut decoded_by = vec![false; n_gw];
+                    // Jammer bursts overlapping this reception raise the
+                    // noise floor for every gateway (wideband front-end
+                    // noise on the transmission's channel); 0.0 when no
+                    // burst overlaps, leaving the SINR bit-identical.
+                    let jam_mw = tx.jam_noise_mw(&self.jam_bursts);
                     #[allow(clippy::needless_range_loop)] // parallel arrays indexed by gateway
                     for gw in 0..n_gw {
                         if !tx.demod_locked[gw] {
@@ -358,22 +421,59 @@ impl Simulation {
                         let captured = interference == 0.0
                             || 10.0 * (tx.rx_power_mw[gw] / interference).log10()
                                 >= self.config.capture_threshold_db;
-                        if captured
+                        let sinr_ok = captured
+                            && tx.sinr_db(gw, self.noise_mw + jam_mw)
+                                >= self.snr_threshold_db[device];
+                        if sinr_ok {
+                            // PHY-decoded; the lossy backhaul may still
+                            // drop the copy before de-duplication. The
+                            // verdict is a pure hash of (gateway, device,
+                            // seq), so it cannot depend on event
+                            // interleaving or worker count.
+                            if faults::backhaul_drops(
+                                self.config.seed,
+                                gw,
+                                device,
+                                seq,
+                                self.backhaul_drop_prob[gw],
+                            ) {
+                                gw_stats[gw].backhaul_drops += 1;
+                                sink.record(TraceEvent::Reception {
+                                    t: now,
+                                    device,
+                                    seq,
+                                    gateway: gw,
+                                    outcome: ReceptionOutcome::BackhaulLoss,
+                                });
+                            } else {
+                                gw_stats[gw].decoded += 1;
+                                decoded_by[gw] = true;
+                                sink.record(TraceEvent::Reception {
+                                    t: now,
+                                    device,
+                                    seq,
+                                    gateway: gw,
+                                    outcome: ReceptionOutcome::Decoded,
+                                });
+                                match dedup.observe(device as u32, seq) {
+                                    Reception::FirstCopy => any_copy = true,
+                                    Reception::Duplicate => {}
+                                }
+                            }
+                        } else if jam_mw > 0.0
+                            && captured
                             && tx.sinr_db(gw, self.noise_mw) >= self.snr_threshold_db[device]
                         {
-                            gw_stats[gw].decoded += 1;
-                            decoded_by[gw] = true;
+                            // The copy fails only with the jam power in
+                            // the denominator: the loss is the jammer's.
+                            gw_stats[gw].jammed_drops += 1;
                             sink.record(TraceEvent::Reception {
                                 t: now,
                                 device,
                                 seq,
                                 gateway: gw,
-                                outcome: ReceptionOutcome::Decoded,
+                                outcome: ReceptionOutcome::Jammed,
                             });
-                            match dedup.observe(device as u32, seq) {
-                                Reception::FirstCopy => any_copy = true,
-                                Reception::Duplicate => {}
-                            }
                         } else {
                             gw_stats[gw].sinr_failures += 1;
                             sink.record(TraceEvent::Reception {
@@ -389,12 +489,23 @@ impl Simulation {
                         delivered[device] += 1;
                         sink.record(TraceEvent::Delivered { t: now, device, seq });
                         if let Some(conf) = self.config.confirmed {
-                            // The first gateway that decoded serves the
-                            // acknowledgement in RX1 and is deaf for its
-                            // duration (half-duplex SX1301 front end).
-                            if let Some(serving) =
-                                (0..n_gw).find(|&gw| decoded_by[gw])
-                            {
+                            // The gateway whose copy reaches the network
+                            // server first (lowest backhaul latency, ties
+                            // by index) serves the acknowledgement in RX1
+                            // and is deaf for its duration (half-duplex
+                            // SX1301 front end). With no backhaul model
+                            // every latency is 0.0 and the first decoding
+                            // gateway wins, as before.
+                            let serving = decoded_by
+                                .iter()
+                                .enumerate()
+                                .filter(|&(_, decoded)| *decoded)
+                                .map(|(gw, _)| gw)
+                                .min_by(|&a, &b| {
+                                    self.backhaul_latency_s[a]
+                                        .total_cmp(&self.backhaul_latency_s[b])
+                                });
+                            if let Some(serving) = serving {
                                 let ack_start =
                                     now + conf.class_a.receive_delay1_s;
                                 ack_windows[serving]

@@ -28,6 +28,12 @@ pub enum ReceptionOutcome {
     /// The gateway was transmitting a downlink acknowledgement and, being
     /// half-duplex, could not receive.
     GatewayTransmitting,
+    /// The SINR check failed only because a jammer burst raised the noise
+    /// floor — without the jam power the copy would have decoded.
+    Jammed,
+    /// Decoded at the PHY but dropped on the lossy gateway→network-server
+    /// backhaul before de-duplication.
+    BackhaulLoss,
 }
 
 /// One traced event.
@@ -117,6 +123,10 @@ pub struct CountingSink {
     pub outage: u64,
     /// Half-duplex (gateway transmitting) drops.
     pub gateway_transmitting: u64,
+    /// Jammer-attributed SINR failures.
+    pub jammed: u64,
+    /// Backhaul losses of PHY-decoded copies.
+    pub backhaul_loss: u64,
     /// Unique frames delivered.
     pub delivered: u64,
 }
@@ -133,6 +143,8 @@ impl TraceSink for CountingSink {
                 ReceptionOutcome::DemodBusy => self.demod_busy += 1,
                 ReceptionOutcome::Outage => self.outage += 1,
                 ReceptionOutcome::GatewayTransmitting => self.gateway_transmitting += 1,
+                ReceptionOutcome::Jammed => self.jammed += 1,
+                ReceptionOutcome::BackhaulLoss => self.backhaul_loss += 1,
             },
         }
     }

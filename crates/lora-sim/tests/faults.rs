@@ -1,0 +1,248 @@
+//! Integration tests for the fault-injection engine: determinism,
+//! attribution of the new drop fates, and backward compatibility.
+
+use lora_phy::path_loss::LinkEnvironment;
+use lora_phy::{Fading, SpreadingFactor, TxConfig, TxPowerDbm};
+use lora_sim::topology::{DeviceSite, Position};
+use lora_sim::{
+    BackhaulLink, FaultConfig, GatewayChurn, JamBurst, JammerProcess, SimConfig, SimError,
+    Simulation, Topology,
+};
+
+fn near_topology(n: usize, gateways: usize) -> Topology {
+    let devices = (0..n)
+        .map(|i| DeviceSite {
+            position: Position::new(100.0 + i as f64, 0.0),
+            environment: LinkEnvironment::LineOfSight,
+        })
+        .collect();
+    let gws = (0..gateways).map(|g| Position::new(g as f64 * 50.0, 50.0)).collect();
+    Topology::from_sites(devices, gws, 1_000.0)
+}
+
+fn quiet_config(seed: u64) -> SimConfig {
+    let mut c = SimConfig::builder()
+        .seed(seed)
+        .duration_s(3_000.0)
+        .report_interval_s(600.0)
+        .build();
+    c.fading = Fading::None;
+    c
+}
+
+fn sf7_alloc(n: usize) -> Vec<TxConfig> {
+    (0..n).map(|i| TxConfig::new(SpreadingFactor::Sf7, TxPowerDbm::new(14.0), i % 8)).collect()
+}
+
+#[test]
+fn faulted_runs_are_deterministic() {
+    let mut c = quiet_config(11);
+    c.fading = Fading::Rayleigh;
+    c.faults = Some(FaultConfig {
+        churn: vec![GatewayChurn { gateway: 0, mtbf_s: 400.0, mttr_s: 300.0 }],
+        jammers: vec![JammerProcess {
+            channel: 0,
+            mean_gap_s: 500.0,
+            mean_burst_s: 300.0,
+            power_mw: 1e-6,
+        }],
+        jam_bursts: Vec::new(),
+        backhaul: vec![BackhaulLink { gateway: 1, drop_prob: 0.3, latency_s: 0.05 }],
+    });
+    let topo = near_topology(20, 2);
+    let sim = Simulation::new(c.clone(), topo.clone(), sf7_alloc(20)).unwrap();
+    let again = Simulation::new(c, topo, sf7_alloc(20)).unwrap();
+    assert_eq!(sim.run(), again.run());
+}
+
+#[test]
+fn fault_windows_change_with_seed_but_traffic_does_not() {
+    // The fault RNG stream is separate from the traffic stream: two
+    // configs differing only in fault *processes* keep identical attempt
+    // schedules (same phases), even though their outage windows differ.
+    let base = quiet_config(5);
+    let mut faulted = base.clone();
+    faulted.faults = Some(FaultConfig {
+        churn: vec![GatewayChurn { gateway: 0, mtbf_s: 600.0, mttr_s: 200.0 }],
+        ..FaultConfig::default()
+    });
+    let topo = near_topology(10, 1);
+    let clean = Simulation::new(base, topo.clone(), sf7_alloc(10)).unwrap().run();
+    let churned = Simulation::new(faulted, topo, sf7_alloc(10)).unwrap().run();
+    for (a, b) in clean.devices.iter().zip(&churned.devices) {
+        assert_eq!(a.attempts, b.attempts, "traffic schedule must be unperturbed");
+        assert_eq!(a.energy_j, b.energy_j, "energy follows the schedule exactly");
+    }
+    assert!(churned.gateways[0].outage_drops > 0, "the churn process must bite");
+}
+
+#[test]
+fn compiled_windows_merge_with_static_outages() {
+    let mut c = quiet_config(3);
+    c.outages.push(lora_sim::GatewayOutage { gateway: 0, from_s: 0.0, to_s: 10.0 });
+    c.faults = Some(FaultConfig {
+        churn: vec![GatewayChurn { gateway: 0, mtbf_s: 500.0, mttr_s: 500.0 }],
+        ..FaultConfig::default()
+    });
+    let sim = Simulation::new(c, near_topology(2, 1), sf7_alloc(2)).unwrap();
+    assert!(sim.outage_windows().len() > 1, "static plus compiled windows");
+    assert_eq!(sim.outage_windows()[0].to_s, 10.0, "hand-placed window comes first");
+}
+
+#[test]
+fn jammer_burst_drops_are_attributed_to_the_jammer() {
+    // A strong jammer on channel 0 over the whole run; devices on other
+    // channels are untouched. Quiet fading keeps links comfortably above
+    // sensitivity, so every loss on channel 0 is the jammer's.
+    let mut c = quiet_config(7);
+    c.faults = Some(FaultConfig {
+        jam_bursts: vec![JamBurst { channel: 0, from_s: 0.0, to_s: 1e9, power_mw: 1.0 }],
+        ..FaultConfig::default()
+    });
+    let n = 8;
+    let sim = Simulation::new(c, near_topology(n, 1), sf7_alloc(n)).unwrap();
+    let report = sim.run();
+    assert!(report.gateways[0].jammed_drops > 0, "jammer must drop channel-0 copies");
+    assert_eq!(report.gateways[0].sinr_failures, 0, "no plain SINR losses in a quiet net");
+    // Device 0 sits on the jammed channel and delivers nothing.
+    assert_eq!(report.devices[0].delivered, 0);
+    // Devices on the other channels still deliver everything.
+    assert!(report.devices.iter().skip(1).all(|d| d.delivered == d.attempts));
+}
+
+#[test]
+fn weak_jammer_is_harmless() {
+    let mut c = quiet_config(7);
+    c.faults = Some(FaultConfig {
+        jam_bursts: vec![JamBurst { channel: 0, from_s: 0.0, to_s: 1e9, power_mw: 1e-15 }],
+        ..FaultConfig::default()
+    });
+    let sim = Simulation::new(c, near_topology(4, 1), sf7_alloc(4)).unwrap();
+    let report = sim.run();
+    assert_eq!(report.gateways[0].jammed_drops, 0);
+    assert!(report.devices.iter().all(|d| d.delivered == d.attempts));
+}
+
+#[test]
+fn total_backhaul_loss_delivers_nothing_and_counts_once() {
+    let mut c = quiet_config(9);
+    c.faults = Some(FaultConfig {
+        backhaul: vec![BackhaulLink { gateway: 0, drop_prob: 1.0, latency_s: 0.0 }],
+        ..FaultConfig::default()
+    });
+    let n = 6;
+    let sim = Simulation::new(c, near_topology(n, 1), sf7_alloc(n)).unwrap();
+    let report = sim.run();
+    let attempts: u64 = report.devices.iter().map(|d| u64::from(d.attempts)).sum();
+    assert_eq!(report.frames_delivered, 0);
+    assert_eq!(report.gateways[0].decoded, 0, "backhaul losses never count as decoded");
+    assert_eq!(report.gateways[0].backhaul_drops, attempts, "every copy died on the backhaul");
+    assert_eq!(report.gateways[0].sinr_failures, 0, "no double-count against PHY drops");
+    assert_eq!(report.gateways[0].below_sensitivity, 0);
+}
+
+#[test]
+fn partial_backhaul_loss_is_softened_by_gateway_diversity() {
+    // Gateway 0 drops half its copies; gateway 1 is lossless. The
+    // network-level delivery should barely notice (dedup needs one copy).
+    let mut c = quiet_config(13);
+    c.faults = Some(FaultConfig {
+        backhaul: vec![BackhaulLink { gateway: 0, drop_prob: 0.5, latency_s: 0.0 }],
+        ..FaultConfig::default()
+    });
+    let n = 6;
+    let sim = Simulation::new(c, near_topology(n, 2), sf7_alloc(n)).unwrap();
+    let report = sim.run();
+    assert!(report.gateways[0].backhaul_drops > 0);
+    assert_eq!(report.gateways[1].backhaul_drops, 0);
+    let attempts: u64 = report.devices.iter().map(|d| u64::from(d.attempts)).sum();
+    assert_eq!(report.frames_delivered, attempts, "gateway 1 covers the losses");
+}
+
+#[test]
+fn out_of_range_fault_indices_are_rejected() {
+    let topo = near_topology(2, 2);
+    let mut c = quiet_config(1);
+    c.outages.push(lora_sim::GatewayOutage { gateway: 5, from_s: 0.0, to_s: 1.0 });
+    let err = Simulation::new(c, topo.clone(), sf7_alloc(2)).unwrap_err();
+    assert!(matches!(err, SimError::InvalidFault { .. }), "{err}");
+
+    let mut c = quiet_config(1);
+    c.faults = Some(FaultConfig {
+        churn: vec![GatewayChurn { gateway: 2, mtbf_s: 100.0, mttr_s: 100.0 }],
+        ..FaultConfig::default()
+    });
+    assert!(Simulation::new(c, topo.clone(), sf7_alloc(2)).is_err());
+
+    let mut c = quiet_config(1);
+    c.faults = Some(FaultConfig {
+        jammers: vec![JammerProcess {
+            channel: 64,
+            mean_gap_s: 100.0,
+            mean_burst_s: 100.0,
+            power_mw: 1.0,
+        }],
+        ..FaultConfig::default()
+    });
+    assert!(Simulation::new(c, topo.clone(), sf7_alloc(2)).is_err());
+
+    let mut c = quiet_config(1);
+    c.faults = Some(FaultConfig {
+        backhaul: vec![BackhaulLink { gateway: 9, drop_prob: 0.1, latency_s: 0.0 }],
+        ..FaultConfig::default()
+    });
+    assert!(Simulation::new(c, topo, sf7_alloc(2)).is_err());
+}
+
+#[test]
+fn inverted_window_is_rejected_at_construction() {
+    let mut c = quiet_config(1);
+    c.outages.push(lora_sim::GatewayOutage { gateway: 0, from_s: 100.0, to_s: 50.0 });
+    let err = Simulation::new(c, near_topology(1, 1), sf7_alloc(1)).unwrap_err();
+    assert!(err.to_string().contains("exceeds"), "{err}");
+}
+
+#[test]
+fn pre_fault_engine_config_json_still_parses() {
+    // A config serialised before the fault engine existed has no
+    // `faults` key; it must deserialise to `faults: None` and behave
+    // identically to an explicitly fault-free config.
+    let with_field = serde_json::to_string(&quiet_config(21)).unwrap();
+    let without_field = {
+        let mut c = serde_json::to_string(&quiet_config(21)).unwrap();
+        c = c.replace(",\"faults\":null", "");
+        assert!(!c.contains("faults"), "fixture must lack the new key");
+        c
+    };
+    let a: SimConfig = serde_json::from_str(&with_field).unwrap();
+    let b: SimConfig = serde_json::from_str(&without_field).unwrap();
+    assert_eq!(a, b);
+    assert!(b.faults.is_none());
+}
+
+#[test]
+fn gateway_stats_json_round_trips_and_defaults() {
+    use lora_sim::GatewayStats;
+    let faulted = GatewayStats {
+        decoded: 10,
+        demod_refused: 1,
+        sinr_failures: 2,
+        below_sensitivity: 3,
+        outage_drops: 4,
+        half_duplex_drops: 5,
+        jammed_drops: 6,
+        backhaul_drops: 7,
+    };
+    let json = serde_json::to_string(&faulted).unwrap();
+    assert!(json.contains("jammed_drops"));
+    let back: GatewayStats = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, faulted);
+
+    // Fault-free stats serialise without the new keys (byte-compatible
+    // with the pre-fault engine) and old JSON parses with zero defaults.
+    let clean = GatewayStats { jammed_drops: 0, backhaul_drops: 0, ..faulted };
+    let json = serde_json::to_string(&clean).unwrap();
+    assert!(!json.contains("jammed_drops") && !json.contains("backhaul_drops"), "{json}");
+    let back: GatewayStats = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, clean);
+}

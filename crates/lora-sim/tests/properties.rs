@@ -2,7 +2,10 @@
 
 use lora_phy::{SpreadingFactor, TxConfig, TxPowerDbm};
 use lora_sim::metrics::{empirical_cdf, jain_index, mean, minimum, percentile};
-use lora_sim::{GatewayOutage, SimConfig, Simulation, Topology};
+use lora_sim::{
+    BackhaulLink, FaultConfig, GatewayChurn, GatewayOutage, JamBurst, SimConfig, Simulation,
+    Topology,
+};
 use proptest::prelude::*;
 
 fn random_alloc(n: usize, seed: u64) -> Vec<TxConfig> {
@@ -159,6 +162,102 @@ proptest! {
         let decoded: u64 = report.gateways.iter().map(|g| g.decoded).sum();
         prop_assert_eq!(decoded, report.frames_delivered + report.duplicate_copies);
         prop_assert_eq!(report.frames_delivered, delivered);
+    }
+
+    #[test]
+    fn fault_accounting_is_conserved(
+        n_devices in 4usize..20,
+        seed in any::<u64>(),
+        alloc_seed in any::<u64>(),
+        mtbf_s in 200.0f64..1_500.0,
+        mttr_s in 100.0f64..800.0,
+        jam_channel in 0usize..8,
+        jam_power_mw in 1e-9f64..1e-3,
+        drop_prob in 0.0f64..1.0,
+    ) {
+        // All three fault classes at once: the eight fates must still
+        // partition every (attempt, gateway) pair, and the de-duplication
+        // identity must hold with backhaul losses excluded from
+        // `decoded` (no double-counting).
+        let duration = 2_400.0;
+        let mut builder = SimConfig::builder();
+        builder.seed(seed).duration_s(duration).report_interval_s(600.0);
+        builder.faults(FaultConfig {
+            churn: vec![GatewayChurn { gateway: 0, mtbf_s, mttr_s }],
+            jammers: Vec::new(),
+            jam_bursts: vec![JamBurst {
+                channel: jam_channel,
+                from_s: 0.3 * duration,
+                to_s: 0.7 * duration,
+                power_mw: jam_power_mw,
+            }],
+            backhaul: vec![BackhaulLink { gateway: 1, drop_prob, latency_s: 0.01 }],
+        });
+        let config = builder.try_build().unwrap();
+        let topo = Topology::disc(n_devices, 2, 4_000.0, &config, seed);
+        let alloc = random_alloc(n_devices, alloc_seed);
+        let report = Simulation::new(config, topo, alloc).unwrap().run();
+
+        let attempts: u64 = report.devices.iter().map(|d| u64::from(d.attempts)).sum();
+        let delivered: u64 = report.devices.iter().map(|d| u64::from(d.delivered)).sum();
+        for (i, g) in report.gateways.iter().enumerate() {
+            // Every attempt meets exactly one of the eight fates at
+            // every gateway.
+            prop_assert_eq!(
+                g.decoded
+                    + g.demod_refused
+                    + g.sinr_failures
+                    + g.below_sensitivity
+                    + g.outage_drops
+                    + g.half_duplex_drops
+                    + g.jammed_drops
+                    + g.backhaul_drops,
+                attempts,
+                "gateway {} accounting", i
+            );
+        }
+        // Fault attribution: churn runs on gateway 0 only, the lossy
+        // backhaul on gateway 1 only.
+        prop_assert_eq!(report.gateways[1].outage_drops, 0);
+        prop_assert_eq!(report.gateways[0].backhaul_drops, 0);
+        // Dedup conservation with backhaul losses excluded from decoded:
+        // every copy that reached the server is the first of its frame
+        // or a discarded duplicate.
+        let decoded: u64 = report.gateways.iter().map(|g| g.decoded).sum();
+        prop_assert_eq!(decoded, report.frames_delivered + report.duplicate_copies);
+        prop_assert_eq!(report.frames_delivered, delivered);
+    }
+
+    #[test]
+    fn backhaul_loss_never_double_counts(
+        n_devices in 2usize..12,
+        seed in any::<u64>(),
+        alloc_seed in any::<u64>(),
+    ) {
+        // Same seed, same traffic, backhaul drop 0 vs 1: the lossy run
+        // must convert exactly the lossless run's decoded copies into
+        // backhaul drops, leaving every PHY-level counter untouched.
+        let mut builder = SimConfig::builder();
+        builder.seed(seed).duration_s(1_800.0).report_interval_s(600.0);
+        let clean_cfg = builder.build();
+        builder.faults(FaultConfig {
+            backhaul: vec![BackhaulLink { gateway: 0, drop_prob: 1.0, latency_s: 0.0 }],
+            ..FaultConfig::default()
+        });
+        let lossy_cfg = builder.build();
+        let topo = Topology::disc(n_devices, 1, 4_000.0, &clean_cfg, seed);
+        let alloc = random_alloc(n_devices, alloc_seed);
+        let clean = Simulation::new(clean_cfg, topo.clone(), alloc.clone()).unwrap().run();
+        let lossy = Simulation::new(lossy_cfg, topo, alloc).unwrap().run();
+
+        let (c, l) = (&clean.gateways[0], &lossy.gateways[0]);
+        prop_assert_eq!(l.backhaul_drops, c.decoded, "each decoded copy dropped exactly once");
+        prop_assert_eq!(l.decoded, 0);
+        prop_assert_eq!(l.sinr_failures, c.sinr_failures);
+        prop_assert_eq!(l.below_sensitivity, c.below_sensitivity);
+        prop_assert_eq!(l.demod_refused, c.demod_refused);
+        prop_assert_eq!(l.jammed_drops, 0);
+        prop_assert_eq!(lossy.frames_delivered, 0);
     }
 
     #[test]
