@@ -16,16 +16,12 @@ fn bench_allocator_scaling(c: &mut Criterion) {
             let config = SimConfig::default();
             let topo = Topology::disc(n, gws, 5_000.0, &config, 14);
             let model = NetworkModel::new(&config, &topo);
-            group.bench_with_input(
-                BenchmarkId::new(format!("{gws}gw"), n),
-                &n,
-                |b, _| {
-                    b.iter(|| {
-                        let ctx = AllocationContext::new(&config, &topo, &model);
-                        EfLora::default().allocate_with_report(&ctx).unwrap()
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(format!("{gws}gw"), n), &n, |b, _| {
+                b.iter(|| {
+                    let ctx = AllocationContext::new(&config, &topo, &model);
+                    EfLora::default().allocate_with_report(&ctx).unwrap()
+                })
+            });
         }
     }
     group.finish();
@@ -44,7 +40,10 @@ fn bench_ordering_ablation(c: &mut Criterion) {
         group.bench_function(label, |b| {
             b.iter(|| {
                 let ctx = AllocationContext::new(&config, &topo, &model);
-                EfLora::default().with_ordering(ordering).allocate_with_report(&ctx).unwrap()
+                EfLora::default()
+                    .with_ordering(ordering)
+                    .allocate_with_report(&ctx)
+                    .unwrap()
             })
         });
     }
@@ -71,7 +70,9 @@ fn bench_incremental_vs_full(c: &mut Criterion) {
     group.bench_function("incremental", |b| {
         b.iter(|| {
             let ctx = AllocationContext::new(&config, &grown, &new_model);
-            IncrementalAllocator::default().extend(&ctx, previous.as_slice()).unwrap()
+            IncrementalAllocator::default()
+                .extend(&ctx, previous.as_slice())
+                .unwrap()
         })
     });
     group.bench_function("full_rerun", |b| {
@@ -83,10 +84,41 @@ fn bench_incremental_vs_full(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_scan_threads(c: &mut Criterion) {
+    // The greedy candidate scan (336 candidates per device) with the
+    // serial path vs the order-preserving parallel reduction — results
+    // are byte-identical, only wall-clock differs.
+    let mut group = c.benchmark_group("ef_lora/scan_threads");
+    group.sample_size(10);
+    let config = SimConfig::default();
+    let topo = Topology::disc(400, 3, 5_000.0, &config, 14);
+    let model = NetworkModel::new(&config, &topo);
+    let available = lora_parallel::available_threads().max(2);
+    let mut thread_counts = vec![1usize, available];
+    thread_counts.dedup();
+    for threads in thread_counts {
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let ctx = AllocationContext::new(&config, &topo, &model);
+                    EfLora::default()
+                        .with_threads(threads)
+                        .allocate(&ctx)
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_allocator_scaling,
     bench_ordering_ablation,
-    bench_incremental_vs_full
+    bench_incremental_vs_full,
+    bench_scan_threads
 );
 criterion_main!(benches);

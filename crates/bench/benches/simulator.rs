@@ -1,11 +1,15 @@
 //! Criterion benchmark of the discrete-event simulator: events per second
-//! as deployments grow (the substrate cost underlying every figure).
+//! as deployments grow (the substrate cost underlying every figure), the
+//! attenuation-matrix build, fresh vs shared-matrix construction, and the
+//! medium's interference/SINR bookkeeping.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 use ef_lora::{AllocationContext, LegacyLora, Strategy};
 use lora_model::NetworkModel;
-use lora_sim::{SimConfig, Simulation, Topology};
+use lora_phy::SpreadingFactor;
+use lora_sim::medium::{ActiveTx, Medium};
+use lora_sim::{attenuation_matrix, SimConfig, Simulation, Topology};
 
 fn bench_simulation(c: &mut Criterion) {
     let mut group = c.benchmark_group("sim/run");
@@ -26,5 +30,92 @@ fn bench_simulation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_simulation);
+fn bench_attenuation_build(c: &mut Criterion) {
+    // The O(devices × gateways) path-loss table rebuilt per simulation
+    // before the shared-matrix optimization; now built once per model.
+    let mut group = c.benchmark_group("sim/attenuation_build");
+    group.sample_size(10);
+    for &n in &[500usize, 2000] {
+        let config = SimConfig::default();
+        let topo = Topology::disc(n, 3, 5_000.0, &config, 5);
+        group.throughput(Throughput::Elements(n as u64 * 3));
+        group.bench_with_input(BenchmarkId::new("devices", n), &n, |b, _| {
+            b.iter(|| attenuation_matrix(&config, &topo))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sim_construction(c: &mut Criterion) {
+    // Fresh construction recomputes the attenuation matrix; the shared
+    // path clones the model's matrix — the per-repetition saving the
+    // harness banks on.
+    let mut group = c.benchmark_group("sim/construction");
+    group.sample_size(10);
+    let n = 1000;
+    let config = SimConfig::builder().seed(1).duration_s(6_000.0).build();
+    let topo = Topology::disc(n, 3, 5_000.0, &config, 5);
+    let model = NetworkModel::new(&config, &topo);
+    let ctx = AllocationContext::new(&config, &topo, &model);
+    let alloc = LegacyLora::default().allocate(&ctx).unwrap().into_inner();
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("fresh", |b| {
+        b.iter(|| Simulation::new(config.clone(), topo.clone(), alloc.clone()).unwrap())
+    });
+    group.bench_function("shared", |b| {
+        b.iter(|| {
+            Simulation::with_attenuation(
+                config.clone(),
+                topo.clone(),
+                alloc.clone(),
+                model.shared_attenuation().clone(),
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_medium(c: &mut Criterion) {
+    // The interference bookkeeping inside the event loop: start/end a
+    // batch of overlapping co-channel transmissions and read the SINR
+    // every reception fate decision depends on.
+    const BATCH: usize = 64;
+    let n_gw = 3;
+    let mut group = c.benchmark_group("sim/medium");
+    group.throughput(Throughput::Elements(BATCH as u64));
+    group.bench_function(BenchmarkId::new("overlap_cycle", BATCH), |b| {
+        b.iter(|| {
+            let mut medium = Medium::new(lora_mac::collision::InterSfPolicy::Orthogonal, n_gw);
+            for i in 0..BATCH {
+                medium.start(ActiveTx {
+                    device: i,
+                    seq: 0,
+                    start_s: i as f64 * 0.01,
+                    end_s: 2.0 + i as f64 * 0.01,
+                    sf: SpreadingFactor::Sf9,
+                    channel: 0,
+                    rx_power_mw: vec![1e-9; n_gw],
+                    interference_mw: vec![0.0; n_gw],
+                    demod_locked: vec![true; n_gw],
+                });
+            }
+            let mut sinr_sum = 0.0f64;
+            for i in 0..BATCH {
+                let tx = medium.end(i, 0);
+                sinr_sum += tx.sinr_db(0, 1e-12);
+            }
+            sinr_sum
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_simulation,
+    bench_attenuation_build,
+    bench_sim_construction,
+    bench_medium
+);
 criterion_main!(benches);

@@ -1,0 +1,171 @@
+//! Hot-path performance harness: runs the fixed workload matrix and
+//! writes a machine-readable `BENCH_PERF.json`, optionally gating against
+//! the checked-in baseline.
+//!
+//! ```text
+//! perf [--output PATH] [--baseline PATH] [--tolerance FRAC] [--reps N]
+//! ```
+//!
+//! * `--output` — where the report lands (default `BENCH_PERF.json`).
+//! * `--baseline` — baseline to gate against (default
+//!   `tests/golden/perf_baseline.json`; gating is skipped when the file
+//!   does not exist).
+//! * `--tolerance` — fractional regression tolerance (default 0.25).
+//! * `--reps` — repetitions per workload (default 5).
+//!
+//! `EF_LORA_UPDATE_GOLDEN=1` rewrites the baseline from this run instead
+//! of gating. Exits non-zero when any workload regresses.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ef_lora_bench::output::{f2, print_table};
+use ef_lora_bench::perf::{
+    baseline_path, compare, run_workloads, to_json, PerfReport, DEFAULT_OUTPUT, DEFAULT_REPS,
+    DEFAULT_TOLERANCE, UPDATE_ENV,
+};
+use ef_lora_bench::Scale;
+
+struct Args {
+    output: PathBuf,
+    baseline: PathBuf,
+    tolerance: f64,
+    reps: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        output: PathBuf::from(DEFAULT_OUTPUT),
+        baseline: baseline_path(),
+        tolerance: DEFAULT_TOLERANCE,
+        reps: DEFAULT_REPS,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--output" => args.output = PathBuf::from(value("--output")?),
+            "--baseline" => args.baseline = PathBuf::from(value("--baseline")?),
+            "--tolerance" => {
+                let raw = value("--tolerance")?;
+                args.tolerance = raw
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|t| t.is_finite() && *t >= 0.0)
+                    .ok_or_else(|| format!("--tolerance {raw:?} is not a non-negative number"))?;
+            }
+            "--reps" => {
+                let raw = value("--reps")?;
+                args.reps = raw
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|r| *r > 0)
+                    .ok_or_else(|| format!("--reps {raw:?} is not a positive integer"))?;
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn print_report(report: &PerfReport) {
+    let rows: Vec<Vec<String>> = report
+        .workloads
+        .iter()
+        .map(|w| {
+            vec![
+                w.id.clone(),
+                w.threads.to_string(),
+                w.events.to_string(),
+                format!("{:.3}", w.median_ms),
+                format!("{:.3}", w.p95_ms),
+                f2(w.events_per_sec),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("perf matrix (scale={}, reps={})", report.scale, report.reps),
+        &[
+            "workload",
+            "threads",
+            "events",
+            "median ms",
+            "p95 ms",
+            "events/s",
+        ],
+        &rows,
+    );
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let scale = Scale::from_env();
+    println!("{}", scale.banner());
+    let report = run_workloads(&scale, args.reps);
+    print_report(&report);
+
+    if let Err(e) = std::fs::write(&args.output, to_json(&report)) {
+        eprintln!("error: cannot write {}: {e}", args.output.display());
+        return ExitCode::FAILURE;
+    }
+    println!("[wrote {}]", args.output.display());
+
+    if std::env::var(UPDATE_ENV).as_deref() == Ok("1") {
+        if let Err(e) = std::fs::write(&args.baseline, to_json(&report)) {
+            eprintln!("error: cannot write {}: {e}", args.baseline.display());
+            return ExitCode::FAILURE;
+        }
+        println!("[updated baseline {}]", args.baseline.display());
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline_body = match std::fs::read_to_string(&args.baseline) {
+        Ok(body) => body,
+        Err(_) => {
+            println!(
+                "no baseline at {}; skipping the regression gate (set {UPDATE_ENV}=1 to create it)",
+                args.baseline.display()
+            );
+            return ExitCode::SUCCESS;
+        }
+    };
+    let baseline: PerfReport = match serde_json::from_str(&baseline_body) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!(
+                "error: {} is not a perf report: {e}",
+                args.baseline.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let issues = compare(&report, &baseline, args.tolerance);
+    if issues.is_empty() {
+        println!(
+            "perf gate: OK ({} workloads within {:.0}% of {})",
+            baseline.workloads.len(),
+            args.tolerance * 100.0,
+            args.baseline.display()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "perf gate: {} regression(s) beyond {:.0}%:",
+            issues.len(),
+            args.tolerance * 100.0
+        );
+        for issue in &issues {
+            eprintln!("  {issue}");
+        }
+        eprintln!("(rerun with {UPDATE_ENV}=1 to accept the new baseline)");
+        ExitCode::FAILURE
+    }
+}

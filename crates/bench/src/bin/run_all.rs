@@ -1,53 +1,85 @@
 //! Runs every table and figure of the paper in sequence and prints the
 //! headline comparisons.
-use ef_lora_bench::experiments::*;
+//!
+//! The experiment list comes from [`ef_lora_bench::registry`] — the same
+//! single source of truth CI consumes — and the headline numbers are
+//! computed from the JSON records each experiment archives under
+//! `target/experiments/`.
+
+use ef_lora_bench::output::read_json;
+use ef_lora_bench::registry::EXPERIMENTS;
 use ef_lora_bench::Scale;
+use serde::Value;
+
+/// Pulls `value` out of a `[["name", value], …]` pair list at `field`.
+fn strategy_value(point: &Value, field: &str, name: &str) -> Option<f64> {
+    let (_, pairs) = point.as_object()?.iter().find(|(k, _)| k == field)?;
+    pairs.as_array()?.iter().find_map(|pair| {
+        let pair = pair.as_array()?;
+        match pair.first()? {
+            Value::Str(s) if s == name => pair.get(1)?.as_f64(),
+            _ => None,
+        }
+    })
+}
+
+/// Mean percentage improvement of EF-LoRa over `baseline_of` across every
+/// archived point of `record` at `field`.
+fn mean_improvement(
+    record: &Value,
+    field: &str,
+    baseline_of: impl Fn(&Value) -> Option<f64>,
+) -> Option<f64> {
+    let points = record.as_array()?;
+    let gains: Vec<f64> = points
+        .iter()
+        .filter_map(|p| {
+            let ef = strategy_value(p, field, "EF-LoRa")?;
+            let base = baseline_of(p)?;
+            Some(ef_lora::fairness::improvement_percent(ef, base))
+        })
+        .collect();
+    if gains.is_empty() {
+        return None;
+    }
+    Some(gains.iter().sum::<f64>() / gains.len() as f64)
+}
 
 fn main() {
     let scale = Scale::from_env();
     println!("{}", scale.banner());
 
-    table1_sf_motivation::run();
-    table2_tp_motivation::run();
-    fig4_ee_per_device::run(&scale);
-    fig5_ee_cdf::run(&scale);
-    let fig6 = fig6_min_ee_vs_devices::run(&scale);
-    fig7_min_ee_vs_gateways::run(&scale);
-    let fig8 = fig8_network_lifetime::run(&scale);
-    fig9_decomposition::run(&scale);
-    fig10_convergence::run(&scale);
-    model_validation::run(&scale);
-    ext_inter_sf::run(&scale);
-    ext_heterogeneous_rates::run(&scale);
-    ext_incremental::run(&scale);
-    ext_confirmed_traffic::run(&scale);
-    ext_adr::run(&scale);
-    resilience::run(&scale);
+    for experiment in EXPERIMENTS {
+        (experiment.run)(&scale);
+    }
 
     // Headline numbers (paper: +177.8 % fairness vs. state of the art at
-    // 3 GW / 3000 ED; +64 % lifetime vs. legacy).
-    let headline = fig6
-        .iter()
-        .map(|p| {
-            let get = |name: &str| p.min_ee.iter().find(|(s, _)| s == name).unwrap().1;
-            ef_lora::fairness::improvement_percent(
-                get("EF-LoRa"),
-                get("RS-LoRa").max(get("Legacy-LoRa")),
-            )
+    // 3 GW / 3000 ED; +64 % lifetime vs. legacy), recomputed from the
+    // archived records.
+    let fairness = read_json("fig6_min_ee_vs_devices").and_then(|record| {
+        mean_improvement(&record, "min_ee", |p| {
+            let rs = strategy_value(p, "min_ee", "RS-LoRa")?;
+            let legacy = strategy_value(p, "min_ee", "Legacy-LoRa")?;
+            Some(rs.max(legacy))
         })
-        .collect::<Vec<_>>();
-    let avg = headline.iter().sum::<f64>() / headline.len() as f64;
-    let lifetime_gain = fig8
-        .iter()
-        .map(|p| {
-            let get = |name: &str| {
-                p.etx_lifetime_years.iter().find(|(s, _)| s == name).unwrap().1
-            };
-            ef_lora::fairness::improvement_percent(get("EF-LoRa"), get("Legacy-LoRa"))
+    });
+    let lifetime = read_json("fig8_network_lifetime").and_then(|record| {
+        mean_improvement(&record, "etx_lifetime_years", |p| {
+            strategy_value(p, "etx_lifetime_years", "Legacy-LoRa")
         })
-        .sum::<f64>()
-        / fig8.len() as f64;
+    });
+
     println!("\n== Headline ==");
-    println!("mean min-EE improvement over the best baseline across Fig. 6: {avg:+.1}% (paper: +177.8% at 3GW/3000ED)");
-    println!("mean ETX lifetime improvement over legacy LoRa across Fig. 8: {lifetime_gain:+.1}% (paper: +41.5%; +64% in the ICDCS version)");
+    match fairness {
+        Some(avg) => println!(
+            "mean min-EE improvement over the best baseline across Fig. 6: {avg:+.1}% (paper: +177.8% at 3GW/3000ED)"
+        ),
+        None => println!("fig6 record unavailable; no fairness headline"),
+    }
+    match lifetime {
+        Some(gain) => println!(
+            "mean ETX lifetime improvement over legacy LoRa across Fig. 8: {gain:+.1}% (paper: +41.5%; +64% in the ICDCS version)"
+        ),
+        None => println!("fig8 record unavailable; no lifetime headline"),
+    }
 }

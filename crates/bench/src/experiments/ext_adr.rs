@@ -44,8 +44,12 @@ pub fn run(scale: &Scale) -> Vec<Row> {
     let ef = EfLora::default();
     let strategies: [&dyn Strategy; 4] = [&legacy, &adr, &rs, &ef];
 
-    let outcomes =
-        run_deployment(&config, Deployment::disc(n, GATEWAYS, 23), &strategies, scale);
+    let outcomes = run_deployment(
+        &config,
+        Deployment::disc(n, GATEWAYS, 23),
+        &strategies,
+        scale,
+    );
     let rows: Vec<Row> = outcomes
         .into_iter()
         .map(|o| Row {
@@ -71,7 +75,13 @@ pub fn run(scale: &Scale) -> Vec<Row> {
         .collect();
     print_table(
         &format!("Extension — ADR comparison, {n} devices / {GATEWAYS} gateways"),
-        &["strategy", "min EE", "mean EE", "mean PRR", "ETX lifetime (yr)"],
+        &[
+            "strategy",
+            "min EE",
+            "mean EE",
+            "mean PRR",
+            "ETX lifetime (yr)",
+        ],
         &table,
     );
     write_json("ext_adr", &rows);

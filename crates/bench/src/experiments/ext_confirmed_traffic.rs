@@ -45,13 +45,18 @@ pub fn run(scale: &Scale) -> Vec<Cell> {
     let strategies: [&dyn Strategy; 3] = [&legacy, &rs, &ef];
 
     let mut cells = Vec::new();
-    for (mode, confirmed) in
-        [("unconfirmed", None), ("confirmed", Some(ConfirmedTraffic::default()))]
-    {
+    for (mode, confirmed) in [
+        ("unconfirmed", None),
+        ("confirmed", Some(ConfirmedTraffic::default())),
+    ] {
         let mut config = paper_config_at(scale);
         config.confirmed = confirmed;
-        let outcomes =
-            run_deployment(&config, Deployment::disc(n, GATEWAYS, 21), &strategies, scale);
+        let outcomes = run_deployment(
+            &config,
+            Deployment::disc(n, GATEWAYS, 21),
+            &strategies,
+            scale,
+        );
         for o in outcomes {
             cells.push(Cell {
                 mode: mode.into(),
@@ -96,7 +101,10 @@ mod tests {
         assert_eq!(cells.len(), 6);
         for strategy in ["Legacy-LoRa", "RS-LoRa", "EF-LoRa"] {
             let get = |mode: &str| {
-                cells.iter().find(|c| c.mode == mode && c.strategy == strategy).unwrap()
+                cells
+                    .iter()
+                    .find(|c| c.mode == mode && c.strategy == strategy)
+                    .unwrap()
             };
             // Retries can only add energy, so the plain-energy lifetime
             // cannot grow.

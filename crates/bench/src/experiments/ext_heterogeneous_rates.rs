@@ -38,15 +38,28 @@ pub struct Arm {
     pub mean_prr: f64,
 }
 
-fn measure(config: &SimConfig, topo: &Topology, alloc: Vec<lora_phy::TxConfig>, scale: &Scale) -> (f64, f64) {
+fn measure(
+    config: &SimConfig,
+    topo: &Topology,
+    alloc: Vec<lora_phy::TxConfig>,
+    scale: &Scale,
+) -> (f64, f64) {
     let mut ee_min = 0.0;
     let mut prr = 0.0;
     for rep in 0..scale.reps {
         let mut cfg = config.clone();
         cfg.seed = 77 ^ rep;
         cfg.duration_s = scale.duration_s;
-        let report = Simulation::new(cfg, topo.clone(), alloc.clone()).expect("valid").run();
-        ee_min += minimum(&report.devices.iter().map(|d| d.ee_bits_per_mj).collect::<Vec<_>>());
+        let report = Simulation::new(cfg, topo.clone(), alloc.clone())
+            .expect("valid")
+            .run();
+        ee_min += minimum(
+            &report
+                .devices
+                .iter()
+                .map(|d| d.ee_bits_per_mj)
+                .collect::<Vec<_>>(),
+        );
         prr += report.mean_prr();
     }
     (ee_min / scale.reps as f64, prr / scale.reps as f64)
@@ -56,7 +69,13 @@ fn measure(config: &SimConfig, topo: &Topology, alloc: Vec<lora_phy::TxConfig>, 
 pub fn run(scale: &Scale) -> Vec<Arm> {
     let n = scale.devices(PAPER_DEVICES);
     let intervals: Vec<f64> = (0..n)
-        .map(|i| if i % 2 == 0 { FAST_INTERVAL_S } else { SLOW_INTERVAL_S })
+        .map(|i| {
+            if i % 2 == 0 {
+                FAST_INTERVAL_S
+            } else {
+                SLOW_INTERVAL_S
+            }
+        })
         .collect();
 
     // Rate-aware: the model knows each device's true interval.
@@ -71,8 +90,10 @@ pub fn run(scale: &Scale) -> Vec<Arm> {
 
     // Rate-blind: allocated as if everyone reported at the slow interval,
     // then simulated under the true mixed rates.
-    let blind_config =
-        SimConfig { report_interval_s: SLOW_INTERVAL_S, ..SimConfig::default() };
+    let blind_config = SimConfig {
+        report_interval_s: SLOW_INTERVAL_S,
+        ..SimConfig::default()
+    };
     let blind_model = NetworkModel::new(&blind_config, &topo);
     let blind_ctx = AllocationContext::new(&blind_config, &topo, &blind_model);
     let blind_alloc = EfLora::default().allocate(&blind_ctx).expect("allocation");
@@ -83,7 +104,11 @@ pub fn run(scale: &Scale) -> Vec<Arm> {
         ("rate-blind EF-LoRa", blind_alloc),
     ] {
         let (min_ee, mean_prr) = measure(&aware_config, &topo, alloc.into_inner(), scale);
-        arms.push(Arm { label: label.into(), min_ee, mean_prr });
+        arms.push(Arm {
+            label: label.into(),
+            min_ee,
+            mean_prr,
+        });
     }
 
     let rows: Vec<Vec<String>> = arms

@@ -9,9 +9,7 @@
 
 use serde::Serialize;
 
-use ef_lora::{
-    AllocationContext, EfLora, IncrementalAllocator, Strategy,
-};
+use ef_lora::{AllocationContext, EfLora, IncrementalAllocator, Strategy};
 use lora_model::NetworkModel;
 use lora_phy::{SpreadingFactor, TxConfig};
 use lora_sim::Topology;
@@ -53,7 +51,9 @@ pub fn run(scale: &Scale) -> Vec<Response> {
     );
     let old_model = NetworkModel::new(&config, &old_topo);
     let old_ctx = AllocationContext::new(&config, &old_topo, &old_model);
-    let previous = EfLora::default().allocate(&old_ctx).expect("initial allocation");
+    let previous = EfLora::default()
+        .allocate(&old_ctx)
+        .expect("initial allocation");
 
     let new_model = NetworkModel::new(&config, &grown);
     let new_ctx = AllocationContext::new(&config, &grown, &new_model);
@@ -67,7 +67,11 @@ pub fn run(scale: &Scale) -> Vec<Response> {
             let sf = new_model
                 .min_feasible_sf(i, new_ctx.max_tp())
                 .unwrap_or(SpreadingFactor::Sf12);
-            alloc.push(TxConfig::new(sf, new_ctx.max_tp(), i % new_ctx.channel_count()));
+            alloc.push(TxConfig::new(
+                sf,
+                new_ctx.max_tp(),
+                i % new_ctx.channel_count(),
+            ));
         }
         let min_ee = ef_lora::fairness::min_ee(&new_model.evaluate(&alloc));
         responses.push(Response {
@@ -93,7 +97,9 @@ pub fn run(scale: &Scale) -> Vec<Response> {
 
     // (c) A full re-run.
     {
-        let report = EfLora::default().allocate_with_report(&new_ctx).expect("full re-run");
+        let report = EfLora::default()
+            .allocate_with_report(&new_ctx)
+            .expect("full re-run");
         let reconfigured = previous
             .as_slice()
             .iter()
@@ -120,10 +126,13 @@ pub fn run(scale: &Scale) -> Vec<Response> {
         })
         .collect();
     print_table(
-        &format!(
-            "Extension — incremental re-allocation after +{n_new} devices on {n_old}"
-        ),
-        &["response", "min EE (model)", "existing devices reconfigured", "candidates"],
+        &format!("Extension — incremental re-allocation after +{n_new} devices on {n_old}"),
+        &[
+            "response",
+            "min EE (model)",
+            "existing devices reconfigured",
+            "candidates",
+        ],
         &rows,
     );
     write_json("ext_incremental", &responses);

@@ -44,12 +44,19 @@ pub fn run(scale: &Scale) -> Vec<Cell> {
     let mut cells = Vec::new();
     for (label, policy) in [
         ("Orthogonal", InterSfPolicy::Orthogonal),
-        ("ImperfectOrthogonality", InterSfPolicy::ImperfectOrthogonality),
+        (
+            "ImperfectOrthogonality",
+            InterSfPolicy::ImperfectOrthogonality,
+        ),
     ] {
         let mut config = paper_config_at(scale);
         config.inter_sf = policy;
-        let outcomes =
-            run_deployment(&config, Deployment::disc(n, GATEWAYS, 16), &strategies, scale);
+        let outcomes = run_deployment(
+            &config,
+            Deployment::disc(n, GATEWAYS, 16),
+            &strategies,
+            scale,
+        );
         for o in outcomes {
             cells.push(Cell {
                 policy: label.into(),
@@ -63,13 +70,16 @@ pub fn run(scale: &Scale) -> Vec<Cell> {
     let rows: Vec<Vec<String>> = cells
         .iter()
         .map(|c| {
-            vec![c.policy.clone(), c.strategy.clone(), f3(c.min_ee), f3(c.mean_prr)]
+            vec![
+                c.policy.clone(),
+                c.strategy.clone(),
+                f3(c.min_ee),
+                f3(c.mean_prr),
+            ]
         })
         .collect();
     print_table(
-        &format!(
-            "Extension — inter-SF imperfect orthogonality, {n} devices / {GATEWAYS} gateways"
-        ),
+        &format!("Extension — inter-SF imperfect orthogonality, {n} devices / {GATEWAYS} gateways"),
         &["interference policy", "strategy", "min EE", "mean PRR"],
         &rows,
     );

@@ -48,7 +48,11 @@ fn time_allocation(
         .with_ordering(ordering)
         .allocate_with_report(&ctx)
         .expect("allocation succeeds");
-    (start.elapsed().as_secs_f64(), report.passes, report.final_min_ee)
+    (
+        start.elapsed().as_secs_f64(),
+        report.passes,
+        report.final_min_ee,
+    )
 }
 
 /// Runs the convergence sweep and the ordering ablation.
@@ -59,7 +63,13 @@ pub fn run(scale: &Scale) -> Vec<Point> {
         for &gws in &GATEWAY_COUNTS {
             let (seconds, passes, final_min_ee) =
                 time_allocation(n, gws, DeviceOrdering::DensityFirst, scale);
-            points.push(Point { devices: n, gateways: gws, seconds, passes, final_min_ee });
+            points.push(Point {
+                devices: n,
+                gateways: gws,
+                seconds,
+                passes,
+                final_min_ee,
+            });
         }
     }
 
@@ -101,7 +111,10 @@ pub fn run(scale: &Scale) -> Vec<Point> {
         &[
             vec!["density-first".into(), format!("{dense_s:.3}")],
             vec!["random".into(), format!("{random_s:.3}")],
-            vec!["reduction".into(), format!("{reduction:.1}% (paper: 10.3%)")],
+            vec![
+                "reduction".into(),
+                format!("{reduction:.1}% (paper: 10.3%)"),
+            ],
         ],
     );
 

@@ -36,8 +36,7 @@ pub fn run(scale: &Scale) -> Vec<Panel> {
 
     let mut panels = Vec::new();
     for &gws in &GATEWAYS {
-        let outcomes =
-            run_deployment(&config, Deployment::disc(n, gws, 4), &strategies, scale);
+        let outcomes = run_deployment(&config, Deployment::disc(n, gws, 4), &strategies, scale);
         let rows: Vec<Vec<String>> = outcomes
             .iter()
             .map(|o| {
@@ -57,7 +56,11 @@ pub fn run(scale: &Scale) -> Vec<Panel> {
             &["strategy", "min", "p10", "median", "p90", "mean", "Jain"],
             &rows,
         );
-        panels.push(Panel { gateways: gws, devices: n, outcomes });
+        panels.push(Panel {
+            gateways: gws,
+            devices: n,
+            outcomes,
+        });
     }
     write_json("fig4_ee_per_device", &panels);
     panels
@@ -73,9 +76,16 @@ mod tests {
         assert_eq!(panels.len(), 2);
         for panel in &panels {
             assert_eq!(panel.outcomes.len(), 3);
-            let ef = panel.outcomes.iter().find(|o| o.strategy == "EF-LoRa").unwrap();
-            let legacy =
-                panel.outcomes.iter().find(|o| o.strategy == "Legacy-LoRa").unwrap();
+            let ef = panel
+                .outcomes
+                .iter()
+                .find(|o| o.strategy == "EF-LoRa")
+                .unwrap();
+            let legacy = panel
+                .outcomes
+                .iter()
+                .find(|o| o.strategy == "Legacy-LoRa")
+                .unwrap();
             // Measured minima at smoke scale (one repetition, five packets
             // per device) are dominated by shot noise, so the shape check
             // uses the deterministic model prediction; the measured-value

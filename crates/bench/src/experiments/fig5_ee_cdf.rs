@@ -55,7 +55,9 @@ pub fn run(scale: &Scale) -> Vec<CdfSeries> {
         .collect();
     print_table(
         "Fig. 5 — CDF of energy efficiency (EE in bits/mJ at cumulative probability)",
-        &["series", "p=0.05", "p=0.25", "p=0.50", "p=0.75", "p=0.95", "spread"],
+        &[
+            "series", "p=0.05", "p=0.25", "p=0.50", "p=0.75", "p=0.95", "spread",
+        ],
         &rows,
     );
     write_json("fig5_ee_cdf", &series);
@@ -74,7 +76,11 @@ mod tests {
             assert!(!s.cdf.is_empty(), "{}", s.label);
             assert!((s.cdf.last().unwrap().1 - 1.0).abs() < 1e-12, "{}", s.label);
             for w in s.cdf.windows(2) {
-                assert!(w[1].0 >= w[0].0 && w[1].1 >= w[0].1, "{} not monotone", s.label);
+                assert!(
+                    w[1].0 >= w[0].0 && w[1].1 >= w[0].1,
+                    "{} not monotone",
+                    s.label
+                );
             }
         }
         // The narrow-interval claim ("EF-LoRa distributes within a narrow

@@ -36,11 +36,18 @@ pub fn run(scale: &Scale) -> Vec<Point> {
     let mut points = Vec::new();
     for &paper_n in &PAPER_COUNTS {
         let n = scale.devices(paper_n);
-        let outcomes =
-            run_deployment(&config, Deployment::disc(n, GATEWAYS, 6), &strategies, scale);
+        let outcomes = run_deployment(
+            &config,
+            Deployment::disc(n, GATEWAYS, 6),
+            &strategies,
+            scale,
+        );
         points.push(Point {
             devices: n,
-            min_ee: outcomes.iter().map(|o| (o.strategy.clone(), o.min_ee)).collect(),
+            min_ee: outcomes
+                .iter()
+                .map(|o| (o.strategy.clone(), o.min_ee))
+                .collect(),
             model_min_ee: outcomes
                 .iter()
                 .map(|o| (o.strategy.clone(), o.model_min_ee))
@@ -69,7 +76,13 @@ pub fn run(scale: &Scale) -> Vec<Point> {
         .collect();
     print_table(
         &format!("Fig. 6 — minimum EE vs. number of devices ({GATEWAYS} gateways, bits/mJ)"),
-        &["devices", "Legacy-LoRa", "RS-LoRa", "EF-LoRa", "EF vs best baseline"],
+        &[
+            "devices",
+            "Legacy-LoRa",
+            "RS-LoRa",
+            "EF-LoRa",
+            "EF vs best baseline",
+        ],
         &rows,
     );
     write_json("fig6_min_ee_vs_devices", &points);
@@ -101,6 +114,9 @@ mod tests {
         }
         // EF-LoRa should lead at (nearly) every population; allow one
         // noisy point at smoke scale.
-        assert!(ef_wins + 1 >= points.len(), "EF-LoRa led at only {ef_wins} points");
+        assert!(
+            ef_wins + 1 >= points.len(),
+            "EF-LoRa led at only {ef_wins} points"
+        );
     }
 }

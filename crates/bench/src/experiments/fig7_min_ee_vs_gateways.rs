@@ -36,7 +36,10 @@ pub fn run(scale: &Scale) -> Vec<Point> {
         let outcomes = run_deployment(&config, Deployment::disc(n, gws, 8), &strategies, scale);
         points.push(Point {
             gateways: gws,
-            min_ee: outcomes.iter().map(|o| (o.strategy.clone(), o.min_ee)).collect(),
+            min_ee: outcomes
+                .iter()
+                .map(|o| (o.strategy.clone(), o.min_ee))
+                .collect(),
         });
     }
 
@@ -78,7 +81,11 @@ mod tests {
         // And EF-LoRa leads the baselines at the multi-gateway points.
         for p in &points[1..3] {
             let get = |name: &str| p.min_ee.iter().find(|(s, _)| s == name).unwrap().1;
-            assert!(get("EF-LoRa") >= get("Legacy-LoRa") - 0.02, "{} GW", p.gateways);
+            assert!(
+                get("EF-LoRa") >= get("Legacy-LoRa") - 0.02,
+                "{} GW",
+                p.gateways
+            );
         }
     }
 }

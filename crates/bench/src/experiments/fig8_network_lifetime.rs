@@ -63,10 +63,22 @@ pub fn run(scale: &Scale) -> Vec<Point> {
             let mut row = vec![format!("{}GW/{}ED", p.gateways, p.devices)];
             row.extend(p.lifetime_years.iter().map(|(_, v)| f2(*v)));
             row.extend(p.etx_lifetime_years.iter().map(|(_, v)| f2(*v)));
-            let ef = p.etx_lifetime_years.iter().find(|(s, _)| s == "EF-LoRa").unwrap().1;
-            let legacy =
-                p.etx_lifetime_years.iter().find(|(s, _)| s == "Legacy-LoRa").unwrap().1;
-            row.push(format!("{:+.1}%", ef_lora::fairness::improvement_percent(ef, legacy)));
+            let ef = p
+                .etx_lifetime_years
+                .iter()
+                .find(|(s, _)| s == "EF-LoRa")
+                .unwrap()
+                .1;
+            let legacy = p
+                .etx_lifetime_years
+                .iter()
+                .find(|(s, _)| s == "Legacy-LoRa")
+                .unwrap()
+                .1;
+            row.push(format!(
+                "{:+.1}%",
+                ef_lora::fairness::improvement_percent(ef, legacy)
+            ));
             row
         })
         .collect();
@@ -103,7 +115,11 @@ mod tests {
         // claim, plus basic sanity everywhere.
         for p in &points[..2] {
             let get = |name: &str| {
-                p.etx_lifetime_years.iter().find(|(s, _)| s == name).unwrap().1
+                p.etx_lifetime_years
+                    .iter()
+                    .find(|(s, _)| s == name)
+                    .unwrap()
+                    .1
             };
             assert!(
                 get("EF-LoRa") >= get("Legacy-LoRa") - 1e-9,

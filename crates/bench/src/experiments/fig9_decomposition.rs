@@ -43,8 +43,7 @@ pub fn run(scale: &Scale) -> Vec<Bar> {
     for (label, profile) in profiles {
         let mut config = paper_config_at(scale);
         config.betas = profile;
-        let outcomes =
-            run_deployment(&config, deployment, &[&ef as &dyn Strategy], scale);
+        let outcomes = run_deployment(&config, deployment, &[&ef as &dyn Strategy], scale);
         bars.push(Bar {
             label: label.into(),
             min_ee: outcomes[0].min_ee,
@@ -92,7 +91,10 @@ mod tests {
         // Measured minima are shot-noise at smoke scale; the shape checks
         // run on the deterministic model predictions.
         let get = |label_prefix: &str| {
-            bars.iter().find(|b| b.label.starts_with(label_prefix)).unwrap().model_min_ee
+            bars.iter()
+                .find(|b| b.label.starts_with(label_prefix))
+                .unwrap()
+                .model_min_ee
         };
         let base = get("EF-LoRa β base");
         // Monotone in the exponent: less path loss raises the floor, more

@@ -41,7 +41,17 @@ pub fn run(scale: &Scale) -> Vec<Record> {
     // side per strategy for the same allocation.
     let topology = lora_sim::Topology::disc(n, GATEWAYS, 5_000.0, &config, 25);
     let model = lora_model::NetworkModel::new(&config, &topology);
-    let outcomes = run_deployment(&config, Deployment { n_devices: n, n_gateways: GATEWAYS, radius_m: 5_000.0, seed: 25 }, &strategies, scale);
+    let outcomes = run_deployment(
+        &config,
+        Deployment {
+            n_devices: n,
+            n_gateways: GATEWAYS,
+            radius_m: 5_000.0,
+            seed: 25,
+        },
+        &strategies,
+        scale,
+    );
 
     let mut records = Vec::new();
     for (outcome, strategy) in outcomes.iter().zip(strategies) {

@@ -12,8 +12,7 @@
 use serde::Serialize;
 
 use ef_lora::{
-    run_faulted, AllocationContext, EfLora, RecoveryMode, ResilienceConfig, ResilienceRun,
-    Strategy,
+    run_faulted, AllocationContext, EfLora, RecoveryMode, ResilienceConfig, ResilienceRun, Strategy,
 };
 use lora_model::NetworkModel;
 use lora_phy::path_loss::LinkEnvironment;
@@ -99,10 +98,13 @@ fn mode_label(mode: RecoveryMode) -> &'static str {
 }
 
 fn summarise(mtbf_s: f64, mode: RecoveryMode, run: &ResilienceRun) -> Point {
-    let failed: Vec<_> = run.epochs.iter().filter(|e| !e.failed_gateways.is_empty()).collect();
+    let failed: Vec<_> = run
+        .epochs
+        .iter()
+        .filter(|e| !e.failed_gateways.is_empty())
+        .collect();
     let mean = |f: &dyn Fn(&ef_lora::EpochReport) -> f64| {
-        (!failed.is_empty())
-            .then(|| failed.iter().map(|e| f(e)).sum::<f64>() / failed.len() as f64)
+        (!failed.is_empty()).then(|| failed.iter().map(|e| f(e)).sum::<f64>() / failed.len() as f64)
     };
     Point {
         mtbf_s,
@@ -129,7 +131,11 @@ fn scenario(scale: &Scale, mtbf_s: f64) -> SimConfig {
     config.report_interval_s = 600.0;
     config.fading = Fading::None;
     config.faults = Some(FaultConfig {
-        churn: vec![GatewayChurn { gateway: 1, mtbf_s, mttr_s: MTTR_S }],
+        churn: vec![GatewayChurn {
+            gateway: 1,
+            mtbf_s,
+            mttr_s: MTTR_S,
+        }],
         ..FaultConfig::default()
     });
     config
@@ -148,8 +154,14 @@ pub fn run(scale: &Scale) -> Vec<Point> {
         // The initial plan is fault-blind: EF-LoRa on the healthy network.
         let model = NetworkModel::new(&config, &topology);
         let ctx = AllocationContext::new(&config, &topology, &model);
-        let initial = EfLora::default().allocate(&ctx).expect("initial allocation");
-        for mode in [RecoveryMode::Static, RecoveryMode::Reactive, RecoveryMode::Oracle] {
+        let initial = EfLora::default()
+            .allocate(&ctx)
+            .expect("initial allocation");
+        for mode in [
+            RecoveryMode::Static,
+            RecoveryMode::Reactive,
+            RecoveryMode::Oracle,
+        ] {
             let run = run_faulted(&config, &topology, initial.as_slice(), EPOCHS, mode, &rc)
                 .expect("faulted run");
             points.push(summarise(mtbf_s, mode, &run));
@@ -170,7 +182,8 @@ pub fn run(scale: &Scale) -> Vec<Point> {
                 opt(p.mean_jain_under_failure),
                 p.failed_epochs.to_string(),
                 p.reallocations.to_string(),
-                p.time_to_recover_s.map_or_else(|| "-".into(), |t| format!("{t:.0}")),
+                p.time_to_recover_s
+                    .map_or_else(|| "-".into(), |t| format!("{t:.0}")),
             ]
         })
         .collect();
@@ -236,6 +249,9 @@ mod tests {
             assert!(r >= s - 1e-9, "reactive {r} below static {s}");
             assert!(o >= s - 1e-9, "oracle {o} below static {s}");
         }
-        assert!(compared, "the sweep must exercise at least one real failure");
+        assert!(
+            compared,
+            "the sweep must exercise at least one real failure"
+        );
     }
 }

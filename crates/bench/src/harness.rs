@@ -74,7 +74,9 @@ pub fn parse_reps(raw: &str) -> Result<u64, String> {
 pub fn parse_duration(raw: &str) -> Result<f64, String> {
     match raw.trim().parse::<f64>() {
         Ok(d) if d.is_finite() && d > 0.0 => Ok(d),
-        Ok(_) => Err(format!("EF_LORA_DURATION={raw:?} must be a positive, finite number")),
+        Ok(_) => Err(format!(
+            "EF_LORA_DURATION={raw:?} must be a positive, finite number"
+        )),
         Err(_) => Err(format!("EF_LORA_DURATION={raw:?} is not a number")),
     }
 }
@@ -153,8 +155,11 @@ impl Scale {
     /// process-global environment races.
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Scale {
-        self.threads =
-            if threads == 0 { lora_parallel::available_threads() } else { threads };
+        self.threads = if threads == 0 {
+            lora_parallel::available_threads()
+        } else {
+            threads
+        };
         self
     }
 
@@ -186,7 +191,10 @@ pub fn paper_config_at(scale: &Scale) -> SimConfig {
 
 /// [`paper_config_at`] with the ETSI 1 % duty — the `small`-preset regime.
 pub fn paper_config() -> SimConfig {
-    SimConfig { traffic: Traffic::DutyCycleTarget { duty: 0.01 }, ..SimConfig::default() }
+    SimConfig {
+        traffic: Traffic::DutyCycleTarget { duty: 0.01 },
+        ..SimConfig::default()
+    }
 }
 
 /// One deployment to run strategies against.
@@ -205,7 +213,12 @@ pub struct Deployment {
 impl Deployment {
     /// The paper's 5 km disc.
     pub fn disc(n_devices: usize, n_gateways: usize, seed: u64) -> Self {
-        Deployment { n_devices, n_gateways, radius_m: 5_000.0, seed }
+        Deployment {
+            n_devices,
+            n_gateways,
+            radius_m: 5_000.0,
+            seed,
+        }
     }
 }
 
@@ -301,8 +314,17 @@ pub fn run_strategy(
         let mut cfg = config.clone();
         cfg.seed = rep_seeds[rep];
         cfg.duration_s = scale.duration_s;
-        let sim = Simulation::new(cfg, topology.clone(), alloc.as_slice().to_vec())
-            .expect("validated allocation");
+        // Reuse the model's attenuation matrix instead of rebuilding the
+        // O(devices × gateways) path-loss grid every repetition; the
+        // matrix is a pure function of (config, topology), both fixed
+        // across repetitions, so the simulation output is byte-identical.
+        let sim = Simulation::with_attenuation(
+            cfg,
+            topology.clone(),
+            alloc.as_slice().to_vec(),
+            model.shared_attenuation().clone(),
+        )
+        .expect("validated allocation");
         let report = sim.run();
         let mut m = RepMetrics {
             ee: Vec::with_capacity(n),
@@ -412,7 +434,10 @@ mod tests {
 
     #[test]
     fn paper_config_uses_duty_target() {
-        assert_eq!(paper_config().traffic, Traffic::DutyCycleTarget { duty: 0.01 });
+        assert_eq!(
+            paper_config().traffic,
+            Traffic::DutyCycleTarget { duty: 0.01 }
+        );
         let paper = paper_config_at(&Scale::paper());
         assert_eq!(paper.traffic, Traffic::DutyCycleTarget { duty: 0.002 });
         // Constant Erlang load: duty × device-factor is preset-invariant.
@@ -426,7 +451,10 @@ mod tests {
     fn env_override_parsers_reject_garbage() {
         assert_eq!(parse_reps("7"), Ok(7));
         assert_eq!(parse_reps(" 100 "), Ok(100));
-        assert!(parse_reps("0").is_err(), "reps=0 would divide every metric by zero");
+        assert!(
+            parse_reps("0").is_err(),
+            "reps=0 would divide every metric by zero"
+        );
         assert!(parse_reps("-3").is_err());
         assert!(parse_reps("three").is_err());
         assert!(parse_reps("").is_err());
@@ -469,10 +497,14 @@ mod tests {
         let model = NetworkModel::new(&config, &topology);
         let ctx = AllocationContext::new(&config, &topology, &model);
 
-        let alloc_serial =
-            EfLora::default().with_threads(1).allocate(&ctx).expect("allocates");
-        let alloc_parallel =
-            EfLora::default().with_threads(4).allocate(&ctx).expect("allocates");
+        let alloc_serial = EfLora::default()
+            .with_threads(1)
+            .allocate(&ctx)
+            .expect("allocates");
+        let alloc_parallel = EfLora::default()
+            .with_threads(4)
+            .allocate(&ctx)
+            .expect("allocates");
         assert_eq!(
             alloc_serial.as_slice(),
             alloc_parallel.as_slice(),
@@ -482,10 +514,48 @@ mod tests {
         let ef = EfLora::default();
         let serial = run_strategy(&config, &topology, &model, &ef, &scale);
         for threads in [2usize, 4] {
-            let outcome =
-                run_strategy(&config, &topology, &model, &ef, &scale.with_threads(threads));
+            let outcome = run_strategy(
+                &config,
+                &topology,
+                &model,
+                &ef,
+                &scale.with_threads(threads),
+            );
             assert_eq!(serial, outcome, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn shared_attenuation_reuse_is_byte_identical() {
+        // The per-repetition matrix reuse in `run_strategy` is only sound
+        // if a simulation built from the model's shared matrix reports
+        // exactly what a from-scratch construction reports.
+        let config = paper_config();
+        let topology = Topology::disc(24, 2, 5_000.0, &config, 11);
+        let model = NetworkModel::new(&config, &topology);
+        let alloc = vec![lora_phy::TxConfig::default(); 24];
+        let fresh = Simulation::new(config.clone(), topology.clone(), alloc.clone())
+            .expect("builds")
+            .run();
+        let shared = Simulation::with_attenuation(
+            config,
+            topology,
+            alloc,
+            model.shared_attenuation().clone(),
+        )
+        .expect("builds")
+        .run();
+        assert_eq!(fresh, shared);
+    }
+
+    #[test]
+    fn with_attenuation_rejects_mismatched_shape() {
+        let config = paper_config();
+        let topology = Topology::disc(24, 2, 5_000.0, &config, 11);
+        let other = Topology::disc(10, 1, 5_000.0, &config, 11);
+        let wrong = lora_sim::attenuation_matrix(&config, &other);
+        let alloc = vec![lora_phy::TxConfig::default(); 24];
+        assert!(Simulation::with_attenuation(config, topology, alloc, wrong).is_err());
     }
 
     #[test]

@@ -19,6 +19,8 @@
 pub mod harness;
 pub mod motivation;
 pub mod output;
+pub mod perf;
+pub mod registry;
 
 /// The per-table/figure experiment implementations.
 pub mod experiments {

@@ -109,7 +109,12 @@ pub fn evaluate(scenario: &Scenario) -> ScenarioResult {
     let times = expected_tx_times_ms(scenario);
     let average = times.iter().sum::<f64>() / times.len() as f64;
     let max = times.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-    ScenarioResult { label: scenario.label.clone(), times_ms: times, average_ms: average, max_ms: max }
+    ScenarioResult {
+        label: scenario.label.clone(),
+        times_ms: times,
+        average_ms: average,
+        max_ms: max,
+    }
 }
 
 /// The three Table-I scenarios (Fig. 1a/b/c).
@@ -124,11 +129,26 @@ pub fn table1_scenarios() -> [Scenario; 3] {
         label: "Single GW".into(),
         n_gateways: 1,
         devices: vec![
-            MotiveDevice { sf: Sf8, reach: vec![0] }, // 1
-            MotiveDevice { sf: Sf7, reach: vec![0] }, // 2
-            MotiveDevice { sf: Sf7, reach: vec![0] }, // 3
-            MotiveDevice { sf: Sf8, reach: vec![0] }, // 4
-            MotiveDevice { sf: Sf7, reach: vec![0] }, // 5
+            MotiveDevice {
+                sf: Sf8,
+                reach: vec![0],
+            }, // 1
+            MotiveDevice {
+                sf: Sf7,
+                reach: vec![0],
+            }, // 2
+            MotiveDevice {
+                sf: Sf7,
+                reach: vec![0],
+            }, // 3
+            MotiveDevice {
+                sf: Sf8,
+                reach: vec![0],
+            }, // 4
+            MotiveDevice {
+                sf: Sf7,
+                reach: vec![0],
+            }, // 5
         ],
     };
     // Reach sets reconstructed from Table I's numbers: devices 1 and 3
@@ -139,11 +159,26 @@ pub fn table1_scenarios() -> [Scenario; 3] {
         label: "Two GWs / smallest SF".into(),
         n_gateways: 2,
         devices: vec![
-            MotiveDevice { sf: Sf7, reach: vec![0] },    // 1
-            MotiveDevice { sf: Sf7, reach: vec![0, 1] }, // 2
-            MotiveDevice { sf: Sf7, reach: vec![0] },    // 3
-            MotiveDevice { sf: Sf7, reach: vec![1] },    // 4
-            MotiveDevice { sf: Sf7, reach: vec![0, 1] }, // 5
+            MotiveDevice {
+                sf: Sf7,
+                reach: vec![0],
+            }, // 1
+            MotiveDevice {
+                sf: Sf7,
+                reach: vec![0, 1],
+            }, // 2
+            MotiveDevice {
+                sf: Sf7,
+                reach: vec![0],
+            }, // 3
+            MotiveDevice {
+                sf: Sf7,
+                reach: vec![1],
+            }, // 4
+            MotiveDevice {
+                sf: Sf7,
+                reach: vec![0, 1],
+            }, // 5
         ],
     };
     let mut adjusted = smallest.clone();
@@ -166,9 +201,18 @@ pub fn table2_scenarios() -> [Scenario; 2] {
         label: "Smallest TP".into(),
         n_gateways: 2,
         devices: vec![
-            MotiveDevice { sf: Sf7, reach: vec![0, 1] },
-            MotiveDevice { sf: Sf7, reach: vec![1] },
-            MotiveDevice { sf: Sf7, reach: vec![1] },
+            MotiveDevice {
+                sf: Sf7,
+                reach: vec![0, 1],
+            },
+            MotiveDevice {
+                sf: Sf7,
+                reach: vec![1],
+            },
+            MotiveDevice {
+                sf: Sf7,
+                reach: vec![1],
+            },
         ],
     };
     let mut adjusted = smallest.clone();
@@ -209,7 +253,10 @@ mod tests {
         let s0 = evaluate(&single);
         let s1 = evaluate(&smallest);
         let s2 = evaluate(&adjusted);
-        assert!(s1.max_ms < s0.max_ms, "a second gateway reduces the worst time");
+        assert!(
+            s1.max_ms < s0.max_ms,
+            "a second gateway reduces the worst time"
+        );
         assert!(s2.max_ms < s1.max_ms, "the adjusted SF reduces it further");
         assert!(s2.average_ms < s0.average_ms);
         // Paper Table I columns 2 and 3 (31/19/31/26/19 and 26/17/26/21/26),
@@ -245,7 +292,10 @@ mod tests {
             r.max_ms - r.times_ms.iter().copied().fold(f64::INFINITY, f64::min)
         };
         assert!(spread(&s1) < spread(&s0));
-        assert!(s1.times_ms[2] < s0.times_ms[2], "the boosted device improves itself");
+        assert!(
+            s1.times_ms[2] < s0.times_ms[2],
+            "the boosted device improves itself"
+        );
     }
 
     #[test]
@@ -253,7 +303,10 @@ mod tests {
         let s = Scenario {
             label: "island".into(),
             n_gateways: 1,
-            devices: vec![MotiveDevice { sf: SpreadingFactor::Sf7, reach: vec![] }],
+            devices: vec![MotiveDevice {
+                sf: SpreadingFactor::Sf7,
+                reach: vec![],
+            }],
         };
         assert!(expected_tx_times_ms(&s)[0].is_infinite());
     }

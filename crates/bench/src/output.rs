@@ -57,6 +57,14 @@ pub fn write_json<T: Serialize>(name: &str, value: &T) {
     }
 }
 
+/// Reads back an archived record from `target/experiments/<name>.json`,
+/// or `None` when it is missing or malformed.
+pub fn read_json(name: &str) -> Option<serde::Value> {
+    let path = experiments_dir().join(format!("{name}.json"));
+    let body = fs::read_to_string(path).ok()?;
+    serde_json::from_str(&body).ok()
+}
+
 /// Formats a float with 3 decimals (the precision the paper plots at).
 pub fn f3(v: f64) -> String {
     format!("{v:.3}")
@@ -87,6 +95,11 @@ mod tests {
         let path = experiments_dir().join("unit_test_record.json");
         let body = std::fs::read_to_string(path).unwrap();
         assert!(body.contains("1.5"));
+        let back = read_json("unit_test_record").expect("archived record reads back");
+        let entries = back.as_object().expect("object record");
+        assert_eq!(entries[0].0, "x");
+        assert_eq!(entries[0].1.as_f64(), Some(1.5));
+        assert!(read_json("no_such_record").is_none());
     }
 
     #[test]
@@ -94,7 +107,10 @@ mod tests {
         print_table(
             "demo",
             &["a", "long-header"],
-            &[vec!["1".into(), "2".into()], vec!["333333".into(), "4".into()]],
+            &[
+                vec!["1".into(), "2".into()],
+                vec!["333333".into(), "4".into()],
+            ],
         );
     }
 }

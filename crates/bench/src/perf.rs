@@ -1,0 +1,538 @@
+//! Machine-readable performance harness (`ef-lora-bench --bin perf`).
+//!
+//! Runs a fixed, deterministic workload matrix — deployments of
+//! (devices × gateways) crossed with worker-thread counts — over the
+//! proven hot paths: the EF-LoRa greedy candidate scan, a full simulator
+//! epoch, the analytical model evaluation, the attenuation-matrix build,
+//! the fresh-vs-shared simulation construction and the time-on-air grid
+//! (recomputed vs [`lora_phy::ToaLut`]).
+//!
+//! Each workload is repeated `reps` times; the report records the median
+//! and 95th-percentile wall-clock plus derived throughput
+//! (events/second, devices/second). Reports serialise as
+//! [`SCHEMA`]-tagged JSON (`BENCH_PERF.json`); everything except the
+//! timing fields and the `git_describe` stamp is a pure function of the
+//! scale preset and thread count, so [`normalized`] reports are
+//! byte-stable across runs — a property the test-suite pins.
+//!
+//! The regression gate compares a fresh report against the checked-in
+//! baseline `tests/golden/perf_baseline.json` with a fractional
+//! tolerance (CI uses 25 %); `EF_LORA_UPDATE_GOLDEN=1` rewrites the
+//! baseline, mirroring the conformance golden workflow.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use ef_lora::{AllocationContext, EfLora, Strategy};
+use lora_model::NetworkModel;
+use lora_phy::toa::{ToaLut, ToaParams, MAX_PHY_PAYLOAD};
+use lora_phy::{Bandwidth, SpreadingFactor};
+use lora_sim::{Simulation, Topology};
+
+use crate::harness::{paper_config_at, Scale, ScaleKind};
+
+/// Schema tag carried by every report.
+pub const SCHEMA: &str = "ef-lora-perf/v1";
+
+/// Default output file name for the perf binary.
+pub const DEFAULT_OUTPUT: &str = "BENCH_PERF.json";
+
+/// Default fractional regression tolerance (25 %, the CI gate).
+pub const DEFAULT_TOLERANCE: f64 = 0.25;
+
+/// Default repetitions per workload.
+pub const DEFAULT_REPS: usize = 5;
+
+/// Environment variable that rewrites the checked-in baseline instead of
+/// gating against it (shared with the conformance goldens).
+pub const UPDATE_ENV: &str = "EF_LORA_UPDATE_GOLDEN";
+
+/// One measured workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadResult {
+    /// Stable workload identifier, e.g. `alloc_scan/60dev_1gw_t4`.
+    pub id: String,
+    /// Devices in the deployment (0 when not applicable).
+    pub devices: usize,
+    /// Gateways in the deployment (0 when not applicable).
+    pub gateways: usize,
+    /// Worker threads the workload ran with.
+    pub threads: usize,
+    /// Deterministic count of work units processed per repetition
+    /// (transmission attempts, candidate evaluations, matrix cells, …).
+    pub events: u64,
+    /// Median wall-clock over the repetitions, milliseconds.
+    pub median_ms: f64,
+    /// 95th-percentile wall-clock over the repetitions, milliseconds.
+    pub p95_ms: f64,
+    /// `events / median`, per second (0 when `events` is 0).
+    pub events_per_sec: f64,
+    /// `devices / median`, per second (0 when `devices` is 0).
+    pub devices_per_sec: f64,
+}
+
+/// A full perf report (`BENCH_PERF.json`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfReport {
+    /// Always [`SCHEMA`].
+    pub schema: String,
+    /// `git describe --always --dirty` of the working tree, or
+    /// `"unknown"` outside a repository.
+    pub git_describe: String,
+    /// Scale preset the matrix was derived from.
+    pub scale: String,
+    /// Repetitions per workload.
+    pub reps: usize,
+    /// The measured workloads, in matrix order.
+    pub workloads: Vec<WorkloadResult>,
+}
+
+/// One finding from the regression comparator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PerfIssue {
+    /// A workload's median exceeded the baseline by more than the
+    /// tolerance.
+    Slower {
+        /// Workload identifier.
+        id: String,
+        /// Baseline median, milliseconds.
+        baseline_ms: f64,
+        /// Current median, milliseconds.
+        current_ms: f64,
+        /// `current / baseline`.
+        ratio: f64,
+    },
+    /// A baseline workload is absent from the current report — the
+    /// matrix silently shrank.
+    Missing {
+        /// Workload identifier.
+        id: String,
+    },
+}
+
+impl std::fmt::Display for PerfIssue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PerfIssue::Slower {
+                id,
+                baseline_ms,
+                current_ms,
+                ratio,
+            } => write!(
+                f,
+                "{id}: {current_ms:.3} ms vs baseline {baseline_ms:.3} ms ({ratio:.2}x)"
+            ),
+            PerfIssue::Missing { id } => {
+                write!(f, "{id}: present in baseline but missing from this run")
+            }
+        }
+    }
+}
+
+/// Compares `current` against `baseline`: flags any workload whose median
+/// regressed by more than `tolerance` (fractional — 0.25 means 25 %
+/// slower) and any baseline workload missing from `current`. Workloads
+/// new in `current` pass silently (the next baseline refresh picks them
+/// up).
+pub fn compare(current: &PerfReport, baseline: &PerfReport, tolerance: f64) -> Vec<PerfIssue> {
+    let mut issues = Vec::new();
+    for base in &baseline.workloads {
+        match current.workloads.iter().find(|w| w.id == base.id) {
+            None => issues.push(PerfIssue::Missing {
+                id: base.id.clone(),
+            }),
+            Some(cur) => {
+                if base.median_ms > 0.0 && cur.median_ms > base.median_ms * (1.0 + tolerance) {
+                    issues.push(PerfIssue::Slower {
+                        id: base.id.clone(),
+                        baseline_ms: base.median_ms,
+                        current_ms: cur.median_ms,
+                        ratio: cur.median_ms / base.median_ms,
+                    });
+                }
+            }
+        }
+    }
+    issues
+}
+
+/// The report with every machine/run-dependent field zeroed: timings,
+/// throughputs and the `git_describe` stamp. What remains — the schema,
+/// the matrix shape and the deterministic event counts — must be
+/// byte-stable across runs at a fixed scale and thread count.
+#[must_use]
+pub fn normalized(report: &PerfReport) -> PerfReport {
+    let mut out = report.clone();
+    out.git_describe = String::new();
+    for w in &mut out.workloads {
+        w.median_ms = 0.0;
+        w.p95_ms = 0.0;
+        w.events_per_sec = 0.0;
+        w.devices_per_sec = 0.0;
+    }
+    out
+}
+
+/// Serialises a report the way the perf binary writes it: pretty JSON
+/// plus a trailing newline.
+pub fn to_json(report: &PerfReport) -> String {
+    let mut body = serde_json::to_string_pretty(report).expect("report serialises");
+    body.push('\n');
+    body
+}
+
+/// Path of the checked-in perf baseline
+/// (`<repo>/tests/golden/perf_baseline.json`), mirroring the conformance
+/// golden layout.
+pub fn baseline_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("tests")
+        .join("golden")
+        .join("perf_baseline.json")
+}
+
+/// `git describe --always --dirty`, or `"unknown"` when git or the
+/// repository is unavailable.
+pub fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// The (devices, gateways) deployments measured at each scale preset.
+pub fn deployments(scale: &Scale) -> Vec<(usize, usize)> {
+    match scale.kind {
+        ScaleKind::Smoke => vec![(60, 1), (100, 2)],
+        ScaleKind::Small => vec![(300, 2), (600, 3)],
+        ScaleKind::Paper => vec![(1_500, 3), (3_000, 5)],
+    }
+}
+
+/// Runs one closure `reps` times and reduces to (median ms, p95 ms,
+/// events from the last repetition).
+fn measure(reps: usize, mut f: impl FnMut() -> u64) -> (f64, f64, u64) {
+    assert!(reps > 0, "at least one repetition");
+    let mut times_ms = Vec::with_capacity(reps);
+    let mut events = 0u64;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        events = f();
+        times_ms.push(t0.elapsed().as_secs_f64() * 1_000.0);
+    }
+    times_ms.sort_by(f64::total_cmp);
+    let median = times_ms[times_ms.len() / 2];
+    let p95_idx = ((times_ms.len() as f64 * 0.95).ceil() as usize).clamp(1, times_ms.len()) - 1;
+    (median, times_ms[p95_idx], events)
+}
+
+fn result_from(
+    id: String,
+    devices: usize,
+    gateways: usize,
+    threads: usize,
+    reps: usize,
+    f: impl FnMut() -> u64,
+) -> WorkloadResult {
+    let (median_ms, p95_ms, events) = measure(reps, f);
+    let per_sec = |count: f64| {
+        if median_ms > 0.0 {
+            count / (median_ms / 1_000.0)
+        } else {
+            0.0
+        }
+    };
+    WorkloadResult {
+        id,
+        devices,
+        gateways,
+        threads,
+        events,
+        median_ms,
+        p95_ms,
+        events_per_sec: per_sec(events as f64),
+        devices_per_sec: per_sec(devices as f64),
+    }
+}
+
+/// Measures the workload matrix over the given deployments. The public
+/// entry point is [`run_workloads`]; tests call this with a single tiny
+/// deployment.
+pub fn run_matrix(deps: &[(usize, usize)], scale: &Scale, reps: usize) -> PerfReport {
+    let config = paper_config_at(scale);
+    let mut thread_counts = vec![1usize];
+    if scale.threads > 1 {
+        thread_counts.push(scale.threads);
+    }
+
+    let mut workloads = Vec::new();
+    for &(n_dev, n_gw) in deps {
+        let topology = Topology::disc(n_dev, n_gw, 5_000.0, &config, 11);
+        let model = NetworkModel::new(&config, &topology);
+        let ctx = AllocationContext::new(&config, &topology, &model);
+        let tag = format!("{n_dev}dev_{n_gw}gw");
+
+        // EF-LoRa greedy candidate scan, serial and parallel.
+        for &threads in &thread_counts {
+            workloads.push(result_from(
+                format!("alloc_scan/{tag}_t{threads}"),
+                n_dev,
+                n_gw,
+                threads,
+                reps,
+                || {
+                    let alloc = EfLora::default()
+                        .with_threads(threads)
+                        .allocate(&ctx)
+                        .expect("allocates");
+                    // Candidate evaluations per pass: every device scans
+                    // the full (SF × channel × TP) grid.
+                    std::hint::black_box(alloc.as_slice().len() as u64)
+                        * ctx.candidate_count() as u64
+                },
+            ));
+        }
+
+        // One full simulator epoch under the EF-LoRa allocation.
+        let alloc = EfLora::default()
+            .with_threads(scale.threads)
+            .allocate(&ctx)
+            .expect("allocates");
+        let mut sim_cfg = config.clone();
+        sim_cfg.duration_s = scale.duration_s;
+        let sim = Simulation::with_attenuation(
+            sim_cfg.clone(),
+            topology.clone(),
+            alloc.as_slice().to_vec(),
+            model.shared_attenuation().clone(),
+        )
+        .expect("builds");
+        workloads.push(result_from(
+            format!("sim_epoch/{tag}"),
+            n_dev,
+            n_gw,
+            1,
+            reps,
+            || {
+                let report = sim.run();
+                report.devices.iter().map(|d| u64::from(d.attempts)).sum()
+            },
+        ));
+
+        // Analytical model evaluation (Eq. 5–20) of the allocation.
+        workloads.push(result_from(
+            format!("model_eval/{tag}"),
+            n_dev,
+            n_gw,
+            1,
+            reps,
+            || {
+                let ee = model.evaluate(alloc.as_slice());
+                std::hint::black_box(ee.len() as u64)
+            },
+        ));
+
+        // Path-loss grid build (the O(devices × gateways) powf sweep).
+        workloads.push(result_from(
+            format!("attenuation_build/{tag}"),
+            n_dev,
+            n_gw,
+            1,
+            reps,
+            || {
+                let m = lora_sim::attenuation_matrix(&config, &topology);
+                (m.device_count() * m.gateway_count()) as u64
+            },
+        ));
+
+        // Simulation construction: from scratch vs reusing the model's
+        // shared matrix (the optimization `run_strategy` relies on).
+        workloads.push(result_from(
+            format!("sim_build/fresh/{tag}"),
+            n_dev,
+            n_gw,
+            1,
+            reps,
+            || {
+                let sim =
+                    Simulation::new(sim_cfg.clone(), topology.clone(), alloc.as_slice().to_vec())
+                        .expect("builds");
+                std::hint::black_box(sim.topology().device_count() as u64)
+            },
+        ));
+        workloads.push(result_from(
+            format!("sim_build/shared/{tag}"),
+            n_dev,
+            n_gw,
+            1,
+            reps,
+            || {
+                let sim = Simulation::with_attenuation(
+                    sim_cfg.clone(),
+                    topology.clone(),
+                    alloc.as_slice().to_vec(),
+                    model.shared_attenuation().clone(),
+                )
+                .expect("builds");
+                std::hint::black_box(sim.topology().device_count() as u64)
+            },
+        ));
+    }
+
+    // Time-on-air over the full (SF × payload) grid: Eq. 4 recomputed
+    // per call vs one ToaLut lookup (the cached-ToA optimization).
+    const TOA_SWEEPS: u64 = 40;
+    workloads.push(result_from(
+        "toa_grid/raw".to_string(),
+        0,
+        0,
+        1,
+        reps,
+        || {
+            let mut acc = 0.0f64;
+            for _ in 0..TOA_SWEEPS {
+                for sf in SpreadingFactor::ALL {
+                    for len in 0..=MAX_PHY_PAYLOAD {
+                        acc += ToaParams::new(sf, Bandwidth::Bw125, Default::default())
+                            .time_on_air_s(len)
+                            .expect("in range");
+                    }
+                }
+            }
+            std::hint::black_box(acc);
+            TOA_SWEEPS * 6 * (MAX_PHY_PAYLOAD as u64 + 1)
+        },
+    ));
+    let lut = ToaLut::new(Bandwidth::Bw125, Default::default());
+    workloads.push(result_from(
+        "toa_grid/lut".to_string(),
+        0,
+        0,
+        1,
+        reps,
+        || {
+            let mut acc = 0.0f64;
+            for _ in 0..TOA_SWEEPS {
+                for sf in SpreadingFactor::ALL {
+                    for len in 0..=MAX_PHY_PAYLOAD {
+                        acc += lut.time_on_air_s(sf, len).expect("in range");
+                    }
+                }
+            }
+            std::hint::black_box(acc);
+            TOA_SWEEPS * 6 * (MAX_PHY_PAYLOAD as u64 + 1)
+        },
+    ));
+
+    PerfReport {
+        schema: SCHEMA.to_string(),
+        git_describe: git_describe(),
+        scale: format!("{:?}", scale.kind).to_lowercase(),
+        reps,
+        workloads,
+    }
+}
+
+/// Measures the full workload matrix for `scale`.
+pub fn run_workloads(scale: &Scale, reps: usize) -> PerfReport {
+    run_matrix(&deployments(scale), scale, reps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report_with(id: &str, median_ms: f64) -> PerfReport {
+        PerfReport {
+            schema: SCHEMA.to_string(),
+            git_describe: "test".to_string(),
+            scale: "smoke".to_string(),
+            reps: 1,
+            workloads: vec![WorkloadResult {
+                id: id.to_string(),
+                devices: 10,
+                gateways: 1,
+                threads: 1,
+                events: 100,
+                median_ms,
+                p95_ms: median_ms,
+                events_per_sec: 0.0,
+                devices_per_sec: 0.0,
+            }],
+        }
+    }
+
+    #[test]
+    fn comparator_passes_identical_baseline() {
+        let r = report_with("w", 10.0);
+        assert!(compare(&r, &r, DEFAULT_TOLERANCE).is_empty());
+    }
+
+    #[test]
+    fn comparator_flags_synthetic_2x_slowdown() {
+        let baseline = report_with("w", 10.0);
+        let slow = report_with("w", 20.0);
+        let issues = compare(&slow, &baseline, DEFAULT_TOLERANCE);
+        assert_eq!(issues.len(), 1);
+        match &issues[0] {
+            PerfIssue::Slower { id, ratio, .. } => {
+                assert_eq!(id, "w");
+                assert!((ratio - 2.0).abs() < 1e-9);
+            }
+            other => panic!("expected Slower, got {other:?}"),
+        }
+        // The reverse direction — getting faster — is never an issue.
+        assert!(compare(&baseline, &slow, DEFAULT_TOLERANCE).is_empty());
+    }
+
+    #[test]
+    fn comparator_flags_missing_workload() {
+        let baseline = report_with("w", 10.0);
+        let mut current = report_with("other", 10.0);
+        let issues = compare(&current, &baseline, DEFAULT_TOLERANCE);
+        assert_eq!(
+            issues,
+            vec![PerfIssue::Missing {
+                id: "w".to_string()
+            }]
+        );
+        // Within tolerance passes.
+        current = report_with("w", 12.0);
+        assert!(compare(&current, &baseline, DEFAULT_TOLERANCE).is_empty());
+    }
+
+    #[test]
+    fn normalized_report_serialization_is_byte_stable() {
+        // Two independent measurement runs at a fixed scale must agree on
+        // everything except wall-clock: same matrix, same ids, same
+        // deterministic event counts. Timing fields are zeroed by
+        // `normalized`, so the serialized bytes must match exactly.
+        let scale = Scale::smoke().with_threads(2);
+        let a = run_matrix(&[(20, 1)], &scale, 1);
+        let b = run_matrix(&[(20, 1)], &scale, 1);
+        assert_eq!(to_json(&normalized(&a)), to_json(&normalized(&b)));
+        // And the raw report round-trips through serde.
+        let back: PerfReport = serde_json::from_str(&to_json(&a)).expect("parses");
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn measure_orders_percentiles() {
+        let mut calls = 0u64;
+        let (median, p95, events) = measure(5, || {
+            calls += 1;
+            calls
+        });
+        assert_eq!(events, 5, "events come from the last repetition");
+        assert!(median >= 0.0 && p95 >= median);
+    }
+}

@@ -9,7 +9,12 @@
 use ef_lora_bench::harness::{Scale, ScaleKind};
 
 fn clear_overrides() {
-    for var in ["EF_LORA_SCALE", "EF_LORA_REPS", "EF_LORA_DURATION", "EF_LORA_THREADS"] {
+    for var in [
+        "EF_LORA_SCALE",
+        "EF_LORA_REPS",
+        "EF_LORA_DURATION",
+        "EF_LORA_THREADS",
+    ] {
         std::env::remove_var(var);
     }
 }
@@ -45,7 +50,11 @@ fn from_env_handles_every_override_shape() {
     // and plain garbage.
     for bad_reps in ["0", "-3", "three", ""] {
         std::env::set_var("EF_LORA_REPS", bad_reps);
-        assert_eq!(Scale::from_env().reps, Scale::smoke().reps, "reps={bad_reps:?}");
+        assert_eq!(
+            Scale::from_env().reps,
+            Scale::smoke().reps,
+            "reps={bad_reps:?}"
+        );
     }
     for bad_duration in ["0", "-10", "inf", "NaN", "long"] {
         std::env::set_var("EF_LORA_DURATION", bad_duration);
@@ -63,7 +72,10 @@ fn from_env_handles_every_override_shape() {
     // not a correctness knob, and chunking clamps the fan-out to the
     // number of repetitions), and garbage falls back with a warning.
     std::env::set_var("EF_LORA_THREADS", "0");
-    assert_eq!(Scale::from_env().threads, lora_parallel::available_threads());
+    assert_eq!(
+        Scale::from_env().threads,
+        lora_parallel::available_threads()
+    );
     std::env::set_var("EF_LORA_THREADS", "3");
     assert_eq!(Scale::from_env().threads, 3);
     std::env::set_var("EF_LORA_THREADS", "100000");

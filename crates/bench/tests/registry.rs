@@ -1,0 +1,83 @@
+//! Pins the experiment registry to the `src/bin/` directory: every
+//! binary is either a registered experiment or a declared driver, and
+//! vice versa — so adding a binary without registering it (or retiring
+//! one without cleaning up) fails here, and `run_all`/CI never silently
+//! drop an experiment.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+use ef_lora_bench::registry::{find, DRIVER_BINS, EXPERIMENTS};
+
+fn bin_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("src")
+        .join("bin")
+}
+
+fn bin_stems() -> BTreeSet<String> {
+    std::fs::read_dir(bin_dir())
+        .expect("src/bin exists")
+        .map(|entry| entry.expect("readable entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+        .map(|p| {
+            p.file_stem()
+                .expect("file stem")
+                .to_str()
+                .expect("utf-8 name")
+                .to_string()
+        })
+        .collect()
+}
+
+#[test]
+fn registry_matches_bin_directory() {
+    let on_disk = bin_stems();
+    let registered: BTreeSet<String> = EXPERIMENTS
+        .iter()
+        .map(|e| e.name.to_string())
+        .chain(DRIVER_BINS.iter().map(|d| d.to_string()))
+        .collect();
+
+    let unregistered: Vec<_> = on_disk.difference(&registered).collect();
+    assert!(
+        unregistered.is_empty(),
+        "binaries missing from the registry (add to EXPERIMENTS or DRIVER_BINS): {unregistered:?}"
+    );
+    let phantom: Vec<_> = registered.difference(&on_disk).collect();
+    assert!(
+        phantom.is_empty(),
+        "registry entries without a src/bin file: {phantom:?}"
+    );
+}
+
+#[test]
+fn registry_lookup_round_trips() {
+    for experiment in EXPERIMENTS {
+        let found = find(experiment.name).expect("registered name resolves");
+        assert_eq!(found.name, experiment.name);
+    }
+    assert!(find("run_all").is_none(), "drivers are not experiments");
+    assert!(find("no_such_bin").is_none());
+}
+
+#[test]
+fn ci_consumes_the_registry_drivers() {
+    // CI runs experiments through the drivers, not by naming individual
+    // experiment bins — so the registry stays the single source of truth.
+    let ci = std::fs::read_to_string(
+        Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("..")
+            .join("..")
+            .join(".github")
+            .join("workflows")
+            .join("ci.yml"),
+    )
+    .expect("ci.yml exists");
+    for driver in DRIVER_BINS {
+        assert!(
+            ci.contains(&format!("--bin {driver}")),
+            "ci.yml must run the `{driver}` driver"
+        );
+    }
+}

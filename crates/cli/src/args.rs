@@ -53,7 +53,9 @@ impl Options {
     pub fn parse_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
         match self.values.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("flag --{key} has an invalid value")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("flag --{key} has an invalid value")),
         }
     }
 }

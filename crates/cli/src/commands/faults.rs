@@ -1,9 +1,7 @@
 //! `ef-lora-plan faults` — replay a gateway-churn scenario epoch by
 //! epoch and report degradation detection and recovery.
 
-use ef_lora::{
-    run_faulted, AllocationContext, EfLora, RecoveryMode, ResilienceConfig, Strategy,
-};
+use ef_lora::{run_faulted, AllocationContext, EfLora, RecoveryMode, ResilienceConfig, Strategy};
 use lora_model::NetworkModel;
 use lora_sim::{FaultConfig, GatewayChurn, SimConfig, Topology};
 
@@ -45,9 +43,10 @@ pub fn run(opts: &Options) -> Result<(), String> {
         }],
         ..FaultConfig::default()
     });
-    SimConfig::builder().faults(config.faults.clone().unwrap()).try_build().map_err(|e| {
-        format!("invalid fault configuration: {e}")
-    })?;
+    SimConfig::builder()
+        .faults(config.faults.clone().unwrap())
+        .try_build()
+        .map_err(|e| format!("invalid fault configuration: {e}"))?;
 
     let mode = match opts.optional("recovery").unwrap_or("reactive") {
         "static" => RecoveryMode::Static,
@@ -62,7 +61,9 @@ pub fn run(opts: &Options) -> Result<(), String> {
 
     let model = NetworkModel::new(&config, &topology);
     let ctx = AllocationContext::new(&config, &topology, &model);
-    let initial = EfLora::default().allocate(&ctx).map_err(|e| e.to_string())?;
+    let initial = EfLora::default()
+        .allocate(&ctx)
+        .map_err(|e| e.to_string())?;
 
     let defaults = ResilienceConfig::default();
     let rc = ResilienceConfig {
@@ -81,7 +82,10 @@ pub fn run(opts: &Options) -> Result<(), String> {
         topology.gateway_count(),
         config.duration_s
     );
-    println!("healthy baseline min EE: {:.3} bits/mJ", report.baseline_min_ee);
+    println!(
+        "healthy baseline min EE: {:.3} bits/mJ",
+        report.baseline_min_ee
+    );
     println!("epoch  min EE  mean EE  Jain   PRR    failed  suspects  state");
     for e in &report.epochs {
         let state = if e.reallocated {
@@ -189,13 +193,14 @@ mod tests {
 
     #[test]
     fn bad_inputs_error() {
-        let opts =
-            Options::parse(&s(&["--devices", "12", "--recovery", "psychic"])).unwrap();
+        let opts = Options::parse(&s(&["--devices", "12", "--recovery", "psychic"])).unwrap();
         assert!(run(&opts).unwrap_err().contains("unknown recovery policy"));
         let opts = Options::parse(&s(&["--devices", "12", "--gateway", "7"])).unwrap();
         assert!(run(&opts).unwrap_err().contains("out of range"));
         let opts = Options::parse(&s(&["--devices", "12", "--mtbf", "-5"])).unwrap();
-        assert!(run(&opts).unwrap_err().contains("invalid fault configuration"));
+        assert!(run(&opts)
+            .unwrap_err()
+            .contains("invalid fault configuration"));
         let opts = Options::parse(&s(&["--devices", "12", "--threshold", "1.5"])).unwrap();
         assert!(run(&opts).unwrap_err().contains("--threshold"));
     }

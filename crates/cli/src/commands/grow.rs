@@ -1,8 +1,8 @@
 //! `ef-lora-plan grow` — incrementally allocate devices added to a
 //! deployment (the Section III-E extension).
 
-use ef_lora::{AllocationContext, IncrementalAllocator};
 use ef_lora::Allocation;
+use ef_lora::{AllocationContext, IncrementalAllocator};
 use lora_model::NetworkModel;
 use lora_sim::Topology;
 
@@ -58,12 +58,18 @@ mod tests {
     fn grows_an_allocation() {
         let dir = std::env::temp_dir();
         let pid = std::process::id();
-        let topo_path =
-            dir.join(format!("ef-lora-grow-topo-{pid}.json")).to_string_lossy().into_owned();
-        let alloc_path =
-            dir.join(format!("ef-lora-grow-alloc-{pid}.json")).to_string_lossy().into_owned();
-        let out_path =
-            dir.join(format!("ef-lora-grow-out-{pid}.json")).to_string_lossy().into_owned();
+        let topo_path = dir
+            .join(format!("ef-lora-grow-topo-{pid}.json"))
+            .to_string_lossy()
+            .into_owned();
+        let alloc_path = dir
+            .join(format!("ef-lora-grow-alloc-{pid}.json"))
+            .to_string_lossy()
+            .into_owned();
+        let out_path = dir
+            .join(format!("ef-lora-grow-out-{pid}.json"))
+            .to_string_lossy()
+            .into_owned();
 
         let config = SimConfig::default();
         let grown = Topology::disc(25, 1, 2_000.0, &config, 3);
@@ -99,10 +105,14 @@ mod tests {
     fn oversized_allocation_errors() {
         let dir = std::env::temp_dir();
         let pid = std::process::id();
-        let topo_path =
-            dir.join(format!("ef-lora-grow-t2-{pid}.json")).to_string_lossy().into_owned();
-        let alloc_path =
-            dir.join(format!("ef-lora-grow-a2-{pid}.json")).to_string_lossy().into_owned();
+        let topo_path = dir
+            .join(format!("ef-lora-grow-t2-{pid}.json"))
+            .to_string_lossy()
+            .into_owned();
+        let alloc_path = dir
+            .join(format!("ef-lora-grow-a2-{pid}.json"))
+            .to_string_lossy()
+            .into_owned();
         let config = SimConfig::default();
         let topo = Topology::disc(5, 1, 1_000.0, &config, 1);
         write_json(&topo_path, &topo).unwrap();

@@ -37,8 +37,9 @@ pub fn config_from(opts: &Options) -> Result<SimConfig, String> {
     config.report_interval_s = opts.parse_or("interval", config.report_interval_s)?;
     config.p_los = opts.parse_or("p-los", config.p_los)?;
     if let Some(duty) = opts.optional("duty") {
-        let duty: f64 =
-            duty.parse().map_err(|_| "flag --duty has an invalid value".to_string())?;
+        let duty: f64 = duty
+            .parse()
+            .map_err(|_| "flag --duty has an invalid value".to_string())?;
         config.traffic = Traffic::DutyCycleTarget { duty };
     }
     Ok(config)

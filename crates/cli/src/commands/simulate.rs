@@ -14,8 +14,8 @@ pub fn run(opts: &Options) -> Result<(), String> {
     let allocation: Allocation = read_json(opts.required("allocation")?)?;
     let config = config_from(opts)?;
 
-    let sim = Simulation::new(config, topology, allocation.into_inner())
-        .map_err(|e| e.to_string())?;
+    let sim =
+        Simulation::new(config, topology, allocation.into_inner()).map_err(|e| e.to_string())?;
     let report = if let Some(trace_path) = opts.optional("trace") {
         let file = std::fs::File::create(trace_path)
             .map_err(|e| format!("cannot create {trace_path}: {e}"))?;
@@ -27,7 +27,11 @@ pub fn run(opts: &Options) -> Result<(), String> {
         sim.run()
     };
 
-    println!("simulated {:.0} s, seed {}", report.duration_s, sim.config().seed);
+    println!(
+        "simulated {:.0} s, seed {}",
+        report.duration_s,
+        sim.config().seed
+    );
     println!(
         "min EE {:.3} bits/mJ | mean EE {:.3} | Jain {:.3} | mean PRR {:.3}",
         report.min_energy_efficiency_bits_per_mj(),
@@ -61,10 +65,14 @@ mod tests {
     fn simulates_a_round_tripped_pair() {
         let dir = std::env::temp_dir();
         let pid = std::process::id();
-        let topo_path =
-            dir.join(format!("ef-lora-sim-topo-{pid}.json")).to_string_lossy().into_owned();
-        let alloc_path =
-            dir.join(format!("ef-lora-sim-alloc-{pid}.json")).to_string_lossy().into_owned();
+        let topo_path = dir
+            .join(format!("ef-lora-sim-topo-{pid}.json"))
+            .to_string_lossy()
+            .into_owned();
+        let alloc_path = dir
+            .join(format!("ef-lora-sim-alloc-{pid}.json"))
+            .to_string_lossy()
+            .into_owned();
         let topo = Topology::disc(8, 1, 1_500.0, &SimConfig::default(), 2);
         write_json(&topo_path, &topo).unwrap();
         write_json(&alloc_path, &Allocation::new(vec![TxConfig::default(); 8])).unwrap();
@@ -86,10 +94,14 @@ mod tests {
     fn mismatched_allocation_reports_cleanly() {
         let dir = std::env::temp_dir();
         let pid = std::process::id();
-        let topo_path =
-            dir.join(format!("ef-lora-sim-topo2-{pid}.json")).to_string_lossy().into_owned();
-        let alloc_path =
-            dir.join(format!("ef-lora-sim-alloc2-{pid}.json")).to_string_lossy().into_owned();
+        let topo_path = dir
+            .join(format!("ef-lora-sim-topo2-{pid}.json"))
+            .to_string_lossy()
+            .into_owned();
+        let alloc_path = dir
+            .join(format!("ef-lora-sim-alloc2-{pid}.json"))
+            .to_string_lossy()
+            .into_owned();
         let topo = Topology::disc(8, 1, 1_500.0, &SimConfig::default(), 2);
         write_json(&topo_path, &topo).unwrap();
         write_json(&alloc_path, &Allocation::new(vec![TxConfig::default(); 3])).unwrap();

@@ -40,9 +40,16 @@ pub fn run(opts: &Options) -> Result<(), String> {
             .exhaustive
             .as_ref()
             .map_or("-".to_string(), |e| format!("{:.1}", 100.0 * e.ratio));
-        let n_violations: usize =
-            record.strategies.iter().map(|s| s.invariant_violations.len()).sum();
-        let gated = if record.scenario.agreement_gated { "" } else { " (ungated)" };
+        let n_violations: usize = record
+            .strategies
+            .iter()
+            .map(|s| s.invariant_violations.len())
+            .sum();
+        let gated = if record.scenario.agreement_gated {
+            ""
+        } else {
+            " (ungated)"
+        };
         println!(
             "{:<28} {:>9.3} {:>9.3} {:>8} {:>10}{gated}",
             record.scenario.id, pearson, spearman, opt, n_violations
@@ -60,7 +67,10 @@ pub fn run(opts: &Options) -> Result<(), String> {
     if report.passed {
         Ok(())
     } else {
-        Err(format!("conformance failed: {} gate violation(s)", report.violations.len()))
+        Err(format!(
+            "conformance failed: {} gate violation(s)",
+            report.violations.len()
+        ))
     }
 }
 
@@ -70,8 +80,7 @@ mod tests {
 
     #[test]
     fn rejects_unknown_scale() {
-        let opts =
-            Options::parse(&["--scale".into(), "galactic".into()]).unwrap();
+        let opts = Options::parse(&["--scale".into(), "galactic".into()]).unwrap();
         assert!(run(&opts).unwrap_err().contains("galactic"));
     }
 }

@@ -13,8 +13,7 @@ pub fn read_json<T: DeserializeOwned>(path: &str) -> Result<T, String> {
 
 /// Writes `value` as pretty JSON to `path`.
 pub fn write_json<T: Serialize>(path: &str, value: &T) -> Result<(), String> {
-    let body =
-        serde_json::to_string_pretty(value).map_err(|e| format!("cannot serialise: {e}"))?;
+    let body = serde_json::to_string_pretty(value).map_err(|e| format!("cannot serialise: {e}"))?;
     write_text(path, &body)
 }
 

@@ -145,8 +145,14 @@ mod tests {
         ]))
         .unwrap();
 
-        run(&s(&["compare", "--topology", topo.to_str().unwrap(), "--duration", "1200"]))
-            .unwrap();
+        run(&s(&[
+            "compare",
+            "--topology",
+            topo.to_str().unwrap(),
+            "--duration",
+            "1200",
+        ]))
+        .unwrap();
 
         std::fs::remove_dir_all(&dir).ok();
     }

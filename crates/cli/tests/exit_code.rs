@@ -11,10 +11,18 @@ fn plan() -> Command {
 #[test]
 fn allocate_with_missing_topology_exits_nonzero() {
     let out = plan()
-        .args(["allocate", "--topology", "/nonexistent/ef-lora-no-such-topo.json"])
+        .args([
+            "allocate",
+            "--topology",
+            "/nonexistent/ef-lora-no-such-topo.json",
+        ])
         .output()
         .expect("spawn ef-lora-plan");
-    assert!(!out.status.success(), "expected failure, got {:?}", out.status);
+    assert!(
+        !out.status.success(),
+        "expected failure, got {:?}",
+        out.status
+    );
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("error:"), "stderr: {stderr}");
     assert!(stderr.contains("cannot read"), "stderr: {stderr}");
@@ -24,7 +32,10 @@ fn allocate_with_missing_topology_exits_nonzero() {
 
 #[test]
 fn unknown_subcommand_exits_nonzero() {
-    let out = plan().arg("frobnicate").output().expect("spawn ef-lora-plan");
+    let out = plan()
+        .arg("frobnicate")
+        .output()
+        .expect("spawn ef-lora-plan");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown subcommand"));
 }

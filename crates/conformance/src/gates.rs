@@ -34,7 +34,11 @@ impl Default for Tolerances {
     /// broken units; the greedy matches the restricted enumerated optimum
     /// on every instance, matching the claim in `ef_lora::exhaustive`.
     fn default() -> Self {
-        Tolerances { min_pearson: 0.45, min_spearman: 0.35, min_greedy_fraction: 0.95 }
+        Tolerances {
+            min_pearson: 0.45,
+            min_spearman: 0.35,
+            min_greedy_fraction: 0.95,
+        }
     }
 }
 
@@ -147,7 +151,9 @@ mod tests {
     #[test]
     fn invariant_violations_always_gate() {
         let mut r = record(false);
-        r.strategies[0].invariant_violations.push("rep 0: bad accounting".into());
+        r.strategies[0]
+            .invariant_violations
+            .push("rep 0: bad accounting".into());
         let v = check_scenario(&r, &Tolerances::default());
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].gate, "invariant");
@@ -156,8 +162,14 @@ mod tests {
     #[test]
     fn agreement_gates_respect_the_scenario_flag() {
         // Spearman of a monotone pair is 1, so force an impossible bar.
-        let tol = Tolerances { min_spearman: 1.5, ..Tolerances::default() };
-        assert!(check_scenario(&record(false), &tol).is_empty(), "ungated scenario");
+        let tol = Tolerances {
+            min_spearman: 1.5,
+            ..Tolerances::default()
+        };
+        assert!(
+            check_scenario(&record(false), &tol).is_empty(),
+            "ungated scenario"
+        );
         let v = check_scenario(&record(true), &tol);
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].gate, "spearman");

@@ -44,7 +44,11 @@ pub use scenario::{matrix, Profile, Scenario};
 /// `threads` is purely a wall-clock knob (`0` = available parallelism):
 /// the records are byte-identical for every worker count.
 pub fn run_matrix_records(profile: Profile, threads: usize) -> Vec<ScenarioRecord> {
-    let threads = if threads == 0 { lora_parallel::available_threads() } else { threads };
+    let threads = if threads == 0 {
+        lora_parallel::available_threads()
+    } else {
+        threads
+    };
     scenario::matrix(profile)
         .iter()
         .map(|s| oracle::run_scenario(s, threads))
@@ -53,5 +57,9 @@ pub fn run_matrix_records(profile: Profile, threads: usize) -> Vec<ScenarioRecor
 
 /// Runs a profile's matrix and gates it: the one-call conformance engine.
 pub fn run_matrix(profile: Profile, tolerances: Tolerances, threads: usize) -> ConformanceReport {
-    ConformanceReport::gate(profile.name(), run_matrix_records(profile, threads), tolerances)
+    ConformanceReport::gate(
+        profile.name(),
+        run_matrix_records(profile, threads),
+        tolerances,
+    )
 }

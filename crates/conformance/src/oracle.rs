@@ -121,10 +121,16 @@ pub fn check_invariants(
     // (1) per-device sanity.
     for (i, d) in report.devices.iter().enumerate() {
         if d.delivered > d.attempts {
-            fail(format!("device {i}: delivered {} > attempts {}", d.delivered, d.attempts));
+            fail(format!(
+                "device {i}: delivered {} > attempts {}",
+                d.delivered, d.attempts
+            ));
         }
         if !(d.energy_j.is_finite() && d.energy_j >= 0.0) {
-            fail(format!("device {i}: energy {} is not a finite non-negative value", d.energy_j));
+            fail(format!(
+                "device {i}: energy {} is not a finite non-negative value",
+                d.energy_j
+            ));
         }
     }
 
@@ -174,19 +180,27 @@ pub fn check_invariants(
     // cause. Backhaul drops in particular consume PHY-decoded copies, so
     // a spurious count here would double-book against a PHY fate.
     let faults = config.faults.as_ref();
-    let has_jam =
-        faults.is_some_and(|f| !f.jammers.is_empty() || !f.jam_bursts.is_empty());
+    let has_jam = faults.is_some_and(|f| !f.jammers.is_empty() || !f.jam_bursts.is_empty());
     for (k, g) in report.gateways.iter().enumerate() {
         let has_outage = config.outages.iter().any(|o| o.gateway == k)
             || faults.is_some_and(|f| f.churn.iter().any(|c| c.gateway == k));
         if !has_outage && g.outage_drops > 0 {
-            fail(format!("gateway {k}: {} outage drops without a configured outage", g.outage_drops));
+            fail(format!(
+                "gateway {k}: {} outage drops without a configured outage",
+                g.outage_drops
+            ));
         }
         if !has_jam && g.jammed_drops > 0 {
-            fail(format!("gateway {k}: {} jammed drops without a configured jammer", g.jammed_drops));
+            fail(format!(
+                "gateway {k}: {} jammed drops without a configured jammer",
+                g.jammed_drops
+            ));
         }
-        let has_lossy_backhaul =
-            faults.is_some_and(|f| f.backhaul.iter().any(|b| b.gateway == k && b.drop_prob > 0.0));
+        let has_lossy_backhaul = faults.is_some_and(|f| {
+            f.backhaul
+                .iter()
+                .any(|b| b.gateway == k && b.drop_prob > 0.0)
+        });
         if !has_lossy_backhaul && g.backhaul_drops > 0 {
             fail(format!(
                 "gateway {k}: {} backhaul drops without a lossy backhaul link",
@@ -200,7 +214,9 @@ pub fn check_invariants(
     // one overhead + TX + listening quantum, so a retry whose window
     // spans an outage is charged exactly once, never twice.
     let payload_bits = config.payload_bits();
-    let listen_j = config.confirmed.map_or(0.0, |c| c.class_a.listening_energy_j());
+    let listen_j = config
+        .confirmed
+        .map_or(0.0, |c| c.class_a.listening_energy_j());
     for (i, d) in report.devices.iter().enumerate() {
         let airtime = f64::from(d.attempts) * toa[i];
         let expected = f64::from(d.attempts)
@@ -272,8 +288,9 @@ pub fn simulator_oracle(
     threads: usize,
 ) -> (Vec<f64>, Vec<String>) {
     let n = topology.device_count();
-    let rep_seeds: Vec<u64> =
-        (0..reps).map(|rep| config.seed ^ (rep.wrapping_mul(0x9e37_79b9) + 1)).collect();
+    let rep_seeds: Vec<u64> = (0..reps)
+        .map(|rep| config.seed ^ (rep.wrapping_mul(0x9e37_79b9) + 1))
+        .collect();
     let simulate = |rep: usize| -> RepOutcome {
         let mut cfg = config.clone();
         cfg.seed = rep_seeds[rep];
@@ -340,7 +357,9 @@ pub fn run_scenario(scenario: &Scenario, threads: usize) -> ScenarioRecord {
     }
 
     let exhaustive = scenario.exhaustive.then(|| {
-        let optimal = ExhaustiveSearch::new().allocate(&ctx).expect("enumerable instance");
+        let optimal = ExhaustiveSearch::new()
+            .allocate(&ctx)
+            .expect("enumerable instance");
         let optimal_min_ee = model
             .evaluate(optimal.as_slice())
             .into_iter()
@@ -355,7 +374,11 @@ pub fn run_scenario(scenario: &Scenario, threads: usize) -> ScenarioRecord {
         }
     });
 
-    ScenarioRecord { scenario: scenario.clone(), strategies: records, exhaustive }
+    ScenarioRecord {
+        scenario: scenario.clone(),
+        strategies: records,
+        exhaustive,
+    }
 }
 
 #[cfg(test)]
@@ -384,7 +407,10 @@ mod tests {
         let record = run_scenario(&tiny_scenario(), 1);
         assert_eq!(record.strategies.len(), 2);
         assert_eq!(record.strategies[0].strategy, "EF-LoRa");
-        assert!(record.strategies.iter().all(|s| s.invariant_violations.is_empty()));
+        assert!(record
+            .strategies
+            .iter()
+            .all(|s| s.invariant_violations.is_empty()));
         assert!(record.exhaustive.is_none());
     }
 
@@ -421,12 +447,18 @@ mod tests {
             .duration_s(3_600.0)
             .report_interval_s(600.0)
             .confirmed(ConfirmedTraffic::default())
-            .outage(lora_sim::GatewayOutage { gateway: 0, from_s: 900.0, to_s: 2_700.0 })
+            .outage(lora_sim::GatewayOutage {
+                gateway: 0,
+                from_s: 900.0,
+                to_s: 2_700.0,
+            })
             .build();
         config.fading = lora_phy::Fading::None;
         let topology = Topology::disc(6, 1, 2_000.0, &config, 7);
         let alloc = vec![TxConfig::default(); 6];
-        let report = Simulation::new(config.clone(), topology, alloc.clone()).unwrap().run();
+        let report = Simulation::new(config.clone(), topology, alloc.clone())
+            .unwrap()
+            .run();
 
         // The outage must actually force retransmissions: more attempts
         // than cycles, and losses despite the quiet channel.
@@ -462,21 +494,30 @@ mod tests {
         let mut builder = SimConfig::builder();
         builder.seed(5).duration_s(2_400.0).report_interval_s(600.0);
         builder.faults(FaultConfig {
-            churn: vec![GatewayChurn { gateway: 0, mtbf_s: 500.0, mttr_s: 400.0 }],
+            churn: vec![GatewayChurn {
+                gateway: 0,
+                mtbf_s: 500.0,
+                mttr_s: 400.0,
+            }],
             jam_bursts: vec![JamBurst {
                 channel: 0,
                 from_s: 600.0,
                 to_s: 1_800.0,
                 power_mw: 1.0,
             }],
-            backhaul: vec![BackhaulLink { gateway: 1, drop_prob: 0.5, latency_s: 0.01 }],
+            backhaul: vec![BackhaulLink {
+                gateway: 1,
+                drop_prob: 0.5,
+                latency_s: 0.01,
+            }],
             ..FaultConfig::default()
         });
         let config = builder.try_build().unwrap();
         let topology = Topology::disc(10, 2, 3_000.0, &config, 5);
         let alloc = vec![TxConfig::default(); 10];
-        let mut report =
-            Simulation::new(config.clone(), topology, alloc.clone()).unwrap().run();
+        let mut report = Simulation::new(config.clone(), topology, alloc.clone())
+            .unwrap()
+            .run();
         let violations = check_invariants(&config, &alloc, &report, 0);
         assert!(violations.is_empty(), "{violations:?}");
 
@@ -487,11 +528,15 @@ mod tests {
         report.gateways[0].backhaul_drops += 1;
         let violations = check_invariants(&config, &alloc, &report, 0);
         assert!(
-            violations.iter().any(|v| v.contains("outage drops without")),
+            violations
+                .iter()
+                .any(|v| v.contains("outage drops without")),
             "{violations:?}"
         );
         assert!(
-            violations.iter().any(|v| v.contains("backhaul drops without")),
+            violations
+                .iter()
+                .any(|v| v.contains("backhaul drops without")),
             "{violations:?}"
         );
     }
@@ -502,8 +547,9 @@ mod tests {
         let config = scenario.sim_config();
         let topology = Topology::disc(8, 1, 3_000.0, &config, 42);
         let alloc = vec![TxConfig::default(); 8];
-        let mut report =
-            Simulation::new(config.clone(), topology, alloc.clone()).unwrap().run();
+        let mut report = Simulation::new(config.clone(), topology, alloc.clone())
+            .unwrap()
+            .run();
         assert!(check_invariants(&config, &alloc, &report, 0).is_empty());
 
         // Corrupt the accounting in three independent ways.

@@ -34,8 +34,10 @@ pub struct ConformanceReport {
 impl ConformanceReport {
     /// Gates a set of oracle records and assembles the report.
     pub fn gate(profile: &str, records: Vec<ScenarioRecord>, tolerances: Tolerances) -> Self {
-        let violations: Vec<GateViolation> =
-            records.iter().flat_map(|r| check_scenario(r, &tolerances)).collect();
+        let violations: Vec<GateViolation> = records
+            .iter()
+            .flat_map(|r| check_scenario(r, &tolerances))
+            .collect();
         ConformanceReport {
             version: REPORT_VERSION,
             profile: profile.to_string(),
@@ -109,8 +111,7 @@ mod tests {
 
     #[test]
     fn violations_flip_the_verdict() {
-        let r =
-            ConformanceReport::gate("smoke", one_record(Some("boom")), Tolerances::default());
+        let r = ConformanceReport::gate("smoke", one_record(Some("boom")), Tolerances::default());
         assert!(!r.passed);
         assert_eq!(r.violations.len(), 1);
         assert!(r.summary().contains("FAIL"));

@@ -77,7 +77,10 @@ pub struct Scenario {
 impl Scenario {
     /// The simulator configuration this scenario prescribes.
     pub fn sim_config(&self) -> SimConfig {
-        let mut config = SimConfig { seed: self.seed, ..SimConfig::default() };
+        let mut config = SimConfig {
+            seed: self.seed,
+            ..SimConfig::default()
+        };
         config.duration_s = self.duration_s;
         match self.regime {
             Regime::Periodic { interval_s } => {
@@ -127,7 +130,9 @@ impl Profile {
         match raw {
             "smoke" => Ok(Profile::Smoke),
             "full" => Ok(Profile::Full),
-            other => Err(format!("unknown conformance scale `{other}` (expected smoke or full)")),
+            other => Err(format!(
+                "unknown conformance scale `{other}` (expected smoke or full)"
+            )),
         }
     }
 }
@@ -142,7 +147,11 @@ fn mix(mut z: u64) -> u64 {
 
 /// Derives the seed of the grid cell `(a, b, c, d)`.
 fn cell_seed(a: u64, b: u64, c: u64, d: u64) -> u64 {
-    mix(MATRIX_BASE_SEED ^ mix(a) ^ mix(b.wrapping_mul(3)) ^ mix(c.wrapping_mul(5)) ^ mix(d.wrapping_mul(7)))
+    mix(MATRIX_BASE_SEED
+        ^ mix(a)
+        ^ mix(b.wrapping_mul(3))
+        ^ mix(c.wrapping_mul(5))
+        ^ mix(d.wrapping_mul(7)))
 }
 
 /// Generates the scenario matrix for a profile: the cross product of
@@ -154,10 +163,18 @@ pub fn matrix(profile: Profile) -> Vec<Scenario> {
             Profile::Smoke => (&[12, 24], &[1, 2], 2_400.0, 3),
             Profile::Full => (&[60, 150], &[1, 2, 3], 6_000.0, 4),
         };
-    let regimes =
-        [Regime::Periodic { interval_s: 600.0 }, Regime::DutyCycle { duty: 0.01 }];
-    let outages: [Option<OutageSpec>; 2] =
-        [None, Some(OutageSpec { gateway: 0, start_frac: 0.25, end_frac: 0.5 })];
+    let regimes = [
+        Regime::Periodic { interval_s: 600.0 },
+        Regime::DutyCycle { duty: 0.01 },
+    ];
+    let outages: [Option<OutageSpec>; 2] = [
+        None,
+        Some(OutageSpec {
+            gateway: 0,
+            start_frac: 0.25,
+            end_frac: 0.5,
+        }),
+    ];
 
     let mut scenarios = Vec::new();
     for (di, &n_devices) in device_counts.iter().enumerate() {
@@ -234,13 +251,19 @@ mod tests {
         // settings + 3 exhaustive instances.
         assert_eq!(m.len(), 16 + 3);
         assert_eq!(m.iter().filter(|s| s.exhaustive).count(), 3);
-        assert!(m.iter().filter(|s| s.outage.is_some()).all(|s| !s.agreement_gated));
+        assert!(m
+            .iter()
+            .filter(|s| s.outage.is_some())
+            .all(|s| !s.agreement_gated));
     }
 
     #[test]
     fn sim_config_reflects_scenario() {
         let m = matrix(Profile::Smoke);
-        let duty = m.iter().find(|s| matches!(s.regime, Regime::DutyCycle { .. })).unwrap();
+        let duty = m
+            .iter()
+            .find(|s| matches!(s.regime, Regime::DutyCycle { .. }))
+            .unwrap();
         let config = duty.sim_config();
         assert_eq!(config.seed, duty.seed);
         assert_eq!(config.duration_s, duty.duration_s);

@@ -20,8 +20,7 @@ fn records() -> &'static [ScenarioRecord] {
 
 #[test]
 fn smoke_matrix_passes_default_gates() {
-    let report =
-        ConformanceReport::gate("smoke", records().to_vec(), Tolerances::default());
+    let report = ConformanceReport::gate("smoke", records().to_vec(), Tolerances::default());
     assert!(
         report.passed,
         "default gates must hold on the smoke matrix:\n{:#?}",
@@ -42,7 +41,14 @@ fn smoke_matrix_passes_default_gates() {
         }
     }
     // Every enumerable instance ran the exhaustive oracle.
-    assert_eq!(report.scenarios.iter().filter(|r| r.exhaustive.is_some()).count(), 3);
+    assert_eq!(
+        report
+            .scenarios
+            .iter()
+            .filter(|r| r.exhaustive.is_some())
+            .count(),
+        3
+    );
 }
 
 #[test]
@@ -75,18 +81,29 @@ fn perturbed_tolerances_fail_loudly() {
         .filter(|r| r.scenario.agreement_gated)
         .map(|r| r.strategies.len())
         .sum();
-    let spearman_hits =
-        report.violations.iter().filter(|v| v.gate == "spearman").count();
-    assert_eq!(spearman_hits, gated_pairs, "one spearman violation per gated pair");
-    let exhaustive_hits =
-        report.violations.iter().filter(|v| v.gate == "exhaustive").count();
-    assert_eq!(exhaustive_hits, 3, "one optimality violation per enumerable instance");
+    let spearman_hits = report
+        .violations
+        .iter()
+        .filter(|v| v.gate == "spearman")
+        .count();
+    assert_eq!(
+        spearman_hits, gated_pairs,
+        "one spearman violation per gated pair"
+    );
+    let exhaustive_hits = report
+        .violations
+        .iter()
+        .filter(|v| v.gate == "exhaustive")
+        .count();
+    assert_eq!(
+        exhaustive_hits, 3,
+        "one optimality violation per enumerable instance"
+    );
 }
 
 #[test]
 fn smoke_report_matches_golden_snapshot() {
-    let report =
-        ConformanceReport::gate("smoke", records().to_vec(), Tolerances::default());
+    let report = ConformanceReport::gate("smoke", records().to_vec(), Tolerances::default());
     golden::check_or_update("conformance_smoke", &report.to_json())
         .unwrap_or_else(|e| panic!("{e}"));
 }
@@ -95,13 +112,13 @@ fn smoke_report_matches_golden_snapshot() {
 fn table1_sf_motivation_matches_golden_snapshot() {
     // Regression-pins the Table-I motivation numbers (expected per-device
     // transmission times) the paper's argument opens with.
-    let results: Vec<ef_lora_bench::motivation::ScenarioResult> = ef_lora_bench::motivation::table1_scenarios()
-        .iter()
-        .map(ef_lora_bench::motivation::evaluate)
-        .collect();
+    let results: Vec<ef_lora_bench::motivation::ScenarioResult> =
+        ef_lora_bench::motivation::table1_scenarios()
+            .iter()
+            .map(ef_lora_bench::motivation::evaluate)
+            .collect();
     let json = serde_json::to_string_pretty(&results).expect("results serialize");
-    golden::check_or_update("table1_sf_motivation", &json)
-        .unwrap_or_else(|e| panic!("{e}"));
+    golden::check_or_update("table1_sf_motivation", &json).unwrap_or_else(|e| panic!("{e}"));
 }
 
 #[test]
@@ -131,8 +148,7 @@ fn simulator_oracle_agrees_with_bench_harness() {
     let model = NetworkModel::new(&config, &topology);
 
     let ef = EfLora::default().with_threads(1);
-    let outcome =
-        ef_lora_bench::harness::run_strategy(&config, &topology, &model, &ef, &scale);
+    let outcome = ef_lora_bench::harness::run_strategy(&config, &topology, &model, &ef, &scale);
 
     let ctx = ef_lora::AllocationContext::new(&config, &topology, &model);
     let alloc = ef.allocate(&ctx).expect("allocates");

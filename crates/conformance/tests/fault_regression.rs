@@ -37,7 +37,9 @@ fn no_fault_report() -> lora_sim::SimReport {
         .report_interval_s(600.0)
         .build();
     let topo = Topology::disc(24, 2, 4_000.0, &config, 41);
-    Simulation::new(config, topo, spread_alloc(24)).unwrap().run()
+    Simulation::new(config, topo, spread_alloc(24))
+        .unwrap()
+        .run()
 }
 
 #[test]
@@ -55,11 +57,27 @@ fn faulted_runs_are_thread_invariant() {
     // repetition is scheduled, and backhaul verdicts are stateless
     // hashes, so worker count must not move a single byte.
     let mut builder = SimConfig::builder();
-    builder.seed(29).duration_s(2_400.0).report_interval_s(600.0);
+    builder
+        .seed(29)
+        .duration_s(2_400.0)
+        .report_interval_s(600.0);
     builder.faults(FaultConfig {
-        churn: vec![GatewayChurn { gateway: 0, mtbf_s: 500.0, mttr_s: 300.0 }],
-        jam_bursts: vec![JamBurst { channel: 2, from_s: 400.0, to_s: 1_600.0, power_mw: 1e-6 }],
-        backhaul: vec![BackhaulLink { gateway: 1, drop_prob: 0.4, latency_s: 0.02 }],
+        churn: vec![GatewayChurn {
+            gateway: 0,
+            mtbf_s: 500.0,
+            mttr_s: 300.0,
+        }],
+        jam_bursts: vec![JamBurst {
+            channel: 2,
+            from_s: 400.0,
+            to_s: 1_600.0,
+            power_mw: 1e-6,
+        }],
+        backhaul: vec![BackhaulLink {
+            gateway: 1,
+            drop_prob: 0.4,
+            latency_s: 0.02,
+        }],
         ..FaultConfig::default()
     });
     let config = builder.try_build().unwrap();
@@ -73,7 +91,10 @@ fn faulted_runs_are_thread_invariant() {
     let serial = run_strategy(&config, &topo, &model, &EfLora::default(), &scale);
     scale.threads = 4;
     let parallel = run_strategy(&config, &topo, &model, &EfLora::default(), &scale);
-    assert_eq!(serial, parallel, "faulted figure pipeline must be worker-count invariant");
+    assert_eq!(
+        serial, parallel,
+        "faulted figure pipeline must be worker-count invariant"
+    );
     assert_eq!(
         serde_json::to_string(&serial).unwrap(),
         serde_json::to_string(&parallel).unwrap(),

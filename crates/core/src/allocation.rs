@@ -164,8 +164,14 @@ mod tests {
     fn constraints() {
         let a = sample();
         assert!(a.satisfies_constraints(2.0, 14.0, 8));
-        assert!(!a.satisfies_constraints(4.0, 14.0, 8), "2 dBm entry violates C₁");
-        assert!(!a.satisfies_constraints(2.0, 14.0, 4), "channel 7 violates C₃");
+        assert!(
+            !a.satisfies_constraints(4.0, 14.0, 8),
+            "2 dBm entry violates C₁"
+        );
+        assert!(
+            !a.satisfies_constraints(2.0, 14.0, 4),
+            "channel 7 violates C₃"
+        );
     }
 
     #[test]

@@ -39,7 +39,10 @@ pub struct AdrLora {
 
 impl Default for AdrLora {
     fn default() -> Self {
-        AdrLora { channel_seed: 0, device_margin_db: 10.0 }
+        AdrLora {
+            channel_seed: 0,
+            device_margin_db: 10.0,
+        }
     }
 }
 
@@ -47,7 +50,10 @@ impl AdrLora {
     /// Creates the baseline with a channel-draw seed and the default
     /// 10 dB device margin.
     pub fn new(channel_seed: u64) -> Self {
-        AdrLora { channel_seed, ..AdrLora::default() }
+        AdrLora {
+            channel_seed,
+            ..AdrLora::default()
+        }
     }
 
     /// Overrides the safety margin.
@@ -171,7 +177,10 @@ mod tests {
         assert!(alloc.satisfies_constraints(2.0, 14.0, 8));
         // A bolder margin (0 dB) must never pick slower SFs than the
         // conservative default anywhere.
-        let bold = AdrLora::default().with_device_margin_db(0.0).allocate(&ctx).unwrap();
+        let bold = AdrLora::default()
+            .with_device_margin_db(0.0)
+            .allocate(&ctx)
+            .unwrap();
         for (c, b) in alloc.iter().zip(bold.iter()) {
             assert!(b.sf <= c.sf, "bold {b} vs conservative {c}");
         }
@@ -181,7 +190,10 @@ mod tests {
     fn compact_cells_stampede_to_sf7() {
         // ADR's known failure mode: link-margin-driven allocation ignores
         // contention and puts a well-covered fleet on SF7.
-        let config = SimConfig { p_los: 1.0, ..SimConfig::default() };
+        let config = SimConfig {
+            p_los: 1.0,
+            ..SimConfig::default()
+        };
         let topo = Topology::disc(50, 1, 600.0, &config, 7);
         let model = NetworkModel::new(&config, &topo);
         let ctx = AllocationContext::new(&config, &topo, &model);

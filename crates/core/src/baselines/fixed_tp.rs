@@ -22,7 +22,9 @@ pub struct EfLoraFixedTp {
 impl EfLoraFixedTp {
     /// Pins every device to `tp` (the paper uses 14 dBm).
     pub fn new(tp: TxPowerDbm) -> Self {
-        EfLoraFixedTp { inner: EfLora::default().with_fixed_tp(tp) }
+        EfLoraFixedTp {
+            inner: EfLora::default().with_fixed_tp(tp),
+        }
     }
 
     /// Access to the underlying greedy allocator for tuning δ etc.

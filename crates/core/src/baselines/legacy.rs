@@ -19,13 +19,11 @@ use crate::error::AllocError;
 use crate::strategy::Strategy;
 
 /// The legacy-LoRa baseline.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct LegacyLora {
     /// Seed for the random channel draw.
     pub channel_seed: u64,
 }
-
 
 impl LegacyLora {
     /// Creates the baseline with a channel-draw seed.
@@ -46,8 +44,10 @@ impl Strategy for LegacyLora {
         let channels = ctx.channel_count();
         let configs = (0..ctx.device_count())
             .map(|i| {
-                let sf =
-                    ctx.model().min_feasible_sf(i, tp).unwrap_or(SpreadingFactor::Sf12);
+                let sf = ctx
+                    .model()
+                    .min_feasible_sf(i, tp)
+                    .unwrap_or(SpreadingFactor::Sf12);
                 TxConfig::new(sf, tp, rng.gen_range(0..channels))
             })
             .collect();
@@ -89,14 +89,20 @@ mod tests {
         assert_eq!(a, b, "same seed, same draw");
         assert_ne!(a, c, "different seed, different draw");
         let hist = a.channel_histogram(8);
-        assert!(hist.iter().all(|&n| n > 0), "200 draws should hit all 8 channels: {hist:?}");
+        assert!(
+            hist.iter().all(|&n| n > 0),
+            "200 draws should hit all 8 channels: {hist:?}"
+        );
     }
 
     #[test]
     fn near_deployment_collapses_to_sf7() {
         // A compact deployment: legacy puts everyone on SF7 — the
         // collision-prone behaviour the paper criticises.
-        let config = SimConfig { p_los: 1.0, ..SimConfig::default() };
+        let config = SimConfig {
+            p_los: 1.0,
+            ..SimConfig::default()
+        };
         let topo = Topology::disc(30, 1, 800.0, &config, 5);
         let model = NetworkModel::new(&config, &topo);
         let ctx = AllocationContext::new(&config, &topo, &model);

@@ -28,13 +28,11 @@ use crate::error::AllocError;
 use crate::strategy::Strategy;
 
 /// The RS-LoRa baseline.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RsLora {
     /// Seed for the random channel draw.
     pub channel_seed: u64,
 }
-
 
 impl RsLora {
     /// Creates the baseline with a channel-draw seed.
@@ -115,8 +113,9 @@ impl Strategy for RsLora {
             for _ in 0..counts[sf.index()] {
                 let device = ranked[cursor];
                 // Never assign below the feasibility bound.
-                let feasible =
-                    model.min_feasible_sf(device, tp).unwrap_or(SpreadingFactor::Sf12);
+                let feasible = model
+                    .min_feasible_sf(device, tp)
+                    .unwrap_or(SpreadingFactor::Sf12);
                 sf_of[device] = sf.max(feasible);
                 cursor += 1;
             }
@@ -167,7 +166,10 @@ mod tests {
     fn allocation_follows_shares_in_a_compact_deployment() {
         // All devices close in: feasibility never binds, so the histogram
         // matches the target counts exactly.
-        let config = SimConfig { p_los: 1.0, ..SimConfig::default() };
+        let config = SimConfig {
+            p_los: 1.0,
+            ..SimConfig::default()
+        };
         let topo = Topology::disc(400, 1, 800.0, &config, 3);
         let model = NetworkModel::new(&config, &topo);
         let ctx = AllocationContext::new(&config, &topo, &model);

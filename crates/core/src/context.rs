@@ -37,7 +37,12 @@ impl<'a> AllocationContext<'a> {
             topology.gateway_count(),
             "model/topology gateway counts differ"
         );
-        AllocationContext { config, topology, model, tp_levels: config.region.tx_power_levels() }
+        AllocationContext {
+            config,
+            topology,
+            model,
+            tp_levels: config.region.tx_power_levels(),
+        }
     }
 
     /// The physical configuration.
@@ -62,7 +67,10 @@ impl<'a> AllocationContext<'a> {
 
     /// The maximum allocatable transmission power.
     pub fn max_tp(&self) -> TxPowerDbm {
-        *self.tp_levels.last().expect("regions define at least one TP level")
+        *self
+            .tp_levels
+            .last()
+            .expect("regions define at least one TP level")
     }
 
     /// Number of devices.
@@ -73,6 +81,12 @@ impl<'a> AllocationContext<'a> {
     /// Number of uplink channels.
     pub fn channel_count(&self) -> usize {
         self.model.channel_count()
+    }
+
+    /// Size of one device's candidate grid: every (SF, channel, TP)
+    /// combination a scan pass evaluates.
+    pub fn candidate_count(&self) -> usize {
+        lora_phy::SpreadingFactor::ALL.len() * self.channel_count() * self.tp_levels.len()
     }
 
     /// Validates that the deployment is allocatable at all.
@@ -106,6 +120,7 @@ mod tests {
         assert_eq!(ctx.max_tp().dbm(), 14.0);
         assert_eq!(ctx.device_count(), 5);
         assert_eq!(ctx.channel_count(), 8);
+        assert_eq!(ctx.candidate_count(), 6 * 8 * 7);
         assert!(ctx.check_nonempty().is_ok());
     }
 

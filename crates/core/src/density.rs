@@ -62,7 +62,10 @@ mod tests {
     use lora_sim::{DeviceSite, Position};
 
     fn site(x: f64, y: f64) -> DeviceSite {
-        DeviceSite { position: Position::new(x, y), environment: LinkEnvironment::LineOfSight }
+        DeviceSite {
+            position: Position::new(x, y),
+            environment: LinkEnvironment::LineOfSight,
+        }
     }
 
     #[test]
@@ -104,7 +107,8 @@ mod tests {
 
     #[test]
     fn default_radius_scales_with_deployment() {
-        let topo = Topology::from_sites(vec![site(0.0, 0.0)], vec![Position::new(0.0, 0.0)], 5_000.0);
+        let topo =
+            Topology::from_sites(vec![site(0.0, 0.0)], vec![Position::new(0.0, 0.0)], 5_000.0);
         assert_eq!(default_neighbor_radius(&topo), 500.0);
         let small =
             Topology::from_sites(vec![site(0.0, 0.0)], vec![Position::new(0.0, 0.0)], 500.0);

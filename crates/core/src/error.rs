@@ -63,12 +63,12 @@ mod tests {
 
     #[test]
     fn model_error_is_wrapped_with_source() {
-        let inner = ModelError::AllocationLengthMismatch { devices: 3, allocation: 2 };
+        let inner = ModelError::AllocationLengthMismatch {
+            devices: 3,
+            allocation: 2,
+        };
         let outer: AllocError = inner.clone().into();
         assert!(outer.to_string().contains("model rejected"));
-        assert_eq!(
-            outer.source().unwrap().to_string(),
-            inner.to_string()
-        );
+        assert_eq!(outer.source().unwrap().to_string(), inner.to_string());
     }
 }

@@ -30,14 +30,21 @@ impl ExhaustiveSearch {
     /// 12}, TP ∈ {2, 14} dBm, channels {0, 1} — 12 candidates per device.
     pub fn new() -> Self {
         let mut candidates = Vec::new();
-        for sf in [SpreadingFactor::Sf7, SpreadingFactor::Sf9, SpreadingFactor::Sf12] {
+        for sf in [
+            SpreadingFactor::Sf7,
+            SpreadingFactor::Sf9,
+            SpreadingFactor::Sf12,
+        ] {
             for tp in [2.0, 14.0] {
                 for ch in 0..2 {
                     candidates.push(TxConfig::new(sf, TxPowerDbm::new(tp), ch));
                 }
             }
         }
-        ExhaustiveSearch { candidates, max_configurations: 20_000_000 }
+        ExhaustiveSearch {
+            candidates,
+            max_configurations: 20_000_000,
+        }
     }
 
     /// Replaces the per-device candidate set.
@@ -95,9 +102,11 @@ impl Strategy for ExhaustiveSearch {
     /// (or overflows), plus the usual empty-deployment errors.
     fn allocate(&self, ctx: &AllocationContext<'_>) -> Result<Allocation, AllocError> {
         ctx.check_nonempty()?;
-        let total = self.configurations_for(ctx).ok_or(AllocError::InvalidParameter {
-            reason: "search space overflows u64; restrict candidates or devices",
-        })?;
+        let total = self
+            .configurations_for(ctx)
+            .ok_or(AllocError::InvalidParameter {
+                reason: "search space overflows u64; restrict candidates or devices",
+            })?;
         if total > self.max_configurations {
             return Err(AllocError::InvalidParameter {
                 reason: "search space exceeds the enumeration budget",
@@ -235,6 +244,9 @@ mod tests {
         let (config, topo) = tiny(3, 1);
         let model = NetworkModel::new(&config, &topo);
         let ctx = AllocationContext::new(&config, &topo, &model);
-        assert_eq!(ExhaustiveSearch::new().configurations_for(&ctx), Some(12u64.pow(3)));
+        assert_eq!(
+            ExhaustiveSearch::new().configurations_for(&ctx),
+            Some(12u64.pow(3))
+        );
     }
 }

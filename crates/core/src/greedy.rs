@@ -61,8 +61,7 @@ use crate::error::AllocError;
 use crate::strategy::Strategy;
 
 /// The order in which the greedy pass visits devices.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum DeviceOrdering {
     /// Densest-first (the paper's choice).
     #[default]
@@ -76,7 +75,6 @@ pub enum DeviceOrdering {
     /// Plain index order.
     Index,
 }
-
 
 /// The EF-LoRa greedy allocator.
 ///
@@ -158,8 +156,11 @@ impl EfLora {
     /// trades spawn overhead for scan throughput only.
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
-        self.threads =
-            if threads == 0 { lora_parallel::available_threads() } else { threads };
+        self.threads = if threads == 0 {
+            lora_parallel::available_threads()
+        } else {
+            threads
+        };
         self
     }
 
@@ -218,7 +219,9 @@ impl EfLora {
     ) -> Result<GreedyReport, AllocError> {
         ctx.check_nonempty()?;
         if self.delta < 0.0 || !self.delta.is_finite() {
-            return Err(AllocError::InvalidParameter { reason: "delta must be non-negative" });
+            return Err(AllocError::InvalidParameter {
+                reason: "delta must be non-negative",
+            });
         }
 
         let tp_levels: Vec<TxPowerDbm> = match self.fixed_tp {
@@ -357,8 +360,7 @@ fn candidate_grid(
     tp_levels: &[TxPowerDbm],
     current: TxConfig,
 ) -> Vec<TxConfig> {
-    let mut grid =
-        Vec::with_capacity(6 * ctx.channel_count() * tp_levels.len());
+    let mut grid = Vec::with_capacity(6 * ctx.channel_count() * tp_levels.len());
     for sf in SpreadingFactor::ALL {
         for channel in 0..ctx.channel_count() {
             for &tp in tp_levels {
@@ -435,11 +437,27 @@ fn scan_device(
     // Below ~8 candidates per worker, spawn overhead dwarfs the scan.
     let threads = threads.clamp(1, (grid.len() / 8).max(1));
     if threads <= 1 {
-        return scan_chunk(state, device, &grid, 0..grid.len(), current_min, current_own, tie_slack);
+        return scan_chunk(
+            state,
+            device,
+            &grid,
+            0..grid.len(),
+            current_min,
+            current_own,
+            tie_slack,
+        );
     }
     let ranges = lora_parallel::chunk_ranges(grid.len(), threads);
     let chunks = lora_parallel::par_map_indexed(ranges.len(), threads, |c| {
-        scan_chunk(state, device, &grid, ranges[c].clone(), current_min, current_own, tie_slack)
+        scan_chunk(
+            state,
+            device,
+            &grid,
+            ranges[c].clone(),
+            current_min,
+            current_own,
+            tie_slack,
+        )
     });
     let mut merged = DeviceScan::default();
     for chunk in chunks {
@@ -578,7 +596,10 @@ mod tests {
         let (config, topo) = setup(3, 1, 0);
         let model = NetworkModel::new(&config, &topo);
         let ctx = AllocationContext::new(&config, &topo, &model);
-        let err = EfLora::default().with_delta(f64::NAN).allocate(&ctx).unwrap_err();
+        let err = EfLora::default()
+            .with_delta(f64::NAN)
+            .allocate(&ctx)
+            .unwrap_err();
         assert!(matches!(err, AllocError::InvalidParameter { .. }));
     }
 
@@ -604,7 +625,10 @@ mod tests {
         let (config, topo) = setup(40, 2, 3);
         let model = NetworkModel::new(&config, &topo);
         let ctx = AllocationContext::new(&config, &topo, &model);
-        let serial = EfLora::default().with_threads(1).allocate_with_report(&ctx).unwrap();
+        let serial = EfLora::default()
+            .with_threads(1)
+            .allocate_with_report(&ctx)
+            .unwrap();
         for threads in [2usize, 4, 7] {
             let parallel = EfLora::default()
                 .with_threads(threads)
@@ -626,7 +650,9 @@ mod tests {
     fn strategy_name_reflects_ablation() {
         assert_eq!(EfLora::default().name(), "EF-LoRa");
         assert_eq!(
-            EfLora::default().with_fixed_tp(TxPowerDbm::new(14.0)).name(),
+            EfLora::default()
+                .with_fixed_tp(TxPowerDbm::new(14.0))
+                .name(),
             "EF-LoRa-fixedTP"
         );
     }

@@ -95,7 +95,10 @@ impl IncrementalAllocator {
         let max_tp = ctx.max_tp();
         let mut alloc: Vec<TxConfig> = previous.to_vec();
         for i in previous.len()..n {
-            let sf = ctx.model().min_feasible_sf(i, max_tp).unwrap_or(SpreadingFactor::Sf12);
+            let sf = ctx
+                .model()
+                .min_feasible_sf(i, max_tp)
+                .unwrap_or(SpreadingFactor::Sf12);
             alloc.push(TxConfig::new(sf, max_tp, i % ctx.channel_count()));
         }
 
@@ -263,8 +266,9 @@ fn scan_and_apply(
                     continue;
                 };
                 let own = state.ee_if(device, cfg);
-                let (best_min, best_own) =
-                    best.map(|(m, o, _)| (m, o)).unwrap_or((current_min, current_own));
+                let (best_min, best_own) = best
+                    .map(|(m, o, _)| (m, o))
+                    .unwrap_or((current_min, current_own));
                 if min > best_min + tie_slack
                     || (min >= best_min - tie_slack && own > best_own + tie_slack)
                 {
@@ -319,8 +323,10 @@ mod tests {
 
         assert_eq!(outcome.allocation.len(), 45);
         // Existing devices outside the affected groups are untouched.
-        let new_groups: std::collections::HashSet<_> =
-            outcome.allocation.as_slice()[40..].iter().map(TxConfig::group).collect();
+        let new_groups: std::collections::HashSet<_> = outcome.allocation.as_slice()[40..]
+            .iter()
+            .map(TxConfig::group)
+            .collect();
         let mut changed = 0;
         for i in 0..40 {
             let before = previous.as_slice()[i];

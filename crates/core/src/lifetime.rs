@@ -12,11 +12,7 @@ use lora_phy::TxConfig;
 use lora_sim::metrics::percentile;
 
 /// Projected lifetime in seconds of every device under `alloc`.
-pub fn device_lifetimes_s(
-    model: &NetworkModel,
-    alloc: &[TxConfig],
-    battery: &Battery,
-) -> Vec<f64> {
+pub fn device_lifetimes_s(model: &NetworkModel, alloc: &[TxConfig], battery: &Battery) -> Vec<f64> {
     alloc
         .iter()
         .map(|cfg| {

@@ -53,8 +53,9 @@ pub fn kmeans_gateways(
         return Vec::new();
     }
     let mut rng = ChaCha12Rng::seed_from_u64(seed ^ 0x706c_6163_656d_656e); // "placemen"
-    let mut centroids: Vec<Position> =
-        (0..k).map(|_| devices[rng.gen_range(0..devices.len())].position).collect();
+    let mut centroids: Vec<Position> = (0..k)
+        .map(|_| devices[rng.gen_range(0..devices.len())].position)
+        .collect();
 
     let mut assignment = vec![0usize; devices.len()];
     for _ in 0..iterations.max(1) {
@@ -139,8 +140,9 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let sites: Vec<DeviceSite> =
-            (0..50).map(|i| site((i * 37 % 997) as f64, (i * 61 % 991) as f64)).collect();
+        let sites: Vec<DeviceSite> = (0..50)
+            .map(|i| site((i * 37 % 997) as f64, (i * 61 % 991) as f64))
+            .collect();
         let a = kmeans_gateways(&sites, 4, 32, 9);
         let b = kmeans_gateways(&sites, 4, 32, 9);
         assert_eq!(a, b);

@@ -93,7 +93,12 @@ pub struct ResilienceController {
 impl ResilienceController {
     /// Creates a controller with no baseline yet.
     pub fn new(config: ResilienceConfig) -> Self {
-        ResilienceController { config, baseline_min_ee: None, streak: 0, cooldown: 0 }
+        ResilienceController {
+            config,
+            baseline_min_ee: None,
+            streak: 0,
+            cooldown: 0,
+        }
     }
 
     /// Seeds the healthy-network baseline (bits/mJ) explicitly.
@@ -164,7 +169,9 @@ pub fn reallocate_masked(
 ) -> Result<IncrementalOutcome, AllocError> {
     let n_gw = topology.gateway_count();
     if failed.iter().any(|&g| g >= n_gw) {
-        return Err(AllocError::InvalidParameter { reason: "failed gateway index out of range" });
+        return Err(AllocError::InvalidParameter {
+            reason: "failed gateway index out of range",
+        });
     }
     let surviving: Vec<_> = (0..n_gw)
         .filter(|g| !failed.contains(g))
@@ -330,8 +337,11 @@ pub fn run_faulted(
             all_windows
                 .iter()
                 .filter_map(|o| {
-                    slice_window(o.from_s, o.to_s, e, width)
-                        .map(|(from_s, to_s)| GatewayOutage { gateway: o.gateway, from_s, to_s })
+                    slice_window(o.from_s, o.to_s, e, width).map(|(from_s, to_s)| GatewayOutage {
+                        gateway: o.gateway,
+                        from_s,
+                        to_s,
+                    })
                 })
                 .collect()
         };
@@ -360,14 +370,15 @@ pub fn run_faulted(
             None
         };
         let sim = Simulation::new(cfg, topology.clone(), alloc.to_vec()).map_err(|_| {
-            AllocError::InvalidParameter { reason: "simulator rejected the faulted epoch config" }
+            AllocError::InvalidParameter {
+                reason: "simulator rejected the faulted epoch config",
+            }
         })?;
         Ok(sim.run())
     };
 
     // Healthy baseline: epoch 0's traffic with every fault stripped.
-    let baseline_min_ee =
-        run_epoch(0, true, initial)?.min_energy_efficiency_bits_per_mj();
+    let baseline_min_ee = run_epoch(0, true, initial)?.min_energy_efficiency_bits_per_mj();
     let mut controller = ResilienceController::new(*rc);
     controller.set_baseline(baseline_min_ee);
 
@@ -409,9 +420,7 @@ pub fn run_faulted(
         let degraded = !matches!(decision, Decision::Healthy);
         let suspects = match &decision {
             Decision::Healthy => Vec::new(),
-            Decision::Degraded { suspects } | Decision::Reallocate { suspects } => {
-                suspects.clone()
-            }
+            Decision::Degraded { suspects } | Decision::Reallocate { suspects } => suspects.clone(),
         };
 
         if degraded && first_degraded.is_none() {
@@ -442,8 +451,7 @@ pub fn run_faulted(
                     // mask must only drop once the gateway is truly back).
                     let still_out = suspect_gateways(&report, rc.suspect_outage_fraction);
                     if !active_mask.iter().any(|g| still_out.contains(g)) {
-                        reconfigured =
-                            alloc.iter().zip(initial).filter(|(a, b)| a != b).count();
+                        reconfigured = alloc.iter().zip(initial).filter(|(a, b)| a != b).count();
                         reallocated = reconfigured > 0;
                         alloc = initial.to_vec();
                         active_mask.clear();
@@ -488,8 +496,10 @@ fn oracle_replan(
     failed: &[usize],
 ) -> Result<Vec<TxConfig>, AllocError> {
     let n_gw = topology.gateway_count();
-    let surviving: Vec<_> =
-        (0..n_gw).filter(|g| !failed.contains(g)).map(|g| topology.gateways()[g]).collect();
+    let surviving: Vec<_> = (0..n_gw)
+        .filter(|g| !failed.contains(g))
+        .map(|g| topology.gateways()[g])
+        .collect();
     if surviving.is_empty() {
         return Err(AllocError::InvalidParameter {
             reason: "cannot mask every gateway out of the link budget",
@@ -540,8 +550,14 @@ mod tests {
         c.set_baseline(10.0);
         assert_eq!(c.observe(&report_with(9.0, 0.0)), Decision::Healthy);
         // One degraded window arms the streak; the second fires.
-        assert!(matches!(c.observe(&report_with(1.0, 0.9)), Decision::Degraded { .. }));
-        assert!(matches!(c.observe(&report_with(1.0, 0.9)), Decision::Reallocate { .. }));
+        assert!(matches!(
+            c.observe(&report_with(1.0, 0.9)),
+            Decision::Degraded { .. }
+        ));
+        assert!(matches!(
+            c.observe(&report_with(1.0, 0.9)),
+            Decision::Reallocate { .. }
+        ));
     }
 
     #[test]
@@ -552,10 +568,19 @@ mod tests {
             ..ResilienceConfig::default()
         });
         c.set_baseline(10.0);
-        assert!(matches!(c.observe(&report_with(1.0, 0.9)), Decision::Reallocate { .. }));
+        assert!(matches!(
+            c.observe(&report_with(1.0, 0.9)),
+            Decision::Reallocate { .. }
+        ));
         // Still degraded, but the cooldown holds recovery back.
-        assert!(matches!(c.observe(&report_with(1.0, 0.9)), Decision::Degraded { .. }));
-        assert!(matches!(c.observe(&report_with(1.0, 0.9)), Decision::Reallocate { .. }));
+        assert!(matches!(
+            c.observe(&report_with(1.0, 0.9)),
+            Decision::Degraded { .. }
+        ));
+        assert!(matches!(
+            c.observe(&report_with(1.0, 0.9)),
+            Decision::Reallocate { .. }
+        ));
     }
 
     #[test]
@@ -565,10 +590,16 @@ mod tests {
             ..ResilienceConfig::default()
         });
         c.set_baseline(10.0);
-        assert!(matches!(c.observe(&report_with(1.0, 0.0)), Decision::Degraded { .. }));
+        assert!(matches!(
+            c.observe(&report_with(1.0, 0.0)),
+            Decision::Degraded { .. }
+        ));
         assert_eq!(c.observe(&report_with(10.0, 0.0)), Decision::Healthy);
         // The streak restarted: one degraded window is not enough again.
-        assert!(matches!(c.observe(&report_with(1.0, 0.0)), Decision::Degraded { .. }));
+        assert!(matches!(
+            c.observe(&report_with(1.0, 0.0)),
+            Decision::Degraded { .. }
+        ));
     }
 
     #[test]
@@ -577,7 +608,10 @@ mod tests {
         assert_eq!(c.observe(&report_with(5.0, 0.0)), Decision::Healthy);
         assert_eq!(c.baseline_min_ee(), Some(5.0));
         // Default hysteresis is a single window, so the drop fires at once.
-        assert!(matches!(c.observe(&report_with(1.0, 0.0)), Decision::Reallocate { .. }));
+        assert!(matches!(
+            c.observe(&report_with(1.0, 0.0)),
+            Decision::Reallocate { .. }
+        ));
     }
 
     #[test]
@@ -627,10 +661,18 @@ mod tests {
         let topology = recovery_topology(6, 6);
         // Gateway B (index 1) is down from epoch 1 onward (horizon 4
         // epochs × 1800 s).
-        config.outages.push(GatewayOutage { gateway: 1, from_s: 1_800.0, to_s: 7_200.0 });
+        config.outages.push(GatewayOutage {
+            gateway: 1,
+            from_s: 1_800.0,
+            to_s: 7_200.0,
+        });
         let model = NetworkModel::new(&config, &topology);
         let ctx = AllocationContext::new(&config, &topology, &model);
-        let alloc = EfLora::default().allocate(&ctx).unwrap().as_slice().to_vec();
+        let alloc = EfLora::default()
+            .allocate(&ctx)
+            .unwrap()
+            .as_slice()
+            .to_vec();
         (config, topology, alloc)
     }
 
@@ -667,7 +709,10 @@ mod tests {
             "recovered {recovered_ee} below 80 % of baseline {baseline}"
         );
         assert!(reactive.time_to_recover_s.unwrap() > 0.0);
-        assert!(reactive.epochs.iter().any(|e| e.reallocated && e.reconfigured > 0));
+        assert!(reactive
+            .epochs
+            .iter()
+            .any(|e| e.reallocated && e.reconfigured > 0));
         // The controller fingered the right gateway.
         assert!(reactive.epochs[1].suspects.contains(&1));
     }
@@ -678,8 +723,7 @@ mod tests {
         let rc = ResilienceConfig::default();
         let reactive =
             run_faulted(&config, &topology, &alloc, 4, RecoveryMode::Reactive, &rc).unwrap();
-        let oracle =
-            run_faulted(&config, &topology, &alloc, 4, RecoveryMode::Oracle, &rc).unwrap();
+        let oracle = run_faulted(&config, &topology, &alloc, 4, RecoveryMode::Oracle, &rc).unwrap();
         // The oracle re-plans before the failed epoch even runs, so its
         // fairness floor under failure can only be better or equal.
         assert!(
@@ -701,17 +745,23 @@ mod tests {
             c.outages.clear();
             (c, t, a)
         };
-        config.outages.push(GatewayOutage { gateway: 1, from_s: 1_800.0, to_s: 5_400.0 });
+        config.outages.push(GatewayOutage {
+            gateway: 1,
+            from_s: 1_800.0,
+            to_s: 5_400.0,
+        });
         let rc = ResilienceConfig::default();
-        let run =
-            run_faulted(&config, &topology, &alloc, 5, RecoveryMode::Reactive, &rc).unwrap();
+        let run = run_faulted(&config, &topology, &alloc, 5, RecoveryMode::Reactive, &rc).unwrap();
 
         assert_eq!(run.first_degraded_epoch, Some(1));
         assert!(run.epochs[1].reallocated, "repair after the degraded epoch");
         // Epoch 2: recovered under the mask, gateway still down — the
         // mask must hold.
         assert!(run.epochs[2].min_ee >= 0.8 * run.baseline_min_ee);
-        assert!(!run.epochs[2].reallocated, "no re-integration while B is down");
+        assert!(
+            !run.epochs[2].reallocated,
+            "no re-integration while B is down"
+        );
         // Epoch 3: B is back, signature cleared — restore the original
         // plan; epoch 4 runs it untouched at the healthy floor.
         assert!(run.epochs[3].reallocated, "re-integration once B returns");

@@ -51,7 +51,10 @@ mod tests {
 
         fn allocate(&self, ctx: &AllocationContext<'_>) -> Result<Allocation, AllocError> {
             ctx.check_nonempty()?;
-            Ok(Allocation::new(vec![Default::default(); ctx.device_count()]))
+            Ok(Allocation::new(vec![
+                Default::default();
+                ctx.device_count()
+            ]))
         }
     }
 

@@ -1,8 +1,6 @@
 //! Property-based tests for the allocator crate.
 
-use ef_lora::{
-    fairness, Allocation, AllocationContext, EfLora, LegacyLora, RsLora, Strategy,
-};
+use ef_lora::{fairness, Allocation, AllocationContext, EfLora, LegacyLora, RsLora, Strategy};
 use lora_model::NetworkModel;
 use lora_phy::{SpreadingFactor, TxConfig, TxPowerDbm};
 use lora_sim::{SimConfig, Topology};

@@ -2,17 +2,11 @@
 //! the max-min objective it optimises (the model-level version of the
 //! paper's Fig. 6/7 claims).
 
-use ef_lora::{
-    fairness, AllocationContext, EfLora, EfLoraFixedTp, LegacyLora, RsLora, Strategy,
-};
+use ef_lora::{fairness, AllocationContext, EfLora, EfLoraFixedTp, LegacyLora, RsLora, Strategy};
 use lora_model::NetworkModel;
 use lora_sim::{SimConfig, Topology};
 
-fn context_for(
-    n: usize,
-    gws: usize,
-    seed: u64,
-) -> (SimConfig, Topology) {
+fn context_for(n: usize, gws: usize, seed: u64) -> (SimConfig, Topology) {
     let config = SimConfig::default();
     let topo = Topology::disc(n, gws, 5_000.0, &config, seed);
     (config, topo)
@@ -40,7 +34,10 @@ fn ef_lora_dominates_baselines_on_model_min_ee() {
             ef >= legacy - slack,
             "seed {seed}: EF-LoRa {ef} must not lose to legacy {legacy}"
         );
-        assert!(ef >= rs - slack, "seed {seed}: EF-LoRa {ef} must not lose to RS-LoRa {rs}");
+        assert!(
+            ef >= rs - slack,
+            "seed {seed}: EF-LoRa {ef} must not lose to RS-LoRa {rs}"
+        );
     }
 }
 
@@ -49,7 +46,10 @@ fn ef_lora_materially_beats_legacy_in_a_dense_single_gateway_cell() {
     // Compact all-LoS deployment: legacy stacks everyone on SF7 at max
     // power; EF-LoRa spreads channels/SFs and cuts power. The gap should
     // be large, not marginal.
-    let config = SimConfig { p_los: 1.0, ..SimConfig::default() };
+    let config = SimConfig {
+        p_los: 1.0,
+        ..SimConfig::default()
+    };
     let topo = Topology::disc(160, 1, 900.0, &config, 9);
     let model = NetworkModel::new(&config, &topo);
     let ctx = AllocationContext::new(&config, &topo, &model);
@@ -72,8 +72,14 @@ fn fixed_tp_ablation_sits_between_full_ef_lora_and_baselines() {
     // Both are δ-converged local optima of different search spaces, so
     // compare with the convergence slack.
     let slack = 0.02;
-    assert!(ef >= fixed - slack, "TP freedom cannot hurt: {ef} vs {fixed}");
-    assert!(fixed >= legacy - slack, "fixed-TP EF-LoRa still beats legacy: {fixed} vs {legacy}");
+    assert!(
+        ef >= fixed - slack,
+        "TP freedom cannot hurt: {ef} vs {fixed}"
+    );
+    assert!(
+        fixed >= legacy - slack,
+        "fixed-TP EF-LoRa still beats legacy: {fixed} vs {legacy}"
+    );
 }
 
 #[test]
@@ -87,7 +93,9 @@ fn all_strategies_emit_valid_allocations() {
     let rs = RsLora::default();
     let strategies: [&dyn Strategy; 4] = [&ef, &fixed, &legacy, &rs];
     for s in strategies {
-        let alloc = s.allocate(&ctx).unwrap_or_else(|e| panic!("{}: {e}", s.name()));
+        let alloc = s
+            .allocate(&ctx)
+            .unwrap_or_else(|e| panic!("{}: {e}", s.name()));
         assert_eq!(alloc.len(), 60, "{}", s.name());
         assert!(alloc.satisfies_constraints(2.0, 14.0, 8), "{}", s.name());
         assert!(model.validate(alloc.as_slice()).is_ok(), "{}", s.name());

@@ -33,11 +33,13 @@ impl AlohaSchedule {
     /// Returns [`MacError::InvalidInterval`] if the interval is not a
     /// positive finite number or the phase is negative/non-finite.
     pub fn new(interval_s: f64, phase_s: f64) -> Result<Self, MacError> {
-        if !(interval_s.is_finite() && interval_s > 0.0 && phase_s.is_finite() && phase_s >= 0.0)
-        {
+        if !(interval_s.is_finite() && interval_s > 0.0 && phase_s.is_finite() && phase_s >= 0.0) {
             return Err(MacError::InvalidInterval);
         }
-        Ok(AlohaSchedule { interval_s, phase_s })
+        Ok(AlohaSchedule {
+            interval_s,
+            phase_s,
+        })
     }
 
     /// The reporting interval `T_g` in seconds.

@@ -55,8 +55,7 @@ impl ClassAParams {
     pub fn downlink_in_window(&self, uplink_end_s: f64, t: f64) -> bool {
         let rx1 = self.rx1_opens_s(uplink_end_s);
         let rx2 = self.rx2_opens_s(uplink_end_s);
-        (rx1..rx1 + self.window_open_s).contains(&t)
-            || (rx2..rx2 + self.window_open_s).contains(&t)
+        (rx1..rx1 + self.window_open_s).contains(&t) || (rx2..rx2 + self.window_open_s).contains(&t)
     }
 
     /// Energy spent opening both windows once (no downlink received), in
@@ -123,7 +122,10 @@ mod tests {
             ..ClassAParams::default()
         };
         assert!(bad.validate().is_err());
-        let zero = ClassAParams { window_open_s: 0.0, ..ClassAParams::default() };
+        let zero = ClassAParams {
+            window_open_s: 0.0,
+            ..ClassAParams::default()
+        };
         assert!(zero.validate().is_err());
     }
 }

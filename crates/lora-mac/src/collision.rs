@@ -50,8 +50,7 @@ impl AirInterval {
 }
 
 /// How transmissions on different spreading factors interact.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum InterSfPolicy {
     /// Perfect orthogonality — the paper's main model: only co-SF,
     /// co-channel transmissions interfere.
@@ -62,7 +61,6 @@ pub enum InterSfPolicy {
     /// signal exceeds the interferer by the co-channel rejection threshold.
     ImperfectOrthogonality,
 }
-
 
 /// Co-channel rejection matrix in dB, after Croce et al. ("Impact of LoRa
 /// imperfect orthogonality", IEEE Comm. Letters 2018). Entry `[i][j]` is the
@@ -87,11 +85,7 @@ impl InterSfPolicy {
     /// imperfect orthogonality every SF pair interacts (the power margin
     /// then decides survival — see [`InterSfPolicy::rejection_db`]).
     #[inline]
-    pub fn interacts(
-        &self,
-        victim_sf: SpreadingFactor,
-        interferer_sf: SpreadingFactor,
-    ) -> bool {
+    pub fn interacts(&self, victim_sf: SpreadingFactor, interferer_sf: SpreadingFactor) -> bool {
         match self {
             InterSfPolicy::Orthogonal => victim_sf == interferer_sf,
             InterSfPolicy::ImperfectOrthogonality => true,
@@ -182,7 +176,14 @@ mod tests {
         // the size of overlapping"
         let a = AirInterval::new(0.0, 1.0);
         let b = AirInterval::new(1.0 - 1e-9, 2.0);
-        assert!(collides(SpreadingFactor::Sf9, 0, &a, SpreadingFactor::Sf9, 0, &b));
+        assert!(collides(
+            SpreadingFactor::Sf9,
+            0,
+            &a,
+            SpreadingFactor::Sf9,
+            0,
+            &b
+        ));
     }
 
     #[test]
@@ -190,8 +191,14 @@ mod tests {
         let p = InterSfPolicy::Orthogonal;
         assert!(p.interacts(SpreadingFactor::Sf7, SpreadingFactor::Sf7));
         assert!(!p.interacts(SpreadingFactor::Sf7, SpreadingFactor::Sf12));
-        assert_eq!(p.interference_weight(SpreadingFactor::Sf7, SpreadingFactor::Sf12), 0.0);
-        assert_eq!(p.interference_weight(SpreadingFactor::Sf7, SpreadingFactor::Sf7), 1.0);
+        assert_eq!(
+            p.interference_weight(SpreadingFactor::Sf7, SpreadingFactor::Sf12),
+            0.0
+        );
+        assert_eq!(
+            p.interference_weight(SpreadingFactor::Sf7, SpreadingFactor::Sf7),
+            1.0
+        );
     }
 
     #[test]

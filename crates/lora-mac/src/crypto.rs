@@ -51,12 +51,8 @@ const SBOX: [u8; 256] = {
         }
         // Affine transform: s = b ^ rotl1(b) ^ rotl2(b) ^ rotl3(b) ^ rotl4(b) ^ 0x63
         let b = inv;
-        sbox[x] = b
-            ^ b.rotate_left(1)
-            ^ b.rotate_left(2)
-            ^ b.rotate_left(3)
-            ^ b.rotate_left(4)
-            ^ 0x63;
+        sbox[x] =
+            b ^ b.rotate_left(1) ^ b.rotate_left(2) ^ b.rotate_left(3) ^ b.rotate_left(4) ^ 0x63;
         x += 1;
     }
     sbox
@@ -162,7 +158,12 @@ fn shift_rows(state: &mut [u8; 16]) {
 
 fn mix_columns(state: &mut [u8; 16]) {
     for c in 0..4 {
-        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+        let col = [
+            state[4 * c],
+            state[4 * c + 1],
+            state[4 * c + 2],
+            state[4 * c + 3],
+        ];
         state[4 * c] = gf_mul(col[0], 2) ^ gf_mul(col[1], 3) ^ col[2] ^ col[3];
         state[4 * c + 1] = col[0] ^ gf_mul(col[1], 2) ^ gf_mul(col[2], 3) ^ col[3];
         state[4 * c + 2] = col[0] ^ col[1] ^ gf_mul(col[2], 2) ^ gf_mul(col[3], 3);
@@ -251,7 +252,10 @@ mod tests {
     use super::*;
 
     fn hex(s: &str) -> Vec<u8> {
-        (0..s.len()).step_by(2).map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap()).collect()
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
     }
 
     #[test]
@@ -289,11 +293,9 @@ mod tests {
     #[test]
     fn rfc4493_40_byte_message() {
         let key: [u8; 16] = hex("2b7e151628aed2a6abf7158809cf4f3c").try_into().unwrap();
-        let msg = hex(
-            "6bc1bee22e409f96e93d7e117393172a\
+        let msg = hex("6bc1bee22e409f96e93d7e117393172a\
              ae2d8a571e03ac9c9eb76fac45af8e51\
-             30c81c46a35ce411",
-        );
+             30c81c46a35ce411");
         let tag = Cmac::new(&key).tag(&msg);
         assert_eq!(tag.to_vec(), hex("dfa66747de9ae63030ca32611497c827"));
     }
@@ -301,12 +303,10 @@ mod tests {
     #[test]
     fn rfc4493_64_byte_message() {
         let key: [u8; 16] = hex("2b7e151628aed2a6abf7158809cf4f3c").try_into().unwrap();
-        let msg = hex(
-            "6bc1bee22e409f96e93d7e117393172a\
+        let msg = hex("6bc1bee22e409f96e93d7e117393172a\
              ae2d8a571e03ac9c9eb76fac45af8e51\
              30c81c46a35ce411e5fbc1191a0a52ef\
-             f69f2445df4f9b17ad2b417be66c3710",
-        );
+             f69f2445df4f9b17ad2b417be66c3710");
         let tag = Cmac::new(&key).tag(&msg);
         assert_eq!(tag.to_vec(), hex("51f0bebf7e3b9d92fc49741779363cfe"));
     }

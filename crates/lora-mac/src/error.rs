@@ -31,7 +31,10 @@ impl fmt::Display for MacError {
             MacError::MalformedFrame { reason } => write!(f, "malformed frame: {reason}"),
             MacError::MicMismatch => write!(f, "message integrity code mismatch"),
             MacError::PayloadTooLarge { len, max } => {
-                write!(f, "application payload of {len} bytes exceeds maximum of {max} bytes")
+                write!(
+                    f,
+                    "application payload of {len} bytes exceeds maximum of {max} bytes"
+                )
             }
             MacError::InvalidInterval => write!(f, "reporting interval must be positive"),
         }
@@ -53,6 +56,8 @@ mod tests {
     #[test]
     fn display_messages() {
         assert!(MacError::MicMismatch.to_string().contains("integrity"));
-        assert!(MacError::MalformedFrame { reason: "short" }.to_string().contains("short"));
+        assert!(MacError::MalformedFrame { reason: "short" }
+            .to_string()
+            .contains("short"));
     }
 }

@@ -65,9 +65,17 @@ impl UplinkFrame {
         payload: Vec<u8>,
     ) -> Result<Self, MacError> {
         if payload.len() > MAX_APP_PAYLOAD {
-            return Err(MacError::PayloadTooLarge { len: payload.len(), max: MAX_APP_PAYLOAD });
+            return Err(MacError::PayloadTooLarge {
+                len: payload.len(),
+                max: MAX_APP_PAYLOAD,
+            });
         }
-        Ok(UplinkFrame { dev_addr, f_cnt, f_port, payload })
+        Ok(UplinkFrame {
+            dev_addr,
+            f_cnt,
+            f_port,
+            payload,
+        })
     }
 
     /// The device address.
@@ -124,13 +132,19 @@ impl UplinkFrame {
     /// and [`MacError::MicMismatch`] when the integrity check fails.
     pub fn decode(phy_payload: &[u8], nwk_s_key: &[u8; 16]) -> Result<Self, MacError> {
         if phy_payload.len() < MAC_OVERHEAD {
-            return Err(MacError::MalformedFrame { reason: "shorter than MAC overhead" });
+            return Err(MacError::MalformedFrame {
+                reason: "shorter than MAC overhead",
+            });
         }
         if phy_payload[0] != MHDR_UNCONFIRMED_UP {
-            return Err(MacError::MalformedFrame { reason: "unsupported MHDR" });
+            return Err(MacError::MalformedFrame {
+                reason: "unsupported MHDR",
+            });
         }
         if phy_payload[5] & 0x0f != 0 {
-            return Err(MacError::MalformedFrame { reason: "FOpts not supported" });
+            return Err(MacError::MalformedFrame {
+                reason: "FOpts not supported",
+            });
         }
         let dev_addr = u32::from_le_bytes(phy_payload[1..5].try_into().expect("4 bytes"));
         let f_cnt = u16::from_le_bytes(phy_payload[6..8].try_into().expect("2 bytes"));
@@ -146,7 +160,12 @@ impl UplinkFrame {
         if expected != phy_payload[mic_start..] {
             return Err(MacError::MicMismatch);
         }
-        Ok(UplinkFrame { dev_addr, f_cnt, f_port, payload })
+        Ok(UplinkFrame {
+            dev_addr,
+            f_cnt,
+            f_port,
+            payload,
+        })
     }
 }
 
@@ -202,7 +221,10 @@ mod tests {
         let f = UplinkFrame::new(7, 7, 7, vec![0u8; 8]);
         let mut encoded = f.encode(&KEY);
         encoded[10] ^= 0x01;
-        assert_eq!(UplinkFrame::decode(&encoded, &KEY).unwrap_err(), MacError::MicMismatch);
+        assert_eq!(
+            UplinkFrame::decode(&encoded, &KEY).unwrap_err(),
+            MacError::MicMismatch
+        );
     }
 
     #[test]

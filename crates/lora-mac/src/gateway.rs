@@ -51,7 +51,12 @@ impl DemodulatorBank {
     /// Panics if `capacity` is zero.
     pub fn with_capacity(capacity: usize) -> Self {
         assert!(capacity > 0, "a gateway needs at least one demodulator");
-        DemodulatorBank { capacity, busy_until: Vec::with_capacity(capacity), granted: 0, refused: 0 }
+        DemodulatorBank {
+            capacity,
+            busy_until: Vec::with_capacity(capacity),
+            granted: 0,
+            refused: 0,
+        }
     }
 
     /// The number of demodulator paths.

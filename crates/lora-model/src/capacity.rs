@@ -116,9 +116,7 @@ mod tests {
         let light = vec![0.01; 100];
         let heavy = vec![0.2; 100];
         for k in 0..7 {
-            assert!(
-                poisson_binomial_at_most(&light, k) <= poisson_binomial_at_most(&light, k + 1)
-            );
+            assert!(poisson_binomial_at_most(&light, k) <= poisson_binomial_at_most(&light, k + 1));
         }
         assert!(
             poisson_binomial_at_most(&heavy, 7) < poisson_binomial_at_most(&light, 7),

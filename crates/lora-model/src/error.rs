@@ -36,11 +36,18 @@ pub enum ModelError {
 impl fmt::Display for ModelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ModelError::AllocationLengthMismatch { devices, allocation } => write!(
+            ModelError::AllocationLengthMismatch {
+                devices,
+                allocation,
+            } => write!(
                 f,
                 "allocation has {allocation} entries but the model has {devices} devices"
             ),
-            ModelError::ChannelOutOfRange { device, channel, plan_len } => write!(
+            ModelError::ChannelOutOfRange {
+                device,
+                channel,
+                plan_len,
+            } => write!(
                 f,
                 "device {device} allocated channel {channel} outside plan of {plan_len} channels"
             ),

@@ -27,7 +27,10 @@ use std::f64::consts::PI;
 /// assert!((c - std::f64::consts::PI / 4.0).abs() < 1e-12);
 /// ```
 pub fn geometry_constant(beta: f64) -> f64 {
-    assert!(beta > 2.0, "PPP interference integral diverges for beta <= 2");
+    assert!(
+        beta > 2.0,
+        "PPP interference integral diverges for beta <= 2"
+    );
     (PI / beta) / (2.0 * PI / beta).sin()
 }
 

@@ -27,7 +27,7 @@ use lora_phy::energy::RadioEnergyModel;
 use lora_phy::link::noise_floor_dbm;
 use lora_phy::toa::ToaParams;
 use lora_phy::{dbm_to_mw, Bandwidth, SpreadingFactor, TxConfig, TxPowerDbm};
-use lora_sim::{SimConfig, Topology, Traffic};
+use lora_sim::{AttenuationMatrix, SimConfig, Topology, Traffic};
 
 use crate::capacity::{poisson_at_most, poisson_binomial_at_most, OTHERS_BUDGET};
 use crate::contention::{group_count, group_index, overlap_from_load};
@@ -38,8 +38,11 @@ use crate::pdr::{pdr_with, prr, PdrForm};
 /// Allocation-independent model of one deployment.
 #[derive(Debug, Clone)]
 pub struct NetworkModel {
-    /// Linear attenuation `[device][gateway]`.
-    attenuation: Vec<Vec<f64>>,
+    /// Linear attenuation, flat row-major `[device][gateway]`.
+    attenuation: AttenuationMatrix,
+    /// Number of devices (kept explicitly: the attenuation matrix cannot
+    /// recover it for a zero-gateway deployment).
+    n_devices: usize,
     /// Number of gateways (kept explicitly: the attenuation matrix is
     /// empty for a zero-device deployment).
     n_gateways: usize,
@@ -120,10 +123,14 @@ impl NetworkModel {
             .map(|site| config.betas.beta(site.environment))
             .collect();
         let area = std::f64::consts::PI * topology.radius_m().powi(2);
-        let density_per_m2 =
-            if area > 0.0 { topology.device_count() as f64 / area } else { 0.0 };
+        let density_per_m2 = if area > 0.0 {
+            topology.device_count() as f64 / area
+        } else {
+            0.0
+        };
         Ok(NetworkModel {
             attenuation,
+            n_devices: topology.device_count(),
             n_gateways: topology.gateway_count(),
             beta,
             toa_by_sf,
@@ -132,7 +139,9 @@ impl NetworkModel {
             noise_mw: dbm_to_mw(noise_floor_dbm(bw, config.noise_figure_db)),
             payload_bits: config.payload_bits(),
             interval_s: config.report_interval_s,
-            intervals: (0..topology.device_count()).map(|i| config.interval_of(i)).collect(),
+            intervals: (0..topology.device_count())
+                .map(|i| config.interval_of(i))
+                .collect(),
             traffic: config.traffic,
             energy: config.energy.clone(),
             n_channels: config.region.uplink_channel_count(),
@@ -153,7 +162,7 @@ impl NetworkModel {
 
     /// Number of modelled devices.
     pub fn device_count(&self) -> usize {
-        self.attenuation.len()
+        self.n_devices
     }
 
     /// Number of modelled gateways.
@@ -168,7 +177,14 @@ impl NetworkModel {
 
     /// Linear attenuation between device `i` and gateway `k`.
     pub fn attenuation(&self, device: usize, gateway: usize) -> f64 {
-        self.attenuation[device][gateway]
+        self.attenuation.at(device, gateway)
+    }
+
+    /// The full attenuation matrix, shared with the simulator. Clone it
+    /// into [`lora_sim::Simulation::with_attenuation`] to build simulations
+    /// of the same deployment without recomputing path loss.
+    pub fn shared_attenuation(&self) -> &AttenuationMatrix {
+        &self.attenuation
     }
 
     /// Time-on-air for the configured payload at `sf`, seconds.
@@ -206,7 +222,8 @@ impl NetworkModel {
     /// Energy of one reporting cycle under configuration `cfg` at the
     /// common interval, joules (the `E_s` of Eq. 2, including sleep).
     pub fn cycle_energy_j(&self, cfg: &TxConfig) -> f64 {
-        self.energy.cycle_energy_j(cfg.tp, self.time_on_air_s(cfg.sf), self.interval_s)
+        self.energy
+            .cycle_energy_j(cfg.tp, self.time_on_air_s(cfg.sf), self.interval_s)
     }
 
     /// Energy of one reporting cycle of device `i` under configuration
@@ -240,8 +257,12 @@ impl NetworkModel {
     /// no interference).
     pub fn min_feasible_sf(&self, device: usize, tp: TxPowerDbm) -> Option<SpreadingFactor> {
         let p_mw = tp.milliwatts();
-        let best_atten =
-            self.attenuation[device].iter().copied().fold(0.0f64, f64::max);
+        let best_atten = self
+            .attenuation
+            .row(device)
+            .iter()
+            .copied()
+            .fold(0.0f64, f64::max);
         SpreadingFactor::ALL
             .into_iter()
             .find(|sf| p_mw * best_atten >= self.sens_mw[sf.index()])
@@ -251,7 +272,7 @@ impl NetworkModel {
     /// demodulator path at gateway `k` at a random instant — transmitting
     /// (duty cycle) and detectable (Rayleigh survival of the sensitivity).
     pub fn occupancy_probability(&self, device: usize, cfg: &TxConfig, gateway: usize) -> f64 {
-        let mean_rx = cfg.tp.milliwatts() * self.attenuation[device][gateway];
+        let mean_rx = cfg.tp.milliwatts() * self.attenuation.at(device, gateway);
         if mean_rx <= 0.0 {
             return 0.0;
         }
@@ -292,7 +313,10 @@ impl NetworkModel {
     /// Panics if the allocation is invalid; use [`NetworkModel::validate`]
     /// or [`NetworkModel::state`] for fallible entry points.
     pub fn evaluate(&self, alloc: &[TxConfig]) -> Vec<f64> {
-        self.state(alloc.to_vec()).expect("valid allocation").ee_all().to_vec()
+        self.state(alloc.to_vec())
+            .expect("valid allocation")
+            .ee_all()
+            .to_vec()
     }
 
     /// Like [`NetworkModel::evaluate`] but with the exact Poisson–binomial
@@ -317,7 +341,7 @@ impl NetworkModel {
                 let per_gw = (0..g).map(|k| {
                     let probs: Vec<f64> = (0..n).filter(|&j| j != i).map(|j| q[k][j]).collect();
                     let theta = poisson_binomial_at_most(&probs, OTHERS_BUDGET);
-                    let mean_rx = cfg.tp.milliwatts() * self.attenuation[i][k];
+                    let mean_rx = cfg.tp.milliwatts() * self.attenuation.at(i, k);
                     let interference = state.interference_on(i, k);
                     let p = pdr_with(
                         self.pdr_form,
@@ -352,24 +376,19 @@ impl NetworkModel {
                 let cfg = &alloc[i];
                 let sfi = cfg.sf.index();
                 let group = group_index(cfg.sf, cfg.channel, self.n_channels);
-                let lambda_sc = group_density(
-                    self.density_per_m2,
-                    counts[group].saturating_sub(1),
-                    n,
-                );
+                let lambda_sc =
+                    group_density(self.density_per_m2, counts[group].saturating_sub(1), n);
                 let h = state.overlap_for(i);
                 let beta = self.beta[i].max(2.05);
                 let per_gw = (0..self.gateway_count()).map(|k| {
-                    let mean_rx = cfg.tp.milliwatts() * self.attenuation[i][k];
+                    let mean_rx = cfg.tp.milliwatts() * self.attenuation.at(i, k);
                     if mean_rx <= 0.0 {
                         return (1.0, 0.0);
                     }
                     let s = self.th_lin[sfi] * h / mean_rx;
                     let l = laplace_transform(s, cfg.tp.milliwatts(), beta, lambda_sc);
-                    let noise_part = (-(self.th_lin[sfi] * self.noise_mw
-                        + self.sens_mw[sfi])
-                        / mean_rx)
-                        .exp();
+                    let noise_part =
+                        (-(self.th_lin[sfi] * self.noise_mw + self.sens_mw[sfi]) / mean_rx).exp();
                     let theta = state.theta(i, k);
                     (theta, (l * noise_part).clamp(0.0, 1.0))
                 });
@@ -435,7 +454,7 @@ impl<'m> ModelState<'m> {
             state.alpha_sum[grp] += model.duty_of(i, cfg.sf);
             let p_mw = cfg.tp.milliwatts();
             for k in 0..g {
-                state.power_sum[grp][k] += p_mw * model.attenuation[i][k];
+                state.power_sum[grp][k] += p_mw * model.attenuation.at(i, k);
                 let q = model.occupancy_probability(i, &cfg, k);
                 state.q[i][k] = q;
                 state.lambda[k] += q;
@@ -472,7 +491,11 @@ impl<'m> ModelState<'m> {
 
     /// The network minimum EE (the paper's fairness objective).
     pub fn min_ee(&self) -> f64 {
-        self.ee.iter().copied().fold(f64::INFINITY, f64::min).min(f64::MAX)
+        self.ee
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+            .min(f64::MAX)
     }
 
     /// The contention overlap probability `h_i` of device `i` under the
@@ -490,7 +513,7 @@ impl<'m> ModelState<'m> {
     pub fn interference_on(&self, i: usize, k: usize) -> f64 {
         let cfg = &self.alloc[i];
         let grp = self.group_of(cfg);
-        (self.power_sum[grp][k] - cfg.tp.milliwatts() * self.model.attenuation[i][k]).max(0.0)
+        (self.power_sum[grp][k] - cfg.tp.milliwatts() * self.model.attenuation.at(i, k)).max(0.0)
     }
 
     /// The capacity factor `θ_{i,k}`: Poisson tail at the others' load.
@@ -513,7 +536,7 @@ impl<'m> ModelState<'m> {
         let h = overlap_from_load(load.max(0.0));
         let p_mw = cfg.tp.milliwatts();
         let per_gw = (0..model.gateway_count()).map(|k| {
-            let mean_rx = p_mw * model.attenuation[i][k];
+            let mean_rx = p_mw * model.attenuation.at(i, k);
             let theta = self.theta(i, k);
             let p = pdr_with(
                 model.pdr_form,
@@ -535,7 +558,7 @@ impl<'m> ModelState<'m> {
         let load = self.alpha_sum[grp] - self.model.duty_of(i, cfg.sf);
         let own = cfg.tp.milliwatts();
         self.ee_raw(i, &cfg, load, |k| {
-            self.power_sum[grp][k] - own * self.model.attenuation[i][k]
+            self.power_sum[grp][k] - own * self.model.attenuation.at(i, k)
         })
     }
 
@@ -572,7 +595,7 @@ impl<'m> ModelState<'m> {
         };
         self.ee_raw(i, &cfg, load, |k| {
             if same_group {
-                self.power_sum[g_old][k] - old_p * self.model.attenuation[i][k]
+                self.power_sum[g_old][k] - old_p * self.model.attenuation.at(i, k)
             } else {
                 self.power_sum[g_new][k]
             }
@@ -602,7 +625,7 @@ impl<'m> ModelState<'m> {
         };
         let ee_i = self.ee_raw(i, &cfg, load_i, |k| {
             if same_group {
-                self.power_sum[g_old][k] - old_p * model.attenuation[i][k]
+                self.power_sum[g_old][k] - old_p * model.attenuation.at(i, k)
             } else {
                 self.power_sum[g_new][k]
             }
@@ -626,11 +649,11 @@ impl<'m> ModelState<'m> {
                 self.alpha_sum[g_old] - model.duty_of(j, jc.sf) - alpha_old
             };
             let ee_j = self.ee_raw(j, &jc, load_j, |k| {
-                let base = self.power_sum[g_old][k] - jp * model.attenuation[j][k];
+                let base = self.power_sum[g_old][k] - jp * model.attenuation.at(j, k);
                 if same_group {
-                    base - old_p * model.attenuation[i][k] + new_p * model.attenuation[i][k]
+                    base - old_p * model.attenuation.at(i, k) + new_p * model.attenuation.at(i, k)
                 } else {
-                    base - old_p * model.attenuation[i][k]
+                    base - old_p * model.attenuation.at(i, k)
                 }
             });
             if ee_j <= floor {
@@ -644,11 +667,10 @@ impl<'m> ModelState<'m> {
             for &j in &self.members[g_new] {
                 let jc = self.alloc[j];
                 let jp = jc.tp.milliwatts();
-                let load_j =
-                    self.alpha_sum[g_new] - model.duty_of(j, jc.sf) + alpha_new;
+                let load_j = self.alpha_sum[g_new] - model.duty_of(j, jc.sf) + alpha_new;
                 let ee_j = self.ee_raw(j, &jc, load_j, |k| {
-                    self.power_sum[g_new][k] - jp * model.attenuation[j][k]
-                        + new_p * model.attenuation[i][k]
+                    self.power_sum[g_new][k] - jp * model.attenuation.at(j, k)
+                        + new_p * model.attenuation.at(i, k)
                 });
                 if ee_j <= floor {
                     return None;
@@ -686,7 +708,7 @@ impl<'m> ModelState<'m> {
         let new_p = cfg.tp.milliwatts();
 
         for k in 0..model.gateway_count() {
-            self.power_sum[g_old][k] -= old_p * model.attenuation[i][k];
+            self.power_sum[g_old][k] -= old_p * model.attenuation.at(i, k);
             let q_new = model.occupancy_probability(i, &cfg, k);
             self.lambda[k] += q_new - self.q[i][k];
             self.q[i][k] = q_new;
@@ -702,7 +724,7 @@ impl<'m> ModelState<'m> {
             self.members[g_new].push(i);
         }
         for k in 0..model.gateway_count() {
-            self.power_sum[g_new][k] += new_p * model.attenuation[i][k];
+            self.power_sum[g_new][k] += new_p * model.attenuation.at(i, k);
         }
         self.alloc[i] = cfg;
 
@@ -710,7 +732,11 @@ impl<'m> ModelState<'m> {
         let affected: Vec<usize> = if g_new == g_old {
             self.members[g_old].clone()
         } else {
-            self.members[g_old].iter().chain(&self.members[g_new]).copied().collect()
+            self.members[g_old]
+                .iter()
+                .chain(&self.members[g_new])
+                .copied()
+                .collect()
         };
         for j in affected {
             self.ee[j] = self.current_ee(j);
@@ -760,7 +786,10 @@ mod tests {
     #[test]
     fn oversize_payload_is_an_error_not_a_panic() {
         let topo = line_topology(3, 10.0, 1);
-        let config = SimConfig { app_payload: 10_000, ..SimConfig::default() };
+        let config = SimConfig {
+            app_payload: 10_000,
+            ..SimConfig::default()
+        };
         match NetworkModel::try_new(&config, &topo) {
             Err(ModelError::PayloadTooLarge { len, max }) => {
                 assert_eq!(len, config.phy_payload_len());
@@ -780,8 +809,16 @@ mod tests {
         // Strong link, no contention: PRR ≈ 1, EE ≈ L / (E_s · 1000).
         let e_s = model.cycle_energy_j(&alloc[0]);
         let expected = 168.0 / (e_s * 1_000.0);
-        assert!((ee[0] - expected).abs() / expected < 0.01, "{} vs {expected}", ee[0]);
-        assert!((2.0..2.6).contains(&ee[0]), "paper-scale bits/mJ: {}", ee[0]);
+        assert!(
+            (ee[0] - expected).abs() / expected < 0.01,
+            "{} vs {expected}",
+            ee[0]
+        );
+        assert!(
+            (2.0..2.6).contains(&ee[0]),
+            "paper-scale bits/mJ: {}",
+            ee[0]
+        );
     }
 
     #[test]
@@ -807,7 +844,10 @@ mod tests {
         let model = model_for(&topo);
         let sf7 = model.evaluate(&uniform_alloc(1, SpreadingFactor::Sf7, 0))[0];
         let sf12 = model.evaluate(&uniform_alloc(1, SpreadingFactor::Sf12, 0))[0];
-        assert!(sf7 > 2.0 * sf12, "SF12 should waste energy up close: {sf7} vs {sf12}");
+        assert!(
+            sf7 > 2.0 * sf12,
+            "SF12 should waste energy up close: {sf7} vs {sf12}"
+        );
     }
 
     #[test]
@@ -858,7 +898,11 @@ mod tests {
         let alloc: Vec<TxConfig> = (0..20)
             .map(|i| {
                 TxConfig::new(
-                    if i % 2 == 0 { SpreadingFactor::Sf7 } else { SpreadingFactor::Sf8 },
+                    if i % 2 == 0 {
+                        SpreadingFactor::Sf7
+                    } else {
+                        SpreadingFactor::Sf8
+                    },
                     TxPowerDbm::new(14.0),
                     i % 4,
                 )
@@ -870,8 +914,11 @@ mod tests {
             TxConfig::new(SpreadingFactor::Sf7, TxPowerDbm::new(2.0), 0),
             TxConfig::new(SpreadingFactor::Sf8, TxPowerDbm::new(14.0), 1),
         ];
-        for (device, cfg) in [(3usize, candidates[0]), (7, candidates[1]), (12, candidates[2])]
-        {
+        for (device, cfg) in [
+            (3usize, candidates[0]),
+            (7, candidates[1]),
+            (12, candidates[2]),
+        ] {
             let predicted = state
                 .min_ee_if(device, cfg, f64::NEG_INFINITY)
                 .expect("no pruning floor");
@@ -913,8 +960,14 @@ mod tests {
         let model = model_for(&topo);
         let alloc = uniform_alloc(25, SpreadingFactor::Sf9, 3);
         let mut state = model.state(alloc).unwrap();
-        state.apply(0, TxConfig::new(SpreadingFactor::Sf10, TxPowerDbm::new(4.0), 1));
-        state.apply(5, TxConfig::new(SpreadingFactor::Sf7, TxPowerDbm::new(14.0), 0));
+        state.apply(
+            0,
+            TxConfig::new(SpreadingFactor::Sf10, TxPowerDbm::new(4.0), 1),
+        );
+        state.apply(
+            5,
+            TxConfig::new(SpreadingFactor::Sf7, TxPowerDbm::new(14.0), 0),
+        );
         let before: Vec<f64> = state.ee_all().to_vec();
         state.refresh();
         let after: Vec<f64> = state.ee_all().to_vec();
@@ -971,7 +1024,11 @@ mod tests {
         bad[1].channel = 9;
         assert!(matches!(
             model.validate(&bad),
-            Err(ModelError::ChannelOutOfRange { device: 1, channel: 9, .. })
+            Err(ModelError::ChannelOutOfRange {
+                device: 1,
+                channel: 9,
+                ..
+            })
         ));
     }
 }

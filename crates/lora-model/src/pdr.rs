@@ -27,8 +27,7 @@ use serde::{Deserialize, Serialize};
 /// joint probability `P{g ≥ max(a, b)} = exp(−max(a, b))` instead, which
 /// matches the packet-level simulator at the coverage boundary; the
 /// paper's literal form remains available for fidelity comparisons.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum PdrForm {
     /// The paper's literal Eq. (10): product of the two survival terms.
     PaperEq10,
@@ -36,7 +35,6 @@ pub enum PdrForm {
     #[default]
     JointExponential,
 }
-
 
 /// Per-gateway packet delivery ratio in the selected form, linear units.
 ///
@@ -184,7 +182,15 @@ mod tests {
         // Without interference the two conditions coincide, so the exact
         // probability at mean rx == sensitivity is e^−(ss/ss)·(th·N0 vs ss
         // whichever larger) ≈ e^−1 — what the packet simulator measures.
-        let p = pdr_with(PdrForm::JointExponential, SENS7, TH7, 0.0, 0.0, NOISE, SENS7);
+        let p = pdr_with(
+            PdrForm::JointExponential,
+            SENS7,
+            TH7,
+            0.0,
+            0.0,
+            NOISE,
+            SENS7,
+        );
         let expected = (-(TH7 * NOISE).max(SENS7) / SENS7).exp();
         assert!((p - expected).abs() < 1e-12);
         assert!((0.3..0.4).contains(&p), "{p}");
@@ -192,10 +198,22 @@ mod tests {
 
     #[test]
     fn paper_form_squares_the_boundary_probability() {
-        let joint = pdr_with(PdrForm::JointExponential, SENS7, TH7, 0.0, 0.0, NOISE, SENS7);
+        let joint = pdr_with(
+            PdrForm::JointExponential,
+            SENS7,
+            TH7,
+            0.0,
+            0.0,
+            NOISE,
+            SENS7,
+        );
         let paper = pdr_with(PdrForm::PaperEq10, SENS7, TH7, 0.0, 0.0, NOISE, SENS7);
         // th·N0 ≈ ss here, so the product ≈ joint².
-        assert!((paper - joint * joint).abs() < 0.01, "{paper} vs {}", joint * joint);
+        assert!(
+            (paper - joint * joint).abs() < 0.01,
+            "{paper} vs {}",
+            joint * joint
+        );
         assert!(paper < joint);
     }
 
@@ -207,15 +225,49 @@ mod tests {
         let heavy = 1e-7;
         let joint = pdr_with(PdrForm::JointExponential, rx, TH7, 1.0, heavy, NOISE, SENS7);
         let paper = pdr_with(PdrForm::PaperEq10, rx, TH7, 1.0, heavy, NOISE, SENS7);
-        assert!((joint - paper).abs() / joint.max(1e-30) < 0.1, "{joint} vs {paper}");
+        assert!(
+            (joint - paper).abs() / joint.max(1e-30) < 0.1,
+            "{joint} vs {paper}"
+        );
     }
 
     #[test]
     fn joint_form_is_still_a_probability_and_monotone() {
-        let base = pdr_with(PdrForm::JointExponential, 1e-10, TH7, 0.5, 1e-10, NOISE, SENS7);
+        let base = pdr_with(
+            PdrForm::JointExponential,
+            1e-10,
+            TH7,
+            0.5,
+            1e-10,
+            NOISE,
+            SENS7,
+        );
         assert!((0.0..=1.0).contains(&base));
-        assert!(pdr_with(PdrForm::JointExponential, 2e-10, TH7, 0.5, 1e-10, NOISE, SENS7) > base);
-        assert!(pdr_with(PdrForm::JointExponential, 1e-10, TH7, 0.5, 3e-10, NOISE, SENS7) < base);
-        assert_eq!(pdr_with(PdrForm::JointExponential, 0.0, TH7, 0.0, 0.0, NOISE, SENS7), 0.0);
+        assert!(
+            pdr_with(
+                PdrForm::JointExponential,
+                2e-10,
+                TH7,
+                0.5,
+                1e-10,
+                NOISE,
+                SENS7
+            ) > base
+        );
+        assert!(
+            pdr_with(
+                PdrForm::JointExponential,
+                1e-10,
+                TH7,
+                0.5,
+                3e-10,
+                NOISE,
+                SENS7
+            ) < base
+        );
+        assert_eq!(
+            pdr_with(PdrForm::JointExponential, 0.0, TH7, 0.0, 0.0, NOISE, SENS7),
+            0.0
+        );
     }
 }

@@ -74,7 +74,10 @@ mod tests {
         let state = model.state(alloc.clone()).unwrap();
         let slow = goodput_bps(&state);
 
-        let fast_config = SimConfig { report_interval_s: 300.0, ..SimConfig::default() };
+        let fast_config = SimConfig {
+            report_interval_s: 300.0,
+            ..SimConfig::default()
+        };
         let fast_model = NetworkModel::new(&fast_config, &topo);
         let fast_state = fast_model.state(alloc).unwrap();
         let fast = goodput_bps(&fast_state);
@@ -89,7 +92,11 @@ mod tests {
         // 168 bits / 600 s ≈ 0.28 bit/s at PRR ≈ 1.
         let config = SimConfig::default();
         let topo = Topology::disc(1, 1, 500.0, &config, 2);
-        let alloc = vec![TxConfig::new(SpreadingFactor::Sf7, TxPowerDbm::new(14.0), 0)];
+        let alloc = vec![TxConfig::new(
+            SpreadingFactor::Sf7,
+            TxPowerDbm::new(14.0),
+            0,
+        )];
         let model = NetworkModel::new(&config, &topo);
         let state = model.state(alloc).unwrap();
         let g = goodput_bps(&state)[0];
@@ -98,8 +105,10 @@ mod tests {
 
     #[test]
     fn duty_target_favours_small_sf_throughput() {
-        let config =
-            SimConfig { traffic: Traffic::DutyCycleTarget { duty: 0.01 }, ..SimConfig::default() };
+        let config = SimConfig {
+            traffic: Traffic::DutyCycleTarget { duty: 0.01 },
+            ..SimConfig::default()
+        };
         let topo = Topology::disc(2, 1, 500.0, &config, 3);
         let model = NetworkModel::new(&config, &topo);
         let alloc = vec![

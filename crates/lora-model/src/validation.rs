@@ -36,12 +36,7 @@ pub fn agreement(model: &[f64], measured: &[f64]) -> Agreement {
     Agreement {
         pearson: pearson(model, measured),
         spearman: pearson(&ranks(model), &ranks(measured)),
-        mean_bias: model
-            .iter()
-            .zip(measured)
-            .map(|(a, b)| a - b)
-            .sum::<f64>()
-            / n as f64,
+        mean_bias: model.iter().zip(measured).map(|(a, b)| a - b).sum::<f64>() / n as f64,
         mean_absolute_error: model
             .iter()
             .zip(measured)

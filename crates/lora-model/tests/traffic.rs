@@ -49,8 +49,10 @@ fn faster_reporters_contend_harder() {
 
 #[test]
 fn duty_target_makes_duty_sf_independent() {
-    let config =
-        SimConfig { traffic: Traffic::DutyCycleTarget { duty: 0.01 }, ..SimConfig::default() };
+    let config = SimConfig {
+        traffic: Traffic::DutyCycleTarget { duty: 0.01 },
+        ..SimConfig::default()
+    };
     let topo = small_topo(5, &config);
     let model = NetworkModel::new(&config, &topo);
     for sf in SpreadingFactor::ALL {
@@ -63,13 +65,20 @@ fn duty_target_makes_duty_sf_independent() {
 
 #[test]
 fn duty_target_cycle_energy_scales_with_airtime() {
-    let config =
-        SimConfig { traffic: Traffic::DutyCycleTarget { duty: 0.01 }, ..SimConfig::default() };
+    let config = SimConfig {
+        traffic: Traffic::DutyCycleTarget { duty: 0.01 },
+        ..SimConfig::default()
+    };
     let topo = small_topo(3, &config);
     let model = NetworkModel::new(&config, &topo);
-    let sf7 = model.cycle_energy_of(0, &TxConfig::new(SpreadingFactor::Sf7, TxPowerDbm::new(14.0), 0));
-    let sf12 =
-        model.cycle_energy_of(0, &TxConfig::new(SpreadingFactor::Sf12, TxPowerDbm::new(14.0), 0));
+    let sf7 = model.cycle_energy_of(
+        0,
+        &TxConfig::new(SpreadingFactor::Sf7, TxPowerDbm::new(14.0), 0),
+    );
+    let sf12 = model.cycle_energy_of(
+        0,
+        &TxConfig::new(SpreadingFactor::Sf12, TxPowerDbm::new(14.0), 0),
+    );
     // An SF12 cycle is one frame + its 99 frames' worth of sleep — roughly
     // the ToA ratio more expensive than SF7's (not 1:1 as under common
     // periodic reporting where sleep dominates both).
@@ -96,8 +105,10 @@ fn duty_target_increases_modelled_contention() {
 
 #[test]
 fn incremental_state_consistent_under_duty_target() {
-    let config =
-        SimConfig { traffic: Traffic::DutyCycleTarget { duty: 0.01 }, ..SimConfig::default() };
+    let config = SimConfig {
+        traffic: Traffic::DutyCycleTarget { duty: 0.01 },
+        ..SimConfig::default()
+    };
     let topo = Topology::disc(25, 2, 4_000.0, &config, 9);
     let model = NetworkModel::new(&config, &topo);
     let alloc = vec![TxConfig::default(); 25];

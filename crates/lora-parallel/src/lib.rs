@@ -26,7 +26,9 @@ pub const THREADS_ENV: &str = "EF_LORA_THREADS";
 
 /// The host's available parallelism, with a floor of 1.
 pub fn available_threads() -> usize {
-    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
 }
 
 /// Parses an `EF_LORA_THREADS`-style value: `0` means "use the host's
@@ -40,7 +42,9 @@ pub fn parse_threads(raw: &str) -> Result<usize, String> {
     match raw.trim().parse::<usize>() {
         Ok(0) => Ok(available_threads()),
         Ok(n) => Ok(n),
-        Err(_) => Err(format!("{THREADS_ENV}={raw:?} is not a non-negative integer")),
+        Err(_) => Err(format!(
+            "{THREADS_ENV}={raw:?} is not a non-negative integer"
+        )),
     }
 }
 
@@ -127,7 +131,9 @@ where
     F: Fn(usize) -> T + Sync,
     R: FnMut(A, T) -> A,
 {
-    par_map_indexed(len, threads, f).into_iter().fold(init, reduce)
+    par_map_indexed(len, threads, f)
+        .into_iter()
+        .fold(init, reduce)
 }
 
 #[cfg(test)]
@@ -140,7 +146,11 @@ mod tests {
             for chunks in [1usize, 2, 3, 8, 200] {
                 let ranges = chunk_ranges(len, chunks);
                 let flat: Vec<usize> = ranges.iter().cloned().flatten().collect();
-                assert_eq!(flat, (0..len).collect::<Vec<_>>(), "len={len} chunks={chunks}");
+                assert_eq!(
+                    flat,
+                    (0..len).collect::<Vec<_>>(),
+                    "len={len} chunks={chunks}"
+                );
                 assert!(ranges.iter().all(|r| !r.is_empty()));
                 assert!(ranges.len() <= chunks.max(1));
             }
@@ -152,7 +162,11 @@ mod tests {
         let f = |i: usize| (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0xabcd;
         let serial = par_map_indexed(1000, 1, f);
         for threads in [2, 3, 4, 7, 16, 1000] {
-            assert_eq!(par_map_indexed(1000, threads, f), serial, "threads={threads}");
+            assert_eq!(
+                par_map_indexed(1000, threads, f),
+                serial,
+                "threads={threads}"
+            );
         }
     }
 

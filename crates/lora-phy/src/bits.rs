@@ -70,7 +70,11 @@ impl Default for Whitener {
 /// Panics unless exactly `sf` codewords are supplied.
 pub fn interleave(codewords: &[u8], sf: SpreadingFactor, cr_bits: u8) -> Vec<u16> {
     let rows = usize::from(sf.bits_per_symbol());
-    assert_eq!(codewords.len(), rows, "need SF codewords per interleaver block");
+    assert_eq!(
+        codewords.len(),
+        rows,
+        "need SF codewords per interleaver block"
+    );
     let cols = usize::from(cr_bits);
     let mut symbols = vec![0u16; cols];
     for (i, &cw) in codewords.iter().enumerate() {

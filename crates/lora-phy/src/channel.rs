@@ -9,8 +9,7 @@ use serde::{Deserialize, Serialize};
 /// The paper (and LoRaWAN regional parameters for sub-GHz uplinks) fixes the
 /// uplink bandwidth to 125 kHz; 250 and 500 kHz are provided for
 /// completeness and downlink modelling.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum Bandwidth {
     /// 125 kHz — the standard uplink bandwidth.
     #[default]
@@ -44,7 +43,6 @@ impl Bandwidth {
     }
 }
 
-
 impl fmt::Display for Bandwidth {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}kHz", self.khz())
@@ -69,7 +67,11 @@ pub struct Channel {
 impl Channel {
     /// Creates a channel.
     pub fn new(index: usize, frequency_hz: f64, bandwidth: Bandwidth) -> Self {
-        Channel { index, frequency_hz, bandwidth }
+        Channel {
+            index,
+            frequency_hz,
+            bandwidth,
+        }
     }
 
     /// Index of the channel within its regional plan.
@@ -93,7 +95,13 @@ impl Channel {
 
 impl fmt::Display for Channel {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "ch{} @ {:.1} MHz/{}", self.index, self.frequency_hz / 1e6, self.bandwidth)
+        write!(
+            f,
+            "ch{} @ {:.1} MHz/{}",
+            self.index,
+            self.frequency_hz / 1e6,
+            self.bandwidth
+        )
     }
 }
 

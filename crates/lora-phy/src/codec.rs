@@ -31,7 +31,12 @@ pub enum DecodeOutcome {
 /// Radio LoRa decoder): with data bits `d0..d3`,
 /// `p0 = d0⊕d1⊕d2`, `p1 = d1⊕d2⊕d3`, `p2 = d0⊕d1⊕d3`, `p3 = d0⊕d2⊕d3`.
 pub fn encode_nibble(nibble: u8, cr: CodingRate) -> u8 {
-    let d = [nibble & 1, (nibble >> 1) & 1, (nibble >> 2) & 1, (nibble >> 3) & 1];
+    let d = [
+        nibble & 1,
+        (nibble >> 1) & 1,
+        (nibble >> 2) & 1,
+        (nibble >> 3) & 1,
+    ];
     let p0 = d[0] ^ d[1] ^ d[2];
     let p1 = d[1] ^ d[2] ^ d[3];
     let p2 = d[0] ^ d[1] ^ d[3];
@@ -119,7 +124,10 @@ pub fn encode_payload(payload: &[u8], cr: CodingRate) -> Vec<u8> {
 ///
 /// Panics if `codewords` has odd length (nibble pairs make bytes).
 pub fn decode_payload(codewords: &[u8], cr: CodingRate) -> (Vec<u8>, u32, u32) {
-    assert!(codewords.len().is_multiple_of(2), "codeword stream must pair into bytes");
+    assert!(
+        codewords.len().is_multiple_of(2),
+        "codeword stream must pair into bytes"
+    );
     let mut out = Vec::with_capacity(codewords.len() / 2);
     let mut corrected = 0;
     let mut failed = 0;
@@ -143,8 +151,12 @@ pub fn decode_payload(codewords: &[u8], cr: CodingRate) -> (Vec<u8>, u32, u32) {
 mod tests {
     use super::*;
 
-    const RATES: [CodingRate; 4] =
-        [CodingRate::Cr4_5, CodingRate::Cr4_6, CodingRate::Cr4_7, CodingRate::Cr4_8];
+    const RATES: [CodingRate; 4] = [
+        CodingRate::Cr4_5,
+        CodingRate::Cr4_6,
+        CodingRate::Cr4_7,
+        CodingRate::Cr4_8,
+    ];
 
     #[test]
     fn clean_round_trip_at_every_rate() {
@@ -178,8 +190,7 @@ mod tests {
         for nibble in 0u8..16 {
             let cw = encode_nibble(nibble, CodingRate::Cr4_8);
             for bit in 0..8 {
-                let (decoded, outcome) =
-                    decode_codeword(cw ^ (1 << bit), CodingRate::Cr4_8);
+                let (decoded, outcome) = decode_codeword(cw ^ (1 << bit), CodingRate::Cr4_8);
                 assert_eq!(decoded, nibble);
                 assert_eq!(outcome, DecodeOutcome::Corrected);
             }
@@ -190,7 +201,11 @@ mod tests {
                 for b2 in (b1 + 1)..8 {
                     let corrupted = cw ^ (1 << b1) ^ (1 << b2);
                     let (_, outcome) = decode_codeword(corrupted, CodingRate::Cr4_8);
-                    assert_eq!(outcome, DecodeOutcome::Detected, "nibble {nibble} bits {b1},{b2}");
+                    assert_eq!(
+                        outcome,
+                        DecodeOutcome::Detected,
+                        "nibble {nibble} bits {b1},{b2}"
+                    );
                 }
             }
         }
@@ -215,9 +230,8 @@ mod tests {
                 if a == b {
                     continue;
                 }
-                let d = (encode_nibble(a, CodingRate::Cr4_7)
-                    ^ encode_nibble(b, CodingRate::Cr4_7))
-                .count_ones();
+                let d = (encode_nibble(a, CodingRate::Cr4_7) ^ encode_nibble(b, CodingRate::Cr4_7))
+                    .count_ones();
                 assert!(d >= 3, "{a} vs {b}: distance {d}");
             }
         }

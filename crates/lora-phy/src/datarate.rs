@@ -29,7 +29,10 @@ impl DataRate {
         if usize::from(index) < Self::table(region).len() {
             Ok(DataRate(index))
         } else {
-            Err(PhyError::InvalidQuantity { what: "data-rate index", value: f64::from(index) })
+            Err(PhyError::InvalidQuantity {
+                what: "data-rate index",
+                value: f64::from(index),
+            })
         }
     }
 
@@ -120,7 +123,10 @@ mod tests {
 
     #[test]
     fn us_has_no_sf12_uplink() {
-        assert_eq!(DataRate::from_sf(Region::Us915Sub1, SpreadingFactor::Sf12), None);
+        assert_eq!(
+            DataRate::from_sf(Region::Us915Sub1, SpreadingFactor::Sf12),
+            None
+        );
         assert!(DataRate::from_sf(Region::Eu868, SpreadingFactor::Sf12).is_some());
     }
 

@@ -70,7 +70,12 @@ impl RadioEnergyModel {
             tx_current_ma.windows(2).all(|w| w[0].0 < w[1].0),
             "current table must be sorted by dBm"
         );
-        RadioEnergyModel { supply_voltage_v, tx_current_ma, sleep_current_a, overhead_energy_j }
+        RadioEnergyModel {
+            supply_voltage_v,
+            tx_current_ma,
+            sleep_current_a,
+            overhead_energy_j,
+        }
     }
 
     /// Supply voltage in volts.
@@ -146,7 +151,9 @@ pub struct Battery {
 impl Battery {
     /// Creates a battery from a capacity in joules.
     pub fn from_joules(capacity_j: f64) -> Self {
-        Battery { capacity_j: capacity_j.max(0.0) }
+        Battery {
+            capacity_j: capacity_j.max(0.0),
+        }
     }
 
     /// Creates a battery from a capacity in mAh at a supply voltage.
@@ -204,8 +211,14 @@ mod tests {
     #[test]
     fn tx_power_clamps_outside_table() {
         let m = RadioEnergyModel::sx1276();
-        assert_eq!(m.tx_power_w(TxPowerDbm::new(-5.0)), m.tx_power_w(TxPowerDbm::new(2.0)));
-        assert_eq!(m.tx_power_w(TxPowerDbm::new(20.0)), m.tx_power_w(TxPowerDbm::new(14.0)));
+        assert_eq!(
+            m.tx_power_w(TxPowerDbm::new(-5.0)),
+            m.tx_power_w(TxPowerDbm::new(2.0))
+        );
+        assert_eq!(
+            m.tx_power_w(TxPowerDbm::new(20.0)),
+            m.tx_power_w(TxPowerDbm::new(14.0))
+        );
     }
 
     #[test]

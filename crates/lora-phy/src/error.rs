@@ -49,13 +49,19 @@ impl fmt::Display for PhyError {
                 write!(f, "payload of {len} bytes exceeds maximum of {max} bytes")
             }
             PhyError::TxPowerOutOfRange { dbm, min, max } => {
-                write!(f, "transmission power {dbm} dBm outside permitted [{min}, {max}] dBm")
+                write!(
+                    f,
+                    "transmission power {dbm} dBm outside permitted [{min}, {max}] dBm"
+                )
             }
             PhyError::InvalidSpreadingFactor(v) => {
                 write!(f, "spreading factor {v} outside 7..=12")
             }
             PhyError::InvalidChannel { index, plan_len } => {
-                write!(f, "channel index {index} outside plan of {plan_len} channels")
+                write!(
+                    f,
+                    "channel index {index} outside plan of {plan_len} channels"
+                )
             }
             PhyError::InvalidQuantity { what, value } => {
                 write!(f, "invalid value {value} for {what}")

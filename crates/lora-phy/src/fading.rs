@@ -9,8 +9,7 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// A small-scale fading model applied per transmission and per gateway.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum Fading {
     /// No fading: the power gain is always exactly 1. Useful for
     /// deterministic unit tests and link-budget reasoning.
@@ -66,7 +65,6 @@ impl Fading {
     }
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -77,8 +75,10 @@ mod tests {
     fn rayleigh_gain_has_unit_mean() {
         let mut rng = ChaCha12Rng::seed_from_u64(42);
         let n = 200_000;
-        let mean: f64 =
-            (0..n).map(|_| Fading::Rayleigh.sample_power_gain(&mut rng)).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| Fading::Rayleigh.sample_power_gain(&mut rng))
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - 1.0).abs() < 0.01, "mean {mean}");
     }
 
@@ -92,7 +92,10 @@ mod tests {
             .count();
         let empirical = hits as f64 / n as f64;
         let analytic = Fading::Rayleigh.survival(threshold);
-        assert!((empirical - analytic).abs() < 0.01, "{empirical} vs {analytic}");
+        assert!(
+            (empirical - analytic).abs() < 0.01,
+            "{empirical} vs {analytic}"
+        );
     }
 
     #[test]

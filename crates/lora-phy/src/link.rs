@@ -113,8 +113,18 @@ mod tests {
         // the sensitivity exactly meets the SNR threshold too.
         for sf in SpreadingFactor::ALL {
             let sens = sf.sensitivity_dbm(Bandwidth::Bw125, 6.0);
-            assert!(decodable_without_interference(sf, Bandwidth::Bw125, 6.0, sens));
-            assert!(!decodable_without_interference(sf, Bandwidth::Bw125, 6.0, sens - 0.1));
+            assert!(decodable_without_interference(
+                sf,
+                Bandwidth::Bw125,
+                6.0,
+                sens
+            ));
+            assert!(!decodable_without_interference(
+                sf,
+                Bandwidth::Bw125,
+                6.0,
+                sens - 0.1
+            ));
         }
     }
 

@@ -35,8 +35,7 @@ pub fn free_space_loss_db(distance_m: f64, frequency_hz: f64) -> f64 {
 ///
 /// Section IV-B of the paper uses β = 2.7 for line-of-sight links and β = 4
 /// for non-line-of-sight links.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum LinkEnvironment {
     /// Line-of-sight propagation.
     #[default]
@@ -44,7 +43,6 @@ pub enum LinkEnvironment {
     /// Non-line-of-sight propagation.
     NonLineOfSight,
 }
-
 
 /// A pair of path-loss exponents, one per [`LinkEnvironment`].
 ///
@@ -60,11 +58,20 @@ pub struct BetaProfile {
 
 impl BetaProfile {
     /// The paper's base profile: β = 2.7 (LoS) / 4.0 (NLoS).
-    pub const PAPER_BASE: BetaProfile = BetaProfile { los: 2.7, nlos: 4.0 };
+    pub const PAPER_BASE: BetaProfile = BetaProfile {
+        los: 2.7,
+        nlos: 4.0,
+    };
     /// The paper's "less path loss" profile: 2.4 / 3.7.
-    pub const PAPER_LESS: BetaProfile = BetaProfile { los: 2.4, nlos: 3.7 };
+    pub const PAPER_LESS: BetaProfile = BetaProfile {
+        los: 2.4,
+        nlos: 3.7,
+    };
     /// The paper's "more path loss" profile: 3.0 / 4.3.
-    pub const PAPER_MORE: BetaProfile = BetaProfile { los: 3.0, nlos: 4.3 };
+    pub const PAPER_MORE: BetaProfile = BetaProfile {
+        los: 3.0,
+        nlos: 4.3,
+    };
 
     /// Creates a profile from explicit exponents.
     pub fn new(los: f64, nlos: f64) -> Self {
@@ -73,7 +80,10 @@ impl BetaProfile {
 
     /// A homogeneous profile where both environments share one exponent.
     pub fn uniform(beta: f64) -> Self {
-        BetaProfile { los: beta, nlos: beta }
+        BetaProfile {
+            los: beta,
+            nlos: beta,
+        }
     }
 
     /// The exponent for a given environment.
@@ -125,7 +135,10 @@ impl PathLossModel {
 
     /// Creates a log-distance model with the given reference distance.
     pub fn log_distance(frequency_hz: f64, reference_m: f64) -> Self {
-        PathLossModel::LogDistance { frequency_hz, reference_m }
+        PathLossModel::LogDistance {
+            frequency_hz,
+            reference_m,
+        }
     }
 
     /// The carrier frequency of the model in Hz.
@@ -150,7 +163,10 @@ impl PathLossModel {
                 // (c/(4πfd))^β in dB: β/2 · 20·log10(4πfd/c)
                 beta / 2.0 * free_space_loss_db(d, frequency_hz)
             }
-            PathLossModel::LogDistance { frequency_hz, reference_m } => {
+            PathLossModel::LogDistance {
+                frequency_hz,
+                reference_m,
+            } => {
                 let d0 = reference_m.max(1.0);
                 let d = distance_m.max(d0);
                 free_space_loss_db(d0, frequency_hz) + 10.0 * beta * (d / d0).log10()

@@ -36,9 +36,7 @@ impl Region {
     pub fn uplink_channels(self) -> Vec<Channel> {
         match self {
             Region::Us915Sub1 => (0..8)
-                .map(|i| {
-                    Channel::new(i, 902_300_000.0 + 200_000.0 * i as f64, Bandwidth::Bw125)
-                })
+                .map(|i| Channel::new(i, 902_300_000.0 + 200_000.0 * i as f64, Bandwidth::Bw125))
                 .collect(),
             Region::Eu868 => {
                 let freqs = [
@@ -98,7 +96,10 @@ impl Region {
         self.uplink_channels()
             .get(index)
             .copied()
-            .ok_or(PhyError::InvalidChannel { index, plan_len: self.uplink_channel_count() })
+            .ok_or(PhyError::InvalidChannel {
+                index,
+                plan_len: self.uplink_channel_count(),
+            })
     }
 }
 
@@ -140,7 +141,10 @@ mod tests {
         assert!(Region::Us915Sub1.channel(7).is_ok());
         assert!(matches!(
             Region::Us915Sub1.channel(8),
-            Err(PhyError::InvalidChannel { index: 8, plan_len: 8 })
+            Err(PhyError::InvalidChannel {
+                index: 8,
+                plan_len: 8
+            })
         ));
     }
 

@@ -222,8 +222,7 @@ mod tests {
     fn symbol_time_doubles_per_sf_step() {
         for sf in SpreadingFactor::ALL.iter().take(5) {
             let next = sf.slower().unwrap();
-            let ratio =
-                next.symbol_time_s(Bandwidth::Bw125) / sf.symbol_time_s(Bandwidth::Bw125);
+            let ratio = next.symbol_time_s(Bandwidth::Bw125) / sf.symbol_time_s(Bandwidth::Bw125);
             assert!((ratio - 2.0).abs() < 1e-12);
         }
     }

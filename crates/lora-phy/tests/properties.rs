@@ -48,6 +48,22 @@ proptest! {
     }
 
     #[test]
+    fn toa_lut_is_bit_identical_to_uncached(
+        bw in prop_oneof![Just(Bandwidth::Bw125), Just(Bandwidth::Bw250), Just(Bandwidth::Bw500)],
+        cr in any_cr(),
+        sf in any_sf(),
+        len in 0usize..=255,
+    ) {
+        // The cached ToA path must be indistinguishable from recomputing
+        // Eq. 4 — down to the last mantissa bit, or simulator results
+        // would drift with the optimization.
+        let lut = lora_phy::ToaLut::new(bw, cr);
+        let uncached = ToaParams::new(sf, bw, cr).time_on_air_s(len).unwrap();
+        let cached = lut.time_on_air_s(sf, len).unwrap();
+        prop_assert_eq!(cached.to_bits(), uncached.to_bits());
+    }
+
+    #[test]
     fn path_loss_monotone(d1 in 10.0f64..5_000.0, delta in 1.0f64..5_000.0, beta in 2.1f64..4.5) {
         for model in [
             PathLossModel::friis_exponent(903e6),

@@ -33,8 +33,7 @@ impl GatewayOutage {
 }
 
 /// How uplink traffic is generated.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum Traffic {
     /// Periodic reporting every `report_interval_s` seconds (or the
     /// per-device overrides) regardless of the spreading factor.
@@ -49,7 +48,6 @@ pub enum Traffic {
         duty: f64,
     },
 }
-
 
 /// Confirmed-uplink retransmission policy (LoRaWAN class A confirmed
 /// traffic): a cycle's frame is retransmitted after a random backoff until
@@ -335,7 +333,8 @@ impl SimConfigBuilder {
     /// Panics on a malformed fault window (see
     /// [`SimConfigBuilder::try_build`] for the fallible variant).
     pub fn build(&self) -> SimConfig {
-        self.try_build().expect("SimConfigBuilder holds an invalid fault window")
+        self.try_build()
+            .expect("SimConfigBuilder holds an invalid fault window")
     }
 
     /// Finalises the configuration, rejecting malformed fault injection
@@ -400,26 +399,46 @@ mod tests {
     #[test]
     fn builder_rejects_inverted_outage_window() {
         let mut b = SimConfig::builder();
-        b.outage(GatewayOutage { gateway: 0, from_s: 50.0, to_s: 10.0 });
+        b.outage(GatewayOutage {
+            gateway: 0,
+            from_s: 50.0,
+            to_s: 10.0,
+        });
         assert!(matches!(b.try_build(), Err(SimError::InvalidFault { .. })));
     }
 
     #[test]
     fn builder_rejects_nan_and_negative_bounds() {
         let mut b = SimConfig::builder();
-        b.outage(GatewayOutage { gateway: 0, from_s: f64::NAN, to_s: 10.0 });
+        b.outage(GatewayOutage {
+            gateway: 0,
+            from_s: f64::NAN,
+            to_s: 10.0,
+        });
         assert!(b.try_build().is_err());
         let mut b = SimConfig::builder();
-        b.outage(GatewayOutage { gateway: 0, from_s: -5.0, to_s: 10.0 });
+        b.outage(GatewayOutage {
+            gateway: 0,
+            from_s: -5.0,
+            to_s: 10.0,
+        });
         assert!(b.try_build().is_err());
     }
 
     #[test]
     fn builder_accepts_valid_faults() {
         let mut b = SimConfig::builder();
-        b.outage(GatewayOutage { gateway: 3, from_s: 0.0, to_s: 10.0 });
+        b.outage(GatewayOutage {
+            gateway: 3,
+            from_s: 0.0,
+            to_s: 10.0,
+        });
         b.faults(FaultConfig {
-            churn: vec![crate::faults::GatewayChurn { gateway: 1, mtbf_s: 100.0, mttr_s: 50.0 }],
+            churn: vec![crate::faults::GatewayChurn {
+                gateway: 1,
+                mtbf_s: 100.0,
+                mttr_s: 50.0,
+            }],
             ..FaultConfig::default()
         });
         let c = b.try_build().unwrap();
@@ -430,7 +449,11 @@ mod tests {
     fn builder_rejects_bad_fault_process() {
         let mut b = SimConfig::builder();
         b.faults(FaultConfig {
-            churn: vec![crate::faults::GatewayChurn { gateway: 0, mtbf_s: -1.0, mttr_s: 50.0 }],
+            churn: vec![crate::faults::GatewayChurn {
+                gateway: 0,
+                mtbf_s: -1.0,
+                mttr_s: 50.0,
+            }],
             ..FaultConfig::default()
         });
         assert!(matches!(b.try_build(), Err(SimError::InvalidFault { .. })));
@@ -438,7 +461,11 @@ mod tests {
 
     #[test]
     fn outage_window_is_half_open() {
-        let o = GatewayOutage { gateway: 2, from_s: 10.0, to_s: 20.0 };
+        let o = GatewayOutage {
+            gateway: 2,
+            from_s: 10.0,
+            to_s: 20.0,
+        };
         assert!(o.covers(2, 10.0));
         assert!(o.covers(2, 19.99));
         assert!(!o.covers(2, 20.0));

@@ -40,11 +40,18 @@ pub enum SimError {
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::AllocationLengthMismatch { devices, allocation } => write!(
+            SimError::AllocationLengthMismatch {
+                devices,
+                allocation,
+            } => write!(
                 f,
                 "allocation has {allocation} entries but the topology has {devices} devices"
             ),
-            SimError::ChannelOutOfRange { device, channel, plan_len } => write!(
+            SimError::ChannelOutOfRange {
+                device,
+                channel,
+                plan_len,
+            } => write!(
                 f,
                 "device {device} allocated channel {channel} outside plan of {plan_len} channels"
             ),
@@ -68,7 +75,10 @@ mod tests {
 
     #[test]
     fn display_reads_naturally() {
-        let e = SimError::AllocationLengthMismatch { devices: 10, allocation: 9 };
+        let e = SimError::AllocationLengthMismatch {
+            devices: 10,
+            allocation: 9,
+        };
         assert!(e.to_string().contains("9 entries"));
     }
 }

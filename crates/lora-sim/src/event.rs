@@ -36,7 +36,10 @@ struct Queued {
 impl Ord for Queued {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert for earliest-first.
-        other.time.cmp(&self.time).then_with(|| other.tie.cmp(&self.tie))
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.tie.cmp(&self.tie))
     }
 }
 
@@ -73,7 +76,11 @@ impl EventQueue {
     pub fn push(&mut self, at_s: f64, event: Event) {
         let tie = self.next_tie;
         self.next_tie += 1;
-        self.heap.push(Queued { time: TimeKey::new(at_s), tie, event });
+        self.heap.push(Queued {
+            time: TimeKey::new(at_s),
+            tie,
+            event,
+        });
     }
 
     /// Pops the earliest event, if any.

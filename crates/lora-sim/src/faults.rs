@@ -140,8 +140,7 @@ impl JammerProcess {
     /// Compiles the process into concrete bursts over `[0, duration_s)`,
     /// deterministic in `(seed, self)` like [`GatewayChurn::compile`].
     pub fn compile(&self, seed: u64, duration_s: f64) -> Vec<JamBurst> {
-        let stream =
-            splitmix64(seed ^ FAULT_SEED_SALT ^ splitmix64(0x1A33 ^ self.channel as u64));
+        let stream = splitmix64(seed ^ FAULT_SEED_SALT ^ splitmix64(0x1A33 ^ self.channel as u64));
         let mut rng = ChaCha12Rng::seed_from_u64(stream);
         let mut bursts = Vec::new();
         let mut t = sample_exp(&mut rng, self.mean_gap_s);
@@ -200,8 +199,7 @@ impl FaultConfig {
                     ),
                 });
             }
-            if !(c.mtbf_s.is_finite() && c.mtbf_s > 0.0 && c.mttr_s.is_finite() && c.mttr_s > 0.0)
-            {
+            if !(c.mtbf_s.is_finite() && c.mtbf_s > 0.0 && c.mttr_s.is_finite() && c.mttr_s > 0.0) {
                 return Err(SimError::InvalidFault {
                     reason: format!("churn[{i}]: MTBF and MTTR must be positive and finite"),
                 });
@@ -290,7 +288,9 @@ impl FaultConfig {
 /// nothing).
 pub(crate) fn validate_window(from_s: f64, to_s: f64, what: &str) -> Result<(), SimError> {
     if !(from_s.is_finite() && to_s.is_finite()) {
-        return Err(SimError::InvalidFault { reason: format!("{what}: window bounds must be finite") });
+        return Err(SimError::InvalidFault {
+            reason: format!("{what}: window bounds must be finite"),
+        });
     }
     if from_s < 0.0 || to_s < 0.0 {
         return Err(SimError::InvalidFault {
@@ -335,11 +335,18 @@ mod tests {
 
     #[test]
     fn churn_compilation_is_deterministic_and_ordered() {
-        let churn = GatewayChurn { gateway: 1, mtbf_s: 500.0, mttr_s: 300.0 };
+        let churn = GatewayChurn {
+            gateway: 1,
+            mtbf_s: 500.0,
+            mttr_s: 300.0,
+        };
         let a = churn.compile(42, 10_000.0);
         let b = churn.compile(42, 10_000.0);
         assert_eq!(a, b);
-        assert!(!a.is_empty(), "10 ks horizon at 500 s MTBF must fail at least once");
+        assert!(
+            !a.is_empty(),
+            "10 ks horizon at 500 s MTBF must fail at least once"
+        );
         let mut last_end = 0.0;
         for w in &a {
             assert_eq!(w.gateway, 1);
@@ -352,13 +359,22 @@ mod tests {
 
     #[test]
     fn churn_windows_depend_on_seed() {
-        let churn = GatewayChurn { gateway: 0, mtbf_s: 500.0, mttr_s: 300.0 };
+        let churn = GatewayChurn {
+            gateway: 0,
+            mtbf_s: 500.0,
+            mttr_s: 300.0,
+        };
         assert_ne!(churn.compile(1, 10_000.0), churn.compile(2, 10_000.0));
     }
 
     #[test]
     fn jammer_compilation_stays_on_its_channel() {
-        let j = JammerProcess { channel: 3, mean_gap_s: 400.0, mean_burst_s: 200.0, power_mw: 1e-6 };
+        let j = JammerProcess {
+            channel: 3,
+            mean_gap_s: 400.0,
+            mean_burst_s: 200.0,
+            power_mw: 1e-6,
+        };
         let bursts = j.compile(7, 8_000.0);
         assert!(!bursts.is_empty());
         for b in &bursts {
@@ -370,7 +386,12 @@ mod tests {
 
     #[test]
     fn jam_burst_overlap_is_half_open() {
-        let b = JamBurst { channel: 0, from_s: 10.0, to_s: 20.0, power_mw: 1.0 };
+        let b = JamBurst {
+            channel: 0,
+            from_s: 10.0,
+            to_s: 20.0,
+            power_mw: 1.0,
+        };
         assert!(b.overlaps(0, 15.0, 16.0));
         assert!(b.overlaps(0, 5.0, 10.5));
         assert!(!b.overlaps(0, 20.0, 25.0), "burst end is exclusive");
@@ -381,7 +402,11 @@ mod tests {
     #[test]
     fn validation_rejects_bad_entries() {
         let mut f = FaultConfig::default();
-        f.churn.push(GatewayChurn { gateway: 2, mtbf_s: 100.0, mttr_s: 100.0 });
+        f.churn.push(GatewayChurn {
+            gateway: 2,
+            mtbf_s: 100.0,
+            mttr_s: 100.0,
+        });
         assert!(f.validate(2, 8).is_err(), "gateway out of range");
         f.churn[0].gateway = 0;
         f.churn[0].mtbf_s = f64::NAN;
@@ -389,7 +414,11 @@ mod tests {
         f.churn[0].mtbf_s = 100.0;
         assert!(f.validate(2, 8).is_ok());
 
-        f.backhaul.push(BackhaulLink { gateway: 0, drop_prob: 1.5, latency_s: 0.0 });
+        f.backhaul.push(BackhaulLink {
+            gateway: 0,
+            drop_prob: 1.5,
+            latency_s: 0.0,
+        });
         assert!(f.validate(2, 8).is_err(), "drop probability above 1");
         f.backhaul[0].drop_prob = 0.5;
         f.backhaul[0].latency_s = -1.0;
@@ -397,7 +426,12 @@ mod tests {
         f.backhaul[0].latency_s = 0.1;
         assert!(f.validate(2, 8).is_ok());
 
-        f.jam_bursts.push(JamBurst { channel: 9, from_s: 0.0, to_s: 1.0, power_mw: 1.0 });
+        f.jam_bursts.push(JamBurst {
+            channel: 9,
+            from_s: 0.0,
+            to_s: 1.0,
+            power_mw: 1.0,
+        });
         assert!(f.validate(2, 8).is_err(), "channel outside plan");
         f.jam_bursts[0].channel = 0;
         f.jam_bursts[0].from_s = 2.0;
@@ -408,7 +442,11 @@ mod tests {
     fn empty_config_is_empty() {
         assert!(FaultConfig::default().is_empty());
         let f = FaultConfig {
-            backhaul: vec![BackhaulLink { gateway: 0, drop_prob: 0.0, latency_s: 0.0 }],
+            backhaul: vec![BackhaulLink {
+                gateway: 0,
+                drop_prob: 0.0,
+                latency_s: 0.0,
+            }],
             ..FaultConfig::default()
         };
         assert!(!f.is_empty());
@@ -421,21 +459,32 @@ mod tests {
         let a = backhaul_drops(9, 1, 5, 3, 0.5);
         assert_eq!(a, backhaul_drops(9, 1, 5, 3, 0.5));
         // Roughly half of distinct tuples drop at p = 0.5.
-        let dropped = (0..1_000u32).filter(|&s| backhaul_drops(9, 1, 5, s, 0.5)).count();
+        let dropped = (0..1_000u32)
+            .filter(|&s| backhaul_drops(9, 1, 5, s, 0.5))
+            .count();
         assert!((350..=650).contains(&dropped), "{dropped} of 1000 dropped");
     }
 
     #[test]
     fn compile_merges_static_and_stochastic() {
         let f = FaultConfig {
-            churn: vec![GatewayChurn { gateway: 0, mtbf_s: 400.0, mttr_s: 400.0 }],
+            churn: vec![GatewayChurn {
+                gateway: 0,
+                mtbf_s: 400.0,
+                mttr_s: 400.0,
+            }],
             jammers: vec![JammerProcess {
                 channel: 1,
                 mean_gap_s: 400.0,
                 mean_burst_s: 400.0,
                 power_mw: 1.0,
             }],
-            jam_bursts: vec![JamBurst { channel: 0, from_s: 0.0, to_s: 10.0, power_mw: 2.0 }],
+            jam_bursts: vec![JamBurst {
+                channel: 0,
+                from_s: 0.0,
+                to_s: 10.0,
+                power_mw: 2.0,
+            }],
             backhaul: Vec::new(),
         };
         let (outages, bursts) = f.compile(3, 5_000.0);

@@ -64,4 +64,4 @@ pub use error::SimError;
 pub use faults::{BackhaulLink, FaultConfig, GatewayChurn, JamBurst, JammerProcess};
 pub use report::{DeviceStats, GatewayStats, SimReport};
 pub use sim::Simulation;
-pub use topology::{attenuation_matrix, DeviceSite, Position, Topology};
+pub use topology::{attenuation_matrix, AttenuationMatrix, DeviceSite, Position, Topology};

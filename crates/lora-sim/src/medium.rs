@@ -68,7 +68,11 @@ pub struct Medium {
 impl Medium {
     /// Creates an empty medium.
     pub fn new(inter_sf: InterSfPolicy, n_gateways: usize) -> Self {
-        Medium { active: Vec::new(), inter_sf, n_gateways }
+        Medium {
+            active: Vec::new(),
+            inter_sf,
+            n_gateways,
+        }
     }
 
     /// Number of transmissions currently in the air.
@@ -208,10 +212,30 @@ mod tests {
         use crate::faults::JamBurst;
         let t = tx(0, SpreadingFactor::Sf7, 2, 1.0); // airborne over [0, 1)
         let bursts = [
-            JamBurst { channel: 2, from_s: 0.5, to_s: 2.0, power_mw: 1e-6 },
-            JamBurst { channel: 2, from_s: 0.0, to_s: 0.2, power_mw: 3e-6 },
-            JamBurst { channel: 1, from_s: 0.0, to_s: 2.0, power_mw: 7e-6 }, // other channel
-            JamBurst { channel: 2, from_s: 1.0, to_s: 2.0, power_mw: 9e-6 }, // starts at end
+            JamBurst {
+                channel: 2,
+                from_s: 0.5,
+                to_s: 2.0,
+                power_mw: 1e-6,
+            },
+            JamBurst {
+                channel: 2,
+                from_s: 0.0,
+                to_s: 0.2,
+                power_mw: 3e-6,
+            },
+            JamBurst {
+                channel: 1,
+                from_s: 0.0,
+                to_s: 2.0,
+                power_mw: 7e-6,
+            }, // other channel
+            JamBurst {
+                channel: 2,
+                from_s: 1.0,
+                to_s: 2.0,
+                power_mw: 9e-6,
+            }, // starts at end
         ];
         assert!((t.jam_noise_mw(&bursts) - 4e-6).abs() < 1e-18);
         assert_eq!(t.jam_noise_mw(&[]), 0.0);

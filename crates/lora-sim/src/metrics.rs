@@ -27,7 +27,11 @@ pub fn jain_index(values: &[f64]) -> f64 {
 /// The minimum of a slice, or 0 for an empty (or all-NaN) slice. NaNs are
 /// ignored.
 pub fn minimum(values: &[f64]) -> f64 {
-    let m = values.iter().copied().filter(|v| !v.is_nan()).fold(f64::INFINITY, f64::min);
+    let m = values
+        .iter()
+        .copied()
+        .filter(|v| !v.is_nan())
+        .fold(f64::INFINITY, f64::min);
     if m.is_finite() {
         m
     } else {

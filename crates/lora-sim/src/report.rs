@@ -77,9 +77,15 @@ impl Serialize for GatewayStats {
             ("decoded".to_string(), self.decoded.to_value()),
             ("demod_refused".to_string(), self.demod_refused.to_value()),
             ("sinr_failures".to_string(), self.sinr_failures.to_value()),
-            ("below_sensitivity".to_string(), self.below_sensitivity.to_value()),
+            (
+                "below_sensitivity".to_string(),
+                self.below_sensitivity.to_value(),
+            ),
             ("outage_drops".to_string(), self.outage_drops.to_value()),
-            ("half_duplex_drops".to_string(), self.half_duplex_drops.to_value()),
+            (
+                "half_duplex_drops".to_string(),
+                self.half_duplex_drops.to_value(),
+            ),
         ];
         if self.jammed_drops != 0 {
             obj.push(("jammed_drops".to_string(), self.jammed_drops.to_value()));
@@ -94,13 +100,18 @@ impl Serialize for GatewayStats {
 impl Deserialize for GatewayStats {
     fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
         let obj = value.as_object().ok_or_else(|| {
-            serde::Error::custom(format!("expected object for GatewayStats, got {}", value.kind()))
+            serde::Error::custom(format!(
+                "expected object for GatewayStats, got {}",
+                value.kind()
+            ))
         })?;
         let required = |name: &str| -> Result<u64, serde::Error> {
             match obj.iter().find(|(k, _)| k.as_str() == name) {
                 Some((_, v)) => Deserialize::from_value(v)
                     .map_err(|e: serde::Error| e.contextualize(&format!("GatewayStats.{name}"))),
-                None => Err(serde::Error::custom(format!("missing field `GatewayStats.{name}`"))),
+                None => Err(serde::Error::custom(format!(
+                    "missing field `GatewayStats.{name}`"
+                ))),
             }
         };
         let optional = |name: &str| -> Result<u64, serde::Error> {
@@ -162,7 +173,13 @@ impl SimReport {
 
     /// Mean packet reception ratio across devices.
     pub fn mean_prr(&self) -> f64 {
-        metrics::mean(&self.devices.iter().map(DeviceStats::prr).collect::<Vec<_>>())
+        metrics::mean(
+            &self
+                .devices
+                .iter()
+                .map(DeviceStats::prr)
+                .collect::<Vec<_>>(),
+        )
     }
 
     /// Network lifetime per the paper's Section IV definition: the time at
@@ -188,7 +205,11 @@ impl SimReport {
     ///
     /// Panics if `alloc` does not have one entry per reported device.
     pub fn per_sf_breakdown(&self, alloc: &[TxConfig]) -> [SfBreakdown; 6] {
-        assert_eq!(alloc.len(), self.devices.len(), "allocation/report size mismatch");
+        assert_eq!(
+            alloc.len(),
+            self.devices.len(),
+            "allocation/report size mismatch"
+        );
         let mut out = [SfBreakdown::default(); 6];
         for (cfg, d) in alloc.iter().zip(&self.devices) {
             let b = &mut out[cfg.sf.index()];

@@ -15,7 +15,7 @@ use crate::event::{Event, EventQueue};
 use crate::faults::{self, JamBurst};
 use crate::medium::{ActiveTx, Medium};
 use crate::report::{DeviceStats, GatewayStats, SimReport};
-use crate::topology::Topology;
+use crate::topology::{AttenuationMatrix, Topology};
 use crate::trace::{NullSink, ReceptionOutcome, TraceEvent, TraceSink};
 
 /// A fully specified simulation: configuration, deployment and the
@@ -35,7 +35,7 @@ pub struct Simulation {
     /// traffic model and any per-device overrides).
     intervals_s: Vec<f64>,
     /// Linear path-loss attenuation `[device][gateway]` (mean channel).
-    attenuation: Vec<Vec<f64>>,
+    attenuation: AttenuationMatrix,
     /// Sensitivity per device in mW (depends on its SF).
     sensitivity_mw: Vec<f64>,
     /// SNR demodulation threshold per device, dB.
@@ -72,6 +72,38 @@ impl Simulation {
         topology: Topology,
         alloc: Vec<TxConfig>,
     ) -> Result<Self, SimError> {
+        let attenuation = crate::topology::attenuation_matrix(&config, &topology);
+        Self::with_attenuation(config, topology, alloc, attenuation)
+    }
+
+    /// [`Simulation::new`] with a precomputed attenuation matrix.
+    ///
+    /// [`attenuation_matrix`](crate::topology::attenuation_matrix) is a
+    /// pure function of `(config, topology)`, so a caller that already
+    /// built it — the analytical model, or a replication harness running
+    /// many repetitions over one deployment — can hand it over and skip
+    /// the O(devices × gateways) `powf` rebuild. Passing the matrix the
+    /// model computed for the same deployment yields a byte-identical
+    /// simulation.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Simulation::new`] rejects, plus
+    /// [`SimError::InvalidConfig`] when the matrix shape does not match
+    /// the deployment.
+    pub fn with_attenuation(
+        config: SimConfig,
+        topology: Topology,
+        alloc: Vec<TxConfig>,
+        attenuation: AttenuationMatrix,
+    ) -> Result<Self, SimError> {
+        if attenuation.device_count() != topology.device_count()
+            || attenuation.gateway_count() != topology.gateway_count()
+        {
+            return Err(SimError::InvalidConfig {
+                reason: "attenuation matrix shape does not match the deployment",
+            });
+        }
         if alloc.len() != topology.device_count() {
             return Err(SimError::AllocationLengthMismatch {
                 devices: topology.device_count(),
@@ -79,10 +111,14 @@ impl Simulation {
             });
         }
         if !(config.duration_s.is_finite() && config.duration_s > 0.0) {
-            return Err(SimError::InvalidConfig { reason: "duration must be positive" });
+            return Err(SimError::InvalidConfig {
+                reason: "duration must be positive",
+            });
         }
         if !(config.report_interval_s.is_finite() && config.report_interval_s > 0.0) {
-            return Err(SimError::InvalidConfig { reason: "report interval must be positive" });
+            return Err(SimError::InvalidConfig {
+                reason: "report interval must be positive",
+            });
         }
         if let Some(intervals) = &config.per_device_intervals_s {
             if intervals.len() != topology.device_count() {
@@ -99,7 +135,11 @@ impl Simulation {
         let plan_len = config.region.uplink_channel_count();
         for (device, cfg) in alloc.iter().enumerate() {
             if cfg.channel >= plan_len {
-                return Err(SimError::ChannelOutOfRange { device, channel: cfg.channel, plan_len });
+                return Err(SimError::ChannelOutOfRange {
+                    device,
+                    channel: cfg.channel,
+                    plan_len,
+                });
             }
         }
 
@@ -153,21 +193,29 @@ impl Simulation {
 
         let bw = Bandwidth::Bw125;
         let payload = config.phy_payload_len();
-        let mut toa_s = Vec::with_capacity(alloc.len());
-        for cfg in &alloc {
-            let toa = ToaParams::new(cfg.sf, bw, config.coding_rate)
-                .time_on_air_s(payload)
-                .map_err(|_| SimError::InvalidConfig { reason: "payload exceeds LoRa maximum" })?;
-            toa_s.push(toa);
+        // Time-on-air is a pure function of (SF, BW, CR, payload): compute
+        // each of the six SF values once — for the uplink payload and the
+        // fixed 12-byte ack — and index per device, instead of re-running
+        // the Eq. 4 arithmetic 2·N times. Bit-identical to the uncached
+        // path (each entry *is* its result); `lora_phy::ToaLut` provides
+        // the same cache over the full payload grid for callers with
+        // per-device payloads.
+        let mut toa_by_sf = [0.0f64; 6];
+        let mut ack_by_sf = [0.0f64; 6];
+        for sf in lora_phy::SpreadingFactor::ALL {
+            let params = ToaParams::new(sf, bw, config.coding_rate);
+            toa_by_sf[sf.index()] =
+                params
+                    .time_on_air_s(payload)
+                    .map_err(|_| SimError::InvalidConfig {
+                        reason: "payload exceeds LoRa maximum",
+                    })?;
+            ack_by_sf[sf.index()] = params
+                .time_on_air_s(12)
+                .expect("fixed 12-byte ack payload is valid");
         }
-        let ack_toa_s: Vec<f64> = alloc
-            .iter()
-            .map(|cfg| {
-                ToaParams::new(cfg.sf, bw, config.coding_rate)
-                    .time_on_air_s(12)
-                    .expect("fixed 12-byte ack payload is valid")
-            })
-            .collect();
+        let toa_s: Vec<f64> = alloc.iter().map(|cfg| toa_by_sf[cfg.sf.index()]).collect();
+        let ack_toa_s: Vec<f64> = alloc.iter().map(|cfg| ack_by_sf[cfg.sf.index()]).collect();
         let intervals_s: Vec<f64> = match config.traffic {
             crate::config::Traffic::Periodic => {
                 (0..alloc.len()).map(|i| config.interval_of(i)).collect()
@@ -176,8 +224,6 @@ impl Simulation {
                 toa_s.iter().map(|t| t / duty).collect()
             }
         };
-
-        let attenuation = crate::topology::attenuation_matrix(&config, &topology);
 
         let sensitivity_mw = alloc
             .iter()
@@ -256,8 +302,9 @@ impl Simulation {
         let mut rng = ChaCha12Rng::seed_from_u64(self.config.seed);
         let mut queue = EventQueue::new();
         let mut medium = Medium::new(self.config.inter_sf, n_gw);
-        let mut banks: Vec<DemodulatorBank> =
-            (0..n_gw).map(|_| DemodulatorBank::with_capacity(self.config.demod_capacity)).collect();
+        let mut banks: Vec<DemodulatorBank> = (0..n_gw)
+            .map(|_| DemodulatorBank::with_capacity(self.config.demod_capacity))
+            .collect();
         let mut gw_stats = vec![GatewayStats::default(); n_gw];
         let mut dedup = Deduplicator::new();
 
@@ -274,6 +321,13 @@ impl Simulation {
         // Half-duplex gateways: windows during which each gateway is
         // transmitting a downlink acknowledgement and cannot receive.
         let mut ack_windows: Vec<Vec<(f64, f64)>> = vec![Vec::new(); n_gw];
+        // Each in-flight transmission carries three per-gateway buffers;
+        // recycling them through this free list (plus one shared
+        // `decoded_by` scratch row) keeps the steady-state event loop
+        // allocation-free. Pool depth is bounded by the peak number of
+        // concurrent transmissions.
+        let mut buffer_pool: Vec<(Vec<f64>, Vec<f64>, Vec<bool>)> = Vec::new();
+        let mut decoded_by = vec![false; n_gw];
 
         // Random per-device phase in [0, T_g,i): unslotted ALOHA.
         for device in 0..n_dev {
@@ -314,15 +368,20 @@ impl Simulation {
                         channel: cfg.channel,
                     });
                     let tp_mw = cfg.tp.milliwatts();
-                    let mut rx_power_mw = Vec::with_capacity(n_gw);
-                    let mut demod_locked = Vec::with_capacity(n_gw);
+                    let (mut rx_power_mw, mut interference_mw, mut demod_locked) =
+                        buffer_pool.pop().unwrap_or_default();
+                    rx_power_mw.clear();
+                    rx_power_mw.reserve(n_gw);
+                    demod_locked.clear();
+                    demod_locked.reserve(n_gw);
+                    interference_mw.clear();
+                    interference_mw.resize(n_gw, 0.0);
                     for gw in 0..n_gw {
                         let gain = self.config.fading.sample_power_gain(&mut rng);
-                        let rx_mw = tp_mw * self.attenuation[device][gw] * gain;
+                        let rx_mw = tp_mw * self.attenuation.at(device, gw) * gain;
                         rx_power_mw.push(rx_mw);
 
-                        let in_outage =
-                            self.outage_windows.iter().any(|o| o.covers(gw, now));
+                        let in_outage = self.outage_windows.iter().any(|o| o.covers(gw, now));
                         // Prune expired ack windows, then check overlap
                         // with this reception interval.
                         ack_windows[gw].retain(|&(_, end)| end > now);
@@ -384,7 +443,7 @@ impl Simulation {
                         sf: cfg.sf,
                         channel: cfg.channel,
                         rx_power_mw,
-                        interference_mw: vec![0.0; n_gw],
+                        interference_mw,
                         demod_locked,
                     });
                     queue.push(now + toa, Event::TxEnd { device, seq });
@@ -393,14 +452,20 @@ impl Simulation {
                         let next = now + t_g;
                         next_cycle_start[device] = next;
                         if next < duration {
-                            queue.push(next, Event::TxStart { device, seq: seq + 1 });
+                            queue.push(
+                                next,
+                                Event::TxStart {
+                                    device,
+                                    seq: seq + 1,
+                                },
+                            );
                         }
                     }
                 }
                 Event::TxEnd { device, seq } => {
                     let tx = medium.end(device, seq);
                     let mut any_copy = false;
-                    let mut decoded_by = vec![false; n_gw];
+                    decoded_by.fill(false);
                     // Jammer bursts overlapping this reception raise the
                     // noise floor for every gateway (wideband front-end
                     // noise on the transmission's channel); 0.0 when no
@@ -487,7 +552,11 @@ impl Simulation {
                     }
                     if any_copy {
                         delivered[device] += 1;
-                        sink.record(TraceEvent::Delivered { t: now, device, seq });
+                        sink.record(TraceEvent::Delivered {
+                            t: now,
+                            device,
+                            seq,
+                        });
                         if let Some(conf) = self.config.confirmed {
                             // The gateway whose copy reaches the network
                             // server first (lowest backhaul latency, ties
@@ -506,8 +575,7 @@ impl Simulation {
                                         .total_cmp(&self.backhaul_latency_s[b])
                                 });
                             if let Some(serving) = serving {
-                                let ack_start =
-                                    now + conf.class_a.receive_delay1_s;
+                                let ack_start = now + conf.class_a.receive_delay1_s;
                                 ack_windows[serving]
                                     .push((ack_start, ack_start + self.ack_toa_s[device]));
                             }
@@ -517,20 +585,18 @@ impl Simulation {
                         // spent or the retry would spill into the next
                         // reporting cycle (a late retry re-entering as a
                         // "new cycle" would otherwise double the schedule).
-                        if cycle_attempts[device] < conf.max_attempts
-                            && current_seq[device] == seq
+                        if cycle_attempts[device] < conf.max_attempts && current_seq[device] == seq
                         {
                             let backoff = conf.backoff_min_s
                                 + rng.gen::<f64>() * (conf.backoff_max_s - conf.backoff_min_s);
                             let retry_at = now + backoff;
                             let toa = self.toa_s[device];
-                            if retry_at < duration
-                                && retry_at + toa < next_cycle_start[device]
-                            {
+                            if retry_at < duration && retry_at + toa < next_cycle_start[device] {
                                 queue.push(retry_at, Event::TxStart { device, seq });
                             }
                         }
                     }
+                    buffer_pool.push((tx.rx_power_mw, tx.interference_mw, tx.demod_locked));
                 }
             }
         }
@@ -542,7 +608,11 @@ impl Simulation {
                 // Charge sleep over the device's entire idle time.
                 energy_j[i] += sleep_power_w * (duration - airtime_s[i]).max(0.0);
                 let bits = f64::from(delivered[i]) * payload_bits;
-                let ee = if energy_j[i] > 0.0 { bits / (energy_j[i] * 1_000.0) } else { 0.0 };
+                let ee = if energy_j[i] > 0.0 {
+                    bits / (energy_j[i] * 1_000.0)
+                } else {
+                    0.0
+                };
                 let lifetime_s = if attempts[i] > 0 {
                     self.config.battery.lifetime_s(energy_j[i] / duration)
                 } else {
@@ -587,7 +657,11 @@ mod tests {
     }
 
     fn quiet_config() -> SimConfig {
-        let mut c = SimConfig::builder().seed(1).duration_s(3_000.0).report_interval_s(600.0).build();
+        let mut c = SimConfig::builder()
+            .seed(1)
+            .duration_s(3_000.0)
+            .report_interval_s(600.0)
+            .build();
         c.fading = Fading::None;
         c
     }
@@ -627,7 +701,9 @@ mod tests {
         let topo = Topology::from_sites(devices, vec![Position::new(0.0, 0.0)], 5_000.0);
         let mut c = quiet_config();
         c.fading = Fading::Rayleigh;
-        let a = Simulation::new(c.clone(), topo.clone(), sf7_alloc(20)).unwrap().run();
+        let a = Simulation::new(c.clone(), topo.clone(), sf7_alloc(20))
+            .unwrap()
+            .run();
         c.seed = 2;
         let b = Simulation::new(c, topo, sf7_alloc(20)).unwrap().run();
         assert_ne!(a, b);
@@ -636,7 +712,13 @@ mod tests {
     #[test]
     fn allocation_length_is_validated() {
         let err = Simulation::new(quiet_config(), near_topology(3), sf7_alloc(2)).unwrap_err();
-        assert_eq!(err, SimError::AllocationLengthMismatch { devices: 3, allocation: 2 });
+        assert_eq!(
+            err,
+            SimError::AllocationLengthMismatch {
+                devices: 3,
+                allocation: 2
+            }
+        );
     }
 
     #[test]
@@ -644,7 +726,10 @@ mod tests {
         let mut alloc = sf7_alloc(1);
         alloc[0].channel = 8;
         let err = Simulation::new(quiet_config(), near_topology(1), alloc).unwrap_err();
-        assert!(matches!(err, SimError::ChannelOutOfRange { channel: 8, .. }));
+        assert!(matches!(
+            err,
+            SimError::ChannelOutOfRange { channel: 8, .. }
+        ));
     }
 
     #[test]
@@ -659,13 +744,20 @@ mod tests {
         assert_eq!(report.devices[0].delivered, 0);
         assert!(report.devices[0].attempts > 0);
         assert_eq!(report.devices[0].ee_bits_per_mj, 0.0);
-        assert_eq!(report.gateways[0].below_sensitivity as u32, report.devices[0].attempts);
+        assert_eq!(
+            report.gateways[0].below_sensitivity as u32,
+            report.devices[0].attempts
+        );
     }
 
     #[test]
     fn full_outage_blocks_all_receptions() {
         let mut c = quiet_config();
-        c.outages.push(GatewayOutage { gateway: 0, from_s: 0.0, to_s: 1e9 });
+        c.outages.push(GatewayOutage {
+            gateway: 0,
+            from_s: 0.0,
+            to_s: 1e9,
+        });
         let sim = Simulation::new(c, near_topology(2), sf7_alloc(2)).unwrap();
         let report = sim.run();
         assert!(report.devices.iter().all(|d| d.delivered == 0));
@@ -676,7 +768,11 @@ mod tests {
     fn partial_outage_loses_only_window() {
         let mut c = quiet_config();
         // Outage covering the first reporting cycle only.
-        c.outages.push(GatewayOutage { gateway: 0, from_s: 0.0, to_s: 600.0 });
+        c.outages.push(GatewayOutage {
+            gateway: 0,
+            from_s: 0.0,
+            to_s: 600.0,
+        });
         let sim = Simulation::new(c, near_topology(1), sf7_alloc(1)).unwrap();
         let report = sim.run();
         assert_eq!(report.devices[0].attempts, 5);
@@ -709,8 +805,9 @@ mod tests {
         let mut c = quiet_config();
         c.report_interval_s = 30.0;
         c.duration_s = 600.0;
-        let alloc: Vec<TxConfig> =
-            (0..n).map(|_| TxConfig::new(SpreadingFactor::Sf9, TxPowerDbm::new(14.0), 0)).collect();
+        let alloc: Vec<TxConfig> = (0..n)
+            .map(|_| TxConfig::new(SpreadingFactor::Sf9, TxPowerDbm::new(14.0), 0))
+            .collect();
         let sim = Simulation::new(c, near_topology(n), alloc).unwrap();
         let report = sim.run();
         let total_sinr_failures: u64 = report.gateways.iter().map(|g| g.sinr_failures).sum();
@@ -746,7 +843,11 @@ mod tests {
         // the ~0.1 s frames pile up on the two demodulator paths.
         c.report_interval_s = 1.0;
         c.duration_s = 1.0;
-        let sfs = [SpreadingFactor::Sf7, SpreadingFactor::Sf8, SpreadingFactor::Sf9];
+        let sfs = [
+            SpreadingFactor::Sf7,
+            SpreadingFactor::Sf8,
+            SpreadingFactor::Sf9,
+        ];
         let alloc: Vec<TxConfig> = (0..n)
             .map(|i| TxConfig::new(sfs[i % 3], TxPowerDbm::new(14.0), i % 8))
             .collect();
@@ -754,7 +855,10 @@ mod tests {
         let report = sim.run();
         let refused: u64 = report.gateways.iter().map(|g| g.demod_refused).sum();
         assert!(refused > 0, "expected the 2-path bank to refuse receptions");
-        assert!(report.frames_delivered < n as u64, "capacity must cost deliveries");
+        assert!(
+            report.frames_delivered < n as u64,
+            "capacity must cost deliveries"
+        );
     }
 
     #[test]

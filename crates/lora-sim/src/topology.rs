@@ -64,7 +64,11 @@ impl Topology {
     /// Creates a topology from explicit sites (for tests and motivation
     /// scenarios).
     pub fn from_sites(devices: Vec<DeviceSite>, gateways: Vec<Position>, radius_m: f64) -> Self {
-        Topology { devices, gateways, radius_m }
+        Topology {
+            devices,
+            gateways,
+            radius_m,
+        }
     }
 
     /// Generates the paper's deployment: `n_devices` uniform in a disc of
@@ -100,7 +104,11 @@ impl Topology {
             })
             .collect();
         let gateways = grid_gateways(n_gateways, radius_m);
-        Topology { devices, gateways, radius_m }
+        Topology {
+            devices,
+            gateways,
+            radius_m,
+        }
     }
 
     /// The device sites.
@@ -137,7 +145,12 @@ impl Topology {
     pub fn distances(&self) -> Vec<Vec<f64>> {
         self.devices
             .iter()
-            .map(|d| self.gateways.iter().map(|g| d.position.distance_to(g)).collect())
+            .map(|d| {
+                self.gateways
+                    .iter()
+                    .map(|g| d.position.distance_to(g))
+                    .collect()
+            })
             .collect()
     }
 
@@ -148,6 +161,66 @@ impl Topology {
             .iter()
             .map(|g| p.distance_to(g))
             .fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// The linear path-loss attenuation matrix `[device][gateway]`, stored
+/// row-major in one contiguous allocation.
+///
+/// The matrix sits on the hottest loops of the whole stack — the
+/// simulator's per-reception loss lookup and the analytical model's
+/// per-candidate interference sums — where the former `Vec<Vec<f64>>`
+/// representation cost one pointer chase per access and one heap
+/// allocation per device. The flat layout makes `at(i, k)` a single
+/// indexed load and lets the simulator *reuse* the matrix the model
+/// already built (see [`crate::Simulation::with_attenuation`]) instead
+/// of re-deriving every `powf` per repetition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttenuationMatrix {
+    n_gateways: usize,
+    /// Row-major `[device][gateway]` linear attenuations.
+    data: Vec<f64>,
+}
+
+impl AttenuationMatrix {
+    /// Wraps a row-major buffer. `data.len()` must be a multiple of
+    /// `n_gateways` (a zero-gateway matrix must be empty).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer length is not a whole number of rows.
+    pub fn from_raw(n_gateways: usize, data: Vec<f64>) -> Self {
+        if n_gateways == 0 {
+            assert!(data.is_empty(), "zero-gateway matrix must be empty");
+        } else {
+            assert_eq!(data.len() % n_gateways, 0, "ragged attenuation matrix");
+        }
+        AttenuationMatrix { n_gateways, data }
+    }
+
+    /// Number of device rows.
+    #[inline]
+    pub fn device_count(&self) -> usize {
+        self.data.len().checked_div(self.n_gateways).unwrap_or(0)
+    }
+
+    /// Number of gateway columns.
+    #[inline]
+    pub fn gateway_count(&self) -> usize {
+        self.n_gateways
+    }
+
+    /// Linear attenuation between device `i` and gateway `k`.
+    #[inline]
+    pub fn at(&self, device: usize, gateway: usize) -> f64 {
+        debug_assert!(gateway < self.n_gateways);
+        self.data[device * self.n_gateways + gateway]
+    }
+
+    /// The per-gateway attenuation row of device `i`.
+    #[inline]
+    pub fn row(&self, device: usize) -> &[f64] {
+        &self.data[device * self.n_gateways..(device + 1) * self.n_gateways]
     }
 }
 
@@ -162,22 +235,45 @@ impl Topology {
 pub fn attenuation_matrix(
     config: &crate::config::SimConfig,
     topology: &Topology,
-) -> Vec<Vec<f64>> {
-    let cells = topology.device_count() * topology.gateway_count();
+) -> AttenuationMatrix {
+    let n_gw = topology.gateway_count();
+    let cells = topology.device_count() * n_gw;
     let threads = if cells >= ATTENUATION_PARALLEL_THRESHOLD {
         lora_parallel::threads_from_env()
     } else {
         1
     };
-    lora_parallel::par_map_indexed(topology.device_count(), threads, |i| {
+    let row_of = |i: usize, out: &mut Vec<f64>| {
         let site = &topology.devices()[i];
         let beta = config.betas.beta(site.environment);
-        topology
-            .gateways()
-            .iter()
-            .map(|gw| config.path_loss.attenuation(site.position.distance_to(gw), beta))
-            .collect()
-    })
+        out.extend(topology.gateways().iter().map(|gw| {
+            config
+                .path_loss
+                .attenuation(site.position.distance_to(gw), beta)
+        }));
+    };
+    let data = if threads <= 1 {
+        // Serial fast path: fill the flat buffer directly, one allocation.
+        let mut data = Vec::with_capacity(cells);
+        for i in 0..topology.device_count() {
+            row_of(i, &mut data);
+        }
+        data
+    } else {
+        // Parallel path: workers produce per-row buffers (each row is a
+        // pure function of its index), concatenated in device order.
+        let rows = lora_parallel::par_map_indexed(topology.device_count(), threads, |i| {
+            let mut row = Vec::with_capacity(n_gw);
+            row_of(i, &mut row);
+            row
+        });
+        let mut data = Vec::with_capacity(cells);
+        for row in rows {
+            data.extend_from_slice(&row);
+        }
+        data
+    };
+    AttenuationMatrix::from_raw(n_gw, data)
 }
 
 /// Matrix size (device × gateway cells) above which
@@ -287,7 +383,10 @@ mod tests {
 
     #[test]
     fn p_los_controls_environment_mix() {
-        let mut config = SimConfig { p_los: 1.0, ..SimConfig::default() };
+        let mut config = SimConfig {
+            p_los: 1.0,
+            ..SimConfig::default()
+        };
         let all_los = Topology::disc(200, 1, 1_000.0, &config, 3);
         assert!(all_los
             .devices()

@@ -200,7 +200,11 @@ mod tests {
             gateway: 0,
             outcome: ReceptionOutcome::Decoded,
         });
-        sink.record(TraceEvent::Delivered { t: 0.1, device: 0, seq: 0 });
+        sink.record(TraceEvent::Delivered {
+            t: 0.1,
+            device: 0,
+            seq: 0,
+        });
         assert_eq!(sink.tx_starts, 1);
         assert_eq!(sink.decoded, 1);
         assert_eq!(sink.delivered, 1);
@@ -209,7 +213,11 @@ mod tests {
     #[test]
     fn jsonl_sink_writes_lines() {
         let mut sink = JsonLinesSink::new(Vec::new());
-        sink.record(TraceEvent::Delivered { t: 1.5, device: 3, seq: 7 });
+        sink.record(TraceEvent::Delivered {
+            t: 1.5,
+            device: 3,
+            seq: 7,
+        });
         let body = String::from_utf8(sink.into_inner()).unwrap();
         assert!(body.contains("Delivered"), "{body}");
         assert!(body.ends_with('\n'));
@@ -218,6 +226,10 @@ mod tests {
     #[test]
     fn null_sink_is_a_no_op() {
         let mut sink = NullSink;
-        sink.record(TraceEvent::Delivered { t: 0.0, device: 0, seq: 0 });
+        sink.record(TraceEvent::Delivered {
+            t: 0.0,
+            device: 0,
+            seq: 0,
+        });
     }
 }

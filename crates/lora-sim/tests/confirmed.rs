@@ -13,7 +13,11 @@ fn topology_at(distance_m: f64) -> Topology {
 }
 
 fn config(confirmed: bool) -> SimConfig {
-    let mut c = SimConfig::builder().seed(5).duration_s(3_000.0).report_interval_s(600.0).build();
+    let mut c = SimConfig::builder()
+        .seed(5)
+        .duration_s(3_000.0)
+        .report_interval_s(600.0)
+        .build();
     if confirmed {
         c.confirmed = Some(ConfirmedTraffic::default());
     }
@@ -24,7 +28,11 @@ fn config(confirmed: bool) -> SimConfig {
 fn reliable_link_never_retransmits() {
     let mut c = config(true);
     c.fading = Fading::None;
-    let alloc = vec![TxConfig::new(SpreadingFactor::Sf7, TxPowerDbm::new(14.0), 0)];
+    let alloc = vec![TxConfig::new(
+        SpreadingFactor::Sf7,
+        TxPowerDbm::new(14.0),
+        0,
+    )];
     let report = Simulation::new(c, topology_at(200.0), alloc).unwrap().run();
     assert_eq!(report.devices[0].attempts, 5, "no retries on a clean link");
     assert_eq!(report.devices[0].delivered, 5);
@@ -34,11 +42,17 @@ fn reliable_link_never_retransmits() {
 fn lossy_link_retries_and_spends_energy() {
     // ~3 km NLoS at SF7 is far below sensitivity on the mean, so most
     // attempts fail and the retry budget gets used.
-    let alloc = vec![TxConfig::new(SpreadingFactor::Sf7, TxPowerDbm::new(14.0), 0)];
-    let unconfirmed =
-        Simulation::new(config(false), topology_at(3_000.0), alloc.clone()).unwrap().run();
-    let confirmed =
-        Simulation::new(config(true), topology_at(3_000.0), alloc).unwrap().run();
+    let alloc = vec![TxConfig::new(
+        SpreadingFactor::Sf7,
+        TxPowerDbm::new(14.0),
+        0,
+    )];
+    let unconfirmed = Simulation::new(config(false), topology_at(3_000.0), alloc.clone())
+        .unwrap()
+        .run();
+    let confirmed = Simulation::new(config(true), topology_at(3_000.0), alloc)
+        .unwrap()
+        .run();
     assert!(
         confirmed.devices[0].attempts > unconfirmed.devices[0].attempts,
         "retries must add transmissions: {} vs {}",
@@ -65,28 +79,47 @@ fn retry_budget_is_respected() {
         backoff_max_s: 2.0,
         ..ConfirmedTraffic::default()
     });
-    let alloc = vec![TxConfig::new(SpreadingFactor::Sf7, TxPowerDbm::new(14.0), 0)];
-    let report = Simulation::new(c, topology_at(50_000.0), alloc).unwrap().run();
+    let alloc = vec![TxConfig::new(
+        SpreadingFactor::Sf7,
+        TxPowerDbm::new(14.0),
+        0,
+    )];
+    let report = Simulation::new(c, topology_at(50_000.0), alloc)
+        .unwrap()
+        .run();
     assert_eq!(report.devices[0].attempts, 15, "5 cycles × 3 attempts");
     assert_eq!(report.devices[0].delivered, 0);
 }
 
 #[test]
 fn confirmed_lifetime_shortens_on_lossy_links() {
-    let alloc = vec![TxConfig::new(SpreadingFactor::Sf7, TxPowerDbm::new(14.0), 0)];
-    let unconfirmed =
-        Simulation::new(config(false), topology_at(3_000.0), alloc.clone()).unwrap().run();
-    let confirmed =
-        Simulation::new(config(true), topology_at(3_000.0), alloc).unwrap().run();
+    let alloc = vec![TxConfig::new(
+        SpreadingFactor::Sf7,
+        TxPowerDbm::new(14.0),
+        0,
+    )];
+    let unconfirmed = Simulation::new(config(false), topology_at(3_000.0), alloc.clone())
+        .unwrap()
+        .run();
+    let confirmed = Simulation::new(config(true), topology_at(3_000.0), alloc)
+        .unwrap()
+        .run();
     let lu = unconfirmed.devices[0].lifetime_s.unwrap();
     let lc = confirmed.devices[0].lifetime_s.unwrap();
-    assert!(lc < lu, "retransmissions must shorten measured lifetime: {lc} vs {lu}");
+    assert!(
+        lc < lu,
+        "retransmissions must shorten measured lifetime: {lc} vs {lu}"
+    );
 }
 
 #[test]
 fn deterministic_with_retries() {
     let alloc = vec![TxConfig::new(SpreadingFactor::Sf8, TxPowerDbm::new(8.0), 1)];
-    let a = Simulation::new(config(true), topology_at(2_500.0), alloc.clone()).unwrap().run();
-    let b = Simulation::new(config(true), topology_at(2_500.0), alloc).unwrap().run();
+    let a = Simulation::new(config(true), topology_at(2_500.0), alloc.clone())
+        .unwrap()
+        .run();
+    let b = Simulation::new(config(true), topology_at(2_500.0), alloc)
+        .unwrap()
+        .run();
     assert_eq!(a, b);
 }

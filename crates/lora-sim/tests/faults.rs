@@ -16,7 +16,9 @@ fn near_topology(n: usize, gateways: usize) -> Topology {
             environment: LinkEnvironment::LineOfSight,
         })
         .collect();
-    let gws = (0..gateways).map(|g| Position::new(g as f64 * 50.0, 50.0)).collect();
+    let gws = (0..gateways)
+        .map(|g| Position::new(g as f64 * 50.0, 50.0))
+        .collect();
     Topology::from_sites(devices, gws, 1_000.0)
 }
 
@@ -31,7 +33,9 @@ fn quiet_config(seed: u64) -> SimConfig {
 }
 
 fn sf7_alloc(n: usize) -> Vec<TxConfig> {
-    (0..n).map(|i| TxConfig::new(SpreadingFactor::Sf7, TxPowerDbm::new(14.0), i % 8)).collect()
+    (0..n)
+        .map(|i| TxConfig::new(SpreadingFactor::Sf7, TxPowerDbm::new(14.0), i % 8))
+        .collect()
 }
 
 #[test]
@@ -39,7 +43,11 @@ fn faulted_runs_are_deterministic() {
     let mut c = quiet_config(11);
     c.fading = Fading::Rayleigh;
     c.faults = Some(FaultConfig {
-        churn: vec![GatewayChurn { gateway: 0, mtbf_s: 400.0, mttr_s: 300.0 }],
+        churn: vec![GatewayChurn {
+            gateway: 0,
+            mtbf_s: 400.0,
+            mttr_s: 300.0,
+        }],
         jammers: vec![JammerProcess {
             channel: 0,
             mean_gap_s: 500.0,
@@ -47,7 +55,11 @@ fn faulted_runs_are_deterministic() {
             power_mw: 1e-6,
         }],
         jam_bursts: Vec::new(),
-        backhaul: vec![BackhaulLink { gateway: 1, drop_prob: 0.3, latency_s: 0.05 }],
+        backhaul: vec![BackhaulLink {
+            gateway: 1,
+            drop_prob: 0.3,
+            latency_s: 0.05,
+        }],
     });
     let topo = near_topology(20, 2);
     let sim = Simulation::new(c.clone(), topo.clone(), sf7_alloc(20)).unwrap();
@@ -63,30 +75,60 @@ fn fault_windows_change_with_seed_but_traffic_does_not() {
     let base = quiet_config(5);
     let mut faulted = base.clone();
     faulted.faults = Some(FaultConfig {
-        churn: vec![GatewayChurn { gateway: 0, mtbf_s: 600.0, mttr_s: 200.0 }],
+        churn: vec![GatewayChurn {
+            gateway: 0,
+            mtbf_s: 600.0,
+            mttr_s: 200.0,
+        }],
         ..FaultConfig::default()
     });
     let topo = near_topology(10, 1);
-    let clean = Simulation::new(base, topo.clone(), sf7_alloc(10)).unwrap().run();
+    let clean = Simulation::new(base, topo.clone(), sf7_alloc(10))
+        .unwrap()
+        .run();
     let churned = Simulation::new(faulted, topo, sf7_alloc(10)).unwrap().run();
     for (a, b) in clean.devices.iter().zip(&churned.devices) {
-        assert_eq!(a.attempts, b.attempts, "traffic schedule must be unperturbed");
-        assert_eq!(a.energy_j, b.energy_j, "energy follows the schedule exactly");
+        assert_eq!(
+            a.attempts, b.attempts,
+            "traffic schedule must be unperturbed"
+        );
+        assert_eq!(
+            a.energy_j, b.energy_j,
+            "energy follows the schedule exactly"
+        );
     }
-    assert!(churned.gateways[0].outage_drops > 0, "the churn process must bite");
+    assert!(
+        churned.gateways[0].outage_drops > 0,
+        "the churn process must bite"
+    );
 }
 
 #[test]
 fn compiled_windows_merge_with_static_outages() {
     let mut c = quiet_config(3);
-    c.outages.push(lora_sim::GatewayOutage { gateway: 0, from_s: 0.0, to_s: 10.0 });
+    c.outages.push(lora_sim::GatewayOutage {
+        gateway: 0,
+        from_s: 0.0,
+        to_s: 10.0,
+    });
     c.faults = Some(FaultConfig {
-        churn: vec![GatewayChurn { gateway: 0, mtbf_s: 500.0, mttr_s: 500.0 }],
+        churn: vec![GatewayChurn {
+            gateway: 0,
+            mtbf_s: 500.0,
+            mttr_s: 500.0,
+        }],
         ..FaultConfig::default()
     });
     let sim = Simulation::new(c, near_topology(2, 1), sf7_alloc(2)).unwrap();
-    assert!(sim.outage_windows().len() > 1, "static plus compiled windows");
-    assert_eq!(sim.outage_windows()[0].to_s, 10.0, "hand-placed window comes first");
+    assert!(
+        sim.outage_windows().len() > 1,
+        "static plus compiled windows"
+    );
+    assert_eq!(
+        sim.outage_windows()[0].to_s,
+        10.0,
+        "hand-placed window comes first"
+    );
 }
 
 #[test]
@@ -96,25 +138,45 @@ fn jammer_burst_drops_are_attributed_to_the_jammer() {
     // sensitivity, so every loss on channel 0 is the jammer's.
     let mut c = quiet_config(7);
     c.faults = Some(FaultConfig {
-        jam_bursts: vec![JamBurst { channel: 0, from_s: 0.0, to_s: 1e9, power_mw: 1.0 }],
+        jam_bursts: vec![JamBurst {
+            channel: 0,
+            from_s: 0.0,
+            to_s: 1e9,
+            power_mw: 1.0,
+        }],
         ..FaultConfig::default()
     });
     let n = 8;
     let sim = Simulation::new(c, near_topology(n, 1), sf7_alloc(n)).unwrap();
     let report = sim.run();
-    assert!(report.gateways[0].jammed_drops > 0, "jammer must drop channel-0 copies");
-    assert_eq!(report.gateways[0].sinr_failures, 0, "no plain SINR losses in a quiet net");
+    assert!(
+        report.gateways[0].jammed_drops > 0,
+        "jammer must drop channel-0 copies"
+    );
+    assert_eq!(
+        report.gateways[0].sinr_failures, 0,
+        "no plain SINR losses in a quiet net"
+    );
     // Device 0 sits on the jammed channel and delivers nothing.
     assert_eq!(report.devices[0].delivered, 0);
     // Devices on the other channels still deliver everything.
-    assert!(report.devices.iter().skip(1).all(|d| d.delivered == d.attempts));
+    assert!(report
+        .devices
+        .iter()
+        .skip(1)
+        .all(|d| d.delivered == d.attempts));
 }
 
 #[test]
 fn weak_jammer_is_harmless() {
     let mut c = quiet_config(7);
     c.faults = Some(FaultConfig {
-        jam_bursts: vec![JamBurst { channel: 0, from_s: 0.0, to_s: 1e9, power_mw: 1e-15 }],
+        jam_bursts: vec![JamBurst {
+            channel: 0,
+            from_s: 0.0,
+            to_s: 1e9,
+            power_mw: 1e-15,
+        }],
         ..FaultConfig::default()
     });
     let sim = Simulation::new(c, near_topology(4, 1), sf7_alloc(4)).unwrap();
@@ -127,7 +189,11 @@ fn weak_jammer_is_harmless() {
 fn total_backhaul_loss_delivers_nothing_and_counts_once() {
     let mut c = quiet_config(9);
     c.faults = Some(FaultConfig {
-        backhaul: vec![BackhaulLink { gateway: 0, drop_prob: 1.0, latency_s: 0.0 }],
+        backhaul: vec![BackhaulLink {
+            gateway: 0,
+            drop_prob: 1.0,
+            latency_s: 0.0,
+        }],
         ..FaultConfig::default()
     });
     let n = 6;
@@ -135,9 +201,18 @@ fn total_backhaul_loss_delivers_nothing_and_counts_once() {
     let report = sim.run();
     let attempts: u64 = report.devices.iter().map(|d| u64::from(d.attempts)).sum();
     assert_eq!(report.frames_delivered, 0);
-    assert_eq!(report.gateways[0].decoded, 0, "backhaul losses never count as decoded");
-    assert_eq!(report.gateways[0].backhaul_drops, attempts, "every copy died on the backhaul");
-    assert_eq!(report.gateways[0].sinr_failures, 0, "no double-count against PHY drops");
+    assert_eq!(
+        report.gateways[0].decoded, 0,
+        "backhaul losses never count as decoded"
+    );
+    assert_eq!(
+        report.gateways[0].backhaul_drops, attempts,
+        "every copy died on the backhaul"
+    );
+    assert_eq!(
+        report.gateways[0].sinr_failures, 0,
+        "no double-count against PHY drops"
+    );
     assert_eq!(report.gateways[0].below_sensitivity, 0);
 }
 
@@ -147,7 +222,11 @@ fn partial_backhaul_loss_is_softened_by_gateway_diversity() {
     // network-level delivery should barely notice (dedup needs one copy).
     let mut c = quiet_config(13);
     c.faults = Some(FaultConfig {
-        backhaul: vec![BackhaulLink { gateway: 0, drop_prob: 0.5, latency_s: 0.0 }],
+        backhaul: vec![BackhaulLink {
+            gateway: 0,
+            drop_prob: 0.5,
+            latency_s: 0.0,
+        }],
         ..FaultConfig::default()
     });
     let n = 6;
@@ -156,20 +235,31 @@ fn partial_backhaul_loss_is_softened_by_gateway_diversity() {
     assert!(report.gateways[0].backhaul_drops > 0);
     assert_eq!(report.gateways[1].backhaul_drops, 0);
     let attempts: u64 = report.devices.iter().map(|d| u64::from(d.attempts)).sum();
-    assert_eq!(report.frames_delivered, attempts, "gateway 1 covers the losses");
+    assert_eq!(
+        report.frames_delivered, attempts,
+        "gateway 1 covers the losses"
+    );
 }
 
 #[test]
 fn out_of_range_fault_indices_are_rejected() {
     let topo = near_topology(2, 2);
     let mut c = quiet_config(1);
-    c.outages.push(lora_sim::GatewayOutage { gateway: 5, from_s: 0.0, to_s: 1.0 });
+    c.outages.push(lora_sim::GatewayOutage {
+        gateway: 5,
+        from_s: 0.0,
+        to_s: 1.0,
+    });
     let err = Simulation::new(c, topo.clone(), sf7_alloc(2)).unwrap_err();
     assert!(matches!(err, SimError::InvalidFault { .. }), "{err}");
 
     let mut c = quiet_config(1);
     c.faults = Some(FaultConfig {
-        churn: vec![GatewayChurn { gateway: 2, mtbf_s: 100.0, mttr_s: 100.0 }],
+        churn: vec![GatewayChurn {
+            gateway: 2,
+            mtbf_s: 100.0,
+            mttr_s: 100.0,
+        }],
         ..FaultConfig::default()
     });
     assert!(Simulation::new(c, topo.clone(), sf7_alloc(2)).is_err());
@@ -188,7 +278,11 @@ fn out_of_range_fault_indices_are_rejected() {
 
     let mut c = quiet_config(1);
     c.faults = Some(FaultConfig {
-        backhaul: vec![BackhaulLink { gateway: 9, drop_prob: 0.1, latency_s: 0.0 }],
+        backhaul: vec![BackhaulLink {
+            gateway: 9,
+            drop_prob: 0.1,
+            latency_s: 0.0,
+        }],
         ..FaultConfig::default()
     });
     assert!(Simulation::new(c, topo, sf7_alloc(2)).is_err());
@@ -197,7 +291,11 @@ fn out_of_range_fault_indices_are_rejected() {
 #[test]
 fn inverted_window_is_rejected_at_construction() {
     let mut c = quiet_config(1);
-    c.outages.push(lora_sim::GatewayOutage { gateway: 0, from_s: 100.0, to_s: 50.0 });
+    c.outages.push(lora_sim::GatewayOutage {
+        gateway: 0,
+        from_s: 100.0,
+        to_s: 50.0,
+    });
     let err = Simulation::new(c, near_topology(1, 1), sf7_alloc(1)).unwrap_err();
     assert!(err.to_string().contains("exceeds"), "{err}");
 }
@@ -240,9 +338,16 @@ fn gateway_stats_json_round_trips_and_defaults() {
 
     // Fault-free stats serialise without the new keys (byte-compatible
     // with the pre-fault engine) and old JSON parses with zero defaults.
-    let clean = GatewayStats { jammed_drops: 0, backhaul_drops: 0, ..faulted };
+    let clean = GatewayStats {
+        jammed_drops: 0,
+        backhaul_drops: 0,
+        ..faulted
+    };
     let json = serde_json::to_string(&clean).unwrap();
-    assert!(!json.contains("jammed_drops") && !json.contains("backhaul_drops"), "{json}");
+    assert!(
+        !json.contains("jammed_drops") && !json.contains("backhaul_drops"),
+        "{json}"
+    );
     let back: GatewayStats = serde_json::from_str(&json).unwrap();
     assert_eq!(back, clean);
 }

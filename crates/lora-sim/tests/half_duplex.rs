@@ -2,9 +2,7 @@
 
 use lora_phy::path_loss::LinkEnvironment;
 use lora_phy::{Fading, SpreadingFactor, TxConfig, TxPowerDbm};
-use lora_sim::{
-    ConfirmedTraffic, DeviceSite, Position, SimConfig, Simulation, Topology, Traffic,
-};
+use lora_sim::{ConfirmedTraffic, DeviceSite, Position, SimConfig, Simulation, Topology, Traffic};
 
 fn dense_cell(n: usize, confirmed: bool) -> Simulation {
     let devices = (0..n)

@@ -15,10 +15,15 @@ fn sim(n: usize, distance: f64) -> Simulation {
     let topo = Topology::from_sites(devices, vec![Position::new(0.0, 0.0)], 10_000.0);
     let config = SimConfig {
         fading: Fading::None,
-        ..SimConfig::builder().seed(1).duration_s(3_000.0).report_interval_s(600.0).build()
+        ..SimConfig::builder()
+            .seed(1)
+            .duration_s(3_000.0)
+            .report_interval_s(600.0)
+            .build()
     };
-    let alloc =
-        (0..n).map(|i| TxConfig::new(SpreadingFactor::Sf7, TxPowerDbm::new(14.0), i % 8)).collect();
+    let alloc = (0..n)
+        .map(|i| TxConfig::new(SpreadingFactor::Sf7, TxPowerDbm::new(14.0), i % 8))
+        .collect();
     Simulation::new(config, topo, alloc).unwrap()
 }
 

@@ -26,7 +26,9 @@ fn per_device_intervals_control_attempt_counts() {
         TxConfig::new(SpreadingFactor::Sf7, TxPowerDbm::new(14.0), 0),
         TxConfig::new(SpreadingFactor::Sf7, TxPowerDbm::new(14.0), 1),
     ];
-    let report = Simulation::new(config, near_topology(2), alloc).unwrap().run();
+    let report = Simulation::new(config, near_topology(2), alloc)
+        .unwrap()
+        .run();
     assert_eq!(report.devices[0].attempts, 10);
     assert_eq!(report.devices[1].attempts, 5);
     // The faster reporter also consumes more energy in total.
@@ -77,7 +79,10 @@ fn duty_cycle_target_equalises_airtime_share() {
     let airtime0 = f64::from(report.devices[0].attempts) * sim.time_on_air_s(0);
     let airtime1 = f64::from(report.devices[1].attempts) * sim.time_on_air_s(1);
     let ratio = airtime0 / airtime1;
-    assert!((0.8..1.25).contains(&ratio), "airtime shares should match: {ratio}");
+    assert!(
+        (0.8..1.25).contains(&ratio),
+        "airtime shares should match: {ratio}"
+    );
     // And the SF7 device sends far more packets.
     assert!(report.devices[0].attempts > 20 * report.devices[1].attempts);
 }
@@ -85,8 +90,10 @@ fn duty_cycle_target_equalises_airtime_share() {
 #[test]
 fn invalid_duty_target_is_rejected() {
     for duty in [0.0, -0.1, 1.5, f64::NAN] {
-        let config =
-            SimConfig { traffic: Traffic::DutyCycleTarget { duty }, ..SimConfig::default() };
+        let config = SimConfig {
+            traffic: Traffic::DutyCycleTarget { duty },
+            ..SimConfig::default()
+        };
         let alloc = vec![TxConfig::default()];
         assert!(
             matches!(
@@ -106,8 +113,14 @@ fn duty_target_produces_contention() {
     config.fading = Fading::None;
     config.traffic = Traffic::DutyCycleTarget { duty: 0.01 };
     let alloc = vec![TxConfig::new(SpreadingFactor::Sf9, TxPowerDbm::new(14.0), 0); 30];
-    let report = Simulation::new(config, near_topology(30), alloc).unwrap().run();
+    let report = Simulation::new(config, near_topology(30), alloc)
+        .unwrap()
+        .run();
     let sinr_failures: u64 = report.gateways.iter().map(|g| g.sinr_failures).sum();
     assert!(sinr_failures > 0, "1% duty × 30 co-SF devices must collide");
-    assert!(report.mean_prr() < 0.95, "PRR should visibly suffer: {}", report.mean_prr());
+    assert!(
+        report.mean_prr() < 0.95,
+        "PRR should visibly suffer: {}",
+        report.mean_prr()
+    );
 }

@@ -14,8 +14,8 @@
 //! cargo run --release --example device_churn
 //! ```
 
-use ef_lora_repro::prelude::*;
 use ef_lora::IncrementalAllocator;
+use ef_lora_repro::prelude::*;
 use lora_sim::Topology as SimTopology;
 
 fn main() {
@@ -31,7 +31,9 @@ fn main() {
     );
     let spring_model = NetworkModel::new(&config, &spring);
     let spring_ctx = AllocationContext::new(&config, &spring, &spring_model);
-    let report = EfLora::default().allocate_with_report(&spring_ctx).expect("allocation");
+    let report = EfLora::default()
+        .allocate_with_report(&spring_ctx)
+        .expect("allocation");
     println!(
         "spring: {} devices allocated from scratch in {} passes — min EE {:.3} bits/mJ",
         report.allocation.len(),
@@ -49,7 +51,9 @@ fn main() {
         "summer: +60 devices — {} existing probes reconfigured over the air, min EE {:.3}",
         grown.reconfigured, grown.min_ee
     );
-    let full_rerun = EfLora::default().allocate_with_report(&summer_ctx).expect("re-run");
+    let full_rerun = EfLora::default()
+        .allocate_with_report(&summer_ctx)
+        .expect("re-run");
     let rerun_changes = report
         .allocation
         .as_slice()
@@ -89,5 +93,4 @@ fn main() {
         sim_report.mean_prr(),
         sim_report.min_energy_efficiency_bits_per_mj()
     );
-
 }

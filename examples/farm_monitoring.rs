@@ -28,7 +28,9 @@ fn main() {
     let model = NetworkModel::new(&config, &topo);
     let ctx = AllocationContext::new(&config, &topo, &model);
 
-    let report = EfLora::default().allocate_with_report(&ctx).expect("allocation");
+    let report = EfLora::default()
+        .allocate_with_report(&ctx)
+        .expect("allocation");
     let alloc = report.allocation;
     println!("EF-LoRa allocation for the farm: {alloc}");
     let hist = alloc.sf_histogram();
@@ -69,15 +71,11 @@ fn main() {
     );
     println!(
         "{:<28} {:>12} {:>12}",
-        "frames delivered",
-        healthy.frames_delivered,
-        degraded.frames_delivered
+        "frames delivered", healthy.frames_delivered, degraded.frames_delivered
     );
     println!(
         "{:<28} {:>12} {:>12}",
-        "redundant copies discarded",
-        healthy.duplicate_copies,
-        degraded.duplicate_copies
+        "redundant copies discarded", healthy.duplicate_copies, degraded.duplicate_copies
     );
     let outage_drops: u64 = degraded.gateways.iter().map(|g| g.outage_drops).sum();
     println!("{:<28} {:>25}", "receptions lost to outage", outage_drops);

@@ -21,9 +21,14 @@ fn main() {
     let ctx = AllocationContext::new(&config, &topology, &model);
 
     // 3. Allocate with EF-LoRa and with the legacy baseline.
-    let ef_report = EfLora::default().allocate_with_report(&ctx).expect("allocation");
+    let ef_report = EfLora::default()
+        .allocate_with_report(&ctx)
+        .expect("allocation");
     let legacy = LegacyLora::default().allocate(&ctx).expect("allocation");
-    println!("EF-LoRa converged in {} passes ({} moves)", ef_report.passes, ef_report.moves_applied);
+    println!(
+        "EF-LoRa converged in {} passes ({} moves)",
+        ef_report.passes, ef_report.moves_applied
+    );
     println!("EF-LoRa allocation:  {}", ef_report.allocation);
     println!("Legacy allocation:   {legacy}");
 

@@ -69,7 +69,10 @@ fn main() {
         let model = NetworkModel::new(&config, &topo);
         for strategy in [&legacy as &dyn Strategy, &rs, &ef] {
             let (life, min_ee) = lifetime_years(&config, &topo, &model, strategy);
-            println!("{gws:<10} {:<14} {life:>22.2} {min_ee:>18.3}", strategy.name());
+            println!(
+                "{gws:<10} {:<14} {life:>22.2} {min_ee:>18.3}",
+                strategy.name()
+            );
         }
         println!();
     }

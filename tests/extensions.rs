@@ -63,8 +63,7 @@ fn incremental_growth_pipeline() {
 #[test]
 fn heterogeneous_rates_flow_through_simulation() {
     let n = 40;
-    let intervals: Vec<f64> =
-        (0..n).map(|i| if i < 20 { 120.0 } else { 600.0 }).collect();
+    let intervals: Vec<f64> = (0..n).map(|i| if i < 20 { 120.0 } else { 600.0 }).collect();
     let config = SimConfig {
         per_device_intervals_s: Some(intervals),
         ..SimConfig::builder().seed(4).duration_s(6_000.0).build()
@@ -73,7 +72,9 @@ fn heterogeneous_rates_flow_through_simulation() {
     let model = NetworkModel::new(&config, &topo);
     let ctx = AllocationContext::new(&config, &topo, &model);
     let alloc = EfLora::default().allocate(&ctx).unwrap();
-    let report = Simulation::new(config, topo, alloc.into_inner()).unwrap().run();
+    let report = Simulation::new(config, topo, alloc.into_inner())
+        .unwrap()
+        .run();
 
     let fast_attempts: u32 = report.devices[..20].iter().map(|d| d.attempts).sum();
     let slow_attempts: u32 = report.devices[20..].iter().map(|d| d.attempts).sum();
@@ -101,8 +102,9 @@ fn confirmed_traffic_pipeline_counts_retries() {
     // With contention there must be failures, hence retries: attempts
     // exceed the unconfirmed schedule's count.
     config.confirmed = None;
-    let unconfirmed =
-        Simulation::new(config, topo, alloc.into_inner()).unwrap().run();
+    let unconfirmed = Simulation::new(config, topo, alloc.into_inner())
+        .unwrap()
+        .run();
     let attempts: u32 = report.devices.iter().map(|d| d.attempts).sum();
     let base_attempts: u32 = unconfirmed.devices.iter().map(|d| d.attempts).sum();
     assert!(
@@ -113,7 +115,10 @@ fn confirmed_traffic_pipeline_counts_retries() {
     // confirmed delivery may beat *or* trail unconfirmed in a congested
     // cell; the invariant is that the ack cost is visible and bounded.
     let hd: u64 = report.gateways.iter().map(|g| g.half_duplex_drops).sum();
-    assert!(hd > 0, "acks must occupy the gateway in a busy confirmed cell");
+    assert!(
+        hd > 0,
+        "acks must occupy the gateway in a busy confirmed cell"
+    );
     assert!(
         report.frames_delivered as f64 >= unconfirmed.frames_delivered as f64 * 0.5,
         "retries + ack tax should not halve delivery: {} vs {}",
@@ -134,8 +139,13 @@ fn inter_sf_policy_flows_through_pipeline() {
     let alloc = RsLora::default().allocate(&ctx).unwrap();
 
     let run_with = |policy| {
-        let config = SimConfig { inter_sf: policy, ..base.clone() };
-        Simulation::new(config, topo.clone(), alloc.as_slice().to_vec()).unwrap().run()
+        let config = SimConfig {
+            inter_sf: policy,
+            ..base.clone()
+        };
+        Simulation::new(config, topo.clone(), alloc.as_slice().to_vec())
+            .unwrap()
+            .run()
     };
     let ideal = run_with(lora_mac::collision::InterSfPolicy::Orthogonal);
     let real = run_with(lora_mac::collision::InterSfPolicy::ImperfectOrthogonality);

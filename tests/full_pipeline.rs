@@ -3,12 +3,7 @@
 
 use ef_lora_repro::prelude::*;
 
-fn pipeline(
-    n: usize,
-    gws: usize,
-    seed: u64,
-    strategy: &dyn Strategy,
-) -> (SimReport, Vec<f64>) {
+fn pipeline(n: usize, gws: usize, seed: u64, strategy: &dyn Strategy) -> (SimReport, Vec<f64>) {
     let config = SimConfig::builder().seed(seed).duration_s(6_000.0).build();
     let topo = Topology::disc(n, gws, 4_000.0, &config, seed);
     let model = NetworkModel::new(&config, &topo);
@@ -32,7 +27,11 @@ fn every_strategy_survives_the_full_pipeline() {
         let (report, model_ee) = pipeline(80, 2, 3, strategy);
         assert_eq!(report.devices.len(), 80, "{}", strategy.name());
         assert_eq!(model_ee.len(), 80, "{}", strategy.name());
-        assert!(report.mean_prr() > 0.0, "{} delivered nothing", strategy.name());
+        assert!(
+            report.mean_prr() > 0.0,
+            "{} delivered nothing",
+            strategy.name()
+        );
         for d in &report.devices {
             assert!(d.attempts > 0, "{}", strategy.name());
             assert!(d.energy_j > 0.0, "{}", strategy.name());
@@ -53,10 +52,8 @@ fn model_and_simulator_rank_strategies_consistently() {
     let good = EfLora::default().allocate(&ctx).unwrap();
     // Bad: everyone on SF12, max power, one channel — maximum airtime and
     // contention.
-    let bad = vec![
-        TxConfig::new(SpreadingFactor::Sf12, TxPowerDbm::new(14.0), 0);
-        topo.device_count()
-    ];
+    let bad =
+        vec![TxConfig::new(SpreadingFactor::Sf12, TxPowerDbm::new(14.0), 0); topo.device_count()];
 
     let model_good = lora_sim::metrics::mean(&model.evaluate(good.as_slice()));
     let model_bad = lora_sim::metrics::mean(&model.evaluate(&bad));
@@ -85,12 +82,16 @@ fn model_prr_tracks_simulated_prr_per_device() {
     let alloc = LegacyLora::default().allocate(&ctx).unwrap();
 
     let model_ee = model.evaluate(alloc.as_slice());
-    let report =
-        Simulation::new(config, topo, alloc.into_inner()).unwrap().run();
+    let report = Simulation::new(config, topo, alloc.into_inner())
+        .unwrap()
+        .run();
     let sim_ee: Vec<f64> = report.devices.iter().map(|d| d.ee_bits_per_mj).collect();
 
     let corr = pearson(&model_ee, &sim_ee);
-    assert!(corr > 0.6, "model/simulator EE correlation too weak: {corr}");
+    assert!(
+        corr > 0.6,
+        "model/simulator EE correlation too weak: {corr}"
+    );
 }
 
 fn pearson(a: &[f64], b: &[f64]) -> f64 {
@@ -108,7 +109,11 @@ fn capacity_limit_binds_end_to_end() {
     // 40 devices on distinct (SF, channel) pairs all transmitting within
     // one second would decode on a 48-signal gateway, but the SX1301 model
     // caps concurrency at 8.
-    let mut config = SimConfig::builder().seed(1).duration_s(1.0).report_interval_s(1.0).build();
+    let mut config = SimConfig::builder()
+        .seed(1)
+        .duration_s(1.0)
+        .report_interval_s(1.0)
+        .build();
     config.fading = lora_phy::Fading::None;
     let sites = (0..40)
         .map(|i| lora_sim::DeviceSite {
@@ -128,7 +133,10 @@ fn capacity_limit_binds_end_to_end() {
         .collect();
     let report = Simulation::new(config, topo, alloc).unwrap().run();
     let refused: u64 = report.gateways.iter().map(|g| g.demod_refused).sum();
-    assert!(refused > 0, "the 8-path limit should have refused receptions");
+    assert!(
+        refused > 0,
+        "the 8-path limit should have refused receptions"
+    );
     assert!(report.frames_delivered < 40);
 }
 
@@ -151,13 +159,9 @@ fn multi_gateway_diversity_improves_delivery_end_to_end() {
 fn duty_cycle_is_respected_by_default_config() {
     let config = SimConfig::default();
     for sf in SpreadingFactor::ALL {
-        let toa = lora_phy::toa::ToaParams::new(
-            sf,
-            Bandwidth::Bw125,
-            config.coding_rate,
-        )
-        .time_on_air_s(config.phy_payload_len())
-        .unwrap();
+        let toa = lora_phy::toa::ToaParams::new(sf, Bandwidth::Bw125, config.coding_rate)
+            .time_on_air_s(config.phy_payload_len())
+            .unwrap();
         assert!(
             lora_mac::aloha::respects_duty_cycle_cap(
                 toa,

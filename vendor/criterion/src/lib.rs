@@ -33,12 +33,18 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// An id for `function` at `parameter` (rendered as `function/parameter`).
     pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
-        BenchmarkId { function: function.into(), parameter: Some(parameter.to_string()) }
+        BenchmarkId {
+            function: function.into(),
+            parameter: Some(parameter.to_string()),
+        }
     }
 
     /// An id consisting only of a parameter value.
     pub fn from_parameter(parameter: impl fmt::Display) -> Self {
-        BenchmarkId { function: String::new(), parameter: Some(parameter.to_string()) }
+        BenchmarkId {
+            function: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
     }
 }
 
@@ -54,12 +60,18 @@ impl fmt::Display for BenchmarkId {
 
 impl From<&str> for BenchmarkId {
     fn from(function: &str) -> Self {
-        BenchmarkId { function: function.to_string(), parameter: None }
+        BenchmarkId {
+            function: function.to_string(),
+            parameter: None,
+        }
     }
 }
 impl From<String> for BenchmarkId {
     fn from(function: String) -> Self {
-        BenchmarkId { function, parameter: None }
+        BenchmarkId {
+            function,
+            parameter: None,
+        }
     }
 }
 
@@ -122,7 +134,8 @@ impl BenchmarkGroup<'_> {
         let label = format!("{}/{}", self.name, id);
         let sample_size = self.sample_size;
         let throughput = self.throughput;
-        self.criterion.run_one(&label, sample_size, throughput, |b| routine(b));
+        self.criterion
+            .run_one(&label, sample_size, throughput, |b| routine(b));
         self
     }
 
@@ -140,7 +153,8 @@ impl BenchmarkGroup<'_> {
         let label = format!("{}/{}", self.name, id);
         let sample_size = self.sample_size;
         let throughput = self.throughput;
-        self.criterion.run_one(&label, sample_size, throughput, |b| routine(b, input));
+        self.criterion
+            .run_one(&label, sample_size, throughput, |b| routine(b, input));
         self
     }
 
@@ -151,26 +165,40 @@ impl BenchmarkGroup<'_> {
 /// The benchmark manager: entry point created by [`criterion_group!`].
 pub struct Criterion {
     default_sample_size: usize,
+    test_mode: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { default_sample_size: 20 }
+        Criterion {
+            default_sample_size: 20,
+            test_mode: false,
+        }
     }
 }
 
 impl Criterion {
-    /// Accepts CLI arguments for parity with real criterion. Filters and
-    /// baselines are not implemented; arguments are ignored.
+    /// Accepts CLI arguments for parity with real criterion. `--test`
+    /// (as passed by `cargo bench -- --test`) switches to sanity mode:
+    /// every routine runs exactly once with no calibration or timing, so
+    /// CI can prove the benches still execute without paying for
+    /// measurement. Filters and baselines are not implemented; other
+    /// arguments are ignored.
     #[must_use]
-    pub fn configure_from_args(self) -> Self {
+    pub fn configure_from_args(mut self) -> Self {
+        self.test_mode = std::env::args().skip(1).any(|a| a == "--test");
         self
     }
 
     /// Opens a named benchmark group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let sample_size = self.default_sample_size;
-        BenchmarkGroup { criterion: self, name: name.into(), sample_size, throughput: None }
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size,
+            throughput: None,
+        }
     }
 
     /// Benchmarks `routine` as a stand-alone (group-less) benchmark.
@@ -184,15 +212,32 @@ impl Criterion {
     }
 
     /// Calibrates a batch size, collects samples, prints the median.
-    fn run_one<F>(&mut self, label: &str, sample_size: usize, throughput: Option<Throughput>, mut routine: F)
-    where
+    fn run_one<F>(
+        &mut self,
+        label: &str,
+        sample_size: usize,
+        throughput: Option<Throughput>,
+        mut routine: F,
+    ) where
         F: FnMut(&mut Bencher),
     {
+        if self.test_mode {
+            let mut b = Bencher {
+                iters_per_sample: 1,
+                samples: Vec::new(),
+            };
+            routine(&mut b);
+            println!("{label}: test passed");
+            return;
+        }
         // Calibration: find an iteration count that takes ≥ ~5 ms per
         // sample, so timer resolution stays negligible.
         let mut iters: u64 = 1;
         loop {
-            let mut b = Bencher { iters_per_sample: iters, samples: Vec::new() };
+            let mut b = Bencher {
+                iters_per_sample: iters,
+                samples: Vec::new(),
+            };
             routine(&mut b);
             let elapsed = b.samples.first().copied().unwrap_or_default();
             if elapsed >= Duration::from_millis(5) || iters >= 1 << 20 {
@@ -201,7 +246,10 @@ impl Criterion {
             iters = iters.saturating_mul(2);
         }
 
-        let mut bencher = Bencher { iters_per_sample: iters, samples: Vec::with_capacity(sample_size) };
+        let mut bencher = Bencher {
+            iters_per_sample: iters,
+            samples: Vec::with_capacity(sample_size),
+        };
         for _ in 0..sample_size {
             routine(&mut bencher);
         }
@@ -227,7 +275,10 @@ impl Criterion {
                 print!("  thrpt: {:.4} Kelem/s", n as f64 / median / 1e3);
             }
             Some(Throughput::Bytes(n)) if median > 0.0 => {
-                print!("  thrpt: {:.4} MiB/s", n as f64 / median / (1024.0 * 1024.0));
+                print!(
+                    "  thrpt: {:.4} MiB/s",
+                    n as f64 / median / (1024.0 * 1024.0)
+                );
             }
             _ => {}
         }
@@ -299,7 +350,24 @@ mod tests {
             b.iter(|| black_box(x) + 1)
         });
         group.finish();
-        assert!(calls >= 3, "calibration + samples should invoke the routine");
+        assert!(
+            calls >= 3,
+            "calibration + samples should invoke the routine"
+        );
+    }
+
+    #[test]
+    fn test_mode_runs_each_routine_exactly_once() {
+        let mut c = Criterion {
+            default_sample_size: 20,
+            test_mode: true,
+        };
+        let mut calls = 0u32;
+        c.bench_function("sanity", |b| {
+            calls += 1;
+            b.iter(|| black_box(1u32))
+        });
+        assert_eq!(calls, 1, "test mode must skip calibration and sampling");
     }
 
     #[test]

@@ -32,7 +32,9 @@ pub struct TestCaseError {
 impl TestCaseError {
     /// Creates a failure with the given message.
     pub fn fail(message: impl Into<String>) -> Self {
-        TestCaseError { message: message.into() }
+        TestCaseError {
+            message: message.into(),
+        }
     }
 }
 
@@ -92,7 +94,10 @@ pub mod test_runner {
             let mut rng = TestRng::seed_from_u64(key);
             rng.set_stream(u64::from(case));
             if let Err(e) = body(&mut rng) {
-                panic!("property `{name}` failed at case {case}/{}: {e}", config.cases);
+                panic!(
+                    "property `{name}` failed at case {case}/{}: {e}",
+                    config.cases
+                );
             }
         }
     }
@@ -270,13 +275,19 @@ pub mod collection {
     impl From<std::ops::Range<usize>> for SizeRange {
         fn from(r: std::ops::Range<usize>) -> Self {
             assert!(r.start < r.end, "empty vec length range");
-            SizeRange { min: r.start, max: r.end - 1 }
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
         }
     }
     impl From<std::ops::RangeInclusive<usize>> for SizeRange {
         fn from(r: std::ops::RangeInclusive<usize>) -> Self {
             assert!(r.start() <= r.end(), "empty vec length range");
-            SizeRange { min: *r.start(), max: *r.end() }
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
         }
     }
 
@@ -298,7 +309,10 @@ pub mod collection {
     /// Vectors of `element`-generated values with a length drawn from
     /// `size`.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 }
 
@@ -468,10 +482,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "property `always_fails` failed at case 0")]
     fn failures_panic_with_case_info() {
-        crate::test_runner::run(
-            &ProptestConfig::with_cases(4),
-            "always_fails",
-            |_rng| Err(crate::TestCaseError::fail("boom")),
-        );
+        crate::test_runner::run(&ProptestConfig::with_cases(4), "always_fails", |_rng| {
+            Err(crate::TestCaseError::fail("boom"))
+        });
     }
 }

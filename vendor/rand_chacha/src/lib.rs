@@ -92,11 +92,14 @@ macro_rules! chacha_rng {
                 let mut state = [0u32; 16];
                 state[..4].copy_from_slice(&SIGMA);
                 for (i, chunk) in seed.chunks_exact(4).enumerate() {
-                    state[4 + i] =
-                        u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+                    state[4 + i] = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
                 }
                 // Counter and nonce start at zero.
-                $name { state, buf: [0; 16], idx: 16 }
+                $name {
+                    state,
+                    buf: [0; 16],
+                    idx: 16,
+                }
             }
         }
 

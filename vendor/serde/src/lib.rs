@@ -107,12 +107,16 @@ pub struct Error {
 impl Error {
     /// Creates an error from any displayable message.
     pub fn custom(message: impl fmt::Display) -> Self {
-        Error { message: message.to_string() }
+        Error {
+            message: message.to_string(),
+        }
     }
 
     /// Prefixes the message with the field path being deserialised.
     pub fn contextualize(self, context: &str) -> Self {
-        Error { message: format!("{context}: {}", self.message) }
+        Error {
+            message: format!("{context}: {}", self.message),
+        }
     }
 }
 
@@ -221,7 +225,10 @@ impl Deserialize for bool {
     fn from_value(value: &Value) -> Result<Self, Error> {
         match value {
             Value::Bool(b) => Ok(*b),
-            other => Err(Error::custom(format!("expected bool, got {}", other.kind()))),
+            other => Err(Error::custom(format!(
+                "expected bool, got {}",
+                other.kind()
+            ))),
         }
     }
 }
@@ -235,7 +242,10 @@ impl Deserialize for char {
     fn from_value(value: &Value) -> Result<Self, Error> {
         match value {
             Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
-            other => Err(Error::custom(format!("expected single-char string, got {}", other.kind()))),
+            other => Err(Error::custom(format!(
+                "expected single-char string, got {}",
+                other.kind()
+            ))),
         }
     }
 }
@@ -249,7 +259,10 @@ impl Deserialize for String {
     fn from_value(value: &Value) -> Result<Self, Error> {
         match value {
             Value::Str(s) => Ok(s.clone()),
-            other => Err(Error::custom(format!("expected string, got {}", other.kind()))),
+            other => Err(Error::custom(format!(
+                "expected string, got {}",
+                other.kind()
+            ))),
         }
     }
 }
@@ -351,7 +364,11 @@ impl_tuple!(
 
 impl<V: Serialize> Serialize for BTreeMap<String, V> {
     fn to_value(&self) -> Value {
-        Value::Object(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
     }
 }
 impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
@@ -368,8 +385,10 @@ impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
 impl<V: Serialize> Serialize for HashMap<String, V> {
     fn to_value(&self) -> Value {
         // Deterministic output: sort keys.
-        let mut entries: Vec<(String, Value)> =
-            self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect();
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_value()))
+            .collect();
         entries.sort_by(|a, b| a.0.cmp(&b.0));
         Value::Object(entries)
     }
@@ -405,7 +424,10 @@ impl Deserialize for () {
     fn from_value(value: &Value) -> Result<Self, Error> {
         match value {
             Value::Null => Ok(()),
-            other => Err(Error::custom(format!("expected null, got {}", other.kind()))),
+            other => Err(Error::custom(format!(
+                "expected null, got {}",
+                other.kind()
+            ))),
         }
     }
 }

@@ -21,14 +21,18 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 #[proc_macro_derive(Serialize)]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
-    gen_serialize(&item).parse().expect("generated Serialize impl must parse")
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl must parse")
 }
 
 /// Derives the vendored `serde::Deserialize`.
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
-    gen_deserialize(&item).parse().expect("generated Deserialize impl must parse")
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl must parse")
 }
 
 /// The shape of one enum variant.
@@ -46,10 +50,21 @@ struct Variant {
 }
 
 enum Item {
-    NamedStruct { name: String, fields: Vec<String> },
-    TupleStruct { name: String, arity: usize },
-    UnitStruct { name: String },
-    Enum { name: String, variants: Vec<Variant> },
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
 }
 
 impl Item {
@@ -104,19 +119,24 @@ fn parse_item(input: TokenStream) -> Item {
     }
     match keyword.as_str() {
         "struct" => match tokens.next() {
-            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
-                Item::NamedStruct { name, fields: parse_named_fields(g.stream()) }
-            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
-                Item::TupleStruct { name, arity: count_tuple_fields(g.stream()) }
+                Item::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g.stream()),
+                }
             }
             Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::UnitStruct { name },
             other => panic!("serde_derive: unsupported struct body for `{name}`: {other:?}"),
         },
         "enum" => match tokens.next() {
-            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
-                Item::Enum { name, variants: parse_variants(g.stream()) }
-            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
             other => panic!("serde_derive: expected enum body for `{name}`, got {other:?}"),
         },
         kw => panic!("serde_derive: cannot derive for `{kw} {name}`"),
@@ -253,8 +273,7 @@ fn gen_serialize(item: &Item) -> String {
                         "{name}::{vname} => ::serde::Value::Str(\"{vname}\".to_string()),\n"
                     )),
                     VariantKind::Tuple(arity) => {
-                        let binders: Vec<String> =
-                            (0..*arity).map(|i| format!("f{i}")).collect();
+                        let binders: Vec<String> = (0..*arity).map(|i| format!("f{i}")).collect();
                         let value = if *arity == 1 {
                             "::serde::Serialize::to_value(f0)".to_string()
                         } else {
@@ -274,9 +293,7 @@ fn gen_serialize(item: &Item) -> String {
                         let pushes: Vec<String> = fields
                             .iter()
                             .map(|f| {
-                                format!(
-                                    "(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))"
-                                )
+                                format!("(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))")
                             })
                             .collect();
                         arms.push_str(&format!(
@@ -346,13 +363,13 @@ fn gen_deserialize(item: &Item) -> String {
                 match &v.kind {
                     VariantKind::Unit => {
                         unit_arms.push_str(&format!("\"{vname}\" => Ok({name}::{vname}),\n"));
-                        tagged_arms.push_str(&format!(
-                            "\"{vname}\" => Ok({name}::{vname}),\n"
-                        ));
+                        tagged_arms.push_str(&format!("\"{vname}\" => Ok({name}::{vname}),\n"));
                     }
                     VariantKind::Tuple(arity) => {
                         let build = if *arity == 1 {
-                            format!("Ok({name}::{vname}(::serde::Deserialize::from_value(payload)?))")
+                            format!(
+                                "Ok({name}::{vname}(::serde::Deserialize::from_value(payload)?))"
+                            )
                         } else {
                             let items: Vec<String> = (0..*arity)
                                 .map(|i| {

@@ -154,7 +154,10 @@ struct Parser<'a> {
 }
 
 fn parse_value(text: &str) -> Result<Value, Error> {
-    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
     p.skip_ws();
     let value = p.value()?;
     p.skip_ws();
@@ -407,7 +410,10 @@ mod tests {
     fn compact_and_pretty_rendering() {
         let value = Value::Object(vec![
             ("a".to_string(), Value::Int(1)),
-            ("b".to_string(), Value::Array(vec![Value::Bool(true), Value::Null])),
+            (
+                "b".to_string(),
+                Value::Array(vec![Value::Bool(true), Value::Null]),
+            ),
         ]);
         assert_eq!(to_string(&value).unwrap(), r#"{"a":1,"b":[true,null]}"#);
         assert_eq!(
