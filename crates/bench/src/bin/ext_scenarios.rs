@@ -1,0 +1,8 @@
+//! Runs the ext_scenarios extension experiment (scenario-catalog sweep).
+use ef_lora_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("{}", scale.banner());
+    ef_lora_bench::experiments::ext_scenarios::run(&scale);
+}

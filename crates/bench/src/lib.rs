@@ -29,6 +29,7 @@ pub mod experiments {
     pub mod ext_heterogeneous_rates;
     pub mod ext_incremental;
     pub mod ext_inter_sf;
+    pub mod ext_scenarios;
     pub mod fig10_convergence;
     pub mod fig4_ee_per_device;
     pub mod fig5_ee_cdf;

@@ -65,6 +65,9 @@ fn ext_adr(scale: &Scale) {
 fn resilience(scale: &Scale) {
     let _ = crate::experiments::resilience::run(scale);
 }
+fn ext_scenarios(scale: &Scale) {
+    let _ = crate::experiments::ext_scenarios::run(scale);
+}
 
 /// Every experiment binary, in the order `run_all` executes them.
 pub const EXPERIMENTS: &[ExperimentBin] = &[
@@ -131,6 +134,10 @@ pub const EXPERIMENTS: &[ExperimentBin] = &[
     ExperimentBin {
         name: "resilience",
         run: resilience,
+    },
+    ExperimentBin {
+        name: "ext_scenarios",
+        run: ext_scenarios,
     },
 ];
 

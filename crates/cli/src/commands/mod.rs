@@ -5,6 +5,7 @@ pub mod compare;
 pub mod faults;
 pub mod generate;
 pub mod grow;
+pub mod scenario;
 pub mod simulate;
 pub mod validate;
 

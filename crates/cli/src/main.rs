@@ -5,6 +5,7 @@
 //! ef-lora-plan allocate --topology topo.json --strategy ef-lora -o alloc.json
 //! ef-lora-plan simulate --topology topo.json --allocation alloc.json --duration 6000
 //! ef-lora-plan compare  --topology topo.json
+//! ef-lora-plan scenario run --spec scenarios/urban-hotspot.json --strategy ef-lora
 //! ```
 //!
 //! Deployments, allocations and configurations are plain JSON, so the tool
@@ -37,6 +38,15 @@ pub(crate) fn run(argv: &[String]) -> Result<(), String> {
         print_usage();
         return Err("missing subcommand".into());
     };
+    if command == "scenario" {
+        // `scenario` takes an action word before the --flag options.
+        let Some((action, rest)) = rest.split_first() else {
+            print_usage();
+            return Err("scenario needs an action: validate, generate, run or sweep".into());
+        };
+        let opts = args::Options::parse(rest)?;
+        return commands::scenario::run(action, &opts);
+    }
     let opts = args::Options::parse(rest)?;
     match command.as_str() {
         "generate" => commands::generate::run(&opts),
@@ -71,6 +81,9 @@ fn print_usage() {
          \x20 faults    [--topology FILE | --devices N --gateways G --radius M] [--gateway K]\n\
          \x20           [--mtbf S] [--mttr S] [--epochs N] [--epoch-duration S]\n\
          \x20           [--recovery static|reactive|oracle] [--threshold F] [--seed N] [-o FILE]\n\
+         \x20 scenario  validate|generate|run|sweep (--spec FILE | --name CATALOG)\n\
+         \x20           [--scale F] [--seed N] [--strategy S | --strategies A,B] [--reps N]\n\
+         \x20           [--threads N] [--epoch-duration S] [--topology FILE] [-o FILE]\n\
          \n\
          all files are JSON; see the repository README for the schema"
     );
@@ -97,6 +110,20 @@ mod tests {
     #[test]
     fn help_succeeds() {
         assert!(run(&s(&["help"])).is_ok());
+    }
+
+    #[test]
+    fn scenario_without_action_errors() {
+        assert!(run(&s(&["scenario"])).unwrap_err().contains("action"));
+        assert!(run(&s(&["scenario", "explode"]))
+            .unwrap_err()
+            .contains("unknown scenario action"));
+    }
+
+    #[test]
+    fn scenario_validate_resolves_catalog() {
+        assert!(run(&s(&["scenario", "validate", "--name", "corridor"])).is_ok());
+        assert!(run(&s(&["scenario", "validate", "--name", "nope"])).is_err());
     }
 
     #[test]

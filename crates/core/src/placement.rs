@@ -53,9 +53,28 @@ pub fn kmeans_gateways(
         return Vec::new();
     }
     let mut rng = ChaCha12Rng::seed_from_u64(seed ^ 0x706c_6163_656d_656e); // "placemen"
-    let mut centroids: Vec<Position> = (0..k)
-        .map(|_| devices[rng.gen_range(0..devices.len())].position)
-        .collect();
+                                                                            // Initialise on *distinct* device indices whenever the deployment has
+                                                                            // enough of them. Sampling with replacement could start two centroids
+                                                                            // on the same device; the duplicate then never attracts members of its
+                                                                            // own and drifts through random restarts instead of splitting a real
+                                                                            // cluster.
+    let mut centroids: Vec<Position> = Vec::with_capacity(k);
+    if devices.len() >= k {
+        let mut chosen = vec![false; devices.len()];
+        while centroids.len() < k {
+            let idx = rng.gen_range(0..devices.len());
+            if !chosen[idx] {
+                chosen[idx] = true;
+                centroids.push(devices[idx].position);
+            }
+        }
+    } else {
+        // Documented k > devices behavior: the surplus gateways duplicate
+        // device positions.
+        for _ in 0..k {
+            centroids.push(devices[rng.gen_range(0..devices.len())].position);
+        }
+    }
 
     let mut assignment = vec![0usize; devices.len()];
     for _ in 0..iterations.max(1) {
@@ -136,6 +155,52 @@ mod tests {
         assert!(kmeans_gateways(&[site(1.0, 1.0)], 0, 8, 0).is_empty());
         let gws = kmeans_gateways(&[site(1.0, 1.0)], 3, 8, 0);
         assert_eq!(gws.len(), 3, "more gateways than devices still yields k");
+    }
+
+    #[test]
+    fn k_zero_yields_no_gateways_for_any_deployment() {
+        assert!(kmeans_gateways(&[], 0, 8, 0).is_empty());
+        let sites: Vec<DeviceSite> = (0..7).map(|i| site(i as f64, 0.0)).collect();
+        for seed in 0..4 {
+            assert!(kmeans_gateways(&sites, 0, 16, seed).is_empty());
+        }
+    }
+
+    #[test]
+    fn k_above_device_count_duplicates_device_positions() {
+        // Documented behavior: with fewer devices than gateways, surplus
+        // centroids land on device positions (duplicates allowed).
+        let lone = [site(123.0, -45.0)];
+        let gws = kmeans_gateways(&lone, 3, 8, 0);
+        assert_eq!(gws, vec![Position::new(123.0, -45.0); 3]);
+
+        let pair = [site(0.0, 0.0), site(10.0, 0.0)];
+        let gws = kmeans_gateways(&pair, 5, 8, 1);
+        assert_eq!(gws.len(), 5, "k > devices still yields k gateways");
+        for g in &gws {
+            assert!(
+                pair.iter().any(|d| d.position.distance_to(g) < 1e-9),
+                "surplus gateway {g:?} must sit on a device"
+            );
+        }
+    }
+
+    #[test]
+    fn initial_centroids_are_distinct_when_devices_suffice() {
+        // Two far-apart devices and k = 2: sampling with replacement used
+        // to start both centroids on the same device for some seeds, and
+        // the duplicate could never claim members of its own. Distinct
+        // initialisation pins one centroid per device for every seed.
+        let pair = [site(0.0, 0.0), site(5_000.0, 0.0)];
+        for seed in 0..32 {
+            let mut gws = kmeans_gateways(&pair, 2, 4, seed);
+            gws.sort_by(|a, b| a.x.total_cmp(&b.x));
+            assert_eq!(
+                gws,
+                vec![Position::new(0.0, 0.0), Position::new(5_000.0, 0.0)],
+                "seed {seed}"
+            );
+        }
     }
 
     #[test]

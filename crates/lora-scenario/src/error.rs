@@ -1,0 +1,108 @@
+//! Error type for scenario validation, compilation and runs.
+
+use std::error::Error;
+use std::fmt;
+
+use ef_lora::AllocError;
+use lora_sim::SimError;
+
+/// Errors produced while validating, compiling or running a scenario.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ScenarioError {
+    /// A spec field fails validation (non-finite, out of range, empty,
+    /// inconsistent fractions, …).
+    InvalidSpec {
+        /// Dotted path of the offending field, e.g. `classes[1].fraction`.
+        field: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A churn event names a device class the spec does not declare.
+    UnknownClass {
+        /// The undeclared class name.
+        name: String,
+    },
+    /// The spec asks for per-class heterogeneity the simulator core does
+    /// not support yet (payload sizes and confirmed-mode are global in
+    /// [`lora_sim::SimConfig`]); classes must agree on these fields.
+    HeterogeneousUnsupported {
+        /// The field that differs between classes.
+        field: &'static str,
+        /// Human-readable explanation of the conflict.
+        reason: String,
+    },
+    /// The compiled scenario contains no devices (e.g. a PPP draw of
+    /// intensity so low the region came up empty).
+    EmptyScenario {
+        /// What came up empty.
+        reason: String,
+    },
+    /// The underlying simulator rejected the compiled inputs.
+    Sim(SimError),
+    /// The allocator rejected the compiled inputs mid-run.
+    Alloc(AllocError),
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::InvalidSpec { field, reason } => {
+                write!(f, "invalid scenario spec: {field}: {reason}")
+            }
+            ScenarioError::UnknownClass { name } => {
+                write!(f, "churn event references undeclared device class `{name}`")
+            }
+            ScenarioError::HeterogeneousUnsupported { field, reason } => {
+                write!(f, "per-class `{field}` values must agree: {reason}")
+            }
+            ScenarioError::EmptyScenario { reason } => {
+                write!(f, "scenario compiles to an empty deployment: {reason}")
+            }
+            ScenarioError::Sim(e) => write!(f, "simulator rejected scenario: {e}"),
+            ScenarioError::Alloc(e) => write!(f, "allocator rejected scenario: {e}"),
+        }
+    }
+}
+
+impl Error for ScenarioError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ScenarioError::Sim(e) => Some(e),
+            ScenarioError::Alloc(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for ScenarioError {
+    fn from(e: SimError) -> Self {
+        ScenarioError::Sim(e)
+    }
+}
+
+impl From<AllocError> for ScenarioError {
+    fn from(e: AllocError) -> Self {
+        ScenarioError::Alloc(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ScenarioError>();
+    }
+
+    #[test]
+    fn display_names_the_field() {
+        let e = ScenarioError::InvalidSpec {
+            field: "classes[0].fraction".into(),
+            reason: "must be positive".into(),
+        };
+        assert!(e.to_string().contains("classes[0].fraction"));
+    }
+}

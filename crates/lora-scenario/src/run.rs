@@ -1,0 +1,520 @@
+//! Running a compiled scenario end to end: allocate, simulate, churn.
+//!
+//! [`run_scenario`] plays a [`CompiledScenario`] through its epochs:
+//!
+//! * epoch 0 allocates the initial deployment with the chosen
+//!   [`ef_lora::Strategy`] and measures it over `reps` independent
+//!   simulator repetitions;
+//! * every later epoch applies its churn events — joins, leaves and class
+//!   migrations — through [`ef_lora::IncrementalAllocator`], so existing
+//!   devices are reconfigured only when the change touches their
+//!   contention groups (PR 3's bounded-repair path), then re-measures.
+//!
+//! Determinism: every random draw comes from a stream derived from the
+//! scenario seed (per-epoch churn streams, per-`(epoch, rep)` simulation
+//! seeds), and repetitions fan out through
+//! [`lora_parallel::par_map_indexed`] with an index-order reduction — the
+//! report is byte-identical for any worker count.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+
+use ef_lora::{AllocationContext, IncrementalAllocator, Strategy};
+use lora_model::NetworkModel;
+use lora_phy::path_loss::LinkEnvironment;
+use lora_phy::TxConfig;
+use lora_sim::{DeviceSite, SimConfig, Simulation, Topology};
+
+use crate::compile::CompiledScenario;
+use crate::error::ScenarioError;
+use crate::spatial::{sample_n_positions, SPATIAL_TAG};
+use crate::spec::{ChurnKind, ClassSpec};
+
+/// Seed tag of the per-epoch churn stream ("churnrng").
+pub(crate) const CHURN_TAG: u64 = 0x6368_7572_6e72_6e67;
+
+/// Options for [`run_scenario`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunOptions {
+    /// Independent simulator repetitions per epoch (channel randomness;
+    /// the topology is fixed by the scenario seed).
+    pub reps: usize,
+    /// Worker threads for the repetition fan-out; `0` reads
+    /// `EF_LORA_THREADS` (the repo-wide convention). The report is
+    /// byte-identical for every value.
+    pub threads: usize,
+    /// Simulated seconds per epoch; `None` keeps the compiled
+    /// `config.duration_s`.
+    pub epoch_duration_s: Option<f64>,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            reps: 3,
+            threads: 0,
+            epoch_duration_s: None,
+        }
+    }
+}
+
+/// Measured and modelled outcome of one epoch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpochOutcome {
+    /// Epoch index (0 = initial deployment).
+    pub epoch: u32,
+    /// Devices alive during this epoch.
+    pub devices: usize,
+    /// Devices that joined at this epoch's start.
+    pub joined: usize,
+    /// Devices that left at this epoch's start.
+    pub left: usize,
+    /// Devices that migrated classes at this epoch's start.
+    pub migrated: usize,
+    /// Pre-existing devices whose configuration the incremental allocator
+    /// changed — the over-the-air reconfiguration cost of the epoch.
+    pub reconfigured: usize,
+    /// Candidate configurations the incremental allocator examined.
+    pub candidates_evaluated: u64,
+    /// Analytical-model minimum EE after allocation, bits/mJ.
+    pub model_min_ee: f64,
+    /// Measured minimum EE, bits/mJ (mean over repetitions).
+    pub min_ee: f64,
+    /// Measured mean EE, bits/mJ (mean over repetitions).
+    pub mean_ee: f64,
+    /// Measured Jain fairness index of per-device EE (mean over reps).
+    pub jain: f64,
+    /// Measured mean packet reception ratio (mean over repetitions).
+    pub mean_prr: f64,
+}
+
+/// Full report of a scenario run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioRunReport {
+    /// Scenario name (from the spec).
+    pub scenario: String,
+    /// Allocation strategy name.
+    pub strategy: String,
+    /// Devices in the initial deployment.
+    pub devices_initial: usize,
+    /// Gateway count (fixed across epochs).
+    pub gateways: usize,
+    /// Simulator repetitions per epoch.
+    pub reps: usize,
+    /// Per-epoch outcomes, epoch 0 first.
+    pub epochs: Vec<EpochOutcome>,
+}
+
+impl ScenarioRunReport {
+    /// The last epoch's measured minimum EE — the headline number.
+    pub fn final_min_ee(&self) -> f64 {
+        self.epochs.last().map(|e| e.min_ee).unwrap_or(0.0)
+    }
+
+    /// Total over-the-air reconfigurations across all churn epochs.
+    pub fn total_reconfigured(&self) -> usize {
+        self.epochs.iter().map(|e| e.reconfigured).sum()
+    }
+}
+
+/// Mutable population state threaded through the epochs.
+struct Population {
+    sites: Vec<DeviceSite>,
+    class_of: Vec<usize>,
+    alloc: Vec<TxConfig>,
+}
+
+/// Runs a compiled scenario under one allocation strategy.
+///
+/// # Errors
+///
+/// Propagates simulator and allocator rejections ([`ScenarioError::Sim`],
+/// [`ScenarioError::Alloc`]); [`ScenarioError::EmptyScenario`] if churn
+/// drains the deployment.
+pub fn run_scenario(
+    compiled: &CompiledScenario,
+    strategy: &dyn Strategy,
+    options: &RunOptions,
+) -> Result<ScenarioRunReport, ScenarioError> {
+    let classes = compiled.spec.effective_classes();
+    let gateways = compiled.topology.gateways().to_vec();
+    let radius_m = compiled.topology.radius_m();
+    let threads = if options.threads == 0 {
+        lora_parallel::threads_from_env()
+    } else {
+        options.threads
+    };
+
+    let mut config = compiled.config.clone();
+    if let Some(d) = options.epoch_duration_s {
+        config.duration_s = d;
+    }
+
+    let mut pop = Population {
+        sites: compiled.topology.devices().to_vec(),
+        class_of: compiled.class_of.clone(),
+        alloc: Vec::new(),
+    };
+
+    let mut epochs = Vec::new();
+    let incremental = IncrementalAllocator::new();
+    for epoch in 0..compiled.epoch_count() {
+        let (joined, left, migrated, reconfigured, candidates) = if epoch == 0 {
+            let topology = Topology::from_sites(pop.sites.clone(), gateways.clone(), radius_m);
+            refresh_intervals(&mut config, &pop.class_of, &classes);
+            let model = NetworkModel::new(&config, &topology);
+            let ctx = AllocationContext::new(&config, &topology, &model);
+            pop.alloc = strategy.allocate(&ctx)?.into_inner();
+            (0, 0, 0, 0, 0)
+        } else {
+            apply_epoch_events(
+                compiled,
+                &classes,
+                &gateways,
+                radius_m,
+                &mut config,
+                &mut pop,
+                &incremental,
+                epoch,
+            )?
+        };
+
+        let topology = Topology::from_sites(pop.sites.clone(), gateways.clone(), radius_m);
+        let model = NetworkModel::new(&config, &topology);
+        let model_min_ee = ef_lora::fairness::min_ee(&model.evaluate(&pop.alloc));
+        let measured = measure(&config, &topology, &pop.alloc, options.reps, threads, epoch)?;
+        epochs.push(EpochOutcome {
+            epoch,
+            devices: pop.sites.len(),
+            joined,
+            left,
+            migrated,
+            reconfigured,
+            candidates_evaluated: candidates,
+            model_min_ee,
+            min_ee: measured[0],
+            mean_ee: measured[1],
+            jain: measured[2],
+            mean_prr: measured[3],
+        });
+    }
+
+    Ok(ScenarioRunReport {
+        scenario: compiled.spec.name.clone(),
+        strategy: strategy.name().to_string(),
+        devices_initial: compiled.device_count(),
+        gateways: gateways.len(),
+        reps: options.reps,
+        epochs,
+    })
+}
+
+/// Applies every churn event stamped with `epoch`, in timeline order,
+/// each through the matching incremental-allocator entry point. Returns
+/// `(joined, left, migrated, reconfigured, candidates)`.
+#[allow(clippy::too_many_arguments)]
+fn apply_epoch_events(
+    compiled: &CompiledScenario,
+    classes: &[ClassSpec],
+    gateways: &[lora_sim::Position],
+    radius_m: f64,
+    config: &mut SimConfig,
+    pop: &mut Population,
+    incremental: &IncrementalAllocator,
+    epoch: u32,
+) -> Result<(usize, usize, usize, usize, u64), ScenarioError> {
+    let mut rng =
+        ChaCha12Rng::seed_from_u64(compiled.spec.seed ^ CHURN_TAG ^ ((epoch as u64) << 32));
+    let mut joined = 0usize;
+    let mut left = 0usize;
+    let mut migrated = 0usize;
+    let mut reconfigured = 0usize;
+    let mut candidates = 0u64;
+
+    for event in compiled.timeline.iter().filter(|e| e.epoch == epoch) {
+        match &event.event {
+            ChurnKind::Join { class, count } => {
+                let class_idx = class_index(classes, class)?;
+                let mut spatial_rng = ChaCha12Rng::seed_from_u64(
+                    compiled.spec.seed ^ SPATIAL_TAG ^ ((epoch as u64) << 32) ^ joined as u64,
+                );
+                let positions =
+                    sample_n_positions(&mut spatial_rng, &compiled.spec.spatial, radius_m, *count);
+                let p = classes[class_idx].p_los.unwrap_or(config.p_los);
+                for position in positions {
+                    let environment = if rng.gen::<f64>() < p {
+                        LinkEnvironment::LineOfSight
+                    } else {
+                        LinkEnvironment::NonLineOfSight
+                    };
+                    pop.sites.push(DeviceSite {
+                        position,
+                        environment,
+                    });
+                    pop.class_of.push(class_idx);
+                }
+                joined += count;
+                refresh_intervals(config, &pop.class_of, classes);
+                let topology = Topology::from_sites(pop.sites.clone(), gateways.to_vec(), radius_m);
+                let model = NetworkModel::new(config, &topology);
+                let ctx = AllocationContext::new(config, &topology, &model);
+                let outcome = incremental.extend(&ctx, &pop.alloc)?;
+                reconfigured += outcome.reconfigured;
+                candidates += outcome.candidates_evaluated;
+                pop.alloc = outcome.allocation.into_inner();
+            }
+            ChurnKind::Leave { count } => {
+                // Keep at least one device: an empty network has no
+                // allocation to repair and no metric to report.
+                let count = (*count).min(pop.sites.len().saturating_sub(1));
+                if count == 0 {
+                    continue;
+                }
+                let mut order: Vec<usize> = (0..pop.sites.len()).collect();
+                order.shuffle(&mut rng);
+                let mut leaving = order[..count].to_vec();
+                leaving.sort_unstable_by(|a, b| b.cmp(a));
+                let mut removed = Vec::with_capacity(count);
+                for idx in leaving {
+                    pop.sites.remove(idx);
+                    pop.class_of.remove(idx);
+                    removed.push(pop.alloc.remove(idx));
+                }
+                left += count;
+                refresh_intervals(config, &pop.class_of, classes);
+                let topology = Topology::from_sites(pop.sites.clone(), gateways.to_vec(), radius_m);
+                let model = NetworkModel::new(config, &topology);
+                let ctx = AllocationContext::new(config, &topology, &model);
+                let outcome = incremental.after_removal(&ctx, &pop.alloc, &removed)?;
+                reconfigured += outcome.reconfigured;
+                candidates += outcome.candidates_evaluated;
+                pop.alloc = outcome.allocation.into_inner();
+            }
+            ChurnKind::Migrate { from, to, count } => {
+                let from_idx = class_index(classes, from)?;
+                let to_idx = class_index(classes, to)?;
+                let mut members: Vec<usize> = pop
+                    .class_of
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &c)| c == from_idx)
+                    .map(|(i, _)| i)
+                    .collect();
+                members.shuffle(&mut rng);
+                members.truncate(*count);
+                if members.is_empty() {
+                    continue;
+                }
+                for &i in &members {
+                    pop.class_of[i] = to_idx;
+                }
+                migrated += members.len();
+                refresh_intervals(config, &pop.class_of, classes);
+                let topology = Topology::from_sites(pop.sites.clone(), gateways.to_vec(), radius_m);
+                let model = NetworkModel::new(config, &topology);
+                let ctx = AllocationContext::new(config, &topology, &model);
+                // A migrated device's reporting interval changed, so its
+                // energy budget did too: re-scan exactly those devices.
+                let outcome = incremental.repair(&ctx, &pop.alloc, &members)?;
+                reconfigured += outcome.reconfigured;
+                candidates += outcome.candidates_evaluated;
+                pop.alloc = outcome.allocation.into_inner();
+            }
+        }
+    }
+    Ok((joined, left, migrated, reconfigured, candidates))
+}
+
+fn class_index(classes: &[ClassSpec], name: &str) -> Result<usize, ScenarioError> {
+    classes
+        .iter()
+        .position(|c| c.name == name)
+        .ok_or_else(|| ScenarioError::UnknownClass {
+            name: name.to_string(),
+        })
+}
+
+/// Rebuilds `per_device_intervals_s` after the population changed (same
+/// folding rule as compilation: one class → global interval only).
+fn refresh_intervals(config: &mut SimConfig, class_of: &[usize], classes: &[ClassSpec]) {
+    if classes.len() == 1 {
+        config.report_interval_s = classes[0].report_interval_s;
+        config.per_device_intervals_s = None;
+    } else {
+        config.per_device_intervals_s = Some(
+            class_of
+                .iter()
+                .map(|&c| classes[c].report_interval_s)
+                .collect(),
+        );
+    }
+}
+
+/// The simulation seed of repetition `rep` in `epoch` — pre-derived so
+/// repetitions are independent of scheduling order.
+fn rep_seed(base: u64, epoch: u32, rep: usize) -> u64 {
+    base ^ ((epoch as u64 + 1) << 32) ^ (rep as u64).wrapping_mul(0x9e37_79b9).wrapping_add(1)
+}
+
+/// Measures `[min_ee, mean_ee, jain, mean_prr]`, each averaged over
+/// `reps` repetitions fanned out over `threads` workers and reduced in
+/// repetition order (byte-identical for any worker count).
+fn measure(
+    config: &SimConfig,
+    topology: &Topology,
+    alloc: &[TxConfig],
+    reps: usize,
+    threads: usize,
+    epoch: u32,
+) -> Result<[f64; 4], ScenarioError> {
+    let reps = reps.max(1);
+    let results = lora_parallel::par_map_indexed(reps, threads, |rep| {
+        let mut cfg = config.clone();
+        cfg.seed = rep_seed(config.seed, epoch, rep);
+        Simulation::new(cfg, topology.clone(), alloc.to_vec()).map(|sim| {
+            let report = sim.run();
+            [
+                report.min_energy_efficiency_bits_per_mj(),
+                report.mean_energy_efficiency_bits_per_mj(),
+                report.jain_fairness(),
+                report.mean_prr(),
+            ]
+        })
+    });
+    let mut sums = [0.0f64; 4];
+    for r in results {
+        let values = r?;
+        for (s, v) in sums.iter_mut().zip(values) {
+            *s += v;
+        }
+    }
+    Ok(sums.map(|s| s / reps as f64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use crate::spec::{GatewaySpec, ScenarioSpec, SimSection, SpatialSpec};
+    use ef_lora::EfLora;
+
+    fn class(name: &str, fraction: f64, interval: f64) -> ClassSpec {
+        ClassSpec {
+            name: name.into(),
+            fraction,
+            report_interval_s: interval,
+            p_los: None,
+            app_payload: None,
+            confirmed: None,
+        }
+    }
+
+    fn churn_spec() -> ScenarioSpec {
+        let mut b = ScenarioSpec::builder("churny");
+        b.seed(5)
+            .spatial(SpatialSpec::UniformDisc { devices: 30 })
+            .gateways(GatewaySpec::Grid { count: 1 })
+            .class(class("slow", 0.5, 600.0))
+            .class(class("fast", 0.5, 120.0))
+            .sim(SimSection {
+                duration_s: Some(1_200.0),
+                ..SimSection::default()
+            })
+            .churn(
+                1,
+                ChurnKind::Join {
+                    class: "fast".into(),
+                    count: 5,
+                },
+            )
+            .churn(2, ChurnKind::Leave { count: 8 })
+            .churn(
+                3,
+                ChurnKind::Migrate {
+                    from: "slow".into(),
+                    to: "fast".into(),
+                    count: 4,
+                },
+            );
+        b.build().unwrap()
+    }
+
+    fn quick() -> RunOptions {
+        RunOptions {
+            reps: 2,
+            threads: 1,
+            epoch_duration_s: Some(600.0),
+        }
+    }
+
+    #[test]
+    fn churn_timeline_tracks_population() {
+        let compiled = compile(&churn_spec()).unwrap();
+        let report = run_scenario(&compiled, &EfLora::default(), &quick()).unwrap();
+        assert_eq!(report.epochs.len(), 4);
+        assert_eq!(report.epochs[0].devices, 30);
+        assert_eq!(report.epochs[1].devices, 35);
+        assert_eq!(report.epochs[1].joined, 5);
+        assert_eq!(report.epochs[2].devices, 27);
+        assert_eq!(report.epochs[2].left, 8);
+        assert_eq!(report.epochs[3].devices, 27);
+        assert_eq!(report.epochs[3].migrated, 4);
+        for e in &report.epochs {
+            assert!(e.model_min_ee > 0.0, "epoch {}: model min EE", e.epoch);
+            assert!(e.min_ee >= 0.0);
+            assert!(e.jain > 0.0 && e.jain <= 1.0 + 1e-9, "jain {}", e.jain);
+        }
+    }
+
+    #[test]
+    fn run_is_deterministic_and_thread_invariant() {
+        let compiled = compile(&churn_spec()).unwrap();
+        let a = run_scenario(&compiled, &EfLora::default(), &quick()).unwrap();
+        let b = run_scenario(&compiled, &EfLora::default(), &quick()).unwrap();
+        assert_eq!(a, b);
+        let wide = RunOptions {
+            threads: 4,
+            ..quick()
+        };
+        let c = run_scenario(&compiled, &EfLora::default(), &wide).unwrap();
+        assert_eq!(a, c, "worker count must not change the report");
+    }
+
+    #[test]
+    fn leave_never_drains_the_network() {
+        let mut b = ScenarioSpec::builder("drain");
+        b.seed(2)
+            .spatial(SpatialSpec::UniformDisc { devices: 5 })
+            .gateways(GatewaySpec::Grid { count: 1 })
+            .sim(SimSection {
+                duration_s: Some(600.0),
+                ..SimSection::default()
+            })
+            .churn(1, ChurnKind::Leave { count: 50 });
+        let compiled = compile(&b.build().unwrap()).unwrap();
+        let report = run_scenario(&compiled, &EfLora::default(), &quick()).unwrap();
+        assert_eq!(report.epochs[1].devices, 1);
+        assert_eq!(report.epochs[1].left, 4);
+    }
+
+    #[test]
+    fn single_epoch_scenario_has_one_outcome() {
+        let spec = ScenarioSpec::builder("plain")
+            .seed(1)
+            .spatial(SpatialSpec::UniformDisc { devices: 20 })
+            .sim(SimSection {
+                duration_s: Some(600.0),
+                ..SimSection::default()
+            })
+            .build()
+            .unwrap();
+        let compiled = compile(&spec).unwrap();
+        let report = run_scenario(&compiled, &EfLora::default(), &quick()).unwrap();
+        assert_eq!(report.epochs.len(), 1);
+        assert_eq!(report.final_min_ee(), report.epochs[0].min_ee);
+        assert_eq!(report.total_reconfigured(), 0);
+    }
+}

@@ -1,0 +1,160 @@
+//! Property tests for the spatial samplers and the class apportionment.
+//!
+//! The unit tests in `src/spatial.rs` pin specific statistical facts
+//! (PPP mean, cluster concentration); these properties sweep the
+//! parameter space instead: every sampled point stays inside its
+//! declared region for *arbitrary* seeds and geometries, sampling is a
+//! pure function of the seed, and largest-remainder class assignment
+//! covers every device with at most one device of rounding slack.
+
+use proptest::prelude::*;
+
+use lora_scenario::spec::{ClassSpec, GatewaySpec, HotspotSpec, ScenarioSpec, SpatialSpec};
+use lora_scenario::{compile, spatial};
+
+/// Slack for points that land exactly on a region boundary.
+const EDGE: f64 = 1e-9;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn uniform_disc_points_stay_inside(seed in any::<u64>(), radius_m in 100.0f64..20_000.0) {
+        let spatial = SpatialSpec::UniformDisc { devices: 64 };
+        let pts = spatial::sample_positions(&spatial, radius_m, seed).unwrap();
+        prop_assert_eq!(pts.len(), 64);
+        for p in &pts {
+            prop_assert!(p.x.hypot(p.y) <= radius_m * (1.0 + EDGE));
+        }
+    }
+
+    #[test]
+    fn ppp_points_stay_inside(seed in any::<u64>(), radius_m in 1_000.0f64..10_000.0) {
+        let spatial = SpatialSpec::Ppp { intensity_per_km2: 8.0 };
+        // A stochastic count can come up zero on unlucky seeds; inside-ness
+        // is the property under test, emptiness is a documented error.
+        if let Ok(pts) = spatial::sample_positions(&spatial, radius_m, seed) {
+            for p in &pts {
+                prop_assert!(p.x.hypot(p.y) <= radius_m * (1.0 + EDGE));
+            }
+        }
+    }
+
+    #[test]
+    fn cluster_daughters_stay_inside_the_region(
+        seed in any::<u64>(),
+        hotspot_radius_m in 50.0f64..4_000.0,
+    ) {
+        let radius_m = 4_000.0;
+        let spatial = SpatialSpec::Clusters {
+            hotspots: vec![HotspotSpec {
+                // Seed-placed parent near the rim plus a fat daughter
+                // radius: the clamp path gets exercised, not just the
+                // rejection path.
+                x_m: None,
+                y_m: None,
+                radius_m: hotspot_radius_m,
+                mean_devices: 40.0,
+            }],
+            background_devices: 8,
+        };
+        let pts = spatial::sample_positions(&spatial, radius_m, seed).unwrap();
+        for p in &pts {
+            prop_assert!(p.x.hypot(p.y) <= radius_m * (1.0 + EDGE));
+        }
+    }
+
+    #[test]
+    fn annulus_points_stay_in_the_ring(
+        seed in any::<u64>(),
+        inner_m in 100.0f64..2_000.0,
+        extra_m in 10.0f64..3_000.0,
+    ) {
+        let outer_m = inner_m + extra_m;
+        let spatial = SpatialSpec::Annulus { devices: 48, inner_m, outer_m };
+        let pts = spatial::sample_positions(&spatial, outer_m, seed).unwrap();
+        prop_assert_eq!(pts.len(), 48);
+        for p in &pts {
+            let r = p.x.hypot(p.y);
+            prop_assert!(r >= inner_m * (1.0 - EDGE) && r <= outer_m * (1.0 + EDGE));
+        }
+    }
+
+    #[test]
+    fn corridor_points_stay_in_the_box(
+        seed in any::<u64>(),
+        length_m in 500.0f64..10_000.0,
+        width_m in 50.0f64..1_000.0,
+        angle_deg in -180.0f64..180.0,
+    ) {
+        let spatial = SpatialSpec::Corridor { devices: 48, length_m, width_m, angle_deg };
+        let pts = spatial::sample_positions(&spatial, length_m, seed).unwrap();
+        prop_assert_eq!(pts.len(), 48);
+        let (sin, cos) = angle_deg.to_radians().sin_cos();
+        for p in &pts {
+            // Rotate back into the corridor frame.
+            let along = p.x * cos + p.y * sin;
+            let across = -p.x * sin + p.y * cos;
+            prop_assert!(along.abs() <= length_m / 2.0 + EDGE * length_m);
+            prop_assert!(across.abs() <= width_m / 2.0 + EDGE * width_m);
+        }
+    }
+
+    #[test]
+    fn sampling_is_a_pure_function_of_the_seed(seed in any::<u64>()) {
+        let spatial = SpatialSpec::Clusters {
+            hotspots: vec![HotspotSpec {
+                x_m: None,
+                y_m: None,
+                radius_m: 500.0,
+                mean_devices: 25.0,
+            }],
+            background_devices: 10,
+        };
+        let a = spatial::sample_positions(&spatial, 5_000.0, seed).unwrap();
+        let b = spatial::sample_positions(&spatial, 5_000.0, seed).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn class_apportionment_covers_every_device(
+        seed in any::<u64>(),
+        devices in 10usize..120,
+        split in 0.05f64..0.95,
+    ) {
+        let spec = ScenarioSpec::builder("prop-classes")
+            .seed(seed)
+            .radius_m(3_000.0)
+            .spatial(SpatialSpec::UniformDisc { devices })
+            .gateways(GatewaySpec::Grid { count: 1 })
+            .class(ClassSpec {
+                name: "a".into(),
+                fraction: split,
+                report_interval_s: 600.0,
+                p_los: None,
+                app_payload: None,
+                confirmed: None,
+            })
+            .class(ClassSpec {
+                name: "b".into(),
+                fraction: 1.0 - split,
+                report_interval_s: 1_200.0,
+                p_los: None,
+                app_payload: None,
+                confirmed: None,
+            })
+            .build()
+            .unwrap();
+        let compiled = compile(&spec).unwrap();
+        let histogram = compiled.class_histogram();
+        let total: usize = histogram.iter().map(|(_, n)| n).sum();
+        prop_assert_eq!(total, devices);
+        // Largest-remainder apportionment never strays more than one
+        // device from the exact share.
+        for (name, count) in &histogram {
+            let fraction = if name == "a" { split } else { 1.0 - split };
+            let exact = fraction * devices as f64;
+            prop_assert!((*count as f64 - exact).abs() <= 1.0, "{name}: {count} vs {exact}");
+        }
+    }
+}

@@ -35,6 +35,14 @@ pub enum SimError {
         /// Human-readable reason naming the offending entry.
         reason: String,
     },
+    /// A topology-generation parameter is invalid: a zero, negative or
+    /// non-finite radius, or an environment probability outside `[0, 1]` —
+    /// inputs that would silently produce NaN positions or a degenerate
+    /// deployment instead of the requested one.
+    InvalidTopology {
+        /// Human-readable reason naming the offending parameter.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -57,6 +65,7 @@ impl fmt::Display for SimError {
             ),
             SimError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
             SimError::InvalidFault { reason } => write!(f, "invalid fault injection: {reason}"),
+            SimError::InvalidTopology { reason } => write!(f, "invalid topology: {reason}"),
         }
     }
 }

@@ -13,6 +13,7 @@ use serde::{Deserialize, Serialize};
 use lora_phy::path_loss::LinkEnvironment;
 
 use crate::config::SimConfig;
+use crate::error::SimError;
 
 /// A 2-D position in metres.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
@@ -79,6 +80,13 @@ impl Topology {
     /// simulation seed so that the same topology can be re-simulated under
     /// different channel randomness (the paper repeats each deployment 100
     /// times).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-finite or non-positive radius, or `config.p_los`
+    /// outside `[0, 1]` — inputs that previously produced NaN positions or
+    /// a skewed LoS mix silently. Use [`Topology::try_disc`] to handle the
+    /// error instead.
     pub fn disc(
         n_devices: usize,
         n_gateways: usize,
@@ -86,6 +94,38 @@ impl Topology {
         config: &SimConfig,
         seed: u64,
     ) -> Self {
+        Self::try_disc(n_devices, n_gateways, radius_m, config, seed)
+            .expect("invalid disc deployment parameters")
+    }
+
+    /// Fallible variant of [`Topology::disc`]: validates the generation
+    /// parameters before sampling. For valid inputs the result is
+    /// byte-identical to `disc` (same RNG stream, same draws).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidTopology`] when `radius_m` is NaN, infinite,
+    /// zero or negative, or when `config.p_los` is NaN or outside
+    /// `[0, 1]` — previously those inputs sailed through and produced NaN
+    /// device positions (every distance, and hence every path loss,
+    /// became NaN) or an impossible LoS probability.
+    pub fn try_disc(
+        n_devices: usize,
+        n_gateways: usize,
+        radius_m: f64,
+        config: &SimConfig,
+        seed: u64,
+    ) -> Result<Self, SimError> {
+        if !radius_m.is_finite() || radius_m <= 0.0 {
+            return Err(SimError::InvalidTopology {
+                reason: format!("disc radius must be positive and finite, got {radius_m}"),
+            });
+        }
+        if !config.p_los.is_finite() || !(0.0..=1.0).contains(&config.p_los) {
+            return Err(SimError::InvalidTopology {
+                reason: format!("p_los must lie in [0, 1], got {}", config.p_los),
+            });
+        }
         let mut rng = ChaCha12Rng::seed_from_u64(seed ^ 0x746f_706f_6c6f_6779); // "topology"
         let devices = (0..n_devices)
             .map(|_| {
@@ -104,11 +144,11 @@ impl Topology {
             })
             .collect();
         let gateways = grid_gateways(n_gateways, radius_m);
-        Topology {
+        Ok(Topology {
             devices,
             gateways,
             radius_m,
-        }
+        })
     }
 
     /// The device sites.
@@ -398,6 +438,53 @@ mod tests {
             .devices()
             .iter()
             .all(|d| d.environment == LinkEnvironment::NonLineOfSight));
+    }
+
+    #[test]
+    fn try_disc_rejects_degenerate_radii() {
+        let config = SimConfig::default();
+        for radius in [0.0, -5_000.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let r = Topology::try_disc(10, 1, radius, &config, 1);
+            assert!(
+                matches!(r, Err(SimError::InvalidTopology { .. })),
+                "radius {radius} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn try_disc_rejects_out_of_range_p_los() {
+        for p_los in [-0.1, 1.1, f64::NAN] {
+            let config = SimConfig {
+                p_los,
+                ..SimConfig::default()
+            };
+            let r = Topology::try_disc(10, 1, 1_000.0, &config, 1);
+            assert!(
+                matches!(r, Err(SimError::InvalidTopology { .. })),
+                "p_los {p_los} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn try_disc_matches_disc_for_valid_inputs() {
+        let config = SimConfig::default();
+        let fallible = Topology::try_disc(50, 3, 4_000.0, &config, 13).unwrap();
+        let infallible = Topology::disc(50, 3, 4_000.0, &config, 13);
+        assert_eq!(fallible, infallible);
+        // Every generated position must be a real number.
+        assert!(fallible
+            .devices()
+            .iter()
+            .all(|d| d.position.x.is_finite() && d.position.y.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid disc deployment parameters")]
+    fn disc_panics_loudly_on_nan_radius() {
+        let config = SimConfig::default();
+        let _ = Topology::disc(10, 1, f64::NAN, &config, 1);
     }
 
     #[test]
