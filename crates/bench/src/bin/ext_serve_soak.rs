@@ -1,0 +1,8 @@
+//! Runs the ext_serve_soak extension experiment (daemon soak test).
+use ef_lora_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("{}", scale.banner());
+    ef_lora_bench::experiments::ext_serve_soak::run(&scale);
+}

@@ -1,0 +1,148 @@
+//! Extension experiment — soak test of the `ef-lora-serve` daemon.
+//!
+//! Boots the daemon in-process on an ephemeral loopback port, drives a
+//! seeded churn burst through the JSON-lines protocol with the crate's
+//! own load generator, and reports sustained throughput plus
+//! per-request repair-latency percentiles in the perf-harness schema
+//! (`ef-lora-perf/v1`), so soak numbers live next to the hot-path
+//! baselines and the same tooling can diff them across runs.
+//!
+//! Two workload rows are emitted per soak: `serve_churn/<tag>` carries
+//! the p50/p95 repair latency (as `median_ms`/`p95_ms`) and the
+//! sustained `events_per_sec`; `serve_churn/<tag>/p99` carries the
+//! p99/max tail — [`crate::perf::WorkloadResult`] has no p99 field, so
+//! the tail gets its own row rather than a schema fork.
+
+use std::net::TcpListener;
+
+use ef_lora::EfLora;
+use ef_lora_serve::{loadgen, serve, ServeState, ServerOptions};
+use lora_scenario::catalog;
+
+use crate::harness::{Scale, ScaleKind};
+use crate::output::{f2, print_table, write_json};
+use crate::perf::{git_describe, PerfReport, WorkloadResult, SCHEMA};
+
+/// Seed of the load-generator event stream.
+pub const SOAK_SEED: u64 = 7;
+
+/// Churn events driven through the daemon per preset.
+pub fn soak_events(scale: &Scale) -> usize {
+    match scale.kind {
+        ScaleKind::Smoke => 300,
+        ScaleKind::Small => 1_500,
+        ScaleKind::Paper => 5_000,
+    }
+}
+
+/// Population multiplier applied to the churn-heavy catalog scenario.
+pub fn soak_factor(scale: &Scale) -> f64 {
+    match scale.kind {
+        ScaleKind::Smoke => 0.1,
+        ScaleKind::Small => 1.0,
+        ScaleKind::Paper => 2.0,
+    }
+}
+
+/// Runs the soak, prints the latency table and archives
+/// `target/experiments/ext_serve_soak.json` (a [`PerfReport`]).
+pub fn run(scale: &Scale) -> PerfReport {
+    let spec = catalog::scale_devices(&catalog::churn_heavy(), soak_factor(scale));
+    let state = ServeState::new(spec, &EfLora::default()).expect("catalog scenario allocates");
+    let devices = state.device_count();
+    let gateways = state.gateway_count();
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("loopback bind");
+    let addr = listener
+        .local_addr()
+        .expect("bound listener has an address")
+        .to_string();
+    let server = std::thread::spawn(move || serve(listener, state, &ServerOptions::default()));
+    let events = soak_events(scale);
+    let report = loadgen::run_burst(&addr, SOAK_SEED, events, false, true)
+        .expect("soak burst completes cleanly");
+    server
+        .join()
+        .expect("server thread joins")
+        .expect("server exits cleanly");
+
+    let tag = format!("{devices}dev_{gateways}gw");
+    let latency = report.latency;
+    let row = |id: String, median_ms: f64, p95_ms: f64, events_per_sec: f64| WorkloadResult {
+        id,
+        devices,
+        gateways,
+        threads: 1,
+        events: report.events as u64,
+        median_ms,
+        p95_ms,
+        events_per_sec,
+        devices_per_sec: 0.0,
+    };
+    let perf = PerfReport {
+        schema: SCHEMA.to_string(),
+        git_describe: git_describe(),
+        scale: format!("{:?}", scale.kind).to_lowercase(),
+        reps: 1,
+        workloads: vec![
+            row(
+                format!("serve_churn/{tag}"),
+                latency.p50_us / 1_000.0,
+                latency.p95_us / 1_000.0,
+                report.events_per_sec,
+            ),
+            row(
+                format!("serve_churn/{tag}/p99"),
+                latency.p99_us / 1_000.0,
+                latency.max_us / 1_000.0,
+                report.events_per_sec,
+            ),
+        ],
+    };
+
+    print_table(
+        &format!(
+            "ext_serve_soak: {} events over {devices} devices, {gateways} gateways \
+             ({} joined, {} left, {} migrated, {} reconfigured, {} warnings)",
+            report.events,
+            report.joined,
+            report.left,
+            report.migrated,
+            report.reconfigured,
+            report.warnings
+        ),
+        &["metric", "value"],
+        &[
+            vec!["events/sec".into(), f2(report.events_per_sec)],
+            vec!["p50 repair latency (us)".into(), f2(latency.p50_us)],
+            vec!["p95 repair latency (us)".into(), f2(latency.p95_us)],
+            vec!["p99 repair latency (us)".into(), f2(latency.p99_us)],
+            vec!["max repair latency (us)".into(), f2(latency.max_us)],
+        ],
+    );
+    write_json("ext_serve_soak", &perf);
+    perf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn soak_emits_perf_schema_rows_with_a_p99_tail() {
+        let perf = run(&Scale::smoke().with_threads(1));
+        assert_eq!(perf.schema, SCHEMA);
+        assert_eq!(perf.workloads.len(), 2);
+        let [head, tail] = &perf.workloads[..] else {
+            unreachable!()
+        };
+        assert!(head.id.starts_with("serve_churn/"));
+        assert_eq!(tail.id, format!("{}/p99", head.id));
+        assert_eq!(head.events as usize, soak_events(&Scale::smoke()));
+        assert!(head.events_per_sec > 0.0, "throughput must be measured");
+        // Percentiles are ordered: p50 <= p95 <= p99 <= max.
+        assert!(head.median_ms <= head.p95_ms);
+        assert!(head.p95_ms <= tail.median_ms + 1e-12);
+        assert!(tail.median_ms <= tail.p95_ms);
+    }
+}

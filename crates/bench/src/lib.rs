@@ -30,6 +30,7 @@ pub mod experiments {
     pub mod ext_incremental;
     pub mod ext_inter_sf;
     pub mod ext_scenarios;
+    pub mod ext_serve_soak;
     pub mod fig10_convergence;
     pub mod fig4_ee_per_device;
     pub mod fig5_ee_cdf;

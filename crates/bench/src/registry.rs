@@ -68,6 +68,9 @@ fn resilience(scale: &Scale) {
 fn ext_scenarios(scale: &Scale) {
     let _ = crate::experiments::ext_scenarios::run(scale);
 }
+fn ext_serve_soak(scale: &Scale) {
+    let _ = crate::experiments::ext_serve_soak::run(scale);
+}
 
 /// Every experiment binary, in the order `run_all` executes them.
 pub const EXPERIMENTS: &[ExperimentBin] = &[
@@ -138,6 +141,10 @@ pub const EXPERIMENTS: &[ExperimentBin] = &[
     ExperimentBin {
         name: "ext_scenarios",
         run: ext_scenarios,
+    },
+    ExperimentBin {
+        name: "ext_serve_soak",
+        run: ext_serve_soak,
     },
 ];
 

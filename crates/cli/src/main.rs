@@ -38,6 +38,11 @@ pub(crate) fn run(argv: &[String]) -> Result<(), String> {
         print_usage();
         return Err("missing subcommand".into());
     };
+    if command == "serve" {
+        // The daemon parses its own flags (it is also a standalone
+        // binary, `ef-lora-serve`); pass them through untouched.
+        return ef_lora_serve::app::daemon_main(rest);
+    }
     if command == "scenario" {
         // `scenario` takes an action word before the --flag options.
         let Some((action, rest)) = rest.split_first() else {
@@ -84,6 +89,8 @@ fn print_usage() {
          \x20 scenario  validate|generate|run|sweep (--spec FILE | --name CATALOG)\n\
          \x20           [--scale F] [--seed N] [--strategy S | --strategies A,B] [--reps N]\n\
          \x20           [--threads N] [--epoch-duration S] [--topology FILE] [-o FILE]\n\
+         \x20 serve     (--spec FILE | --name CATALOG | --restore SNAPSHOT) [--scale F]\n\
+         \x20           [--seed N] [--strategy S] [--port P] [--snapshot PATH]\n\
          \n\
          all files are JSON; see the repository README for the schema"
     );
@@ -118,6 +125,14 @@ mod tests {
         assert!(run(&s(&["scenario", "explode"]))
             .unwrap_err()
             .contains("unknown scenario action"));
+    }
+
+    #[test]
+    fn serve_without_a_scenario_errors() {
+        assert!(run(&s(&["serve"])).unwrap_err().contains("--spec"));
+        assert!(run(&s(&["serve", "--name", "nope"]))
+            .unwrap_err()
+            .contains("unknown catalog scenario"));
     }
 
     #[test]

@@ -80,8 +80,18 @@ pub enum Decision {
 
 /// Watches windowed simulation reports and decides when to re-allocate.
 ///
-/// The first observed window establishes the healthy baseline unless
-/// [`ResilienceController::set_baseline`] seeded one explicitly.
+/// Callers that know the healthy minimum EE — from the allocation-time
+/// analytical model, a fault-free calibration window, or a snapshot of a
+/// previous controller — must inject it via
+/// [`ResilienceController::with_baseline`] (or
+/// [`ResilienceController::restore`] when resuming detection state). A
+/// controller built with [`ResilienceController::new`] falls back to
+/// adopting the *first observed window* as the baseline; that is only
+/// sound when the first window is known to be healthy. A controller
+/// started (or restarted) in the middle of a fault would adopt the
+/// degraded minimum EE as "healthy" and could never fire
+/// [`Decision::Reallocate`] — the failure mode the explicit constructors
+/// exist to prevent.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ResilienceController {
     config: ResilienceConfig,
@@ -91,13 +101,45 @@ pub struct ResilienceController {
 }
 
 impl ResilienceController {
-    /// Creates a controller with no baseline yet.
+    /// Creates a controller with no baseline yet (lazy first-window
+    /// capture — see the type-level caveat).
     pub fn new(config: ResilienceConfig) -> Self {
         ResilienceController {
             config,
             baseline_min_ee: None,
             streak: 0,
             cooldown: 0,
+        }
+    }
+
+    /// Creates a controller with the healthy baseline (bits/mJ) injected
+    /// up front — the constructor to use whenever the healthy minimum EE
+    /// is known, so detection works even when the very first observed
+    /// window is already degraded.
+    pub fn with_baseline(config: ResilienceConfig, min_ee: f64) -> Self {
+        ResilienceController {
+            config,
+            baseline_min_ee: Some(min_ee),
+            streak: 0,
+            cooldown: 0,
+        }
+    }
+
+    /// Rebuilds a controller from persisted detection state (baseline,
+    /// hysteresis streak, cooldown) — the snapshot-restore entry point. A
+    /// daemon restarting mid-fault restores the *pre-fault* baseline this
+    /// way instead of re-capturing a degraded one.
+    pub fn restore(
+        config: ResilienceConfig,
+        baseline_min_ee: Option<f64>,
+        streak: u32,
+        cooldown: u32,
+    ) -> Self {
+        ResilienceController {
+            config,
+            baseline_min_ee,
+            streak,
+            cooldown,
         }
     }
 
@@ -111,7 +153,21 @@ impl ResilienceController {
         self.baseline_min_ee
     }
 
+    /// Consecutive degraded windows observed so far (hysteresis state).
+    pub fn streak(&self) -> u32 {
+        self.streak
+    }
+
+    /// Windows remaining before another recovery may trigger.
+    pub fn cooldown(&self) -> u32 {
+        self.cooldown
+    }
+
     /// Ingests one report window and returns the control decision.
+    ///
+    /// With no baseline established yet, the window's own minimum EE
+    /// becomes the baseline (documented fallback — prefer
+    /// [`ResilienceController::with_baseline`]).
     pub fn observe(&mut self, report: &SimReport) -> Decision {
         let min_ee = report.min_energy_efficiency_bits_per_mj();
         let baseline = *self.baseline_min_ee.get_or_insert(min_ee);
@@ -379,8 +435,7 @@ pub fn run_faulted(
 
     // Healthy baseline: epoch 0's traffic with every fault stripped.
     let baseline_min_ee = run_epoch(0, true, initial)?.min_energy_efficiency_bits_per_mj();
-    let mut controller = ResilienceController::new(*rc);
-    controller.set_baseline(baseline_min_ee);
+    let mut controller = ResilienceController::with_baseline(*rc, baseline_min_ee);
 
     let mut alloc = initial.to_vec();
     let mut active_mask: Vec<usize> = Vec::new();
@@ -610,6 +665,59 @@ mod tests {
         // Default hysteresis is a single window, so the drop fires at once.
         assert!(matches!(
             c.observe(&report_with(1.0, 0.0)),
+            Decision::Reallocate { .. }
+        ));
+    }
+
+    /// Regression: a lazily-seeded controller started *during* a fault
+    /// adopts the degraded floor as its baseline and stays blind — while
+    /// one constructed with the known healthy baseline fires on the very
+    /// first window.
+    #[test]
+    fn baseline_injection_detects_a_fault_present_at_startup() {
+        // Lazy capture: 1.0 becomes "healthy", so neither the degraded
+        // windows nor the eventual true recovery ever trigger repair.
+        let mut lazy = ResilienceController::new(ResilienceConfig::default());
+        assert_eq!(lazy.observe(&report_with(1.0, 0.9)), Decision::Healthy);
+        assert_eq!(lazy.observe(&report_with(1.0, 0.9)), Decision::Healthy);
+        assert_eq!(lazy.baseline_min_ee(), Some(1.0));
+
+        // Injected baseline: the same first window fires immediately.
+        let mut informed = ResilienceController::with_baseline(ResilienceConfig::default(), 10.0);
+        assert!(matches!(
+            informed.observe(&report_with(1.0, 0.9)),
+            Decision::Reallocate { suspects } if suspects == vec![0]
+        ));
+    }
+
+    #[test]
+    fn restore_resumes_detection_state() {
+        // A controller two-thirds through a three-window hysteresis
+        // streak is snapshotted and restored; one more degraded window
+        // completes the streak exactly as it would have uninterrupted.
+        let config = ResilienceConfig {
+            trigger_windows: 3,
+            ..ResilienceConfig::default()
+        };
+        let mut original = ResilienceController::with_baseline(config, 10.0);
+        assert!(matches!(
+            original.observe(&report_with(1.0, 0.9)),
+            Decision::Degraded { .. }
+        ));
+        assert!(matches!(
+            original.observe(&report_with(1.0, 0.9)),
+            Decision::Degraded { .. }
+        ));
+
+        let mut restored = ResilienceController::restore(
+            config,
+            original.baseline_min_ee(),
+            original.streak(),
+            original.cooldown(),
+        );
+        assert_eq!(restored, original);
+        assert!(matches!(
+            restored.observe(&report_with(1.0, 0.9)),
             Decision::Reallocate { .. }
         ));
     }

@@ -48,12 +48,14 @@
 #![warn(missing_docs)]
 
 pub mod catalog;
+pub mod churn;
 pub mod compile;
 pub mod error;
 pub mod run;
 pub mod spatial;
 pub mod spec;
 
+pub use churn::{ChurnContext, ChurnWarning, EventOutcome, Population};
 pub use compile::{compile, CompiledScenario};
 pub use error::ScenarioError;
 pub use run::{run_scenario, EpochOutcome, RunOptions, ScenarioRunReport};

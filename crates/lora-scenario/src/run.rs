@@ -6,7 +6,7 @@
 //!   [`ef_lora::Strategy`] and measures it over `reps` independent
 //!   simulator repetitions;
 //! * every later epoch applies its churn events — joins, leaves and class
-//!   migrations — through [`ef_lora::IncrementalAllocator`], so existing
+//!   migrations — through [`crate::churn::apply_event`], so existing
 //!   devices are reconfigured only when the change touches their
 //!   contention groups (PR 3's bounded-repair path), then re-measures.
 //!
@@ -16,25 +16,16 @@
 //! [`lora_parallel::par_map_indexed`] with an index-order reduction — the
 //! report is byte-identical for any worker count.
 
-use rand::seq::SliceRandom;
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha12Rng;
 use serde::{Deserialize, Serialize};
 
 use ef_lora::{AllocationContext, IncrementalAllocator, Strategy};
 use lora_model::NetworkModel;
-use lora_phy::path_loss::LinkEnvironment;
 use lora_phy::TxConfig;
-use lora_sim::{DeviceSite, SimConfig, Simulation, Topology};
+use lora_sim::{SimConfig, Simulation, Topology};
 
+use crate::churn::{self, apply_event, refresh_intervals, ChurnContext, ChurnWarning, Population};
 use crate::compile::CompiledScenario;
 use crate::error::ScenarioError;
-use crate::spatial::{sample_n_positions, SPATIAL_TAG};
-use crate::spec::{ChurnKind, ClassSpec};
-
-/// Seed tag of the per-epoch churn stream ("churnrng").
-pub(crate) const CHURN_TAG: u64 = 0x6368_7572_6e72_6e67;
 
 /// Options for [`run_scenario`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -92,7 +83,11 @@ pub struct EpochOutcome {
 }
 
 /// Full report of a scenario run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Serialization is hand-written to keep `warnings` out of the JSON when
+/// empty: the common, warning-free report stays byte-identical to the
+/// pre-warning format (goldens unchanged).
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioRunReport {
     /// Scenario name (from the spec).
     pub scenario: String,
@@ -106,6 +101,70 @@ pub struct ScenarioRunReport {
     pub reps: usize,
     /// Per-epoch outcomes, epoch 0 first.
     pub epochs: Vec<EpochOutcome>,
+    /// Typed warnings raised while applying churn (e.g. a clamped
+    /// `Leave`); empty for a clean run.
+    pub warnings: Vec<ChurnWarning>,
+}
+
+impl Serialize for ScenarioRunReport {
+    fn to_value(&self) -> serde::Value {
+        let mut obj: Vec<(String, serde::Value)> = vec![
+            ("scenario".to_string(), self.scenario.to_value()),
+            ("strategy".to_string(), self.strategy.to_value()),
+            (
+                "devices_initial".to_string(),
+                self.devices_initial.to_value(),
+            ),
+            ("gateways".to_string(), self.gateways.to_value()),
+            ("reps".to_string(), self.reps.to_value()),
+            ("epochs".to_string(), self.epochs.to_value()),
+        ];
+        if !self.warnings.is_empty() {
+            obj.push(("warnings".to_string(), self.warnings.to_value()));
+        }
+        serde::Value::Object(obj)
+    }
+}
+
+impl Deserialize for ScenarioRunReport {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let obj = value.as_object().ok_or_else(|| {
+            serde::Error::custom(format!(
+                "expected object for ScenarioRunReport, got {}",
+                value.kind()
+            ))
+        })?;
+        let field = |name: &str| obj.iter().find(|(k, _)| k.as_str() == name).map(|(_, v)| v);
+        macro_rules! required {
+            ($name:literal) => {
+                match field($name) {
+                    Some(v) => Deserialize::from_value(v).map_err(|e: serde::Error| {
+                        e.contextualize(concat!("ScenarioRunReport.", $name))
+                    })?,
+                    None => {
+                        return Err(serde::Error::custom(concat!(
+                            "missing field `ScenarioRunReport.",
+                            $name,
+                            "`"
+                        )))
+                    }
+                }
+            };
+        }
+        Ok(ScenarioRunReport {
+            scenario: required!("scenario"),
+            strategy: required!("strategy"),
+            devices_initial: required!("devices_initial"),
+            gateways: required!("gateways"),
+            reps: required!("reps"),
+            epochs: required!("epochs"),
+            warnings: match field("warnings") {
+                Some(v) => Deserialize::from_value(v)
+                    .map_err(|e: serde::Error| e.contextualize("ScenarioRunReport.warnings"))?,
+                None => Vec::new(),
+            },
+        })
+    }
 }
 
 impl ScenarioRunReport {
@@ -118,13 +177,6 @@ impl ScenarioRunReport {
     pub fn total_reconfigured(&self) -> usize {
         self.epochs.iter().map(|e| e.reconfigured).sum()
     }
-}
-
-/// Mutable population state threaded through the epochs.
-struct Population {
-    sites: Vec<DeviceSite>,
-    class_of: Vec<usize>,
-    alloc: Vec<TxConfig>,
 }
 
 /// Runs a compiled scenario under one allocation strategy.
@@ -158,8 +210,15 @@ pub fn run_scenario(
         class_of: compiled.class_of.clone(),
         alloc: Vec::new(),
     };
+    let churn_ctx = ChurnContext {
+        classes: &classes,
+        spatial: &compiled.spec.spatial,
+        gateways: &gateways,
+        radius_m,
+    };
 
     let mut epochs = Vec::new();
+    let mut warnings = Vec::new();
     let incremental = IncrementalAllocator::new();
     for epoch in 0..compiled.epoch_count() {
         let (joined, left, migrated, reconfigured, candidates) = if epoch == 0 {
@@ -172,13 +231,12 @@ pub fn run_scenario(
         } else {
             apply_epoch_events(
                 compiled,
-                &classes,
-                &gateways,
-                radius_m,
+                &churn_ctx,
                 &mut config,
                 &mut pop,
                 &incremental,
                 epoch,
+                &mut warnings,
             )?
         };
 
@@ -209,25 +267,24 @@ pub fn run_scenario(
         gateways: gateways.len(),
         reps: options.reps,
         epochs,
+        warnings,
     })
 }
 
 /// Applies every churn event stamped with `epoch`, in timeline order,
-/// each through the matching incremental-allocator entry point. Returns
-/// `(joined, left, migrated, reconfigured, candidates)`.
-#[allow(clippy::too_many_arguments)]
+/// each through [`apply_event`]. Returns
+/// `(joined, left, migrated, reconfigured, candidates)` and appends any
+/// typed warnings to `warnings`.
 fn apply_epoch_events(
     compiled: &CompiledScenario,
-    classes: &[ClassSpec],
-    gateways: &[lora_sim::Position],
-    radius_m: f64,
+    ctx: &ChurnContext<'_>,
     config: &mut SimConfig,
     pop: &mut Population,
     incremental: &IncrementalAllocator,
     epoch: u32,
+    warnings: &mut Vec<ChurnWarning>,
 ) -> Result<(usize, usize, usize, usize, u64), ScenarioError> {
-    let mut rng =
-        ChaCha12Rng::seed_from_u64(compiled.spec.seed ^ CHURN_TAG ^ ((epoch as u64) << 32));
+    let mut rng = churn::epoch_churn_rng(compiled.spec.seed, epoch);
     let mut joined = 0usize;
     let mut left = 0usize;
     let mut migrated = 0usize;
@@ -235,122 +292,18 @@ fn apply_epoch_events(
     let mut candidates = 0u64;
 
     for event in compiled.timeline.iter().filter(|e| e.epoch == epoch) {
-        match &event.event {
-            ChurnKind::Join { class, count } => {
-                let class_idx = class_index(classes, class)?;
-                let mut spatial_rng = ChaCha12Rng::seed_from_u64(
-                    compiled.spec.seed ^ SPATIAL_TAG ^ ((epoch as u64) << 32) ^ joined as u64,
-                );
-                let positions =
-                    sample_n_positions(&mut spatial_rng, &compiled.spec.spatial, radius_m, *count);
-                let p = classes[class_idx].p_los.unwrap_or(config.p_los);
-                for position in positions {
-                    let environment = if rng.gen::<f64>() < p {
-                        LinkEnvironment::LineOfSight
-                    } else {
-                        LinkEnvironment::NonLineOfSight
-                    };
-                    pop.sites.push(DeviceSite {
-                        position,
-                        environment,
-                    });
-                    pop.class_of.push(class_idx);
-                }
-                joined += count;
-                refresh_intervals(config, &pop.class_of, classes);
-                let topology = Topology::from_sites(pop.sites.clone(), gateways.to_vec(), radius_m);
-                let model = NetworkModel::new(config, &topology);
-                let ctx = AllocationContext::new(config, &topology, &model);
-                let outcome = incremental.extend(&ctx, &pop.alloc)?;
-                reconfigured += outcome.reconfigured;
-                candidates += outcome.candidates_evaluated;
-                pop.alloc = outcome.allocation.into_inner();
-            }
-            ChurnKind::Leave { count } => {
-                // Keep at least one device: an empty network has no
-                // allocation to repair and no metric to report.
-                let count = (*count).min(pop.sites.len().saturating_sub(1));
-                if count == 0 {
-                    continue;
-                }
-                let mut order: Vec<usize> = (0..pop.sites.len()).collect();
-                order.shuffle(&mut rng);
-                let mut leaving = order[..count].to_vec();
-                leaving.sort_unstable_by(|a, b| b.cmp(a));
-                let mut removed = Vec::with_capacity(count);
-                for idx in leaving {
-                    pop.sites.remove(idx);
-                    pop.class_of.remove(idx);
-                    removed.push(pop.alloc.remove(idx));
-                }
-                left += count;
-                refresh_intervals(config, &pop.class_of, classes);
-                let topology = Topology::from_sites(pop.sites.clone(), gateways.to_vec(), radius_m);
-                let model = NetworkModel::new(config, &topology);
-                let ctx = AllocationContext::new(config, &topology, &model);
-                let outcome = incremental.after_removal(&ctx, &pop.alloc, &removed)?;
-                reconfigured += outcome.reconfigured;
-                candidates += outcome.candidates_evaluated;
-                pop.alloc = outcome.allocation.into_inner();
-            }
-            ChurnKind::Migrate { from, to, count } => {
-                let from_idx = class_index(classes, from)?;
-                let to_idx = class_index(classes, to)?;
-                let mut members: Vec<usize> = pop
-                    .class_of
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, &c)| c == from_idx)
-                    .map(|(i, _)| i)
-                    .collect();
-                members.shuffle(&mut rng);
-                members.truncate(*count);
-                if members.is_empty() {
-                    continue;
-                }
-                for &i in &members {
-                    pop.class_of[i] = to_idx;
-                }
-                migrated += members.len();
-                refresh_intervals(config, &pop.class_of, classes);
-                let topology = Topology::from_sites(pop.sites.clone(), gateways.to_vec(), radius_m);
-                let model = NetworkModel::new(config, &topology);
-                let ctx = AllocationContext::new(config, &topology, &model);
-                // A migrated device's reporting interval changed, so its
-                // energy budget did too: re-scan exactly those devices.
-                let outcome = incremental.repair(&ctx, &pop.alloc, &members)?;
-                reconfigured += outcome.reconfigured;
-                candidates += outcome.candidates_evaluated;
-                pop.alloc = outcome.allocation.into_inner();
-            }
+        let join_seed = churn::epoch_join_seed(compiled.spec.seed, epoch, joined);
+        let outcome = apply_event(ctx, config, pop, incremental, event, &mut rng, join_seed)?;
+        joined += outcome.joined;
+        left += outcome.left;
+        migrated += outcome.migrated;
+        reconfigured += outcome.reconfigured;
+        candidates += outcome.candidates_evaluated;
+        if let Some(w) = outcome.warning {
+            warnings.push(w);
         }
     }
     Ok((joined, left, migrated, reconfigured, candidates))
-}
-
-fn class_index(classes: &[ClassSpec], name: &str) -> Result<usize, ScenarioError> {
-    classes
-        .iter()
-        .position(|c| c.name == name)
-        .ok_or_else(|| ScenarioError::UnknownClass {
-            name: name.to_string(),
-        })
-}
-
-/// Rebuilds `per_device_intervals_s` after the population changed (same
-/// folding rule as compilation: one class → global interval only).
-fn refresh_intervals(config: &mut SimConfig, class_of: &[usize], classes: &[ClassSpec]) {
-    if classes.len() == 1 {
-        config.report_interval_s = classes[0].report_interval_s;
-        config.per_device_intervals_s = None;
-    } else {
-        config.per_device_intervals_s = Some(
-            class_of
-                .iter()
-                .map(|&c| classes[c].report_interval_s)
-                .collect(),
-        );
-    }
 }
 
 /// The simulation seed of repetition `rep` in `epoch` — pre-derived so
@@ -398,7 +351,7 @@ fn measure(
 mod tests {
     use super::*;
     use crate::compile::compile;
-    use crate::spec::{GatewaySpec, ScenarioSpec, SimSection, SpatialSpec};
+    use crate::spec::{ChurnKind, ClassSpec, GatewaySpec, ScenarioSpec, SimSection, SpatialSpec};
     use ef_lora::EfLora;
 
     fn class(name: &str, fraction: f64, interval: f64) -> ClassSpec {
@@ -462,6 +415,7 @@ mod tests {
         assert_eq!(report.epochs[2].left, 8);
         assert_eq!(report.epochs[3].devices, 27);
         assert_eq!(report.epochs[3].migrated, 4);
+        assert!(report.warnings.is_empty());
         for e in &report.epochs {
             assert!(e.model_min_ee > 0.0, "epoch {}: model min EE", e.epoch);
             assert!(e.min_ee >= 0.0);
@@ -498,6 +452,47 @@ mod tests {
         let report = run_scenario(&compiled, &EfLora::default(), &quick()).unwrap();
         assert_eq!(report.epochs[1].devices, 1);
         assert_eq!(report.epochs[1].left, 4);
+    }
+
+    #[test]
+    fn clamped_leave_surfaces_a_typed_warning() {
+        let mut b = ScenarioSpec::builder("drain");
+        b.seed(2)
+            .spatial(SpatialSpec::UniformDisc { devices: 5 })
+            .gateways(GatewaySpec::Grid { count: 1 })
+            .sim(SimSection {
+                duration_s: Some(600.0),
+                ..SimSection::default()
+            })
+            .churn(1, ChurnKind::Leave { count: 50 });
+        let compiled = compile(&b.build().unwrap()).unwrap();
+        let report = run_scenario(&compiled, &EfLora::default(), &quick()).unwrap();
+        assert_eq!(
+            report.warnings,
+            vec![ChurnWarning::LeaveClamped {
+                epoch: 1,
+                requested: 50,
+                applied: 4,
+            }]
+        );
+        // The clamp survives a JSON round trip.
+        let text = serde_json::to_string(&report).unwrap();
+        assert!(text.contains("LeaveClamped"));
+        let parsed: ScenarioRunReport = serde_json::from_str(&text).unwrap();
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn clean_report_serializes_without_a_warnings_key() {
+        let compiled = compile(&churn_spec()).unwrap();
+        let report = run_scenario(&compiled, &EfLora::default(), &quick()).unwrap();
+        let text = serde_json::to_string(&report).unwrap();
+        assert!(
+            !text.contains("warnings"),
+            "clean reports must stay byte-identical to the pre-warning format"
+        );
+        let parsed: ScenarioRunReport = serde_json::from_str(&text).unwrap();
+        assert_eq!(parsed, report);
     }
 
     #[test]

@@ -1,0 +1,348 @@
+//! Churn-module integration tests: index consistency under interleaved
+//! Join/Leave/Migrate timelines, and long-horizon repair-quality drift.
+//!
+//! The property test replays random event sequences through
+//! [`lora_scenario::churn::apply_event`] and checks, after every event,
+//! that the three population vectors stay index-aligned and that the
+//! per-device reporting intervals agree with a from-scratch recompute —
+//! the invariant a shifted index after a batched removal would break.
+//! The drift test quantifies ROADMAP item 3's repair-quality claim: after
+//! a long run of incremental repairs, the model min-EE stays within a
+//! stated factor of a full `EfLora` re-allocation on the final topology.
+
+use proptest::prelude::*;
+
+use ef_lora::{AllocationContext, EfLora, IncrementalAllocator, Strategy as AllocStrategy};
+use lora_model::NetworkModel;
+use lora_scenario::churn::{self, apply_event, refresh_intervals, ChurnContext, Population};
+use lora_scenario::spec::{
+    ChurnEvent, ChurnKind, ClassSpec, GatewaySpec, ScenarioSpec, SpatialSpec,
+};
+use lora_scenario::{catalog, compile, CompiledScenario};
+use lora_sim::{DeviceSite, SimConfig, Topology};
+
+fn class(name: &str, fraction: f64, interval: f64) -> ClassSpec {
+    ClassSpec {
+        name: name.into(),
+        fraction,
+        report_interval_s: interval,
+        p_los: None,
+        app_payload: None,
+        confirmed: None,
+    }
+}
+
+/// A randomly generated churn operation (class names resolved later).
+#[derive(Debug, Clone)]
+enum Op {
+    Join {
+        class: usize,
+        count: usize,
+    },
+    Leave {
+        count: usize,
+    },
+    Migrate {
+        from: usize,
+        to: usize,
+        count: usize,
+    },
+}
+
+fn op_strategy() -> impl proptest::strategy::Strategy<Value = Op> {
+    // A single tuple strategy (the vendored `prop_oneof!` requires
+    // same-typed arms): kind selects the variant, the other draws are
+    // reinterpreted per variant.
+    (0usize..3, 0usize..2, 0usize..2, 0usize..40).prop_map(|(kind, from, to, count)| match kind {
+        0 => Op::Join {
+            class: from,
+            count: count % 10,
+        },
+        1 => Op::Leave { count },
+        _ => Op::Migrate {
+            from,
+            to,
+            count: count % 25,
+        },
+    })
+}
+
+/// Allocates the initial deployment and wraps it in a [`Population`].
+fn initial_population(
+    compiled: &CompiledScenario,
+    config: &mut SimConfig,
+    classes: &[ClassSpec],
+) -> Population {
+    let mut pop = Population {
+        sites: compiled.topology.devices().to_vec(),
+        class_of: compiled.class_of.clone(),
+        alloc: Vec::new(),
+    };
+    refresh_intervals(config, &pop.class_of, classes);
+    let model = NetworkModel::new(config, &compiled.topology);
+    let ctx = AllocationContext::new(config, &compiled.topology, &model);
+    pop.alloc = EfLora::default()
+        .allocate(&ctx)
+        .expect("initial allocation must succeed")
+        .into_inner();
+    pop
+}
+
+/// Bit-level identity of a device site (positions are continuous, so a
+/// site identifies a device across compactions almost surely).
+fn site_key(site: &DeviceSite, class: usize) -> (u64, u64, String, usize) {
+    (
+        site.position.x.to_bits(),
+        site.position.y.to_bits(),
+        format!("{:?}", site.environment),
+        class,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn interleaved_churn_keeps_indices_consistent(
+        seed in any::<u64>(),
+        ops in proptest::collection::vec(op_strategy(), 1..10),
+    ) {
+        let spec = ScenarioSpec::builder("churn-prop")
+            .seed(seed)
+            .spatial(SpatialSpec::UniformDisc { devices: 24 })
+            .gateways(GatewaySpec::Grid { count: 1 })
+            .class(class("a", 0.5, 300.0))
+            .class(class("b", 0.5, 900.0))
+            .build()
+            .unwrap();
+        let compiled = compile(&spec).unwrap();
+        let classes = compiled.spec.effective_classes();
+        let gateways = compiled.topology.gateways().to_vec();
+        let radius_m = compiled.topology.radius_m();
+        let ctx = ChurnContext {
+            classes: &classes,
+            spatial: &compiled.spec.spatial,
+            gateways: &gateways,
+            radius_m,
+        };
+        let mut config = compiled.config.clone();
+        let mut pop = initial_population(&compiled, &mut config, &classes);
+        let incremental = IncrementalAllocator::new();
+
+        for (seq, op) in ops.iter().enumerate() {
+            let event = ChurnEvent {
+                epoch: seq as u32 + 1,
+                event: match *op {
+                    Op::Join { class, count } => ChurnKind::Join {
+                        class: classes[class].name.clone(),
+                        count,
+                    },
+                    Op::Leave { count } => ChurnKind::Leave { count },
+                    Op::Migrate { from, to, count } => ChurnKind::Migrate {
+                        from: classes[from].name.clone(),
+                        to: classes[to].name.clone(),
+                        count,
+                    },
+                },
+            };
+            let before_sites = pop.sites.clone();
+            let before_class = pop.class_of.clone();
+            let mut rng = churn::event_churn_rng(seed, seq as u64);
+            let join_seed = churn::event_join_seed(seed, seq as u64);
+            let out =
+                apply_event(&ctx, &mut config, &mut pop, &incremental, &event, &mut rng, join_seed)
+                    .unwrap();
+
+            // The three population vectors must stay index-aligned.
+            prop_assert_eq!(pop.sites.len(), pop.class_of.len());
+            prop_assert_eq!(pop.sites.len(), pop.alloc.len());
+
+            // Per-device intervals must agree with a from-scratch
+            // recompute off class_of — a shifted index would desync them.
+            let intervals = config
+                .per_device_intervals_s
+                .as_ref()
+                .expect("two classes compile to per-device intervals");
+            prop_assert_eq!(intervals.len(), pop.sites.len());
+            for (i, &c) in pop.class_of.iter().enumerate() {
+                prop_assert_eq!(intervals[i], classes[c].report_interval_s);
+            }
+
+            // Structural checks against the pre-event population.
+            match *op {
+                Op::Join { class, count } => {
+                    prop_assert_eq!(out.joined, count);
+                    prop_assert_eq!(pop.sites.len(), before_sites.len() + count);
+                    prop_assert_eq!(&pop.sites[..before_sites.len()], &before_sites[..]);
+                    prop_assert_eq!(&pop.class_of[..before_class.len()], &before_class[..]);
+                    for &c in &pop.class_of[before_class.len()..] {
+                        prop_assert_eq!(c, class);
+                    }
+                }
+                Op::Leave { count } => {
+                    let expected = count.min(before_sites.len() - 1);
+                    prop_assert_eq!(out.left, expected);
+                    prop_assert_eq!(pop.sites.len(), before_sites.len() - expected);
+                    prop_assert_eq!(out.warning.is_some(), expected < count);
+                    // Every surviving (site, class) pair existed before
+                    // the removal: compaction may not scramble rows.
+                    let mut before_keys: Vec<_> = before_sites
+                        .iter()
+                        .zip(&before_class)
+                        .map(|(s, &c)| site_key(s, c))
+                        .collect();
+                    before_keys.sort();
+                    for (s, &c) in pop.sites.iter().zip(&pop.class_of) {
+                        prop_assert!(
+                            before_keys.binary_search(&site_key(s, c)).is_ok(),
+                            "survivor row not present pre-removal: indices shifted"
+                        );
+                    }
+                }
+                Op::Migrate { from, to, count } => {
+                    prop_assert_eq!(&pop.sites[..], &before_sites[..]);
+                    let mut changed = 0;
+                    for (i, (&now, &was)) in
+                        pop.class_of.iter().zip(&before_class).enumerate()
+                    {
+                        if now != was {
+                            prop_assert_eq!(was, from, "device {i} migrated from wrong class");
+                            prop_assert_eq!(now, to, "device {i} migrated to wrong class");
+                            changed += 1;
+                        }
+                    }
+                    let members = before_class.iter().filter(|&&c| c == from).count();
+                    if from == to {
+                        // A same-class migration reports its members but
+                        // must leave every assignment untouched.
+                        prop_assert_eq!(changed, 0);
+                        prop_assert_eq!(out.migrated, count.min(members));
+                    } else {
+                        prop_assert_eq!(out.migrated, changed);
+                        prop_assert_eq!(changed, count.min(members));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Drives one epoch's worth of timeline events through the churn module
+/// and returns how many allocator passes ran.
+fn apply_timeline(
+    ctx: &ChurnContext<'_>,
+    config: &mut SimConfig,
+    pop: &mut Population,
+    incremental: &IncrementalAllocator,
+    events: &[ChurnEvent],
+    seed: u64,
+    epoch_offset: u32,
+) -> usize {
+    let mut passes = 0;
+    for epoch in 1..=events.iter().map(|e| e.epoch).max().unwrap_or(0) {
+        let mut rng = churn::epoch_churn_rng(seed, epoch_offset + epoch);
+        let mut joined = 0usize;
+        for event in events.iter().filter(|e| e.epoch == epoch) {
+            let join_seed = churn::epoch_join_seed(seed, epoch_offset + epoch, joined);
+            let out = apply_event(ctx, config, pop, incremental, event, &mut rng, join_seed)
+                .expect("timeline replay must succeed");
+            joined += out.joined;
+            passes += 1;
+        }
+    }
+    passes
+}
+
+/// After a long horizon of incremental repairs the allocation must not
+/// drift arbitrarily far from what a from-scratch EF-LoRa run achieves
+/// on the same final topology. The bound (75 % of the fresh min-EE) is
+/// the repair-quality claim ROADMAP item 3 makes; tighten it only with
+/// evidence from the soak experiment.
+#[test]
+fn long_horizon_incremental_repair_stays_near_fresh_allocation() {
+    let spec = catalog::scale_devices(&catalog::churn_heavy().clone(), 0.5);
+    let compiled = compile(&spec).unwrap();
+    let classes = compiled.spec.effective_classes();
+    let gateways = compiled.topology.gateways().to_vec();
+    let radius_m = compiled.topology.radius_m();
+    let ctx = ChurnContext {
+        classes: &classes,
+        spatial: &compiled.spec.spatial,
+        gateways: &gateways,
+        radius_m,
+    };
+    let mut config = compiled.config.clone();
+    let mut pop = initial_population(&compiled, &mut config, &classes);
+    let incremental = IncrementalAllocator::new();
+    let timeline = compiled.timeline.clone();
+    let epochs_per_cycle = timeline.iter().map(|e| e.epoch).max().unwrap();
+
+    // Replay the churn-heavy timeline three times — 15 incremental
+    // allocator passes — with fresh per-cycle streams.
+    let mut passes = 0;
+    for cycle in 0..3u32 {
+        passes += apply_timeline(
+            &ctx,
+            &mut config,
+            &mut pop,
+            &incremental,
+            &timeline,
+            spec.seed,
+            cycle * epochs_per_cycle,
+        );
+    }
+    assert!(passes >= 15, "expected a long horizon, got {passes} passes");
+    assert!(!pop.sites.is_empty());
+
+    let topology = Topology::from_sites(pop.sites.clone(), gateways.clone(), radius_m);
+    let model = NetworkModel::new(&config, &topology);
+    let incremental_min_ee = ef_lora::fairness::min_ee(&model.evaluate(&pop.alloc));
+
+    let alloc_ctx = AllocationContext::new(&config, &topology, &model);
+    let fresh = EfLora::default()
+        .allocate(&alloc_ctx)
+        .expect("fresh allocation on the final topology must succeed")
+        .into_inner();
+    let fresh_min_ee = ef_lora::fairness::min_ee(&model.evaluate(&fresh));
+
+    assert!(fresh_min_ee > 0.0, "fresh min-EE must be positive");
+    assert!(
+        incremental_min_ee >= 0.75 * fresh_min_ee,
+        "incremental drift too large after {passes} repairs: \
+         incremental {incremental_min_ee:.3} vs fresh {fresh_min_ee:.3} bits/mJ"
+    );
+}
+
+/// The drift harness itself is deterministic: replaying the same
+/// timeline twice yields the same population and allocation.
+#[test]
+fn timeline_replay_is_deterministic() {
+    let spec = catalog::scale_devices(&catalog::churn_heavy(), 0.3);
+    let compiled = compile(&spec).unwrap();
+    let classes = compiled.spec.effective_classes();
+    let gateways = compiled.topology.gateways().to_vec();
+    let radius_m = compiled.topology.radius_m();
+    let ctx = ChurnContext {
+        classes: &classes,
+        spatial: &compiled.spec.spatial,
+        gateways: &gateways,
+        radius_m,
+    };
+    let run = || {
+        let mut config = compiled.config.clone();
+        let mut pop = initial_population(&compiled, &mut config, &classes);
+        let incremental = IncrementalAllocator::new();
+        apply_timeline(
+            &ctx,
+            &mut config,
+            &mut pop,
+            &incremental,
+            &compiled.timeline,
+            spec.seed,
+            0,
+        );
+        pop
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a, b);
+}

@@ -1,0 +1,147 @@
+//! Entry points shared by the standalone binaries and the
+//! `ef-lora-plan serve` subcommand.
+
+use std::net::TcpListener;
+use std::path::PathBuf;
+
+use ef_lora::{AdrLora, EfLora, EfLoraFixedTp, LegacyLora, RsLora, Strategy};
+use lora_scenario::{catalog, ScenarioSpec};
+
+use crate::flags::Flags;
+use crate::server::{serve, ServerOptions};
+use crate::state::ServeState;
+
+/// Resolves an allocation strategy by CLI name.
+///
+/// # Errors
+///
+/// A message listing the valid names.
+pub fn strategy_by_name(name: &str) -> Result<Box<dyn Strategy>, String> {
+    match name {
+        "ef-lora" => Ok(Box::new(EfLora::default())),
+        "legacy" => Ok(Box::new(LegacyLora::default())),
+        "rs-lora" => Ok(Box::new(RsLora::default())),
+        "ef-lora-14dbm" => Ok(Box::new(EfLoraFixedTp::default())),
+        "adr" => Ok(Box::new(AdrLora::default())),
+        other => Err(format!(
+            "unknown strategy `{other}` (expected ef-lora, legacy, rs-lora, ef-lora-14dbm or adr)"
+        )),
+    }
+}
+
+/// Loads the scenario selected by `--spec FILE` or `--name CATALOG`,
+/// applying `--scale` and `--seed` overrides (the CLI `scenario`
+/// conventions).
+fn spec_from(flags: &Flags) -> Result<ScenarioSpec, String> {
+    let mut spec = match (flags.get("spec"), flags.get("name")) {
+        (Some(path), None) => {
+            let body =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            lora_scenario::from_json(&body).map_err(|e| format!("{path}: {e}"))?
+        }
+        (None, Some(name)) => catalog::scenario(name).ok_or_else(|| {
+            format!(
+                "unknown catalog scenario `{name}` (available: {})",
+                catalog::CATALOG.join(", ")
+            )
+        })?,
+        (Some(_), Some(_)) => return Err("--spec and --name are mutually exclusive".into()),
+        (None, None) => return Err("missing --spec FILE or --name CATALOG".into()),
+    };
+    if let Some(scale) = flags.get("scale") {
+        let factor: f64 = scale
+            .parse()
+            .map_err(|_| "flag --scale has an invalid value".to_string())?;
+        if !factor.is_finite() || factor <= 0.0 {
+            return Err("flag --scale must be a positive factor".into());
+        }
+        spec = catalog::scale_devices(&spec, factor);
+    }
+    if let Some(seed) = flags.get("seed") {
+        spec.seed = seed
+            .parse()
+            .map_err(|_| "flag --seed has an invalid value".to_string())?;
+    }
+    spec.validate().map_err(|e| e.to_string())?;
+    Ok(spec)
+}
+
+/// The daemon: `--spec FILE | --name CATALOG | --restore SNAPSHOT`,
+/// `[--scale F] [--seed N] [--strategy S] [--port P] [--snapshot PATH]`.
+///
+/// Binds `127.0.0.1:PORT` (port 0 — the default — picks an ephemeral
+/// port), prints `listening on ADDR` on stdout, and serves until a
+/// client sends `Shutdown`.
+///
+/// # Errors
+///
+/// Flag, scenario, allocation and bind failures, as strings.
+pub fn daemon_main(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &[])?;
+    let state = match flags.get("restore") {
+        Some(path) => {
+            let state = ServeState::restore_from_file(&PathBuf::from(path))?;
+            eprintln!(
+                "restored {} devices, {} events applied, from {path}",
+                state.device_count(),
+                state.events_applied()
+            );
+            state
+        }
+        None => {
+            let spec = spec_from(&flags)?;
+            let strategy = strategy_by_name(flags.get("strategy").unwrap_or("ef-lora"))?;
+            ServeState::new(spec, strategy.as_ref()).map_err(|e| e.to_string())?
+        }
+    };
+    let port: u16 = flags.parse_or("port", 0)?;
+    let listener = TcpListener::bind(("127.0.0.1", port))
+        .map_err(|e| format!("cannot bind 127.0.0.1:{port}: {e}"))?;
+    let addr = listener.local_addr().map_err(|e| e.to_string())?;
+    // Scraped by scripts and the smoke job; flush before blocking.
+    println!("listening on {addr}");
+    use std::io::Write;
+    std::io::stdout().flush().ok();
+    let options = ServerOptions {
+        snapshot_path: flags.get("snapshot").map(PathBuf::from),
+    };
+    serve(listener, state, &options).map_err(|e| format!("server error: {e}"))
+}
+
+/// The load generator: `--addr HOST:PORT [--events N] [--seed S]`
+/// `[--min-rate EVENTS_PER_SEC] [--snapshot] [--shutdown]`.
+///
+/// Prints the burst report as JSON on stdout. Exits with an error — the
+/// CI smoke assertion — on any protocol violation or when the sustained
+/// throughput falls below `--min-rate`.
+///
+/// # Errors
+///
+/// Flag, connection, protocol and throughput failures, as strings.
+pub fn loadgen_main(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &["snapshot", "shutdown"])?;
+    let addr = flags
+        .get("addr")
+        .ok_or_else(|| "missing --addr HOST:PORT".to_string())?;
+    let events: usize = flags.parse_or("events", 200)?;
+    let seed: u64 = flags.parse_or("seed", 1)?;
+    let min_rate: f64 = flags.parse_or("min-rate", 0.0)?;
+    let report = crate::loadgen::run_burst(
+        addr,
+        seed,
+        events,
+        flags.switch("snapshot"),
+        flags.switch("shutdown"),
+    )?;
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&report).expect("reports always serialize")
+    );
+    if report.events_per_sec < min_rate {
+        return Err(format!(
+            "throughput {:.0} events/s below required {min_rate:.0}",
+            report.events_per_sec
+        ));
+    }
+    Ok(())
+}

@@ -1,0 +1,19 @@
+//! `ef-lora-loadgen` — seeded churn client for `ef-lora-serve`.
+//!
+//! ```text
+//! ef-lora-loadgen --addr 127.0.0.1:7643 --events 500 --seed 7 --min-rate 1000
+//! ef-lora-loadgen --addr 127.0.0.1:7643 --events 50 --snapshot --shutdown
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match ef_lora_serve::app::loadgen_main(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! `ef-lora-serve` — the always-on allocation daemon.
+//!
+//! ```text
+//! ef-lora-serve --name churn-heavy --scale 0.2 --port 7643 --snapshot snap.json
+//! ef-lora-serve --restore snap.json --port 7643
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match ef_lora_serve::app::daemon_main(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Minimal `--flag value` parsing shared by the two binaries (the serve
+//! crate must stay std-only, and the CLI crate's parser lives behind a
+//! binary target).
+
+use std::collections::BTreeMap;
+
+/// Parsed `--flag value` pairs plus bare `--switch` flags.
+#[derive(Debug, Clone, Default)]
+pub struct Flags {
+    values: BTreeMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Flags {
+    /// Parses an argument list of `--flag value` pairs; the flags in
+    /// `switches` take no value.
+    ///
+    /// # Errors
+    ///
+    /// A message for a positional argument or a value-flag without a
+    /// value.
+    pub fn parse(args: &[String], switches: &[&str]) -> Result<Self, String> {
+        let mut flags = Flags::default();
+        let mut iter = args.iter();
+        while let Some(arg) = iter.next() {
+            let Some(name) = arg.strip_prefix("--") else {
+                return Err(format!("unexpected positional argument `{arg}`"));
+            };
+            if switches.contains(&name) {
+                flags.switches.push(name.to_string());
+            } else {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| format!("flag --{name} needs a value"))?;
+                flags.values.insert(name.to_string(), value.clone());
+            }
+        }
+        Ok(flags)
+    }
+
+    /// The value of `--name`, if present.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    /// Whether the bare switch `--name` was passed.
+    pub fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+
+    /// Parses `--name` as `T`, with a default when absent.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the flag on parse failure.
+    pub fn parse_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("flag --{name} has an invalid value `{raw}`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_pairs_switches_and_defaults() {
+        let flags = Flags::parse(
+            &s(&["--port", "7643", "--shutdown", "--name", "churn-heavy"]),
+            &["shutdown"],
+        )
+        .unwrap();
+        assert_eq!(flags.get("name"), Some("churn-heavy"));
+        assert!(flags.switch("shutdown"));
+        assert!(!flags.switch("snapshot"));
+        assert_eq!(flags.parse_or("port", 0u16).unwrap(), 7643);
+        assert_eq!(flags.parse_or("events", 100usize).unwrap(), 100);
+        assert!(flags.parse_or("port", 0u8).is_err());
+    }
+
+    #[test]
+    fn rejects_positionals_and_missing_values() {
+        assert!(Flags::parse(&s(&["serve"]), &[]).is_err());
+        assert!(Flags::parse(&s(&["--port"]), &[]).is_err());
+    }
+}

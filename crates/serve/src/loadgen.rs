@@ -1,0 +1,274 @@
+//! Seeded load generator: drives a running daemon with a deterministic
+//! churn stream and reports request latencies.
+//!
+//! The event *sequence* is a pure function of the seed (and the class
+//! list the daemon advertises), so soak runs are replayable; only the
+//! measured latencies vary between runs.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+use serde::Serialize;
+
+use lora_scenario::spec::{ChurnEvent, ChurnKind};
+
+use crate::protocol::{decode, encode, Request, Response};
+
+/// Seed tag of the load-generator stream ("loadgen").
+const LOADGEN_TAG: u64 = 0x6c6f_6164_6765_6e00;
+
+/// Latency percentiles of a burst, microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct LatencyProfile {
+    /// Median request latency.
+    pub p50_us: f64,
+    /// 95th-percentile latency.
+    pub p95_us: f64,
+    /// 99th-percentile latency — the repair-latency headline.
+    pub p99_us: f64,
+    /// Worst observed latency.
+    pub max_us: f64,
+}
+
+/// Outcome of one load-generation burst.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct LoadReport {
+    /// Churn events acknowledged by the daemon.
+    pub events: usize,
+    /// Devices joined across the burst.
+    pub joined: usize,
+    /// Devices left across the burst.
+    pub left: usize,
+    /// Devices migrated across the burst.
+    pub migrated: usize,
+    /// Over-the-air reconfigurations across the burst.
+    pub reconfigured: usize,
+    /// Typed warnings the daemon surfaced (clamped leaves).
+    pub warnings: usize,
+    /// Sustained event throughput, events per second.
+    pub events_per_sec: f64,
+    /// Per-request latency percentiles.
+    pub latency: LatencyProfile,
+}
+
+/// Generates the deterministic event stream of `seed`: joins, leaves and
+/// migrations with small counts, epoch-stamped by position.
+pub fn generate_events(seed: u64, count: usize, classes: &[String]) -> Vec<ChurnEvent> {
+    let mut rng = ChaCha12Rng::seed_from_u64(seed ^ LOADGEN_TAG);
+    (0..count)
+        .map(|i| {
+            let kind = if classes.is_empty() {
+                // No classes to join into or migrate between: all leaves.
+                4
+            } else {
+                rng.gen_range(0..10)
+            };
+            let event = match kind {
+                // 40% joins, 40% leaves, 20% migrations: population-
+                // neutral in expectation, so long soaks hold steady
+                // state instead of inflating the deployment (and with it
+                // the per-event cost).
+                0..=3 => ChurnKind::Join {
+                    class: classes[rng.gen_range(0..classes.len())].clone(),
+                    count: rng.gen_range(1..=4),
+                },
+                4..=7 => ChurnKind::Leave {
+                    count: rng.gen_range(1..=4),
+                },
+                _ => ChurnKind::Migrate {
+                    from: classes[rng.gen_range(0..classes.len())].clone(),
+                    to: classes[rng.gen_range(0..classes.len())].clone(),
+                    count: rng.gen_range(1..=4),
+                },
+            };
+            ChurnEvent {
+                epoch: i as u32 + 1,
+                event,
+            }
+        })
+        .collect()
+}
+
+/// Connects to `addr`, retrying until `timeout` elapses — the daemon may
+/// still be allocating its initial deployment.
+///
+/// # Errors
+///
+/// The last connection error once the timeout is exhausted.
+pub fn connect_with_retry(addr: &str, timeout: Duration) -> Result<TcpStream, String> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(stream) => return Ok(stream),
+            Err(e) if Instant::now() < deadline => {
+                let _ = e;
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(e) => return Err(format!("cannot connect to {addr}: {e}")),
+        }
+    }
+}
+
+/// One protocol round trip.
+fn round_trip(
+    writer: &mut BufWriter<TcpStream>,
+    reader: &mut BufReader<TcpStream>,
+    request: &Request,
+) -> Result<Response, String> {
+    writer
+        .write_all(encode(request).as_bytes())
+        .and_then(|()| writer.write_all(b"\n"))
+        .and_then(|()| writer.flush())
+        .map_err(|e| format!("write failed: {e}"))?;
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| format!("read failed: {e}"))?;
+    if line.is_empty() {
+        return Err("daemon closed the connection".to_string());
+    }
+    decode(&line)
+}
+
+fn percentile(sorted_us: &[f64], q: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted_us.len() as f64).ceil() as usize).clamp(1, sorted_us.len());
+    sorted_us[rank - 1]
+}
+
+/// Drives `events` churn events against the daemon at `addr` and
+/// collects latency percentiles. `snapshot` additionally requests an
+/// on-disk snapshot after the burst; `shutdown` asks the daemon to exit.
+///
+/// # Errors
+///
+/// Connection failures and any protocol violation — an unexpected or
+/// `Error` response to a well-formed request (the load generator's exit
+/// code is the CI smoke assertion).
+pub fn run_burst(
+    addr: &str,
+    seed: u64,
+    events: usize,
+    snapshot: bool,
+    shutdown: bool,
+) -> Result<LoadReport, String> {
+    let stream = connect_with_retry(addr, Duration::from_secs(10))?;
+    stream
+        .set_nodelay(true)
+        .map_err(|e| format!("set_nodelay: {e}"))?;
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let mut writer = BufWriter::new(stream);
+
+    let classes = match round_trip(&mut writer, &mut reader, &Request::Info)? {
+        Response::Info { classes, .. } => classes,
+        other => return Err(format!("expected Info response, got {other:?}")),
+    };
+
+    let stream_events = generate_events(seed, events, &classes);
+    let mut report = LoadReport {
+        events: 0,
+        joined: 0,
+        left: 0,
+        migrated: 0,
+        reconfigured: 0,
+        warnings: 0,
+        events_per_sec: 0.0,
+        latency: LatencyProfile {
+            p50_us: 0.0,
+            p95_us: 0.0,
+            p99_us: 0.0,
+            max_us: 0.0,
+        },
+    };
+    let mut latencies_us: Vec<f64> = Vec::with_capacity(events);
+    let burst_start = Instant::now();
+    for event in &stream_events {
+        let start = Instant::now();
+        let response = round_trip(&mut writer, &mut reader, &Request::Churn(event.clone()))?;
+        latencies_us.push(start.elapsed().as_secs_f64() * 1e6);
+        match response {
+            Response::Churned {
+                joined,
+                left,
+                migrated,
+                reconfigured,
+                warning,
+                ..
+            } => {
+                report.events += 1;
+                report.joined += joined;
+                report.left += left;
+                report.migrated += migrated;
+                report.reconfigured += reconfigured;
+                report.warnings += usize::from(warning.is_some());
+            }
+            other => return Err(format!("expected Churned response, got {other:?}")),
+        }
+    }
+    let elapsed = burst_start.elapsed().as_secs_f64();
+    report.events_per_sec = if elapsed > 0.0 {
+        report.events as f64 / elapsed
+    } else {
+        0.0
+    };
+    latencies_us.sort_by(|a, b| a.total_cmp(b));
+    report.latency = LatencyProfile {
+        p50_us: percentile(&latencies_us, 0.50),
+        p95_us: percentile(&latencies_us, 0.95),
+        p99_us: percentile(&latencies_us, 0.99),
+        max_us: latencies_us.last().copied().unwrap_or(0.0),
+    };
+
+    if snapshot {
+        match round_trip(&mut writer, &mut reader, &Request::Snapshot)? {
+            Response::Snapshotted { .. } => {}
+            other => return Err(format!("expected Snapshotted response, got {other:?}")),
+        }
+    }
+    if shutdown {
+        match round_trip(&mut writer, &mut reader, &Request::Shutdown)? {
+            Response::ShuttingDown => {}
+            other => return Err(format!("expected ShuttingDown response, got {other:?}")),
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_stream_is_seed_deterministic() {
+        let classes = vec!["steady".to_string(), "bursty".to_string()];
+        let a = generate_events(9, 50, &classes);
+        let b = generate_events(9, 50, &classes);
+        assert_eq!(a, b);
+        let c = generate_events(10, 50, &classes);
+        assert_ne!(a, c);
+        for (i, e) in a.iter().enumerate() {
+            assert_eq!(e.epoch, i as u32 + 1);
+        }
+    }
+
+    #[test]
+    fn empty_class_list_degrades_to_leaves() {
+        for event in generate_events(3, 20, &[]) {
+            assert!(matches!(event.event, ChurnKind::Leave { .. }));
+        }
+    }
+
+    #[test]
+    fn percentiles_pick_the_right_ranks() {
+        let sorted: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&sorted, 0.50), 50.0);
+        assert_eq!(percentile(&sorted, 0.95), 95.0);
+        assert_eq!(percentile(&sorted, 0.99), 99.0);
+        assert_eq!(percentile(&[], 0.99), 0.0);
+    }
+}

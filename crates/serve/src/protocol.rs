@@ -1,0 +1,224 @@
+//! The JSON-lines wire protocol.
+//!
+//! One request per line, one response per line, both externally-tagged
+//! serde enums. Churn rides on the [`lora_scenario::spec::ChurnEvent`]
+//! timeline type verbatim, so a scenario file's churn section can be
+//! replayed against a live daemon unchanged:
+//!
+//! ```text
+//! → "Ping"
+//! ← "Pong"
+//! → {"Churn": {"epoch": 1, "event": {"Join": {"class": "bursty", "count": 5}}}}
+//! ← {"Churned": {"joined": 5, ... "min_ee": 93.1, "warning": null}}
+//! → {"Device": {"index": 3}}
+//! ← {"Device": {"index": 3, "config": {"sf": "SF8", "tp": ..., "channel": 1}}}
+//! ```
+//!
+//! Every error is an in-band `{"Error": {"message": ...}}` response; the
+//! connection stays open.
+
+use serde::{Deserialize, Serialize};
+
+use lora_phy::TxConfig;
+use lora_scenario::churn::ChurnWarning;
+use lora_scenario::spec::ChurnEvent;
+
+/// A client request, one JSON object (or string, for unit variants) per
+/// line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Scenario identity and population counters.
+    Info,
+    /// Apply one churn event through the incremental allocator.
+    Churn(ChurnEvent),
+    /// Current [`TxConfig`] of one device.
+    Device {
+        /// Device index into the live population.
+        index: usize,
+    },
+    /// Analytical-model fairness metrics of the live allocation.
+    Metrics,
+    /// Degradation-detection status of the resilience controller.
+    Status,
+    /// Run one measurement window through the simulator, feed it to the
+    /// resilience controller, and auto-repair on
+    /// [`ef_lora::resilience::Decision::Reallocate`].
+    Measure,
+    /// Write a crash-recovery snapshot to the daemon's configured
+    /// snapshot path.
+    Snapshot,
+    /// Snapshot (if configured) and exit cleanly.
+    Shutdown,
+}
+
+/// A server response, one per request, in order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// Reply to [`Request::Ping`].
+    Pong,
+    /// Reply to [`Request::Info`].
+    Info {
+        /// Scenario name the daemon was loaded from.
+        scenario: String,
+        /// Live device count.
+        devices: usize,
+        /// Gateway count.
+        gateways: usize,
+        /// Device-class names (valid `Join`/`Migrate` targets).
+        classes: Vec<String>,
+        /// Churn events applied since the scenario was loaded
+        /// (snapshot-restored counters included).
+        events_applied: u64,
+        /// Measurement windows observed.
+        windows_observed: u64,
+    },
+    /// Reply to [`Request::Churn`].
+    Churned {
+        /// Devices that joined.
+        joined: usize,
+        /// Devices that left.
+        left: usize,
+        /// Devices that migrated classes.
+        migrated: usize,
+        /// Pre-existing devices reconfigured over the air.
+        reconfigured: usize,
+        /// Candidate configurations the allocator examined.
+        candidates_evaluated: u64,
+        /// Model minimum EE after the event, bits/mJ; `None` for a
+        /// no-op event.
+        min_ee: Option<f64>,
+        /// Typed warning (e.g. a clamped `Leave`), if any.
+        warning: Option<ChurnWarning>,
+    },
+    /// Reply to [`Request::Device`].
+    Device {
+        /// Echoed device index.
+        index: usize,
+        /// The device's current transmission configuration.
+        config: TxConfig,
+    },
+    /// Reply to [`Request::Metrics`].
+    Metrics {
+        /// Live device count.
+        devices: usize,
+        /// Analytical-model minimum EE, bits/mJ.
+        min_ee: f64,
+        /// Analytical-model mean EE, bits/mJ.
+        mean_ee: f64,
+        /// Jain fairness index of the model per-device EE.
+        jain: f64,
+    },
+    /// Reply to [`Request::Status`].
+    Status {
+        /// Healthy-baseline minimum EE the controller compares against.
+        baseline_min_ee: Option<f64>,
+        /// Consecutive degraded windows so far.
+        streak: u32,
+        /// Cooldown windows remaining before another recovery may fire.
+        cooldown: u32,
+        /// Measurement windows observed.
+        windows_observed: u64,
+        /// Last decision, as a debug string (`"Healthy"` before any
+        /// window).
+        last_decision: String,
+    },
+    /// Reply to [`Request::Measure`].
+    Measured {
+        /// Measured minimum EE of the window, bits/mJ.
+        min_ee: f64,
+        /// Measured mean EE, bits/mJ.
+        mean_ee: f64,
+        /// Jain fairness index of measured per-device EE.
+        jain: f64,
+        /// Mean packet reception ratio.
+        mean_prr: f64,
+        /// Controller decision, as a debug string.
+        decision: String,
+        /// Gateways the outage counters implicate.
+        suspects: Vec<usize>,
+        /// Devices reconfigured by an auto-repair (0 unless the
+        /// decision was `Reallocate`).
+        reconfigured: usize,
+    },
+    /// Reply to [`Request::Snapshot`].
+    Snapshotted {
+        /// Path the snapshot was written to.
+        path: String,
+    },
+    /// Reply to [`Request::Shutdown`]; the daemon exits after sending.
+    ShuttingDown,
+    /// Any request-level failure; the connection stays usable.
+    Error {
+        /// Human-readable reason.
+        message: String,
+    },
+}
+
+/// Serializes a message as one protocol line (no trailing newline).
+pub fn encode<T: Serialize>(message: &T) -> String {
+    serde_json::to_string(message).expect("protocol messages always serialize")
+}
+
+/// Parses one protocol line.
+///
+/// # Errors
+///
+/// A human-readable description of the JSON or schema violation.
+pub fn decode<T: Deserialize>(line: &str) -> Result<T, String> {
+    serde_json::from_str(line).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lora_scenario::spec::ChurnKind;
+
+    #[test]
+    fn requests_round_trip() {
+        let requests = vec![
+            Request::Ping,
+            Request::Info,
+            Request::Churn(ChurnEvent {
+                epoch: 3,
+                event: ChurnKind::Join {
+                    class: "bursty".into(),
+                    count: 7,
+                },
+            }),
+            Request::Device { index: 5 },
+            Request::Metrics,
+            Request::Status,
+            Request::Measure,
+            Request::Snapshot,
+            Request::Shutdown,
+        ];
+        for request in requests {
+            let line = encode(&request);
+            assert!(!line.contains('\n'), "one line per message: {line}");
+            let back: Request = decode(&line).unwrap();
+            assert_eq!(back, request);
+        }
+    }
+
+    #[test]
+    fn churn_wire_schema_is_the_scenario_timeline_type() {
+        // A scenario file's churn entry parses as the wire payload.
+        let line = r#"{"Churn":{"epoch":1,"event":{"Leave":{"count":4}}}}"#;
+        let request: Request = decode(line).unwrap();
+        assert_eq!(
+            request,
+            Request::Churn(ChurnEvent {
+                epoch: 1,
+                event: ChurnKind::Leave { count: 4 },
+            })
+        );
+    }
+
+    #[test]
+    fn decode_reports_schema_violations() {
+        assert!(decode::<Request>("{not json").is_err());
+        assert!(decode::<Request>(r#"{"Frobnicate":{}}"#).is_err());
+    }
+}

@@ -1,0 +1,169 @@
+//! The TCP accept loop: JSON-lines requests in, responses out.
+//!
+//! Deliberately `std::net`-only and single-threaded: connections are
+//! served strictly in accept order and requests in arrival order, so the
+//! daemon's behaviour is a pure function of the request sequence — the
+//! property the snapshot/restore and determinism tests lean on.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+
+use crate::protocol::{decode, encode, Request, Response};
+use crate::state::{decision_label, ServeState};
+
+/// Server behaviour knobs.
+#[derive(Debug, Clone, Default)]
+pub struct ServerOptions {
+    /// Snapshot path: written on `Shutdown` and on every `Snapshot`
+    /// request. `None` disables snapshotting.
+    pub snapshot_path: Option<PathBuf>,
+}
+
+/// Runs the accept loop until a client sends `Shutdown`.
+///
+/// Each connection is read line by line; every line produces exactly one
+/// response line. Malformed lines produce an in-band
+/// [`Response::Error`] and the connection stays open; a dropped
+/// connection returns the loop to `accept`.
+///
+/// # Errors
+///
+/// Fatal I/O errors from the listener itself (per-connection errors are
+/// swallowed into the next accept).
+pub fn serve(
+    listener: TcpListener,
+    mut state: ServeState,
+    options: &ServerOptions,
+) -> std::io::Result<()> {
+    loop {
+        let (stream, _) = listener.accept()?;
+        match handle_connection(stream, &mut state, options) {
+            Ok(true) => {
+                if let Some(path) = &options.snapshot_path {
+                    if let Err(e) = state.snapshot_to_file(path) {
+                        eprintln!("shutdown snapshot failed: {e}");
+                    }
+                }
+                return Ok(());
+            }
+            Ok(false) => {}
+            Err(e) => eprintln!("connection error: {e}"),
+        }
+    }
+}
+
+/// Serves one connection; `Ok(true)` means a clean `Shutdown` was
+/// requested.
+fn handle_connection(
+    stream: TcpStream,
+    state: &mut ServeState,
+    options: &ServerOptions,
+) -> std::io::Result<bool> {
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, shutdown) = match decode::<Request>(&line) {
+            Ok(request) => respond(state, options, request),
+            Err(message) => (
+                Response::Error {
+                    message: format!("malformed request: {message}"),
+                },
+                false,
+            ),
+        };
+        writer.write_all(encode(&response).as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        if shutdown {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+/// Maps one request to its response; the bool requests shutdown.
+fn respond(state: &mut ServeState, options: &ServerOptions, request: Request) -> (Response, bool) {
+    let response = match request {
+        Request::Ping => Response::Pong,
+        Request::Info => Response::Info {
+            scenario: state.scenario_name().to_string(),
+            devices: state.device_count(),
+            gateways: state.gateway_count(),
+            classes: state.class_names(),
+            events_applied: state.events_applied(),
+            windows_observed: state.windows_observed(),
+        },
+        Request::Churn(event) => match state.apply_churn(&event) {
+            Ok(outcome) => Response::Churned {
+                joined: outcome.joined,
+                left: outcome.left,
+                migrated: outcome.migrated,
+                reconfigured: outcome.reconfigured,
+                candidates_evaluated: outcome.candidates_evaluated,
+                min_ee: outcome.min_ee,
+                warning: outcome.warning,
+            },
+            Err(e) => Response::Error {
+                message: e.to_string(),
+            },
+        },
+        Request::Device { index } => match state.device(index) {
+            Ok(config) => Response::Device { index, config },
+            Err(message) => Response::Error { message },
+        },
+        Request::Metrics => {
+            let [min_ee, mean_ee, jain] = state.model_metrics();
+            Response::Metrics {
+                devices: state.device_count(),
+                min_ee,
+                mean_ee,
+                jain,
+            }
+        }
+        Request::Status => Response::Status {
+            baseline_min_ee: state.controller().baseline_min_ee(),
+            streak: state.controller().streak(),
+            cooldown: state.controller().cooldown(),
+            windows_observed: state.windows_observed(),
+            last_decision: state.last_decision().to_string(),
+        },
+        Request::Measure => match state.measure() {
+            Ok(outcome) => {
+                let suspects = match &outcome.decision {
+                    ef_lora::Decision::Healthy => Vec::new(),
+                    ef_lora::Decision::Degraded { suspects }
+                    | ef_lora::Decision::Reallocate { suspects } => suspects.clone(),
+                };
+                Response::Measured {
+                    min_ee: outcome.metrics[0],
+                    mean_ee: outcome.metrics[1],
+                    jain: outcome.metrics[2],
+                    mean_prr: outcome.metrics[3],
+                    decision: decision_label(&outcome.decision),
+                    suspects,
+                    reconfigured: outcome.reconfigured,
+                }
+            }
+            Err(message) => Response::Error { message },
+        },
+        Request::Snapshot => match &options.snapshot_path {
+            Some(path) => match state.snapshot_to_file(path) {
+                Ok(()) => Response::Snapshotted {
+                    path: path.display().to_string(),
+                },
+                Err(message) => Response::Error { message },
+            },
+            None => Response::Error {
+                message: "no snapshot path configured (start with --snapshot PATH)".to_string(),
+            },
+        },
+        Request::Shutdown => Response::ShuttingDown,
+    };
+    let shutdown = response == Response::ShuttingDown;
+    (response, shutdown)
+}

@@ -1,0 +1,528 @@
+//! The daemon's in-memory state: live population, allocation, resilience
+//! controller and counters, plus snapshot/restore for crash recovery.
+
+use serde::{Deserialize, Serialize};
+
+use ef_lora::resilience::{reallocate_masked, Decision, ResilienceConfig, ResilienceController};
+use ef_lora::{AllocationContext, Strategy};
+use lora_model::NetworkModel;
+use lora_phy::TxConfig;
+use lora_scenario::churn::{self, apply_event, refresh_intervals, ChurnContext, EventOutcome};
+use lora_scenario::spec::{ChurnEvent, ClassSpec};
+use lora_scenario::{compile, Population, ScenarioError, ScenarioSpec};
+use lora_sim::{DeviceSite, Position, SimConfig, SimReport, Simulation, Topology};
+
+/// Schema tag written into every snapshot file.
+pub const SNAPSHOT_SCHEMA: &str = "ef-lora-serve/v1";
+
+/// Seed tag of the per-window measurement stream ("mwindow").
+const WINDOW_TAG: u64 = 0x6d77_696e_646f_7700;
+
+/// Result of one measurement window (see [`ServeState::measure`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowOutcome {
+    /// Measured `[min_ee, mean_ee, jain, mean_prr]` of the window.
+    pub metrics: [f64; 4],
+    /// The controller's decision for the window.
+    pub decision: Decision,
+    /// Devices reconfigured by the auto-repair (0 unless the decision
+    /// was [`Decision::Reallocate`]).
+    pub reconfigured: usize,
+}
+
+/// Everything the daemon holds in memory.
+///
+/// The state is deliberately single-threaded: the server applies churn,
+/// queries and measurement windows strictly in arrival order, which is
+/// what makes a snapshot a consistent cut and every run replayable.
+#[derive(Debug, Clone)]
+pub struct ServeState {
+    spec: ScenarioSpec,
+    classes: Vec<ClassSpec>,
+    gateways: Vec<Position>,
+    radius_m: f64,
+    config: SimConfig,
+    pop: Population,
+    controller: ResilienceController,
+    events_applied: u64,
+    windows_observed: u64,
+    last_decision: String,
+}
+
+/// On-disk crash-recovery image of a [`ServeState`].
+///
+/// Includes the resilience baseline and detection counters so a daemon
+/// restarted in the middle of a fault still compares windows against the
+/// *healthy* minimum EE instead of adopting the degraded one — the
+/// failure mode `ResilienceController::new`'s lazy capture would hit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Format tag; always [`SNAPSHOT_SCHEMA`].
+    pub schema: String,
+    /// The scenario the daemon was loaded from.
+    pub spec: ScenarioSpec,
+    /// Simulator configuration (intervals refreshed for the live
+    /// population).
+    pub config: SimConfig,
+    /// Gateway positions.
+    pub gateways: Vec<Position>,
+    /// Region radius in metres.
+    pub radius_m: f64,
+    /// Live device sites.
+    pub sites: Vec<DeviceSite>,
+    /// Per-device class indices.
+    pub class_of: Vec<usize>,
+    /// Live allocation.
+    pub alloc: Vec<TxConfig>,
+    /// Healthy-baseline minimum EE of the resilience controller.
+    pub baseline_min_ee: Option<f64>,
+    /// Degraded-window streak of the controller.
+    pub streak: u32,
+    /// Cooldown windows remaining.
+    pub cooldown: u32,
+    /// Churn events applied so far (also the churn-stream cursor).
+    pub events_applied: u64,
+    /// Measurement windows observed so far (also the window-seed
+    /// cursor).
+    pub windows_observed: u64,
+    /// Last controller decision, as a debug string.
+    pub last_decision: String,
+}
+
+impl ServeState {
+    /// Compiles `spec`, allocates the initial deployment with
+    /// `strategy`, and seeds the resilience controller's baseline from
+    /// the allocation-time model minimum EE (explicit injection — see
+    /// [`ResilienceController::with_baseline`]).
+    ///
+    /// # Errors
+    ///
+    /// Compilation and allocation failures, verbatim.
+    pub fn new(spec: ScenarioSpec, strategy: &dyn Strategy) -> Result<Self, ScenarioError> {
+        let compiled = compile(&spec)?;
+        let classes = compiled.spec.effective_classes();
+        let gateways = compiled.topology.gateways().to_vec();
+        let radius_m = compiled.topology.radius_m();
+        let mut config = compiled.config.clone();
+        let mut pop = Population {
+            sites: compiled.topology.devices().to_vec(),
+            class_of: compiled.class_of.clone(),
+            alloc: Vec::new(),
+        };
+        refresh_intervals(&mut config, &pop.class_of, &classes);
+        let topology = Topology::from_sites(pop.sites.clone(), gateways.clone(), radius_m);
+        let model = NetworkModel::new(&config, &topology);
+        let ctx = AllocationContext::new(&config, &topology, &model);
+        pop.alloc = strategy.allocate(&ctx)?.into_inner();
+        let baseline = ef_lora::fairness::min_ee(&model.evaluate(&pop.alloc));
+        Ok(ServeState {
+            spec,
+            classes,
+            gateways,
+            radius_m,
+            config,
+            pop,
+            controller: ResilienceController::with_baseline(ResilienceConfig::default(), baseline),
+            events_applied: 0,
+            windows_observed: 0,
+            last_decision: "Healthy".to_string(),
+        })
+    }
+
+    /// Scenario name the daemon serves.
+    pub fn scenario_name(&self) -> &str {
+        &self.spec.name
+    }
+
+    /// Live device count.
+    pub fn device_count(&self) -> usize {
+        self.pop.device_count()
+    }
+
+    /// Gateway count.
+    pub fn gateway_count(&self) -> usize {
+        self.gateways.len()
+    }
+
+    /// Device-class names, in class-index order.
+    pub fn class_names(&self) -> Vec<String> {
+        self.classes.iter().map(|c| c.name.clone()).collect()
+    }
+
+    /// Churn events applied since load (snapshot-restored included).
+    pub fn events_applied(&self) -> u64 {
+        self.events_applied
+    }
+
+    /// Measurement windows observed since load.
+    pub fn windows_observed(&self) -> u64 {
+        self.windows_observed
+    }
+
+    /// Last controller decision, as a debug string.
+    pub fn last_decision(&self) -> &str {
+        &self.last_decision
+    }
+
+    /// The resilience controller (baseline, streak, cooldown).
+    pub fn controller(&self) -> &ResilienceController {
+        &self.controller
+    }
+
+    /// Current configuration of device `index`.
+    ///
+    /// # Errors
+    ///
+    /// A message when the index is out of range.
+    pub fn device(&self, index: usize) -> Result<TxConfig, String> {
+        self.pop.alloc.get(index).copied().ok_or_else(|| {
+            format!(
+                "device index {index} out of range (population is {})",
+                self.pop.device_count()
+            )
+        })
+    }
+
+    /// Analytical-model `[min_ee, mean_ee, jain]` of the live
+    /// allocation, bits/mJ.
+    pub fn model_metrics(&self) -> [f64; 3] {
+        let topology =
+            Topology::from_sites(self.pop.sites.clone(), self.gateways.clone(), self.radius_m);
+        let model = NetworkModel::new(&self.config, &topology);
+        let ee = model.evaluate(&self.pop.alloc);
+        let n = ee.len().max(1) as f64;
+        let sum: f64 = ee.iter().sum();
+        let sum_sq: f64 = ee.iter().map(|x| x * x).sum();
+        let jain = if sum_sq > 0.0 {
+            sum * sum / (n * sum_sq)
+        } else {
+            0.0
+        };
+        [ef_lora::fairness::min_ee(&ee), sum / n, jain]
+    }
+
+    /// Applies one churn event through the incremental allocator.
+    ///
+    /// The event's random draws come from per-event streams derived from
+    /// the scenario seed and the events-applied counter
+    /// ([`churn::event_churn_rng`] / [`churn::event_join_seed`]), so a
+    /// daemon restored from a snapshot continues the exact sequence a
+    /// never-restarted daemon would have produced.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ScenarioError`] from the churn module; the state is
+    /// unchanged on error except for a partially-validated event (the
+    /// churn module mutates only after validation).
+    pub fn apply_churn(&mut self, event: &ChurnEvent) -> Result<EventOutcome, ScenarioError> {
+        let ctx = ChurnContext {
+            classes: &self.classes,
+            spatial: &self.spec.spatial,
+            gateways: &self.gateways,
+            radius_m: self.radius_m,
+        };
+        let mut rng = churn::event_churn_rng(self.spec.seed, self.events_applied);
+        let join_seed = churn::event_join_seed(self.spec.seed, self.events_applied);
+        let incremental = ef_lora::IncrementalAllocator::new();
+        let outcome = apply_event(
+            &ctx,
+            &mut self.config,
+            &mut self.pop,
+            &incremental,
+            event,
+            &mut rng,
+            join_seed,
+        )?;
+        self.events_applied += 1;
+        Ok(outcome)
+    }
+
+    /// Runs one deterministic measurement window through the simulator,
+    /// feeds the report to the resilience controller, and — on
+    /// [`Decision::Reallocate`] — repairs the allocation with the
+    /// suspect gateways masked out of the link budget.
+    ///
+    /// # Errors
+    ///
+    /// Simulator construction and repair failures, as strings (the wire
+    /// error payload).
+    pub fn measure(&mut self) -> Result<WindowOutcome, String> {
+        let topology =
+            Topology::from_sites(self.pop.sites.clone(), self.gateways.clone(), self.radius_m);
+        let mut cfg = self.config.clone();
+        cfg.seed = self.config.seed ^ WINDOW_TAG ^ (self.windows_observed << 16);
+        let sim = Simulation::new(cfg, topology.clone(), self.pop.alloc.clone())
+            .map_err(|e| e.to_string())?;
+        let report = sim.run();
+        self.windows_observed += 1;
+        Ok(self.ingest_window(&report, &topology))
+    }
+
+    /// Feeds one report window to the controller and auto-repairs on
+    /// [`Decision::Reallocate`]. Split from [`ServeState::measure`] so
+    /// tests (and future external-telemetry endpoints) can inject
+    /// hand-built windows.
+    pub fn ingest_window(&mut self, report: &SimReport, topology: &Topology) -> WindowOutcome {
+        let decision = self.controller.observe(report);
+        self.last_decision = decision_label(&decision);
+        let mut reconfigured = 0;
+        if let Decision::Reallocate { suspects } = &decision {
+            if let Ok(outcome) =
+                reallocate_masked(&self.config, topology, &self.pop.alloc, suspects)
+            {
+                reconfigured = outcome.reconfigured;
+                self.pop.alloc = outcome.allocation.into_inner();
+            }
+        }
+        WindowOutcome {
+            metrics: [
+                report.min_energy_efficiency_bits_per_mj(),
+                report.mean_energy_efficiency_bits_per_mj(),
+                report.jain_fairness(),
+                report.mean_prr(),
+            ],
+            decision,
+            reconfigured,
+        }
+    }
+
+    /// Builds the crash-recovery image of the current state.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            schema: SNAPSHOT_SCHEMA.to_string(),
+            spec: self.spec.clone(),
+            config: self.config.clone(),
+            gateways: self.gateways.clone(),
+            radius_m: self.radius_m,
+            sites: self.pop.sites.clone(),
+            class_of: self.pop.class_of.clone(),
+            alloc: self.pop.alloc.clone(),
+            baseline_min_ee: self.controller.baseline_min_ee(),
+            streak: self.controller.streak(),
+            cooldown: self.controller.cooldown(),
+            events_applied: self.events_applied,
+            windows_observed: self.windows_observed,
+            last_decision: self.last_decision.clone(),
+        }
+    }
+
+    /// Rebuilds a state from a crash-recovery image. The resilience
+    /// controller resumes with the snapshotted baseline and detection
+    /// counters ([`ResilienceController::restore`]), so degradation
+    /// present *before* the crash is still detected against the healthy
+    /// baseline after the restart.
+    ///
+    /// # Errors
+    ///
+    /// A message for a wrong schema tag or inconsistent vector lengths.
+    pub fn restore(snapshot: Snapshot) -> Result<Self, String> {
+        if snapshot.schema != SNAPSHOT_SCHEMA {
+            return Err(format!(
+                "snapshot schema `{}` is not `{SNAPSHOT_SCHEMA}`",
+                snapshot.schema
+            ));
+        }
+        let n = snapshot.sites.len();
+        if snapshot.class_of.len() != n || snapshot.alloc.len() != n {
+            return Err(format!(
+                "snapshot population vectors disagree: {} sites, {} classes, {} configs",
+                n,
+                snapshot.class_of.len(),
+                snapshot.alloc.len()
+            ));
+        }
+        let classes = snapshot.spec.effective_classes();
+        Ok(ServeState {
+            classes,
+            gateways: snapshot.gateways,
+            radius_m: snapshot.radius_m,
+            config: snapshot.config,
+            pop: Population {
+                sites: snapshot.sites,
+                class_of: snapshot.class_of,
+                alloc: snapshot.alloc,
+            },
+            controller: ResilienceController::restore(
+                ResilienceConfig::default(),
+                snapshot.baseline_min_ee,
+                snapshot.streak,
+                snapshot.cooldown,
+            ),
+            events_applied: snapshot.events_applied,
+            windows_observed: snapshot.windows_observed,
+            last_decision: snapshot.last_decision,
+            spec: snapshot.spec,
+        })
+    }
+
+    /// Serializes a snapshot to `path` (pretty JSON, trailing newline).
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors, as strings.
+    pub fn snapshot_to_file(&self, path: &std::path::Path) -> Result<(), String> {
+        let body =
+            serde_json::to_string_pretty(&self.snapshot()).expect("snapshots always serialize");
+        std::fs::write(path, format!("{body}\n"))
+            .map_err(|e| format!("cannot write snapshot {}: {e}", path.display()))
+    }
+
+    /// Loads a snapshot file written by [`ServeState::snapshot_to_file`].
+    ///
+    /// # Errors
+    ///
+    /// Filesystem, JSON and schema violations, as strings.
+    pub fn restore_from_file(path: &std::path::Path) -> Result<Self, String> {
+        let body = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read snapshot {}: {e}", path.display()))?;
+        let snapshot: Snapshot =
+            serde_json::from_str(&body).map_err(|e| format!("snapshot {}: {e}", path.display()))?;
+        ServeState::restore(snapshot)
+    }
+}
+
+/// The wire label of a decision (`Debug` without the payload).
+pub fn decision_label(decision: &Decision) -> String {
+    match decision {
+        Decision::Healthy => "Healthy".to_string(),
+        Decision::Degraded { .. } => "Degraded".to_string(),
+        Decision::Reallocate { .. } => "Reallocate".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ef_lora::EfLora;
+    use lora_scenario::catalog;
+    use lora_scenario::spec::ChurnKind;
+    use lora_sim::report::DeviceStats;
+
+    fn smoke_state() -> ServeState {
+        let spec = catalog::scale_devices(&catalog::churn_heavy(), 0.15);
+        ServeState::new(spec, &EfLora::default()).unwrap()
+    }
+
+    fn join(count: usize) -> ChurnEvent {
+        ChurnEvent {
+            epoch: 1,
+            event: ChurnKind::Join {
+                class: "bursty".into(),
+                count,
+            },
+        }
+    }
+
+    #[test]
+    fn baseline_is_injected_at_construction() {
+        let state = smoke_state();
+        let baseline = state.controller().baseline_min_ee().unwrap();
+        assert!(baseline > 0.0);
+        assert_eq!(baseline, state.model_metrics()[0]);
+    }
+
+    #[test]
+    fn churn_moves_the_population_and_counters() {
+        let mut state = smoke_state();
+        let before = state.device_count();
+        let outcome = state.apply_churn(&join(4)).unwrap();
+        assert_eq!(outcome.joined, 4);
+        assert_eq!(state.device_count(), before + 4);
+        assert_eq!(state.events_applied(), 1);
+        assert!(state.device(before + 3).is_ok());
+        assert!(state.device(before + 4).is_err());
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_queries() {
+        let mut state = smoke_state();
+        for i in 0..6u32 {
+            let event = ChurnEvent {
+                epoch: i + 1,
+                event: if i % 2 == 0 {
+                    ChurnKind::Join {
+                        class: "steady".into(),
+                        count: 3,
+                    }
+                } else {
+                    ChurnKind::Leave { count: 2 }
+                },
+            };
+            state.apply_churn(&event).unwrap();
+        }
+        let restored = ServeState::restore(state.snapshot()).unwrap();
+        assert_eq!(restored.device_count(), state.device_count());
+        assert_eq!(restored.events_applied(), state.events_applied());
+        assert_eq!(restored.model_metrics(), state.model_metrics());
+        for i in 0..state.device_count() {
+            assert_eq!(restored.device(i).unwrap(), state.device(i).unwrap());
+        }
+        // And the continuation is identical: same next event, same result.
+        let mut a = state;
+        let mut b = restored;
+        let oa = a.apply_churn(&join(5)).unwrap();
+        let ob = b.apply_churn(&join(5)).unwrap();
+        assert_eq!(oa, ob);
+        assert_eq!(a.model_metrics(), b.model_metrics());
+    }
+
+    /// A degraded report window: every device limps at `fraction` of the
+    /// baseline EE, with one gateway's outage counter absorbing all
+    /// attempts.
+    fn degraded_report(state: &ServeState, fraction: f64) -> SimReport {
+        let baseline = state.controller().baseline_min_ee().unwrap();
+        let n = state.device_count();
+        let devices: Vec<DeviceStats> = (0..n)
+            .map(|_| DeviceStats {
+                attempts: 10,
+                delivered: 2,
+                energy_j: 1.0,
+                ee_bits_per_mj: fraction * baseline,
+                lifetime_s: None,
+            })
+            .collect();
+        let mut gateways = vec![Default::default(); state.gateway_count()];
+        let g0: &mut lora_sim::report::GatewayStats = &mut gateways[0];
+        g0.outage_drops = 10 * n as u64;
+        SimReport {
+            devices,
+            gateways,
+            frames_delivered: 2 * n as u64,
+            duplicate_copies: 0,
+            duration_s: 600.0,
+        }
+    }
+
+    #[test]
+    fn mid_fault_restart_still_detects_degradation() {
+        // trigger_windows is 1 by default, so a single degraded window
+        // fires. The point under test: the *restored* controller keeps
+        // the healthy baseline instead of adopting the degraded window.
+        let state = smoke_state();
+        let topology = Topology::from_sites(
+            state.pop.sites.clone(),
+            state.gateways.clone(),
+            state.radius_m,
+        );
+        let mut restored = ServeState::restore(state.snapshot()).unwrap();
+        let report = degraded_report(&restored, 0.1);
+        let outcome = restored.ingest_window(&report, &topology);
+        assert!(
+            matches!(outcome.decision, Decision::Reallocate { ref suspects } if suspects == &vec![0]),
+            "restored controller must fire against the snapshotted baseline, got {:?}",
+            outcome.decision
+        );
+        assert_eq!(restored.last_decision(), "Reallocate");
+    }
+
+    #[test]
+    fn restore_rejects_corrupt_snapshots() {
+        let state = smoke_state();
+        let mut wrong_schema = state.snapshot();
+        wrong_schema.schema = "ef-lora-serve/v0".into();
+        assert!(ServeState::restore(wrong_schema).is_err());
+        let mut short_alloc = state.snapshot();
+        short_alloc.alloc.pop();
+        assert!(ServeState::restore(short_alloc).is_err());
+    }
+}

@@ -1,0 +1,200 @@
+//! End-to-end daemon tests: spawn the real binaries, drive the wire
+//! protocol, kill the process, and restore from the snapshot.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use ef_lora::EfLora;
+use ef_lora_serve::protocol::{encode, Request};
+use ef_lora_serve::{loadgen, serve, ServeState, ServerOptions};
+use lora_scenario::catalog;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ef-lora-serve-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Spawns the daemon binary and scrapes the listen address from stdout.
+fn spawn_daemon(args: &[&str]) -> (Child, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_ef-lora-serve"))
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("daemon must spawn");
+    let stdout = child.stdout.take().unwrap();
+    let mut line = String::new();
+    BufReader::new(stdout).read_line(&mut line).unwrap();
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner: {line:?}"))
+        .to_string();
+    (child, addr)
+}
+
+/// A raw protocol connection capturing response lines verbatim.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: &str) -> Self {
+        let stream = loadgen::connect_with_retry(addr, Duration::from_secs(10)).unwrap();
+        stream.set_nodelay(true).unwrap();
+        Client {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            writer: BufWriter::new(stream),
+        }
+    }
+
+    fn send_line(&mut self, line: &str) -> String {
+        self.writer.write_all(line.as_bytes()).unwrap();
+        self.writer.write_all(b"\n").unwrap();
+        self.writer.flush().unwrap();
+        let mut response = String::new();
+        self.reader.read_line(&mut response).unwrap();
+        assert!(!response.is_empty(), "daemon closed the connection");
+        response.trim_end().to_string()
+    }
+
+    fn send(&mut self, request: &Request) -> String {
+        self.send_line(&encode(request))
+    }
+}
+
+/// The query battery whose raw response bytes must survive a restart.
+fn query_battery(client: &mut Client) -> Vec<String> {
+    let mut lines = vec![
+        client.send(&Request::Info),
+        client.send(&Request::Metrics),
+        client.send(&Request::Status),
+    ];
+    for index in [0usize, 7, 23] {
+        lines.push(client.send(&Request::Device { index }));
+    }
+    lines
+}
+
+#[test]
+fn kill_then_restore_resumes_with_byte_identical_queries() {
+    let dir = tmp_dir("restore");
+    let snap = dir.join("snap.json");
+    let (mut child, addr) = spawn_daemon(&[
+        "--name",
+        "churn-heavy",
+        "--scale",
+        "0.2",
+        "--snapshot",
+        snap.to_str().unwrap(),
+    ]);
+
+    // Drive a churn burst, snapshot through the protocol, and record the
+    // query battery.
+    let report = loadgen::run_burst(&addr, 11, 40, true, false).unwrap();
+    assert_eq!(report.events, 40);
+    assert!(snap.exists(), "snapshot must land on disk");
+    let mut client = Client::connect(&addr);
+    let before = query_battery(&mut client);
+    drop(client);
+
+    // Crash the daemon (no clean shutdown) and restore from the snapshot.
+    child.kill().unwrap();
+    child.wait().unwrap();
+    let (mut child, addr) = spawn_daemon(&["--restore", snap.to_str().unwrap()]);
+    let mut client = Client::connect(&addr);
+    let after = query_battery(&mut client);
+    // The daemon serves one connection at a time: release it before the
+    // load generator dials in.
+    drop(client);
+    assert_eq!(
+        before, after,
+        "every query response must be byte-identical after restore"
+    );
+
+    // The restored daemon keeps serving churn from the same stream
+    // cursor; then shut it down cleanly.
+    let resumed = loadgen::run_burst(&addr, 12, 10, false, true).unwrap();
+    assert_eq!(resumed.events, 10);
+    let status = child.wait().unwrap();
+    assert!(status.success(), "clean shutdown must exit zero");
+}
+
+#[test]
+fn malformed_lines_get_in_band_errors_and_the_connection_survives() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let spec = catalog::scale_devices(&catalog::churn_heavy(), 0.1);
+    let state = ServeState::new(spec, &EfLora::default()).unwrap();
+    let server = std::thread::spawn(move || {
+        serve(listener, state, &ServerOptions::default()).unwrap();
+    });
+
+    let mut client = Client::connect(&addr);
+    let garbage = client.send_line("{definitely not json");
+    assert!(garbage.contains("Error"), "got: {garbage}");
+    let unknown = client.send_line(r#"{"Frobnicate":{}}"#);
+    assert!(unknown.contains("Error"), "got: {unknown}");
+    // Out-of-range device index: in-band error, connection stays open.
+    let out_of_range = client.send(&Request::Device { index: 10_000 });
+    assert!(out_of_range.contains("out of range"), "got: {out_of_range}");
+    // Unconfigured snapshot path: in-band error.
+    let no_snapshot = client.send(&Request::Snapshot);
+    assert!(no_snapshot.contains("Error"), "got: {no_snapshot}");
+    // The same connection still answers healthy requests.
+    assert_eq!(client.send(&Request::Ping), r#""Pong""#);
+    assert_eq!(client.send(&Request::Shutdown), r#""ShuttingDown""#);
+    server.join().unwrap();
+}
+
+#[test]
+fn measure_windows_feed_the_controller() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let spec = catalog::scale_devices(&catalog::churn_heavy(), 0.1);
+    let state = ServeState::new(spec, &EfLora::default()).unwrap();
+    let server = std::thread::spawn(move || {
+        serve(listener, state, &ServerOptions::default()).unwrap();
+    });
+
+    let mut client = Client::connect(&addr);
+    let measured = client.send(&Request::Measure);
+    assert!(measured.contains("Measured"), "got: {measured}");
+    let status = client.send(&Request::Status);
+    assert!(status.contains(r#""windows_observed":1"#), "got: {status}");
+    client.send(&Request::Shutdown);
+    server.join().unwrap();
+}
+
+#[test]
+fn loadgen_burst_is_deterministic_in_effects() {
+    // Two daemons fed the same seed apply the same events: identical
+    // population effects (latencies differ, effects must not).
+    let run = || {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let spec = catalog::scale_devices(&catalog::churn_heavy(), 0.15);
+        let state = ServeState::new(spec, &EfLora::default()).unwrap();
+        let server = std::thread::spawn(move || {
+            serve(listener, state, &ServerOptions::default()).unwrap();
+        });
+        let report = loadgen::run_burst(&addr, 21, 60, false, true).unwrap();
+        server.join().unwrap();
+        report
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a.events, 60);
+    assert_eq!(
+        (a.joined, a.left, a.migrated, a.reconfigured, a.warnings),
+        (b.joined, b.left, b.migrated, b.reconfigured, b.warnings)
+    );
+    assert!(
+        a.events_per_sec > 0.0 && a.latency.p99_us > 0.0,
+        "latency accounting must be populated"
+    );
+}
