@@ -1,8 +1,18 @@
-//! Runs the ext_serve_soak extension experiment (daemon soak test).
+//! Runs the ext_serve_soak extension experiment (daemon soak test) and
+//! gates the result against `tests/golden/serve_perf_baseline.json`
+//! (`EF_LORA_UPDATE_GOLDEN=1` rewrites the baseline).
+use ef_lora_bench::experiments::ext_serve_soak;
 use ef_lora_bench::Scale;
 
 fn main() {
     let scale = Scale::from_env();
     println!("{}", scale.banner());
-    ef_lora_bench::experiments::ext_serve_soak::run(&scale);
+    let perf = ext_serve_soak::run(&scale);
+    if let Err(issues) = ext_serve_soak::gate(&perf) {
+        eprintln!("ext_serve_soak: performance regression gate failed:");
+        for issue in issues {
+            eprintln!("  {issue}");
+        }
+        std::process::exit(1);
+    }
 }

@@ -33,6 +33,7 @@ pub mod golden;
 pub mod oracle;
 pub mod report;
 pub mod scenario;
+pub mod serve_equiv;
 
 pub use gates::{GateViolation, Tolerances};
 pub use oracle::{ScenarioRecord, StrategyConformance};

@@ -1,0 +1,89 @@
+//! Serve-path equivalence harness.
+//!
+//! The daemon's incremental model state is only admissible if its wire
+//! behaviour is **byte-identical** to a from-scratch rebuild of every
+//! model artefact per event. This module provides the two instruments
+//! that prove it:
+//!
+//! * [`serve_transcript`] — drives the *actual* daemon dispatcher
+//!   ([`ef_lora_serve::respond`]) through a deterministic churn-heavy
+//!   request schedule and renders one JSON line per request/response
+//!   pair. The rendered transcript is pinned as the golden snapshot
+//!   `tests/golden/serve_incremental.json`, which was generated against
+//!   the pre-incremental (full-rebuild) daemon — so the test failing
+//!   means the incremental path diverged from from-scratch semantics.
+//! * [`transcript_schedule`] — the request schedule itself, reusable by
+//!   differential tests that replay it against both the live
+//!   [`ef_lora_serve::ServeState`] and the frozen reference
+//!   implementation.
+//!
+//! The schedule interleaves Join/Leave/Migrate churn (from the daemon's
+//! own seeded load generator) with `Info`/`Metrics`/`Device`/`Status`
+//! queries and two full `Measure` windows, exercising every read path
+//! that could observe stale incremental state.
+
+use ef_lora::EfLora;
+use ef_lora_serve::protocol::{encode, Request};
+use ef_lora_serve::{loadgen, respond, ServeState, ServerOptions};
+use lora_scenario::catalog;
+
+/// Seed of the transcript's churn-event stream (shared with the soak
+/// experiment so the workloads are comparable).
+pub const TRANSCRIPT_SEED: u64 = 7;
+
+/// Churn events in the pinned transcript.
+pub const TRANSCRIPT_EVENTS: usize = 48;
+
+/// The deterministic request schedule: churn events interleaved with
+/// queries. `Device` indices depend on the live population size, so the
+/// schedule is produced step by step by [`drive_transcript`]; this
+/// helper only builds the churn backbone.
+pub fn transcript_schedule(classes: &[String]) -> Vec<lora_scenario::spec::ChurnEvent> {
+    loadgen::generate_events(TRANSCRIPT_SEED, TRANSCRIPT_EVENTS, classes)
+}
+
+/// Drives `state` through the transcript schedule, returning one
+/// `{"request":…,"response":…}` JSON line per exchange (the exact wire
+/// encodings, concatenated with newlines and a trailing newline).
+pub fn drive_transcript(state: &mut ServeState) -> String {
+    let options = ServerOptions::default();
+    let classes = state.class_names();
+    let events = transcript_schedule(&classes);
+    let mut lines = Vec::new();
+    let drive = |state: &mut ServeState, request: Request| {
+        let (response, _) = respond(state, &options, request.clone());
+        format!(
+            "{{\"request\":{},\"response\":{}}}",
+            encode(&request),
+            encode(&response)
+        )
+    };
+    lines.push(drive(state, Request::Info));
+    for (i, event) in events.iter().enumerate() {
+        lines.push(drive(state, Request::Churn(event.clone())));
+        if i % 6 == 2 {
+            lines.push(drive(state, Request::Metrics));
+            let index = (i * 17) % state.device_count();
+            lines.push(drive(state, Request::Device { index }));
+        }
+        if i % 12 == 5 {
+            lines.push(drive(state, Request::Status));
+        }
+        if i == 15 || i == 37 {
+            lines.push(drive(state, Request::Measure));
+        }
+    }
+    lines.push(drive(state, Request::Metrics));
+    lines.push(drive(state, Request::Info));
+    let mut body = lines.join("\n");
+    body.push('\n');
+    body
+}
+
+/// Builds the transcript state (the churn-heavy catalog scenario at
+/// paper scale — 200 devices, 2 gateways) and renders the transcript.
+pub fn serve_transcript() -> String {
+    let spec = catalog::scale_devices(&catalog::churn_heavy(), 1.0);
+    let mut state = ServeState::new(spec, &EfLora::default()).expect("catalog scenario allocates");
+    drive_transcript(&mut state)
+}

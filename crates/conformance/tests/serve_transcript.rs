@@ -1,0 +1,16 @@
+//! Golden serve transcript: the daemon's wire behaviour under a
+//! 200-device churn-heavy schedule, pinned byte-for-byte.
+//!
+//! The snapshot was generated against the pre-incremental daemon (every
+//! event rebuilt Topology/NetworkModel/AllocationContext from scratch),
+//! so any divergence here means the incremental serve-path model state
+//! changed an observable response. Refresh only via
+//! `EF_LORA_UPDATE_GOLDEN=1`.
+
+use conformance::{golden, serve_equiv};
+
+#[test]
+fn serve_transcript_matches_pre_incremental_golden() {
+    let body = serve_equiv::serve_transcript();
+    golden::check_or_update("serve_incremental", &body).unwrap();
+}

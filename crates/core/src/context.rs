@@ -1,7 +1,7 @@
 //! Shared input to allocation strategies.
 
 use lora_model::NetworkModel;
-use lora_phy::TxPowerDbm;
+use lora_phy::{SpreadingFactor, TxConfig, TxPowerDbm};
 use lora_sim::{SimConfig, Topology};
 
 use crate::error::AllocError;
@@ -17,6 +17,12 @@ pub struct AllocationContext<'a> {
     topology: &'a Topology,
     model: &'a NetworkModel,
     tp_levels: Vec<TxPowerDbm>,
+    /// The canonical candidate grid — every (SF, channel, TP) in scan
+    /// order (SF ascending, then channel, then TP ascending). Built once
+    /// per context: the grid depends only on the region's channel plan
+    /// and power levels, yet was previously re-materialised per device
+    /// scan on the churn hot path.
+    candidates: Vec<TxConfig>,
 }
 
 impl<'a> AllocationContext<'a> {
@@ -37,11 +43,23 @@ impl<'a> AllocationContext<'a> {
             topology.gateway_count(),
             "model/topology gateway counts differ"
         );
+        let tp_levels = config.region.tx_power_levels();
+        let channels = model.channel_count();
+        let mut candidates =
+            Vec::with_capacity(SpreadingFactor::ALL.len() * channels * tp_levels.len());
+        for sf in SpreadingFactor::ALL {
+            for channel in 0..channels {
+                for &tp in &tp_levels {
+                    candidates.push(TxConfig::new(sf, tp, channel));
+                }
+            }
+        }
         AllocationContext {
             config,
             topology,
             model,
-            tp_levels: config.region.tx_power_levels(),
+            tp_levels,
+            candidates,
         }
     }
 
@@ -86,7 +104,14 @@ impl<'a> AllocationContext<'a> {
     /// Size of one device's candidate grid: every (SF, channel, TP)
     /// combination a scan pass evaluates.
     pub fn candidate_count(&self) -> usize {
-        lora_phy::SpreadingFactor::ALL.len() * self.channel_count() * self.tp_levels.len()
+        self.candidates.len()
+    }
+
+    /// The cached candidate grid in canonical scan order (SF ascending,
+    /// then channel, then TP ascending). Scans filter out the device's
+    /// current configuration themselves.
+    pub fn candidates(&self) -> &[TxConfig] {
+        &self.candidates
     }
 
     /// Validates that the deployment is allocatable at all.

@@ -360,6 +360,18 @@ fn candidate_grid(
     tp_levels: &[TxPowerDbm],
     current: TxConfig,
 ) -> Vec<TxConfig> {
+    if tp_levels == ctx.tp_levels() {
+        // The common case reuses the context's cached grid.
+        let mut grid = Vec::with_capacity(ctx.candidate_count());
+        grid.extend(
+            ctx.candidates()
+                .iter()
+                .copied()
+                .filter(|&cfg| cfg != current),
+        );
+        return grid;
+    }
+    // Restricted power set (e.g. the fixed-TP baseline pins one level).
     let mut grid = Vec::with_capacity(6 * ctx.channel_count() * tp_levels.len());
     for sf in SpreadingFactor::ALL {
         for channel in 0..ctx.channel_count() {
@@ -374,25 +386,39 @@ fn candidate_grid(
     grid
 }
 
+/// The scanned device's standing before the scan: the network minimum,
+/// its own EE, and the comparison slack — shared read-only by every
+/// chunk so all workers prune against the same incumbent.
+#[derive(Debug, Clone, Copy)]
+struct Incumbent {
+    min: f64,
+    own: f64,
+    tie_slack: f64,
+}
+
 /// Scans `grid[range]` with a chunk-local pruning floor. The floor starts
 /// at the global eligibility bound and rises only when a strict improver
 /// is found; see the module docs for why this keeps the merged result
 /// partition-invariant.
 fn scan_chunk(
     state: &ModelState<'_>,
+    cache: &lora_model::ScanCache,
     device: usize,
     grid: &[TxConfig],
     range: std::ops::Range<usize>,
-    current_min: f64,
-    current_own: f64,
-    tie_slack: f64,
+    incumbent: Incumbent,
 ) -> DeviceScan {
+    let Incumbent {
+        min: current_min,
+        own: current_own,
+        tie_slack,
+    } = incumbent;
     let mut scan = DeviceScan::default();
     let mut floor = current_min - tie_slack;
     for idx in range {
         let cfg = grid[idx];
         scan.evaluated += 1;
-        let Some(min) = state.min_ee_if(device, cfg, floor) else {
+        let Some(min) = state.min_ee_if_scanned(cache, cfg, floor) else {
             continue;
         };
         let own = state.ee_if(device, cfg);
@@ -431,33 +457,24 @@ fn scan_device(
     let current_min = state.min_ee();
     let current_own = state.ee(device);
     let current = state.alloc()[device];
-    let tie_slack = (current_min.abs() * 1e-9).max(1e-15);
+    let incumbent = Incumbent {
+        min: current_min,
+        own: current_own,
+        tie_slack: (current_min.abs() * 1e-9).max(1e-15),
+    };
     let grid = candidate_grid(ctx, tp_levels, current);
+    // The allocation is fixed for the whole scan, so the per-device
+    // scratch can be shared read-only across the workers.
+    let cache = state.prepare_scan(device);
 
     // Below ~8 candidates per worker, spawn overhead dwarfs the scan.
     let threads = threads.clamp(1, (grid.len() / 8).max(1));
     if threads <= 1 {
-        return scan_chunk(
-            state,
-            device,
-            &grid,
-            0..grid.len(),
-            current_min,
-            current_own,
-            tie_slack,
-        );
+        return scan_chunk(state, &cache, device, &grid, 0..grid.len(), incumbent);
     }
     let ranges = lora_parallel::chunk_ranges(grid.len(), threads);
     let chunks = lora_parallel::par_map_indexed(ranges.len(), threads, |c| {
-        scan_chunk(
-            state,
-            device,
-            &grid,
-            ranges[c].clone(),
-            current_min,
-            current_own,
-            tie_slack,
-        )
+        scan_chunk(state, &cache, device, &grid, ranges[c].clone(), incumbent)
     });
     let mut merged = DeviceScan::default();
     for chunk in chunks {

@@ -254,28 +254,40 @@ fn scan_and_apply(
     let mut floor = current_min - tie_slack;
     let mut best: Option<(f64, f64, TxConfig)> = None;
     let mut candidates = 0u64;
-    for sf in SpreadingFactor::ALL {
-        for channel in 0..ctx.channel_count() {
-            for &tp in ctx.tp_levels() {
-                let cfg = TxConfig::new(sf, tp, channel);
-                if cfg == current {
-                    continue;
-                }
-                candidates += 1;
-                let Some(min) = state.min_ee_if(device, cfg, floor) else {
-                    continue;
-                };
-                let own = state.ee_if(device, cfg);
-                let (best_min, best_own) = best
-                    .map(|(m, o, _)| (m, o))
-                    .unwrap_or((current_min, current_own));
-                if min > best_min + tie_slack
-                    || (min >= best_min - tie_slack && own > best_own + tie_slack)
-                {
-                    best = Some((min, own, cfg));
-                    floor = min - tie_slack;
-                }
-            }
+    // The allocation is fixed for the whole scan (apply happens once, at
+    // the end), so hoist every candidate-independent quantity.
+    let scan = state.prepare_scan(device);
+    for &cfg in ctx.candidates() {
+        if cfg == current {
+            continue;
+        }
+        candidates += 1;
+        let (best_min, best_own) = best
+            .map(|(m, o, _)| (m, o))
+            .unwrap_or((current_min, current_own));
+        // Exact rejection: the network minimum after the move can never
+        // exceed the cached minimum of the untouched groups (it is one of
+        // the min components of the full evaluation), so when that cap
+        // cannot beat the incumbent minimum, only the own-EE tie-break
+        // could still accept the candidate. Test the tie-break against
+        // the O(1) energy ceiling first and the exact own EE second —
+        // if neither clears the incumbent, no acceptance clause can fire
+        // and the full evaluation is skipped.
+        let capped = state.untouched_groups_min(&scan, cfg) <= best_min + tie_slack;
+        if capped && state.own_ee_ceiling(device, cfg) <= best_own + tie_slack {
+            continue;
+        }
+        let own = state.ee_if(device, cfg);
+        if capped && own <= best_own + tie_slack {
+            continue;
+        }
+        let Some(min) = state.min_ee_if_scanned(&scan, cfg, floor) else {
+            continue;
+        };
+        if min > best_min + tie_slack || (min >= best_min - tie_slack && own > best_own + tie_slack)
+        {
+            best = Some((min, own, cfg));
+            floor = min - tie_slack;
         }
     }
     if let Some((_, _, cfg)) = best {

@@ -27,7 +27,7 @@ use lora_phy::energy::RadioEnergyModel;
 use lora_phy::link::noise_floor_dbm;
 use lora_phy::toa::ToaParams;
 use lora_phy::{dbm_to_mw, Bandwidth, SpreadingFactor, TxConfig, TxPowerDbm};
-use lora_sim::{AttenuationMatrix, SimConfig, Topology, Traffic};
+use lora_sim::{AttenuationMatrix, DeviceSite, Position, SimConfig, Topology, Traffic};
 
 use crate::capacity::{poisson_at_most, poisson_binomial_at_most, OTHERS_BUDGET};
 use crate::contention::{group_count, group_index, overlap_from_load};
@@ -36,7 +36,12 @@ use crate::interference::{group_density, laplace_transform};
 use crate::pdr::{pdr_with, prr, PdrForm};
 
 /// Allocation-independent model of one deployment.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every derived quantity bitwise — it exists so
+/// equivalence tests can assert that an incrementally maintained model
+/// ([`NetworkModel::extend_rows`] and friends) is indistinguishable from
+/// a from-scratch [`NetworkModel::new`] over the same population.
+#[derive(Debug, Clone, PartialEq)]
 pub struct NetworkModel {
     /// Linear attenuation, flat row-major `[device][gateway]`.
     attenuation: AttenuationMatrix,
@@ -406,6 +411,89 @@ impl NetworkModel {
         self.validate(&alloc)?;
         Ok(ModelState::build(self, alloc))
     }
+
+    /// Re-derives the reporting-interval fields from `config` after a
+    /// churn event changed the population's class mix. `config` must
+    /// differ from the construction-time configuration only in its
+    /// reporting-interval fields — everything else (payload, energy
+    /// model, path loss, channel plan) is immutable under churn.
+    pub fn refresh_intervals(&mut self, config: &SimConfig) {
+        self.interval_s = config.report_interval_s;
+        self.intervals = (0..self.n_devices).map(|i| config.interval_of(i)).collect();
+    }
+
+    /// Appends the rows of a batch of joining devices (a churn `Join`),
+    /// keeping the model bitwise equal to [`NetworkModel::new`] over the
+    /// extended population: the attenuation rows come from the same
+    /// shared kernel, and the intervals/density are re-derived with the
+    /// construction-time expressions.
+    pub fn extend_rows(
+        &mut self,
+        config: &SimConfig,
+        new_sites: &[DeviceSite],
+        gateways: &[Position],
+        radius_m: f64,
+    ) {
+        self.attenuation.extend_rows(config, new_sites, gateways);
+        self.beta.extend(
+            new_sites
+                .iter()
+                .map(|site| config.betas.beta(site.environment)),
+        );
+        self.n_devices += new_sites.len();
+        self.refresh_intervals(config);
+        self.refresh_density(radius_m);
+    }
+
+    /// Drops the rows of leaving devices (a churn `Leave`) in one
+    /// compaction pass, mirroring the population's own `retain_kept`
+    /// compaction so row `i` keeps describing the `i`-th survivor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the mask length disagrees with the device count.
+    pub fn retire_rows(&mut self, config: &SimConfig, leaving: &[bool], radius_m: f64) {
+        assert_eq!(leaving.len(), self.n_devices, "leave mask shape");
+        self.attenuation.retire_rows(leaving);
+        let mut write = 0;
+        for (i, &leaves) in leaving.iter().enumerate() {
+            if leaves {
+                continue;
+            }
+            self.beta[write] = self.beta[i];
+            write += 1;
+        }
+        self.beta.truncate(write);
+        self.n_devices = write;
+        self.refresh_intervals(config);
+        self.refresh_density(radius_m);
+    }
+
+    /// Recomputes one device's row for an updated site (a churn
+    /// `Migrate` — the class move may change the propagation
+    /// environment and always changes the reporting interval).
+    pub fn patch_row(
+        &mut self,
+        config: &SimConfig,
+        device: usize,
+        site: &DeviceSite,
+        gateways: &[Position],
+    ) {
+        self.attenuation.patch_row(config, device, site, gateways);
+        self.beta[device] = config.betas.beta(site.environment);
+        self.refresh_intervals(config);
+    }
+
+    /// Re-derives the deployment density with the construction-time
+    /// expression (the population size just changed).
+    fn refresh_density(&mut self, radius_m: f64) {
+        let area = std::f64::consts::PI * radius_m.powi(2);
+        self.density_per_m2 = if area > 0.0 {
+            self.n_devices as f64 / area
+        } else {
+            0.0
+        };
+    }
 }
 
 /// An allocation bound to a [`NetworkModel`], with the aggregates needed to
@@ -429,6 +517,49 @@ pub struct ModelState<'m> {
     ee: Vec<f64>,
     /// Cached minimum EE per group (`∞` for empty groups).
     group_min: Vec<f64>,
+    /// Cached capacity factor `θ_{i,k}`, flat `[device][gateway]`.
+    ///
+    /// `θ` depends only on `Λ` and `q` — not on the candidate being
+    /// scanned — so it is recomputed exactly where `Λ`/`q` change
+    /// ([`ModelState::build`] and [`ModelState::apply`]) and *read*
+    /// everywhere else, eliminating the Poisson tail from the
+    /// per-candidate inner loop while producing bit-identical values.
+    theta_cache: Vec<f64>,
+}
+
+/// Per-device scratch for a candidate scan, produced by
+/// [`ModelState::prepare_scan`].
+///
+/// During one scan of device `i` the allocation is fixed, so everything
+/// that does not depend on the candidate configuration can be computed
+/// once: the minimum EE of `i`'s old group after it leaves, and each
+/// device's contention load and interference with its *own* contribution
+/// removed. [`ModelState::min_ee_if_scanned`] then evaluates a candidate
+/// in `O(new-group members × gateways)` with arithmetic expressions
+/// identical to [`ModelState::min_ee_if`] — same values, fewer
+/// recomputations. The cache is invalidated by any [`ModelState::apply`];
+/// callers must re-prepare after committing a move.
+#[derive(Debug, Clone)]
+pub struct ScanCache {
+    /// The device being scanned.
+    device: usize,
+    /// Minimum EE over the old group's other members after `device`
+    /// leaves (`∞` when it is the sole member) — the candidate-independent
+    /// part 2 of [`ModelState::min_ee_if`] for cross-group moves.
+    exit_min: f64,
+    /// `α_sum[group(j)] − α_j` per device `j`.
+    base_load: Vec<f64>,
+    /// `power_sum[group(j)][k] − p_j·a_{j,k}` per device and gateway,
+    /// flat `[device][gateway]`.
+    base_interf: Vec<f64>,
+    /// Contention group of `device` at prepare time.
+    g_old: usize,
+    /// Smallest cached `group_min` over groups other than `g_old`, and
+    /// its group index; `other_min2` is the runner-up. Together they
+    /// answer [`ModelState::untouched_groups_min`] in O(1).
+    other_min: f64,
+    other_min_idx: usize,
+    other_min2: f64,
 }
 
 impl<'m> ModelState<'m> {
@@ -446,6 +577,7 @@ impl<'m> ModelState<'m> {
             lambda: vec![0.0; g],
             ee: vec![0.0; n],
             group_min: vec![f64::INFINITY; n_groups],
+            theta_cache: Vec::new(),
         };
         for i in 0..n {
             let cfg = state.alloc[i];
@@ -460,8 +592,27 @@ impl<'m> ModelState<'m> {
                 state.lambda[k] += q;
             }
         }
+        state.rebuild_theta();
         state.recompute_all_ee();
         state
+    }
+
+    /// Recomputes the cached `θ_{i,k}` for every device and gateway from
+    /// the live `Λ`/`q` — called wherever those change so that reading
+    /// the cache is indistinguishable from evaluating the Poisson tail
+    /// on the fly.
+    fn rebuild_theta(&mut self) {
+        let g = self.model.gateway_count();
+        self.theta_cache.clear();
+        self.theta_cache.reserve(self.alloc.len() * g);
+        for i in 0..self.alloc.len() {
+            for k in 0..g {
+                self.theta_cache.push(poisson_at_most(
+                    (self.lambda[k] - self.q[i][k]).max(0.0),
+                    OTHERS_BUDGET,
+                ));
+            }
+        }
     }
 
     #[inline]
@@ -516,9 +667,10 @@ impl<'m> ModelState<'m> {
         (self.power_sum[grp][k] - cfg.tp.milliwatts() * self.model.attenuation.at(i, k)).max(0.0)
     }
 
-    /// The capacity factor `θ_{i,k}`: Poisson tail at the others' load.
+    /// The capacity factor `θ_{i,k}`: Poisson tail at the others' load
+    /// (served from the cache maintained by [`ModelState::rebuild_theta`]).
     pub fn theta(&self, i: usize, k: usize) -> f64 {
-        poisson_at_most((self.lambda[k] - self.q[i][k]).max(0.0), OTHERS_BUDGET)
+        self.theta_cache[i * self.model.gateway_count() + k]
     }
 
     /// EE of device `i` under a hypothetical configuration and group shape:
@@ -576,6 +728,16 @@ impl<'m> ModelState<'m> {
             .iter()
             .map(|&j| self.ee[j])
             .fold(f64::INFINITY, f64::min);
+    }
+
+    /// Exact upper bound on [`ModelState::ee_if`] for device `i` under
+    /// `cfg`: the delivery ratio never exceeds 1, so the delivered bits
+    /// over the cycle energy — a pure function of the device's reporting
+    /// interval and the candidate's SF/TP, with no load or interference
+    /// terms — caps the achievable EE. `O(1)`, used by the incremental
+    /// scan to discard candidates without touching the contention model.
+    pub fn own_ee_ceiling(&self, i: usize, cfg: TxConfig) -> f64 {
+        self.model.payload_bits / (self.model.cycle_energy_of(i, &cfg) * 1_000.0)
     }
 
     /// The EE device `i` itself would have after moving to `cfg`
@@ -727,6 +889,9 @@ impl<'m> ModelState<'m> {
             self.power_sum[g_new][k] += new_p * model.attenuation.at(i, k);
         }
         self.alloc[i] = cfg;
+        // Λ and q just moved, which shifts θ for every device; refresh
+        // the cache before the EE refresh below reads it.
+        self.rebuild_theta();
 
         // Refresh cached EEs in the affected groups.
         let affected: Vec<usize> = if g_new == g_old {
@@ -753,6 +918,158 @@ impl<'m> ModelState<'m> {
     pub fn refresh(&mut self) {
         let rebuilt = ModelState::build(self.model, std::mem::take(&mut self.alloc));
         *self = rebuilt;
+    }
+
+    /// Precomputes the candidate-independent parts of a full candidate
+    /// scan of device `i` (see [`ScanCache`]). Invalidated by any
+    /// [`ModelState::apply`] — prepare again after committing.
+    pub fn prepare_scan(&self, i: usize) -> ScanCache {
+        let model = self.model;
+        let g = model.gateway_count();
+        let n = self.alloc.len();
+        let old_cfg = self.alloc[i];
+        let g_old = self.group_of(&old_cfg);
+        let old_p = old_cfg.tp.milliwatts();
+        let alpha_old = model.duty_of(i, old_cfg.sf);
+
+        let mut base_load = Vec::with_capacity(n);
+        let mut base_interf = Vec::with_capacity(n * g);
+        for j in 0..n {
+            let jc = self.alloc[j];
+            let jp = jc.tp.milliwatts();
+            let grp = self.group_of(&jc);
+            base_load.push(self.alpha_sum[grp] - model.duty_of(j, jc.sf));
+            for k in 0..g {
+                base_interf.push(self.power_sum[grp][k] - jp * model.attenuation.at(j, k));
+            }
+        }
+
+        // Part 2 of `min_ee_if` for a cross-group move — identical
+        // expressions, computed once instead of per candidate.
+        let mut exit_min = f64::INFINITY;
+        for &j in &self.members[g_old] {
+            if j == i {
+                continue;
+            }
+            let jc = self.alloc[j];
+            let jp = jc.tp.milliwatts();
+            let load_j = self.alpha_sum[g_old] - model.duty_of(j, jc.sf) - alpha_old;
+            let ee_j = self.ee_raw(j, &jc, load_j, |k| {
+                let base = self.power_sum[g_old][k] - jp * model.attenuation.at(j, k);
+                base - old_p * model.attenuation.at(i, k)
+            });
+            exit_min = exit_min.min(ee_j);
+        }
+
+        let mut other_min = f64::INFINITY;
+        let mut other_min_idx = usize::MAX;
+        let mut other_min2 = f64::INFINITY;
+        for (grp, &gm) in self.group_min.iter().enumerate() {
+            if grp == g_old {
+                continue;
+            }
+            if gm < other_min {
+                other_min2 = other_min;
+                other_min = gm;
+                other_min_idx = grp;
+            } else if gm < other_min2 {
+                other_min2 = gm;
+            }
+        }
+
+        ScanCache {
+            device: i,
+            exit_min,
+            base_load,
+            base_interf,
+            g_old,
+            other_min,
+            other_min_idx,
+            other_min2,
+        }
+    }
+
+    /// Exact upper bound on [`ModelState::min_ee_if`] for moving the
+    /// scanned device to `cfg`: the smallest cached `group_min` over
+    /// every group the move leaves untouched. That value is literally
+    /// one of the min components of the full evaluation (part 4), so the
+    /// exact result can never exceed it — a caller whose acceptance test
+    /// already fails at this bound can skip the exact evaluation without
+    /// changing any decision.
+    pub fn untouched_groups_min(&self, scan: &ScanCache, cfg: TxConfig) -> f64 {
+        let g_new = self.group_of(&cfg);
+        if g_new != scan.g_old && g_new == scan.other_min_idx {
+            scan.other_min2
+        } else {
+            scan.other_min
+        }
+    }
+
+    /// [`ModelState::min_ee_if`] served from a [`ScanCache`]: the same
+    /// component EEs (bitwise — every arithmetic expression matches),
+    /// hence the same pruning verdict and the same returned minimum,
+    /// evaluated in `O(new-group members × gateways)` per candidate.
+    ///
+    /// Same-group candidates (only the transmit power changes) fall back
+    /// to the plain path: their group shape is not covered by the cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `scan` was prepared for a different allocation shape.
+    pub fn min_ee_if_scanned(&self, scan: &ScanCache, cfg: TxConfig, floor: f64) -> Option<f64> {
+        let i = scan.device;
+        assert_eq!(scan.base_load.len(), self.alloc.len(), "stale scan cache");
+        let g_old = self.group_of(&self.alloc[i]);
+        let g_new = self.group_of(&cfg);
+        if g_old == g_new {
+            return self.min_ee_if(i, cfg, floor);
+        }
+        let model = self.model;
+        let g = model.gateway_count();
+        let new_p = cfg.tp.milliwatts();
+        let alpha_new = model.duty_of(i, cfg.sf);
+
+        // 1. The moved device itself (cross-group: joins g_new whole).
+        let ee_i = self.ee_raw(i, &cfg, self.alpha_sum[g_new], |k| self.power_sum[g_new][k]);
+        if ee_i <= floor {
+            return None;
+        }
+        let mut min = ee_i;
+
+        // 2. The old group after i leaves — precomputed.
+        if scan.exit_min <= floor {
+            return None;
+        }
+        min = min.min(scan.exit_min);
+
+        // 3. Devices in the new group (gaining i).
+        for &j in &self.members[g_new] {
+            let jc = self.alloc[j];
+            let ee_j = self.ee_raw(j, &jc, scan.base_load[j] + alpha_new, |k| {
+                scan.base_interf[j * g + k] + new_p * model.attenuation.at(i, k)
+            });
+            if ee_j <= floor {
+                return None;
+            }
+            min = min.min(ee_j);
+        }
+
+        // 4. Every other group, from the cached per-group minima.
+        for (grp, &gm) in self.group_min.iter().enumerate() {
+            if grp == g_old || grp == g_new {
+                continue;
+            }
+            if gm <= floor {
+                return None;
+            }
+            min = min.min(gm);
+        }
+
+        if min > floor {
+            Some(min)
+        } else {
+            None
+        }
     }
 }
 
@@ -1010,6 +1327,92 @@ mod tests {
                 assert!(*l < m * 10.0 + 1.0, "laplace {l} vs mean-field {m}");
             }
         }
+    }
+
+    #[test]
+    fn scanned_min_ee_is_bitwise_equal_to_plain() {
+        let config = SimConfig::default();
+        let topo = Topology::disc(30, 2, 4_000.0, &config, 23);
+        let model = NetworkModel::new(&config, &topo);
+        let alloc: Vec<TxConfig> = (0..30)
+            .map(|i| {
+                TxConfig::new(
+                    SpreadingFactor::ALL[i % 6],
+                    TxPowerDbm::new(2.0 + (i % 7) as f64 * 2.0),
+                    i % 8,
+                )
+            })
+            .collect();
+        let state = model.state(alloc).unwrap();
+        for device in [0usize, 7, 19, 29] {
+            let scan = state.prepare_scan(device);
+            let mut floor = f64::NEG_INFINITY;
+            for sf in SpreadingFactor::ALL {
+                for ch in 0..8 {
+                    for tp_i in 0..7 {
+                        let cfg = TxConfig::new(sf, TxPowerDbm::new(2.0 + tp_i as f64 * 2.0), ch);
+                        let plain = state.min_ee_if(device, cfg, floor);
+                        let fast = state.min_ee_if_scanned(&scan, cfg, floor);
+                        match (plain, fast) {
+                            (Some(a), Some(b)) => assert_eq!(
+                                a.to_bits(),
+                                b.to_bits(),
+                                "device {device} cfg {cfg:?}: {a} vs {b}"
+                            ),
+                            (None, None) => {}
+                            other => panic!("device {device} cfg {cfg:?}: {other:?}"),
+                        }
+                        // Walk the floor the way the allocator does, so
+                        // the pruning branches get exercised too.
+                        if let Some(v) = plain {
+                            floor = floor.max(v - 1e-9);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_network_model_matches_fresh_build() {
+        let config = SimConfig::default();
+        let full = Topology::disc(40, 3, 5_000.0, &config, 31);
+        let radius = full.radius_m();
+
+        // Join: grow 28 → 40 in one batch.
+        let head = Topology::from_sites(
+            full.devices()[..28].to_vec(),
+            full.gateways().to_vec(),
+            radius,
+        );
+        let mut grown = NetworkModel::new(&config, &head);
+        grown.extend_rows(&config, &full.devices()[28..], full.gateways(), radius);
+        assert_eq!(grown, NetworkModel::new(&config, &full));
+
+        // Leave: retire every fourth device.
+        let leaving: Vec<bool> = (0..40).map(|i| i % 4 == 2).collect();
+        let mut shrunk = NetworkModel::new(&config, &full);
+        shrunk.retire_rows(&config, &leaving, radius);
+        let kept: Vec<DeviceSite> = full
+            .devices()
+            .iter()
+            .zip(&leaving)
+            .filter(|(_, &l)| !l)
+            .map(|(s, _)| *s)
+            .collect();
+        let survivors = Topology::from_sites(kept, full.gateways().to_vec(), radius);
+        assert_eq!(shrunk, NetworkModel::new(&config, &survivors));
+
+        // Migrate: flip one device's propagation environment.
+        let mut sites = full.devices().to_vec();
+        sites[11].environment = match sites[11].environment {
+            LinkEnvironment::LineOfSight => LinkEnvironment::NonLineOfSight,
+            LinkEnvironment::NonLineOfSight => LinkEnvironment::LineOfSight,
+        };
+        let mut patched = NetworkModel::new(&config, &full);
+        patched.patch_row(&config, 11, &sites[11], full.gateways());
+        let moved = Topology::from_sites(sites, full.gateways().to_vec(), radius);
+        assert_eq!(patched, NetworkModel::new(&config, &moved));
     }
 
     #[test]

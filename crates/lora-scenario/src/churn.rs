@@ -110,7 +110,9 @@ pub struct EventOutcome {
 }
 
 impl EventOutcome {
-    fn noop(warning: Option<ChurnWarning>) -> Self {
+    /// The outcome of an event that changed nothing: no population
+    /// delta, no allocator pass, no metric.
+    pub fn noop(warning: Option<ChurnWarning>) -> Self {
         EventOutcome {
             joined: 0,
             left: 0,
@@ -151,16 +153,219 @@ pub fn event_join_seed(seed: u64, seq: u64) -> u64 {
 }
 
 /// How the incremental allocator must be invoked after the population
-/// mutation of one event.
-enum Adjust {
-    Extend,
-    AfterRemoval(Vec<TxConfig>),
-    Repair(Vec<usize>),
+/// mutation of one event, carrying the inputs an incremental model
+/// maintainer needs (which rows to add, retire or patch).
+#[derive(Debug, Clone, PartialEq)]
+pub enum StagedAdjust {
+    /// The event changed nothing; no allocator pass runs.
+    Noop,
+    /// A `Join` appended `added` devices at the population tail.
+    Extend {
+        /// How many devices joined.
+        added: usize,
+    },
+    /// A `Leave` compacted the population.
+    AfterRemoval {
+        /// Departed devices' old configurations (they key the repair
+        /// groups).
+        removed: Vec<TxConfig>,
+        /// Mask over the *pre-event* population: `true` = departed.
+        leaving: Vec<bool>,
+    },
+    /// A `Migrate` changed the classes of `members` (post-event
+    /// indices; positions are unchanged).
+    Repair {
+        /// Devices whose class — and therefore reporting interval —
+        /// changed.
+        members: Vec<usize>,
+    },
+}
+
+/// A churn event with its population mutation and random draws already
+/// performed, but the allocator not yet run — the output of
+/// [`stage_event`], consumed by [`finish_event`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StagedEvent {
+    /// Devices that joined.
+    pub joined: usize,
+    /// Devices that left.
+    pub left: usize,
+    /// Devices that migrated classes.
+    pub migrated: usize,
+    /// Warning raised while staging, if any.
+    pub warning: Option<ChurnWarning>,
+    /// How to invoke the incremental allocator.
+    pub adjust: StagedAdjust,
+}
+
+/// Performs the population mutation and every random draw of one churn
+/// event, *without* running the allocator: the first half of
+/// [`apply_event`], split out so callers that maintain model state
+/// incrementally (the serve daemon) can update their caches between the
+/// mutation and the allocator pass.
+///
+/// On a non-noop event the per-device reporting intervals in `config`
+/// are refreshed before returning; a noop ([`StagedAdjust::Noop`])
+/// returns with `config` untouched, exactly as [`apply_event`] behaves.
+///
+/// # Errors
+///
+/// [`ScenarioError::UnknownClass`] for a class name outside the class
+/// list (raised before any mutation).
+pub fn stage_event(
+    ctx: &ChurnContext<'_>,
+    config: &mut SimConfig,
+    pop: &mut Population,
+    event: &ChurnEvent,
+    rng: &mut ChaCha12Rng,
+    join_seed: u64,
+) -> Result<StagedEvent, ScenarioError> {
+    let (joined, left, migrated, warning, adjust) = match &event.event {
+        ChurnKind::Join { class, count } => {
+            let class_idx = class_index(ctx.classes, class)?;
+            let mut spatial_rng = ChaCha12Rng::seed_from_u64(join_seed);
+            let positions = sample_n_positions(&mut spatial_rng, ctx.spatial, ctx.radius_m, *count);
+            let p = ctx.classes[class_idx].p_los.unwrap_or(config.p_los);
+            for position in positions {
+                let environment = if rng.gen::<f64>() < p {
+                    LinkEnvironment::LineOfSight
+                } else {
+                    LinkEnvironment::NonLineOfSight
+                };
+                pop.sites.push(DeviceSite {
+                    position,
+                    environment,
+                });
+                pop.class_of.push(class_idx);
+            }
+            (*count, 0, 0, None, StagedAdjust::Extend { added: *count })
+        }
+        ChurnKind::Leave { count } => {
+            let requested = *count;
+            let applied = requested.min(pop.sites.len().saturating_sub(1));
+            let warning = (applied < requested).then_some(ChurnWarning::LeaveClamped {
+                epoch: event.epoch,
+                requested,
+                applied,
+            });
+            if applied == 0 {
+                return Ok(StagedEvent {
+                    joined: 0,
+                    left: 0,
+                    migrated: 0,
+                    warning,
+                    adjust: StagedAdjust::Noop,
+                });
+            }
+            let mut order: Vec<usize> = (0..pop.sites.len()).collect();
+            order.shuffle(rng);
+            let mut leaving = vec![false; pop.sites.len()];
+            for &idx in &order[..applied] {
+                leaving[idx] = true;
+            }
+            let removed: Vec<TxConfig> = pop
+                .alloc
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| leaving[i])
+                .map(|(_, &cfg)| cfg)
+                .collect();
+            retain_kept(&mut pop.sites, &leaving);
+            retain_kept(&mut pop.class_of, &leaving);
+            retain_kept(&mut pop.alloc, &leaving);
+            (
+                0,
+                applied,
+                0,
+                warning,
+                StagedAdjust::AfterRemoval { removed, leaving },
+            )
+        }
+        ChurnKind::Migrate { from, to, count } => {
+            let from_idx = class_index(ctx.classes, from)?;
+            let to_idx = class_index(ctx.classes, to)?;
+            let mut members: Vec<usize> = pop
+                .class_of
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c == from_idx)
+                .map(|(i, _)| i)
+                .collect();
+            members.shuffle(rng);
+            members.truncate(*count);
+            if members.is_empty() {
+                return Ok(StagedEvent {
+                    joined: 0,
+                    left: 0,
+                    migrated: 0,
+                    warning: None,
+                    adjust: StagedAdjust::Noop,
+                });
+            }
+            for &i in &members {
+                pop.class_of[i] = to_idx;
+            }
+            // A migrated device's reporting interval changed, so its
+            // energy budget did too: re-scan exactly those devices.
+            (0, 0, members.len(), None, StagedAdjust::Repair { members })
+        }
+    };
+
+    refresh_intervals(config, &pop.class_of, ctx.classes);
+    Ok(StagedEvent {
+        joined,
+        left,
+        migrated,
+        warning,
+        adjust,
+    })
+}
+
+/// Runs the incremental allocator for a staged event against a caller-
+/// supplied context and assembles the outcome: the second half of
+/// [`apply_event`]. The context's model may be rebuilt from scratch (as
+/// [`apply_event`] does) or maintained incrementally — the equivalence
+/// suite in the conformance crate proves both produce byte-identical
+/// outcomes.
+///
+/// # Errors
+///
+/// [`ScenarioError::Alloc`] if the incremental allocator rejects the
+/// adjusted deployment.
+pub fn finish_event(
+    alloc_ctx: &AllocationContext<'_>,
+    pop: &mut Population,
+    incremental: &IncrementalAllocator,
+    staged: StagedEvent,
+) -> Result<EventOutcome, ScenarioError> {
+    let outcome = match &staged.adjust {
+        StagedAdjust::Noop => return Ok(EventOutcome::noop(staged.warning)),
+        StagedAdjust::Extend { .. } => incremental.extend(alloc_ctx, &pop.alloc)?,
+        StagedAdjust::AfterRemoval { removed, .. } => {
+            incremental.after_removal(alloc_ctx, &pop.alloc, removed)?
+        }
+        StagedAdjust::Repair { members } => incremental.repair(alloc_ctx, &pop.alloc, members)?,
+    };
+    let min_ee = outcome.min_ee;
+    let reconfigured = outcome.reconfigured;
+    let candidates_evaluated = outcome.candidates_evaluated;
+    pop.alloc = outcome.allocation.into_inner();
+    Ok(EventOutcome {
+        joined: staged.joined,
+        left: staged.left,
+        migrated: staged.migrated,
+        reconfigured,
+        candidates_evaluated,
+        min_ee: Some(min_ee),
+        warning: staged.warning,
+    })
 }
 
 /// Applies one churn event to the population through the matching
 /// incremental-allocator entry point and refreshes the per-device
-/// reporting intervals.
+/// reporting intervals: [`stage_event`] followed by [`finish_event`]
+/// against a freshly rebuilt `Topology`/`NetworkModel`/
+/// [`AllocationContext`] — the from-scratch reference semantics.
 ///
 /// `rng` is the churn stream shared across a batch of events (one per
 /// epoch in the runner, one per event in the daemon); `join_seed` seeds
@@ -186,103 +391,14 @@ pub fn apply_event(
     rng: &mut ChaCha12Rng,
     join_seed: u64,
 ) -> Result<EventOutcome, ScenarioError> {
-    let (joined, left, migrated, warning, adjust) = match &event.event {
-        ChurnKind::Join { class, count } => {
-            let class_idx = class_index(ctx.classes, class)?;
-            let mut spatial_rng = ChaCha12Rng::seed_from_u64(join_seed);
-            let positions = sample_n_positions(&mut spatial_rng, ctx.spatial, ctx.radius_m, *count);
-            let p = ctx.classes[class_idx].p_los.unwrap_or(config.p_los);
-            for position in positions {
-                let environment = if rng.gen::<f64>() < p {
-                    LinkEnvironment::LineOfSight
-                } else {
-                    LinkEnvironment::NonLineOfSight
-                };
-                pop.sites.push(DeviceSite {
-                    position,
-                    environment,
-                });
-                pop.class_of.push(class_idx);
-            }
-            (*count, 0, 0, None, Adjust::Extend)
-        }
-        ChurnKind::Leave { count } => {
-            let requested = *count;
-            let applied = requested.min(pop.sites.len().saturating_sub(1));
-            let warning = (applied < requested).then_some(ChurnWarning::LeaveClamped {
-                epoch: event.epoch,
-                requested,
-                applied,
-            });
-            if applied == 0 {
-                return Ok(EventOutcome::noop(warning));
-            }
-            let mut order: Vec<usize> = (0..pop.sites.len()).collect();
-            order.shuffle(rng);
-            let mut leaving = vec![false; pop.sites.len()];
-            for &idx in &order[..applied] {
-                leaving[idx] = true;
-            }
-            let removed: Vec<TxConfig> = pop
-                .alloc
-                .iter()
-                .enumerate()
-                .filter(|&(i, _)| leaving[i])
-                .map(|(_, &cfg)| cfg)
-                .collect();
-            retain_kept(&mut pop.sites, &leaving);
-            retain_kept(&mut pop.class_of, &leaving);
-            retain_kept(&mut pop.alloc, &leaving);
-            (0, applied, 0, warning, Adjust::AfterRemoval(removed))
-        }
-        ChurnKind::Migrate { from, to, count } => {
-            let from_idx = class_index(ctx.classes, from)?;
-            let to_idx = class_index(ctx.classes, to)?;
-            let mut members: Vec<usize> = pop
-                .class_of
-                .iter()
-                .enumerate()
-                .filter(|(_, &c)| c == from_idx)
-                .map(|(i, _)| i)
-                .collect();
-            members.shuffle(rng);
-            members.truncate(*count);
-            if members.is_empty() {
-                return Ok(EventOutcome::noop(None));
-            }
-            for &i in &members {
-                pop.class_of[i] = to_idx;
-            }
-            // A migrated device's reporting interval changed, so its
-            // energy budget did too: re-scan exactly those devices.
-            (0, 0, members.len(), None, Adjust::Repair(members))
-        }
-    };
-
-    refresh_intervals(config, &pop.class_of, ctx.classes);
+    let staged = stage_event(ctx, config, pop, event, rng, join_seed)?;
+    if staged.adjust == StagedAdjust::Noop {
+        return Ok(EventOutcome::noop(staged.warning));
+    }
     let topology = Topology::from_sites(pop.sites.clone(), ctx.gateways.to_vec(), ctx.radius_m);
     let model = NetworkModel::new(config, &topology);
     let alloc_ctx = AllocationContext::new(config, &topology, &model);
-    let outcome = match adjust {
-        Adjust::Extend => incremental.extend(&alloc_ctx, &pop.alloc)?,
-        Adjust::AfterRemoval(removed) => {
-            incremental.after_removal(&alloc_ctx, &pop.alloc, &removed)?
-        }
-        Adjust::Repair(members) => incremental.repair(&alloc_ctx, &pop.alloc, &members)?,
-    };
-    let min_ee = outcome.min_ee;
-    let reconfigured = outcome.reconfigured;
-    let candidates_evaluated = outcome.candidates_evaluated;
-    pop.alloc = outcome.allocation.into_inner();
-    Ok(EventOutcome {
-        joined,
-        left,
-        migrated,
-        reconfigured,
-        candidates_evaluated,
-        min_ee: Some(min_ee),
-        warning,
-    })
+    finish_event(&alloc_ctx, pop, incremental, staged)
 }
 
 /// Drops every index marked in `leaving` with a single compaction pass.

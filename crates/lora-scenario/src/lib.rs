@@ -55,7 +55,7 @@ pub mod run;
 pub mod spatial;
 pub mod spec;
 
-pub use churn::{ChurnContext, ChurnWarning, EventOutcome, Population};
+pub use churn::{ChurnContext, ChurnWarning, EventOutcome, Population, StagedAdjust, StagedEvent};
 pub use compile::{compile, CompiledScenario};
 pub use error::ScenarioError;
 pub use run::{run_scenario, EpochOutcome, RunOptions, ScenarioRunReport};

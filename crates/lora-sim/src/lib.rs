@@ -64,4 +64,6 @@ pub use error::SimError;
 pub use faults::{BackhaulLink, FaultConfig, GatewayChurn, JamBurst, JammerProcess};
 pub use report::{DeviceStats, GatewayStats, SimReport};
 pub use sim::Simulation;
-pub use topology::{attenuation_matrix, AttenuationMatrix, DeviceSite, Position, Topology};
+pub use topology::{
+    attenuation_matrix, attenuation_row, AttenuationMatrix, DeviceSite, Position, Topology,
+};

@@ -262,6 +262,89 @@ impl AttenuationMatrix {
     pub fn row(&self, device: usize) -> &[f64] {
         &self.data[device * self.n_gateways..(device + 1) * self.n_gateways]
     }
+
+    /// Appends one row per site in `new_sites` (a batch of joining
+    /// devices). Each row is produced by the same kernel
+    /// ([`attenuation_row`]) as a from-scratch build, so the extended
+    /// matrix is bitwise equal to rebuilding over the full population.
+    pub fn extend_rows(
+        &mut self,
+        config: &SimConfig,
+        new_sites: &[DeviceSite],
+        gateways: &[Position],
+    ) {
+        assert_eq!(gateways.len(), self.n_gateways, "gateway count changed");
+        self.data.reserve(new_sites.len() * self.n_gateways);
+        for site in new_sites {
+            attenuation_row(config, site, gateways, &mut self.data);
+        }
+    }
+
+    /// Drops the rows of leaving devices in one compaction pass —
+    /// the flat-buffer mirror of the population's `retain_kept`
+    /// compaction, so row `i` of the result corresponds to the `i`-th
+    /// surviving device.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the mask length disagrees with the row count.
+    pub fn retire_rows(&mut self, leaving: &[bool]) {
+        assert_eq!(leaving.len(), self.device_count(), "leave mask shape");
+        let g = self.n_gateways;
+        let mut write = 0;
+        for (i, &leaves) in leaving.iter().enumerate() {
+            if leaves {
+                continue;
+            }
+            if write != i {
+                self.data.copy_within(i * g..(i + 1) * g, write * g);
+            }
+            write += 1;
+        }
+        self.data.truncate(write * g);
+    }
+
+    /// Recomputes the row of device `i` for an updated site (migration
+    /// moves a device across propagation classes without moving it, but
+    /// the kernel is cheap enough to recompute unconditionally).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `device` is out of range.
+    pub fn patch_row(
+        &mut self,
+        config: &SimConfig,
+        device: usize,
+        site: &DeviceSite,
+        gateways: &[Position],
+    ) {
+        assert!(device < self.device_count(), "patch_row out of range");
+        assert_eq!(gateways.len(), self.n_gateways, "gateway count changed");
+        let mut row = Vec::with_capacity(self.n_gateways);
+        attenuation_row(config, site, gateways, &mut row);
+        self.data[device * self.n_gateways..(device + 1) * self.n_gateways].copy_from_slice(&row);
+    }
+}
+
+/// Appends the per-gateway linear attenuation row of one device site to
+/// `out` — the single kernel shared by the from-scratch
+/// [`attenuation_matrix`] build and the incremental row operations
+/// ([`AttenuationMatrix::extend_rows`] / [`AttenuationMatrix::patch_row`]),
+/// which is what makes "incrementally maintained" and "rebuilt from
+/// scratch" bitwise-indistinguishable.
+#[inline]
+pub fn attenuation_row(
+    config: &SimConfig,
+    site: &DeviceSite,
+    gateways: &[Position],
+    out: &mut Vec<f64>,
+) {
+    let beta = config.betas.beta(site.environment);
+    out.extend(gateways.iter().map(|gw| {
+        config
+            .path_loss
+            .attenuation(site.position.distance_to(gw), beta)
+    }));
 }
 
 /// Builds the linear path-loss attenuation matrix `[device][gateway]`
@@ -284,13 +367,7 @@ pub fn attenuation_matrix(
         1
     };
     let row_of = |i: usize, out: &mut Vec<f64>| {
-        let site = &topology.devices()[i];
-        let beta = config.betas.beta(site.environment);
-        out.extend(topology.gateways().iter().map(|gw| {
-            config
-                .path_loss
-                .attenuation(site.position.distance_to(gw), beta)
-        }));
+        attenuation_row(config, &topology.devices()[i], topology.gateways(), out);
     };
     let data = if threads <= 1 {
         // Serial fast path: fill the flat buffer directly, one allocation.
@@ -485,6 +562,55 @@ mod tests {
     fn disc_panics_loudly_on_nan_radius() {
         let config = SimConfig::default();
         let _ = Topology::disc(10, 1, f64::NAN, &config, 1);
+    }
+
+    #[test]
+    fn extend_rows_matches_from_scratch_build() {
+        let config = SimConfig::default();
+        let full = Topology::disc(40, 3, 5_000.0, &config, 11);
+        let want = attenuation_matrix(&config, &full);
+        let head = Topology::from_sites(
+            full.devices()[..25].to_vec(),
+            full.gateways().to_vec(),
+            5_000.0,
+        );
+        let mut got = attenuation_matrix(&config, &head);
+        got.extend_rows(&config, &full.devices()[25..], full.gateways());
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn retire_rows_matches_from_scratch_build() {
+        let config = SimConfig::default();
+        let full = Topology::disc(40, 3, 5_000.0, &config, 11);
+        let mut got = attenuation_matrix(&config, &full);
+        let leaving: Vec<bool> = (0..40).map(|i| i % 3 == 1).collect();
+        got.retire_rows(&leaving);
+        let kept: Vec<DeviceSite> = full
+            .devices()
+            .iter()
+            .zip(&leaving)
+            .filter(|(_, &l)| !l)
+            .map(|(s, _)| *s)
+            .collect();
+        let survivors = Topology::from_sites(kept, full.gateways().to_vec(), 5_000.0);
+        assert_eq!(got, attenuation_matrix(&config, &survivors));
+    }
+
+    #[test]
+    fn patch_row_matches_from_scratch_build() {
+        let config = SimConfig::default();
+        let full = Topology::disc(40, 3, 5_000.0, &config, 11);
+        let mut got = attenuation_matrix(&config, &full);
+        let mut sites = full.devices().to_vec();
+        // Flip a device's propagation class, as a Migrate event does.
+        sites[7].environment = match sites[7].environment {
+            LinkEnvironment::LineOfSight => LinkEnvironment::NonLineOfSight,
+            LinkEnvironment::NonLineOfSight => LinkEnvironment::LineOfSight,
+        };
+        got.patch_row(&config, 7, &sites[7], full.gateways());
+        let moved = Topology::from_sites(sites, full.gateways().to_vec(), 5_000.0);
+        assert_eq!(got, attenuation_matrix(&config, &moved));
     }
 
     #[test]

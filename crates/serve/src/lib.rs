@@ -31,9 +31,10 @@ pub mod app;
 pub mod flags;
 pub mod loadgen;
 pub mod protocol;
+pub mod reference;
 pub mod server;
 pub mod state;
 
 pub use protocol::{Request, Response};
-pub use server::{serve, ServerOptions};
+pub use server::{respond, serve, ServerOptions};
 pub use state::{ServeState, Snapshot, SNAPSHOT_SCHEMA};

@@ -1,0 +1,333 @@
+//! Frozen from-scratch oracle for the incremental serve path.
+//!
+//! [`ReferenceState`] reproduces the daemon exactly as it behaved before
+//! the incremental model state landed: every churn event goes through
+//! [`lora_scenario::churn::apply_event`] (which rebuilds
+//! `Topology`/`NetworkModel`/`AllocationContext` from scratch), and every
+//! query rebuilds the analytical model from the live population. It is
+//! the "from-scratch rebuild" side of the byte-equivalence proofs in the
+//! conformance crate and must **not** adopt serve-path optimisations —
+//! deliberate duplication of [`crate::state::ServeState`] is the point.
+//!
+//! [`respond`] mirrors the daemon dispatcher for the in-memory requests
+//! (`Snapshot`/`Shutdown` are filesystem/loop concerns, not model state,
+//! and are answered with an error here).
+
+use ef_lora::resilience::{reallocate_masked, Decision, ResilienceConfig, ResilienceController};
+use ef_lora::{AllocationContext, Strategy};
+use lora_model::NetworkModel;
+use lora_phy::TxConfig;
+use lora_scenario::churn::{self, apply_event, refresh_intervals, ChurnContext, EventOutcome};
+use lora_scenario::spec::{ChurnEvent, ClassSpec};
+use lora_scenario::{compile, Population, ScenarioError, ScenarioSpec};
+use lora_sim::{Position, SimConfig, Simulation, Topology};
+
+use crate::protocol::{Request, Response};
+use crate::state::{decision_label, Snapshot, WindowOutcome, SNAPSHOT_SCHEMA, WINDOW_TAG};
+
+/// The pre-incremental daemon state: identical bookkeeping to
+/// [`crate::ServeState`], with every model artefact rebuilt from scratch
+/// at the point of use.
+#[derive(Debug, Clone)]
+pub struct ReferenceState {
+    spec: ScenarioSpec,
+    classes: Vec<ClassSpec>,
+    gateways: Vec<Position>,
+    radius_m: f64,
+    config: SimConfig,
+    pop: Population,
+    controller: ResilienceController,
+    events_applied: u64,
+    windows_observed: u64,
+    last_decision: String,
+}
+
+impl ReferenceState {
+    /// Compiles and allocates exactly as [`crate::ServeState::new`] does.
+    ///
+    /// # Errors
+    ///
+    /// Compilation and allocation failures, verbatim.
+    pub fn new(spec: ScenarioSpec, strategy: &dyn Strategy) -> Result<Self, ScenarioError> {
+        let compiled = compile(&spec)?;
+        let classes = compiled.spec.effective_classes();
+        let gateways = compiled.topology.gateways().to_vec();
+        let radius_m = compiled.topology.radius_m();
+        let mut config = compiled.config.clone();
+        let mut pop = Population {
+            sites: compiled.topology.devices().to_vec(),
+            class_of: compiled.class_of.clone(),
+            alloc: Vec::new(),
+        };
+        refresh_intervals(&mut config, &pop.class_of, &classes);
+        let topology = Topology::from_sites(pop.sites.clone(), gateways.clone(), radius_m);
+        let model = NetworkModel::new(&config, &topology);
+        let ctx = AllocationContext::new(&config, &topology, &model);
+        pop.alloc = strategy.allocate(&ctx)?.into_inner();
+        let baseline = ef_lora::fairness::min_ee(&model.evaluate(&pop.alloc));
+        Ok(ReferenceState {
+            spec,
+            classes,
+            gateways,
+            radius_m,
+            config,
+            pop,
+            controller: ResilienceController::with_baseline(ResilienceConfig::default(), baseline),
+            events_applied: 0,
+            windows_observed: 0,
+            last_decision: "Healthy".to_string(),
+        })
+    }
+
+    /// Live device count.
+    pub fn device_count(&self) -> usize {
+        self.pop.device_count()
+    }
+
+    /// Device-class names, in class-index order.
+    pub fn class_names(&self) -> Vec<String> {
+        self.classes.iter().map(|c| c.name.clone()).collect()
+    }
+
+    /// A from-scratch `NetworkModel` of the live population — the
+    /// ground truth the incremental daemon's cached model must equal
+    /// bitwise after every event.
+    pub fn fresh_model(&self) -> NetworkModel {
+        let topology =
+            Topology::from_sites(self.pop.sites.clone(), self.gateways.clone(), self.radius_m);
+        NetworkModel::new(&self.config, &topology)
+    }
+
+    /// The live allocation.
+    pub fn alloc(&self) -> &[TxConfig] {
+        &self.pop.alloc
+    }
+
+    /// Applies one churn event through the from-scratch
+    /// [`apply_event`] path with the same per-event seeded streams as
+    /// the daemon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ScenarioError`] from the churn module.
+    pub fn apply_churn(&mut self, event: &ChurnEvent) -> Result<EventOutcome, ScenarioError> {
+        let ctx = ChurnContext {
+            classes: &self.classes,
+            spatial: &self.spec.spatial,
+            gateways: &self.gateways,
+            radius_m: self.radius_m,
+        };
+        let mut rng = churn::event_churn_rng(self.spec.seed, self.events_applied);
+        let join_seed = churn::event_join_seed(self.spec.seed, self.events_applied);
+        let incremental = ef_lora::IncrementalAllocator::new();
+        let outcome = apply_event(
+            &ctx,
+            &mut self.config,
+            &mut self.pop,
+            &incremental,
+            event,
+            &mut rng,
+            join_seed,
+        )?;
+        self.events_applied += 1;
+        Ok(outcome)
+    }
+
+    /// From-scratch `[min_ee, mean_ee, jain]` of the live allocation.
+    pub fn model_metrics(&self) -> [f64; 3] {
+        let model = self.fresh_model();
+        let ee = model.evaluate(&self.pop.alloc);
+        let n = ee.len().max(1) as f64;
+        let sum: f64 = ee.iter().sum();
+        let sum_sq: f64 = ee.iter().map(|x| x * x).sum();
+        let jain = if sum_sq > 0.0 {
+            sum * sum / (n * sum_sq)
+        } else {
+            0.0
+        };
+        [ef_lora::fairness::min_ee(&ee), sum / n, jain]
+    }
+
+    /// One measurement window, rebuilding the simulator from scratch
+    /// (the pre-incremental `measure` body, verbatim).
+    ///
+    /// # Errors
+    ///
+    /// Simulator construction failures, as strings.
+    pub fn measure(&mut self) -> Result<WindowOutcome, String> {
+        let topology =
+            Topology::from_sites(self.pop.sites.clone(), self.gateways.clone(), self.radius_m);
+        let mut cfg = self.config.clone();
+        cfg.seed = self.config.seed ^ WINDOW_TAG ^ (self.windows_observed << 16);
+        let sim = Simulation::new(cfg, topology.clone(), self.pop.alloc.clone())
+            .map_err(|e| e.to_string())?;
+        let report = sim.run();
+        self.windows_observed += 1;
+        let decision = self.controller.observe(&report);
+        self.last_decision = decision_label(&decision);
+        let mut reconfigured = 0;
+        if let Decision::Reallocate { suspects } = &decision {
+            if let Ok(outcome) =
+                reallocate_masked(&self.config, &topology, &self.pop.alloc, suspects)
+            {
+                reconfigured = outcome.reconfigured;
+                self.pop.alloc = outcome.allocation.into_inner();
+            }
+        }
+        Ok(WindowOutcome {
+            metrics: [
+                report.min_energy_efficiency_bits_per_mj(),
+                report.mean_energy_efficiency_bits_per_mj(),
+                report.jain_fairness(),
+                report.mean_prr(),
+            ],
+            decision,
+            reconfigured,
+        })
+    }
+
+    /// Crash-recovery image, identical in shape to the daemon's.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            schema: SNAPSHOT_SCHEMA.to_string(),
+            spec: self.spec.clone(),
+            config: self.config.clone(),
+            gateways: self.gateways.clone(),
+            radius_m: self.radius_m,
+            sites: self.pop.sites.clone(),
+            class_of: self.pop.class_of.clone(),
+            alloc: self.pop.alloc.clone(),
+            baseline_min_ee: self.controller.baseline_min_ee(),
+            streak: self.controller.streak(),
+            cooldown: self.controller.cooldown(),
+            events_applied: self.events_applied,
+            windows_observed: self.windows_observed,
+            last_decision: self.last_decision.clone(),
+        }
+    }
+
+    /// Rebuilds a reference state from a crash-recovery image.
+    ///
+    /// # Errors
+    ///
+    /// Same schema/shape validation as [`crate::ServeState::restore`].
+    pub fn restore(snapshot: Snapshot) -> Result<Self, String> {
+        if snapshot.schema != SNAPSHOT_SCHEMA {
+            return Err(format!(
+                "snapshot schema `{}` is not `{SNAPSHOT_SCHEMA}`",
+                snapshot.schema
+            ));
+        }
+        let n = snapshot.sites.len();
+        if snapshot.class_of.len() != n || snapshot.alloc.len() != n {
+            return Err(format!(
+                "snapshot population vectors disagree: {} sites, {} classes, {} configs",
+                n,
+                snapshot.class_of.len(),
+                snapshot.alloc.len()
+            ));
+        }
+        let classes = snapshot.spec.effective_classes();
+        Ok(ReferenceState {
+            classes,
+            gateways: snapshot.gateways,
+            radius_m: snapshot.radius_m,
+            config: snapshot.config,
+            pop: Population {
+                sites: snapshot.sites,
+                class_of: snapshot.class_of,
+                alloc: snapshot.alloc,
+            },
+            controller: ResilienceController::restore(
+                ResilienceConfig::default(),
+                snapshot.baseline_min_ee,
+                snapshot.streak,
+                snapshot.cooldown,
+            ),
+            events_applied: snapshot.events_applied,
+            windows_observed: snapshot.windows_observed,
+            last_decision: snapshot.last_decision,
+            spec: snapshot.spec,
+        })
+    }
+
+    /// Maps one request to its wire response with the pre-incremental
+    /// semantics — the reference mirror of [`crate::respond`].
+    /// `Snapshot`/`Shutdown` answer with an error: they touch the
+    /// filesystem and the accept loop, not model state.
+    pub fn respond(&mut self, request: Request) -> Response {
+        match request {
+            Request::Ping => Response::Pong,
+            Request::Info => Response::Info {
+                scenario: self.spec.name.clone(),
+                devices: self.device_count(),
+                gateways: self.gateways.len(),
+                classes: self.class_names(),
+                events_applied: self.events_applied,
+                windows_observed: self.windows_observed,
+            },
+            Request::Churn(event) => match self.apply_churn(&event) {
+                Ok(outcome) => Response::Churned {
+                    joined: outcome.joined,
+                    left: outcome.left,
+                    migrated: outcome.migrated,
+                    reconfigured: outcome.reconfigured,
+                    candidates_evaluated: outcome.candidates_evaluated,
+                    min_ee: outcome.min_ee,
+                    warning: outcome.warning,
+                },
+                Err(e) => Response::Error {
+                    message: e.to_string(),
+                },
+            },
+            Request::Device { index } => match self.pop.alloc.get(index).copied() {
+                Some(config) => Response::Device { index, config },
+                None => Response::Error {
+                    message: format!(
+                        "device index {index} out of range (population is {})",
+                        self.pop.device_count()
+                    ),
+                },
+            },
+            Request::Metrics => {
+                let [min_ee, mean_ee, jain] = self.model_metrics();
+                Response::Metrics {
+                    devices: self.device_count(),
+                    min_ee,
+                    mean_ee,
+                    jain,
+                }
+            }
+            Request::Status => Response::Status {
+                baseline_min_ee: self.controller.baseline_min_ee(),
+                streak: self.controller.streak(),
+                cooldown: self.controller.cooldown(),
+                windows_observed: self.windows_observed,
+                last_decision: self.last_decision.clone(),
+            },
+            Request::Measure => match self.measure() {
+                Ok(outcome) => {
+                    let suspects = match &outcome.decision {
+                        Decision::Healthy => Vec::new(),
+                        Decision::Degraded { suspects } | Decision::Reallocate { suspects } => {
+                            suspects.clone()
+                        }
+                    };
+                    Response::Measured {
+                        min_ee: outcome.metrics[0],
+                        mean_ee: outcome.metrics[1],
+                        jain: outcome.metrics[2],
+                        mean_prr: outcome.metrics[3],
+                        decision: decision_label(&outcome.decision),
+                        suspects,
+                        reconfigured: outcome.reconfigured,
+                    }
+                }
+                Err(message) => Response::Error { message },
+            },
+            Request::Snapshot | Request::Shutdown => Response::Error {
+                message: "not supported by the reference oracle".to_string(),
+            },
+        }
+    }
+}

@@ -60,6 +60,9 @@ fn handle_connection(
     state: &mut ServeState,
     options: &ServerOptions,
 ) -> std::io::Result<bool> {
+    // One small response per request line: Nagle's algorithm would hold
+    // each one hostage to the client's delayed ACK.
+    stream.set_nodelay(true)?;
     let reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
     for line in reader.lines() {
@@ -87,7 +90,15 @@ fn handle_connection(
 }
 
 /// Maps one request to its response; the bool requests shutdown.
-fn respond(state: &mut ServeState, options: &ServerOptions, request: Request) -> (Response, bool) {
+///
+/// Public so in-process harnesses (the conformance equivalence suite,
+/// the golden-transcript test) can drive the *exact* daemon dispatcher
+/// without a TCP round-trip.
+pub fn respond(
+    state: &mut ServeState,
+    options: &ServerOptions,
+    request: Request,
+) -> (Response, bool) {
     let response = match request {
         Request::Ping => Response::Pong,
         Request::Info => Response::Info {

@@ -7,7 +7,9 @@ use ef_lora::resilience::{reallocate_masked, Decision, ResilienceConfig, Resilie
 use ef_lora::{AllocationContext, Strategy};
 use lora_model::NetworkModel;
 use lora_phy::TxConfig;
-use lora_scenario::churn::{self, apply_event, refresh_intervals, ChurnContext, EventOutcome};
+use lora_scenario::churn::{
+    self, finish_event, refresh_intervals, stage_event, ChurnContext, EventOutcome, StagedAdjust,
+};
 use lora_scenario::spec::{ChurnEvent, ClassSpec};
 use lora_scenario::{compile, Population, ScenarioError, ScenarioSpec};
 use lora_sim::{DeviceSite, Position, SimConfig, SimReport, Simulation, Topology};
@@ -16,7 +18,7 @@ use lora_sim::{DeviceSite, Position, SimConfig, SimReport, Simulation, Topology}
 pub const SNAPSHOT_SCHEMA: &str = "ef-lora-serve/v1";
 
 /// Seed tag of the per-window measurement stream ("mwindow").
-const WINDOW_TAG: u64 = 0x6d77_696e_646f_7700;
+pub(crate) const WINDOW_TAG: u64 = 0x6d77_696e_646f_7700;
 
 /// Result of one measurement window (see [`ServeState::measure`]).
 #[derive(Debug, Clone, PartialEq)]
@@ -43,10 +45,20 @@ pub struct ServeState {
     radius_m: f64,
     config: SimConfig,
     pop: Population,
+    /// Persistent analytical model of the live population. Maintained
+    /// incrementally across churn — joins extend rows, leaves retire
+    /// them, migrations refresh intervals — instead of being rebuilt
+    /// from scratch per event; the conformance differential suite proves
+    /// it stays bitwise equal to a fresh `NetworkModel::new`.
+    model: NetworkModel,
     controller: ResilienceController,
     events_applied: u64,
     windows_observed: u64,
     last_decision: String,
+    /// From-scratch `NetworkModel` constructions performed on behalf of
+    /// this state. Load and restore cost one each; the steady state
+    /// (churn, queries, measurement windows) must never add more.
+    model_rebuilds: u64,
 }
 
 /// On-disk crash-recovery image of a [`ServeState`].
@@ -122,10 +134,12 @@ impl ServeState {
             radius_m,
             config,
             pop,
+            model,
             controller: ResilienceController::with_baseline(ResilienceConfig::default(), baseline),
             events_applied: 0,
             windows_observed: 0,
             last_decision: "Healthy".to_string(),
+            model_rebuilds: 1,
         })
     }
 
@@ -169,6 +183,33 @@ impl ServeState {
         &self.controller
     }
 
+    /// The persistent, incrementally maintained analytical model.
+    pub fn cached_model(&self) -> &NetworkModel {
+        &self.model
+    }
+
+    /// From-scratch `NetworkModel` constructions this state has paid
+    /// for: 1 after [`ServeState::new`] or [`ServeState::restore`],
+    /// never incremented afterwards. Regression guard for the
+    /// incremental serve path.
+    pub fn model_rebuilds(&self) -> u64 {
+        self.model_rebuilds
+    }
+
+    /// Builds a from-scratch model of the live population — the ground
+    /// truth the cached model is compared against in equivalence tests.
+    /// Does not count towards [`ServeState::model_rebuilds`].
+    pub fn fresh_model(&self) -> NetworkModel {
+        let topology =
+            Topology::from_sites(self.pop.sites.clone(), self.gateways.clone(), self.radius_m);
+        NetworkModel::new(&self.config, &topology)
+    }
+
+    /// The live allocation.
+    pub fn alloc(&self) -> &[TxConfig] {
+        &self.pop.alloc
+    }
+
     /// Current configuration of device `index`.
     ///
     /// # Errors
@@ -184,12 +225,10 @@ impl ServeState {
     }
 
     /// Analytical-model `[min_ee, mean_ee, jain]` of the live
-    /// allocation, bits/mJ.
+    /// allocation, bits/mJ. Served from the cached model — a metrics
+    /// query no longer rebuilds anything, churn or no churn.
     pub fn model_metrics(&self) -> [f64; 3] {
-        let topology =
-            Topology::from_sites(self.pop.sites.clone(), self.gateways.clone(), self.radius_m);
-        let model = NetworkModel::new(&self.config, &topology);
-        let ee = model.evaluate(&self.pop.alloc);
+        let ee = self.model.evaluate(&self.pop.alloc);
         let n = ee.len().max(1) as f64;
         let sum: f64 = ee.iter().sum();
         let sum_sq: f64 = ee.iter().map(|x| x * x).sum();
@@ -223,16 +262,46 @@ impl ServeState {
         };
         let mut rng = churn::event_churn_rng(self.spec.seed, self.events_applied);
         let join_seed = churn::event_join_seed(self.spec.seed, self.events_applied);
-        let incremental = ef_lora::IncrementalAllocator::new();
-        let outcome = apply_event(
+        let staged = stage_event(
             &ctx,
             &mut self.config,
             &mut self.pop,
-            &incremental,
             event,
             &mut rng,
             join_seed,
         )?;
+        // Fold the staged mutation into the persistent model instead of
+        // rebuilding it: the O(devices × gateways) `powf` attenuation
+        // work shrinks to the rows the event actually touched.
+        match &staged.adjust {
+            StagedAdjust::Noop => {
+                self.events_applied += 1;
+                return Ok(EventOutcome::noop(staged.warning));
+            }
+            StagedAdjust::Extend { added } => {
+                let start = self.pop.sites.len() - added;
+                self.model.extend_rows(
+                    &self.config,
+                    &self.pop.sites[start..],
+                    &self.gateways,
+                    self.radius_m,
+                );
+            }
+            StagedAdjust::AfterRemoval { leaving, .. } => {
+                self.model.retire_rows(&self.config, leaving, self.radius_m);
+            }
+            StagedAdjust::Repair { .. } => {
+                // Migration moves devices between traffic classes: the
+                // attenuation rows are untouched, only the reporting
+                // intervals (and with them the energy budgets) change.
+                self.model.refresh_intervals(&self.config);
+            }
+        }
+        let topology =
+            Topology::from_sites(self.pop.sites.clone(), self.gateways.clone(), self.radius_m);
+        let alloc_ctx = AllocationContext::new(&self.config, &topology, &self.model);
+        let incremental = ef_lora::IncrementalAllocator::new();
+        let outcome = finish_event(&alloc_ctx, &mut self.pop, &incremental, staged)?;
         self.events_applied += 1;
         Ok(outcome)
     }
@@ -251,8 +320,17 @@ impl ServeState {
             Topology::from_sites(self.pop.sites.clone(), self.gateways.clone(), self.radius_m);
         let mut cfg = self.config.clone();
         cfg.seed = self.config.seed ^ WINDOW_TAG ^ (self.windows_observed << 16);
-        let sim = Simulation::new(cfg, topology.clone(), self.pop.alloc.clone())
-            .map_err(|e| e.to_string())?;
+        // The cached model already paid for the attenuation matrix of
+        // this exact deployment; hand it to the simulator instead of
+        // recomputing it (byte-identical — see
+        // `Simulation::with_attenuation`).
+        let sim = Simulation::with_attenuation(
+            cfg,
+            topology.clone(),
+            self.pop.alloc.clone(),
+            self.model.shared_attenuation().clone(),
+        )
+        .map_err(|e| e.to_string())?;
         let report = sim.run();
         self.windows_observed += 1;
         Ok(self.ingest_window(&report, &topology))
@@ -332,6 +410,15 @@ impl ServeState {
             ));
         }
         let classes = snapshot.spec.effective_classes();
+        // The model is never serialized: a restored daemon rebuilds it
+        // from the snapshotted sites, so stale rows of devices that left
+        // before the crash cannot be resurrected.
+        let topology = Topology::from_sites(
+            snapshot.sites.clone(),
+            snapshot.gateways.clone(),
+            snapshot.radius_m,
+        );
+        let model = NetworkModel::new(&snapshot.config, &topology);
         Ok(ServeState {
             classes,
             gateways: snapshot.gateways,
@@ -342,6 +429,7 @@ impl ServeState {
                 class_of: snapshot.class_of,
                 alloc: snapshot.alloc,
             },
+            model,
             controller: ResilienceController::restore(
                 ResilienceConfig::default(),
                 snapshot.baseline_min_ee,
@@ -352,6 +440,7 @@ impl ServeState {
             windows_observed: snapshot.windows_observed,
             last_decision: snapshot.last_decision,
             spec: snapshot.spec,
+            model_rebuilds: 1,
         })
     }
 
@@ -513,6 +602,61 @@ mod tests {
             outcome.decision
         );
         assert_eq!(restored.last_decision(), "Reallocate");
+    }
+
+    #[test]
+    fn queries_never_rebuild_the_model() {
+        // Regression: `model_metrics` used to rebuild the topology and
+        // `NetworkModel` on every Metrics query, churn or no churn.
+        // Back-to-back queries and measurement windows must leave the
+        // rebuild counter at the single load-time construction.
+        let mut state = smoke_state();
+        assert_eq!(state.model_rebuilds(), 1);
+        let a = state.model_metrics();
+        let b = state.model_metrics();
+        assert_eq!(a, b);
+        state.measure().unwrap();
+        state.measure().unwrap();
+        assert_eq!(state.model_metrics(), b);
+        state.apply_churn(&join(3)).unwrap();
+        state.model_metrics();
+        assert_eq!(state.model_rebuilds(), 1);
+    }
+
+    #[test]
+    fn cached_model_tracks_churn_bitwise() {
+        let mut state = smoke_state();
+        let events = [
+            ChurnKind::Join {
+                class: "bursty".into(),
+                count: 5,
+            },
+            ChurnKind::Leave { count: 3 },
+            ChurnKind::Migrate {
+                from: "bursty".into(),
+                to: "steady".into(),
+                count: 4,
+            },
+            ChurnKind::Leave { count: 2 },
+            ChurnKind::Join {
+                class: "steady".into(),
+                count: 1,
+            },
+        ];
+        for (i, kind) in events.into_iter().enumerate() {
+            state
+                .apply_churn(&ChurnEvent {
+                    epoch: i as u32 + 1,
+                    event: kind,
+                })
+                .unwrap();
+            assert_eq!(
+                *state.cached_model(),
+                state.fresh_model(),
+                "cached model diverged from a from-scratch rebuild after event {i}"
+            );
+        }
+        assert_eq!(state.model_rebuilds(), 1);
     }
 
     #[test]
