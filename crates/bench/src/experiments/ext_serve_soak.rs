@@ -10,17 +10,21 @@
 //!
 //! The curve scales the churn-heavy catalog scenario (200 devices at
 //! factor 1.0) to 20, 200 and — beyond smoke scale — 1000 devices,
-//! pinning how event throughput degrades with population. Two workload
+//! pinning how event throughput degrades with population. Four workload
 //! rows are emitted per point: `serve_churn/<tag>` carries the p50/p95
 //! repair latency (as `median_ms`/`p95_ms`) and the sustained
 //! `events_per_sec`; `serve_churn/<tag>/p99` carries the p99/max tail —
 //! [`crate::perf::WorkloadResult`] has no p99 field, so the tail gets
-//! its own row rather than a schema fork.
+//! its own row rather than a schema fork. The `/journal` twins of both
+//! repeat the point with a `--fsync batch` write-ahead journal enabled,
+//! measuring the durability overhead; the gate bounds those rows against
+//! the *plain* baseline rows, so journaling must stay within the same
+//! regression tolerance as any other serve-path change.
 //!
 //! Like the hot-path matrix, the soak gates against a checked-in
 //! baseline (`tests/golden/serve_perf_baseline.json`, recorded at smoke
 //! scale) with the CI regression tolerance; `EF_LORA_UPDATE_GOLDEN=1`
-//! rewrites it. Every point is the best-of-[`REPS_PER_POINT`] envelope,
+//! rewrites it. Every point is the best-of-`REPS_PER_POINT` envelope,
 //! and the gate normalises by a fixed machine-speed probe
 //! ([`CALIBRATION_ID`]) so shared-runner speed swings don't masquerade
 //! as serve-path regressions.
@@ -29,8 +33,9 @@ use std::net::TcpListener;
 use std::path::PathBuf;
 
 use ef_lora::EfLora;
+use ef_lora_serve::journal::{FsyncPolicy, Journal, JournalRecord};
 use ef_lora_serve::loadgen::{self, LoadReport};
-use ef_lora_serve::{serve, ServeState, ServerOptions};
+use ef_lora_serve::{serve_journaled, ServeState, ServerOptions};
 use lora_scenario::catalog;
 
 use crate::harness::{Scale, ScaleKind};
@@ -123,24 +128,38 @@ fn calibration_row() -> WorkloadResult {
 
 /// One point of the scaling curve: boots a fresh daemon per rep over the
 /// scaled scenario, runs the burst, returns the two workload rows built
-/// from the best-of-reps envelope.
-fn run_point(factor: f64, events: usize) -> (Vec<WorkloadResult>, LoadReport) {
+/// from the best-of-reps envelope. With `journaled`, every rep runs with
+/// a `--fsync batch` write-ahead journal on the temp filesystem, and the
+/// rows get a `/journal` id segment — the journal-overhead curve.
+fn run_point(factor: f64, events: usize, journaled: bool) -> (Vec<WorkloadResult>, LoadReport) {
     let spec = catalog::scale_devices(&catalog::churn_heavy(), factor);
     let mut devices = 0;
     let mut gateways = 0;
     let mut best: Option<LoadReport> = None;
-    for _ in 0..REPS_PER_POINT {
+    for rep_index in 0..REPS_PER_POINT {
         let state =
             ServeState::new(spec.clone(), &EfLora::default()).expect("catalog scenario allocates");
         devices = state.device_count();
         gateways = state.gateway_count();
 
+        let journal = journaled.then(|| {
+            let dir = std::env::temp_dir().join(format!("ef-lora-soak-{}", std::process::id()));
+            std::fs::create_dir_all(&dir).expect("soak journal dir");
+            let path = dir.join(format!("{devices}dev-{events}ev-{rep_index}.journal"));
+            let base = JournalRecord::Genesis {
+                strategy: "ef-lora".to_string(),
+                spec: spec.clone(),
+            };
+            Journal::create(&path, FsyncPolicy::Batch, &base).expect("soak journal creates")
+        });
         let listener = TcpListener::bind("127.0.0.1:0").expect("loopback bind");
         let addr = listener
             .local_addr()
             .expect("bound listener has an address")
             .to_string();
-        let server = std::thread::spawn(move || serve(listener, state, &ServerOptions::default()));
+        let server = std::thread::spawn(move || {
+            serve_journaled(listener, state, journal, &ServerOptions::default())
+        });
         let rep = loadgen::run_burst(&addr, SOAK_SEED, events, false, true)
             .expect("soak burst completes cleanly");
         server
@@ -162,6 +181,7 @@ fn run_point(factor: f64, events: usize) -> (Vec<WorkloadResult>, LoadReport) {
     let report = best.expect("at least one rep ran");
 
     let tag = format!("{devices}dev_{gateways}gw");
+    let suffix = if journaled { "/journal" } else { "" };
     let latency = report.latency;
     let row = |id: String, median_ms: f64, p95_ms: f64| WorkloadResult {
         id,
@@ -176,12 +196,12 @@ fn run_point(factor: f64, events: usize) -> (Vec<WorkloadResult>, LoadReport) {
     };
     let rows = vec![
         row(
-            format!("serve_churn/{tag}"),
+            format!("serve_churn/{tag}{suffix}"),
             latency.p50_us / 1_000.0,
             latency.p95_us / 1_000.0,
         ),
         row(
-            format!("serve_churn/{tag}/p99"),
+            format!("serve_churn/{tag}{suffix}/p99"),
             latency.p99_us / 1_000.0,
             latency.max_us / 1_000.0,
         ),
@@ -194,19 +214,31 @@ fn run_point(factor: f64, events: usize) -> (Vec<WorkloadResult>, LoadReport) {
 pub fn run(scale: &Scale) -> PerfReport {
     let mut workloads = Vec::new();
     let mut table = Vec::new();
+    let mut overheads = Vec::new();
     for (factor, events) in soak_points(scale) {
-        let (rows, report) = run_point(factor, events);
-        let latency = report.latency;
-        table.push(vec![
-            rows[0].devices.to_string(),
-            report.events.to_string(),
-            f2(report.events_per_sec),
-            f2(latency.p50_us),
-            f2(latency.p95_us),
-            f2(latency.p99_us),
-            f2(latency.max_us),
-        ]);
+        let (rows, report) = run_point(factor, events, false);
+        let (journal_rows, journal_report) = run_point(factor, events, true);
+        let devices = rows[0].devices;
+        for (label, r) in [("", &report), (" +wal", &journal_report)] {
+            let latency = r.latency;
+            table.push(vec![
+                format!("{devices}{label}"),
+                r.events.to_string(),
+                f2(r.events_per_sec),
+                f2(latency.p50_us),
+                f2(latency.p95_us),
+                f2(latency.p99_us),
+                f2(latency.max_us),
+            ]);
+        }
+        if report.latency.p99_us > 0.0 {
+            overheads.push((
+                devices,
+                (journal_report.latency.p99_us / report.latency.p99_us - 1.0) * 100.0,
+            ));
+        }
         workloads.extend(rows);
+        workloads.extend(journal_rows);
     }
     workloads.push(calibration_row());
     let perf = PerfReport {
@@ -217,12 +249,16 @@ pub fn run(scale: &Scale) -> PerfReport {
         workloads,
     };
     print_table(
-        "ext_serve_soak: sustained daemon throughput vs population (incremental model state)",
+        "ext_serve_soak: sustained daemon throughput vs population (incremental model state; \
+         +wal = batch-fsync write-ahead journal)",
         &[
             "devices", "events", "events/s", "p50 (us)", "p95 (us)", "p99 (us)", "max (us)",
         ],
         &table,
     );
+    for (devices, pct) in overheads {
+        println!("ext_serve_soak: journal overhead at {devices} devices: p99 {pct:+.1}%");
+    }
     write_json("ext_serve_soak", &perf);
     perf
 }
@@ -255,7 +291,49 @@ pub fn gate_against(perf: &PerfReport, baseline: &PerfReport, tolerance: f64) ->
         w.median_ms /= speed;
         w.p95_ms /= speed;
     }
-    compare(&scaled, baseline, tolerance)
+    let mut issues = compare(&scaled, baseline, tolerance);
+    // Journal-overhead rows (`serve_churn/<tag>/journal[...]`) have no
+    // counterpart in pre-journal baselines, and `compare` ignores
+    // current-only rows — so gate them explicitly against the *plain*
+    // baseline rows: batch-fsync journaling must keep the daemon within
+    // the same tolerance that bounds any other serve-path regression.
+    let journal_view = PerfReport {
+        workloads: scaled
+            .workloads
+            .iter()
+            .filter(|w| w.id.contains("/journal"))
+            .map(|w| {
+                let mut plain = w.clone();
+                plain.id = plain.id.replace("/journal", "");
+                plain
+            })
+            .collect(),
+        ..scaled.clone()
+    };
+    if !journal_view.workloads.is_empty() {
+        issues.extend(
+            compare(&journal_view, baseline, tolerance)
+                .into_iter()
+                .filter_map(|issue| match issue {
+                    PerfIssue::Slower {
+                        id,
+                        baseline_ms,
+                        current_ms,
+                        ratio,
+                    } => Some(PerfIssue::Slower {
+                        id: format!("{id} (journaled)"),
+                        baseline_ms,
+                        current_ms,
+                        ratio,
+                    }),
+                    // Rows absent from the journal view (the probe, any
+                    // point without a journaled twin) are not journal
+                    // regressions; the plain pass already gates shape.
+                    PerfIssue::Missing { .. } => None,
+                }),
+        );
+    }
+    issues
 }
 
 /// Applies the golden-baseline workflow: `EF_LORA_UPDATE_GOLDEN=1`
@@ -303,16 +381,19 @@ mod tests {
         let perf = run(&Scale::smoke().with_threads(1));
         assert_eq!(perf.schema, SCHEMA);
         let points = soak_points(&Scale::smoke());
-        // Two rows per curve point plus the machine-speed probe.
-        assert_eq!(perf.workloads.len(), 2 * points.len() + 1);
+        // Four rows per curve point — plain and journaled, each with its
+        // p99 twin — plus the machine-speed probe.
+        assert_eq!(perf.workloads.len(), 4 * points.len() + 1);
         let calibration = perf.workloads.last().expect("probe row");
         assert_eq!(calibration.id, CALIBRATION_ID);
         assert!(calibration.median_ms > 0.0);
         let mut devices_seen = Vec::new();
-        for pair in perf.workloads[..2 * points.len()].chunks(2) {
+        for (i, pair) in perf.workloads[..4 * points.len()].chunks(2).enumerate() {
             let [head, tail] = pair else { unreachable!() };
             assert!(head.id.starts_with("serve_churn/"));
             assert_eq!(tail.id, format!("{}/p99", head.id));
+            // Rows alternate plain / journaled per point.
+            assert_eq!(head.id.ends_with("/journal"), i % 2 == 1, "id: {}", head.id);
             assert!(head.events_per_sec > 0.0, "throughput must be measured");
             // Percentiles are ordered: p50 <= p95 <= p99 <= max.
             assert!(head.median_ms <= head.p95_ms);
@@ -321,9 +402,57 @@ mod tests {
             devices_seen.push(head.devices);
         }
         // The smoke curve covers the 20- and 200-device points of the
-        // churn-heavy scenario.
-        assert_eq!(devices_seen, vec![20, 200]);
+        // churn-heavy scenario, each measured plain and journaled.
+        assert_eq!(devices_seen, vec![20, 20, 200, 200]);
         assert_eq!(perf.workloads[0].events as usize, points[0].1);
+    }
+
+    #[test]
+    fn gate_bounds_journal_overhead_against_the_plain_baseline_rows() {
+        let row = |id: &str, median_ms: f64| WorkloadResult {
+            id: id.into(),
+            devices: 200,
+            gateways: 2,
+            threads: 1,
+            events: 300,
+            median_ms,
+            p95_ms: median_ms,
+            events_per_sec: 1000.0,
+            devices_per_sec: 0.0,
+        };
+        let report = |rows: Vec<WorkloadResult>| PerfReport {
+            schema: SCHEMA.to_string(),
+            git_describe: "test".into(),
+            scale: "smoke".into(),
+            reps: 1,
+            workloads: rows,
+        };
+        // The baseline predates the journal: plain rows only.
+        let baseline = report(vec![
+            row("serve_churn/200dev_2gw/p99", 10.0),
+            row(CALIBRATION_ID, 2.0),
+        ]);
+        // Journaling within tolerance passes …
+        let fine = report(vec![
+            row("serve_churn/200dev_2gw/p99", 10.0),
+            row("serve_churn/200dev_2gw/journal/p99", 12.0),
+            row(CALIBRATION_ID, 2.0),
+        ]);
+        assert!(gate_against(&fine, &baseline, 0.25).is_empty());
+        // … but journal overhead past it is a regression of its own,
+        // even when the plain row is healthy.
+        let slow = report(vec![
+            row("serve_churn/200dev_2gw/p99", 10.0),
+            row("serve_churn/200dev_2gw/journal/p99", 20.0),
+            row(CALIBRATION_ID, 2.0),
+        ]);
+        let issues = gate_against(&slow, &baseline, 0.25);
+        assert_eq!(issues.len(), 1);
+        assert!(
+            issues[0].to_string().contains("(journaled)"),
+            "issue must name the journaled row: {}",
+            issues[0]
+        );
     }
 
     #[test]

@@ -17,6 +17,10 @@
 //! * snapshot/restore to disk for crash recovery, *including* the
 //!   resilience baseline, so a daemon restarted mid-fault still detects
 //!   degradation against the healthy minimum EE ([`state::Snapshot`]);
+//! * a crash-safe write-ahead event journal ([`journal`]): mutations are
+//!   appended (CRC32-framed) *before* they apply, and boot-time recovery
+//!   replays the durable prefix byte-identically — a SIGKILL at any byte
+//!   boundary loses only what never reached disk;
 //! * a seeded load generator ([`loadgen`]) for soak tests and the CI
 //!   smoke job.
 //!
@@ -29,12 +33,14 @@
 
 pub mod app;
 pub mod flags;
+pub mod journal;
 pub mod loadgen;
 pub mod protocol;
 pub mod reference;
 pub mod server;
 pub mod state;
 
+pub use journal::{FsyncPolicy, Journal, JournalError, JournalRecord};
 pub use protocol::{Request, Response};
-pub use server::{respond, serve, ServerOptions};
-pub use state::{ServeState, Snapshot, SNAPSHOT_SCHEMA};
+pub use server::{respond, serve, serve_journaled, ServerOptions};
+pub use state::{RecoveryInfo, ServeState, Snapshot, SnapshotError, SNAPSHOT_SCHEMA};

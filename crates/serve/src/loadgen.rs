@@ -20,6 +20,9 @@ use crate::protocol::{decode, encode, Request, Response};
 /// Seed tag of the load-generator stream ("loadgen").
 const LOADGEN_TAG: u64 = 0x6c6f_6164_6765_6e00;
 
+/// Seed tag of the chaos-mode jitter stream ("jitter").
+const JITTER_TAG: u64 = 0x6a69_7474_6572_0000;
+
 /// Latency percentiles of a burst, microseconds.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct LatencyProfile {
@@ -239,6 +242,138 @@ pub fn run_burst(
     Ok(report)
 }
 
+/// Chaos-mode knobs: how hard to try when the daemon disappears
+/// mid-burst (the kill-and-recover CI scenario).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosOptions {
+    /// Reconnect attempts per event before giving up on the run.
+    pub retries: u32,
+    /// Base backoff between reconnect attempts; doubles per attempt,
+    /// with seeded ±50% jitter so retry storms decorrelate.
+    pub backoff_ms: u64,
+}
+
+impl Default for ChaosOptions {
+    fn default() -> Self {
+        ChaosOptions {
+            retries: 8,
+            backoff_ms: 50,
+        }
+    }
+}
+
+/// Outcome of a chaos burst: how the event stream landed around daemon
+/// restarts.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ChaosReport {
+    /// Events acknowledged before the first disconnect.
+    pub events_pre_restart: usize,
+    /// Events acknowledged after reconnecting (across all restarts).
+    pub events_post_restart: usize,
+    /// Reconnections that succeeded.
+    pub reconnects: usize,
+    /// Sends whose ack was lost and were re-sent on a fresh connection
+    /// (the daemon may have applied them before dying — the journal,
+    /// not this count, is the truth).
+    pub resent: usize,
+}
+
+/// The seeded jittered backoff of chaos attempt `attempt` (0-based):
+/// `backoff_ms × 2^attempt`, scaled by a deterministic factor in
+/// `[0.5, 1.5)` drawn from `rng`.
+fn jittered_backoff(rng: &mut ChaCha12Rng, backoff_ms: u64, attempt: u32) -> Duration {
+    let base = backoff_ms.saturating_mul(1u64 << attempt.min(6)) as f64;
+    let factor = 0.5 + rng.gen_range(0.0..1.0);
+    Duration::from_millis((base * factor) as u64)
+}
+
+/// Drives `events` churn events against the daemon at `addr`, surviving
+/// connect failures and mid-burst disconnects with seeded jittered
+/// retry/backoff. Events whose ack was lost are re-sent on the new
+/// connection (at-least-once delivery — exact recovery is proven
+/// against the journal, not the client's view).
+///
+/// # Errors
+///
+/// Initial-connection exhaustion, protocol violations, and bursts where
+/// every retry of an event failed.
+pub fn run_chaos_burst(
+    addr: &str,
+    seed: u64,
+    events: usize,
+    chaos: &ChaosOptions,
+) -> Result<ChaosReport, String> {
+    let mut jitter = ChaCha12Rng::seed_from_u64(seed ^ JITTER_TAG);
+    let connect = |jitter: &mut ChaCha12Rng,
+                   retries: u32|
+     -> Result<(BufWriter<TcpStream>, BufReader<TcpStream>), String> {
+        let mut last = String::new();
+        for attempt in 0..retries.max(1) {
+            match TcpStream::connect(addr) {
+                Ok(stream) => {
+                    stream
+                        .set_nodelay(true)
+                        .map_err(|e| format!("set_nodelay: {e}"))?;
+                    let reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+                    return Ok((BufWriter::new(stream), reader));
+                }
+                Err(e) => {
+                    last = e.to_string();
+                    std::thread::sleep(jittered_backoff(jitter, chaos.backoff_ms, attempt));
+                }
+            }
+        }
+        Err(format!("cannot connect to {addr} after retries: {last}"))
+    };
+
+    let (mut writer, mut reader) = connect(&mut jitter, chaos.retries)?;
+    let classes = match round_trip(&mut writer, &mut reader, &Request::Info)? {
+        Response::Info { classes, .. } => classes,
+        other => return Err(format!("expected Info response, got {other:?}")),
+    };
+    let stream_events = generate_events(seed, events, &classes);
+
+    let mut report = ChaosReport {
+        events_pre_restart: 0,
+        events_post_restart: 0,
+        reconnects: 0,
+        resent: 0,
+    };
+    for event in &stream_events {
+        let request = Request::Churn(event.clone());
+        let mut attempt = 0u32;
+        loop {
+            match round_trip(&mut writer, &mut reader, &request) {
+                Ok(Response::Churned { .. }) => {
+                    if report.reconnects == 0 {
+                        report.events_pre_restart += 1;
+                    } else {
+                        report.events_post_restart += 1;
+                    }
+                    break;
+                }
+                Ok(other) => return Err(format!("expected Churned response, got {other:?}")),
+                Err(e) if attempt >= chaos.retries => {
+                    return Err(format!("event lost after {attempt} retries: {e}"))
+                }
+                Err(_) => {
+                    // Disconnected mid-burst: back off, redial, re-send
+                    // the same event (its ack — and possibly its apply —
+                    // was lost with the old connection).
+                    std::thread::sleep(jittered_backoff(&mut jitter, chaos.backoff_ms, attempt));
+                    let (w, r) = connect(&mut jitter, chaos.retries)?;
+                    writer = w;
+                    reader = r;
+                    report.reconnects += 1;
+                    report.resent += 1;
+                    attempt += 1;
+                }
+            }
+        }
+    }
+    Ok(report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -260,6 +395,23 @@ mod tests {
     fn empty_class_list_degrades_to_leaves() {
         for event in generate_events(3, 20, &[]) {
             assert!(matches!(event.event, ChurnKind::Leave { .. }));
+        }
+    }
+
+    #[test]
+    fn chaos_backoff_is_seeded_jittered_and_bounded() {
+        let mut a = ChaCha12Rng::seed_from_u64(5 ^ JITTER_TAG);
+        let mut b = ChaCha12Rng::seed_from_u64(5 ^ JITTER_TAG);
+        for attempt in 0..8u32 {
+            let da = jittered_backoff(&mut a, 50, attempt);
+            let db = jittered_backoff(&mut b, 50, attempt);
+            assert_eq!(da, db, "same seed, same backoff schedule");
+            let base = 50u64 << attempt.min(6);
+            assert!(da >= Duration::from_millis(base / 2), "attempt {attempt}");
+            assert!(
+                da <= Duration::from_millis(base + base / 2),
+                "attempt {attempt}"
+            );
         }
     }
 

@@ -23,6 +23,8 @@ use lora_phy::TxConfig;
 use lora_scenario::churn::ChurnWarning;
 use lora_scenario::spec::ChurnEvent;
 
+use crate::state::RecoveryInfo;
+
 /// A client request, one JSON object (or string, for unit variants) per
 /// line.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -73,6 +75,9 @@ pub enum Response {
         events_applied: u64,
         /// Measurement windows observed.
         windows_observed: u64,
+        /// What boot-time journal recovery did; `null` on a daemon that
+        /// booted fresh (or restored a snapshot without a journal).
+        recovery: Option<RecoveryInfo>,
     },
     /// Reply to [`Request::Churn`].
     Churned {

@@ -9,7 +9,7 @@
 //! conformance crate and must **not** adopt serve-path optimisations —
 //! deliberate duplication of [`crate::state::ServeState`] is the point.
 //!
-//! [`respond`] mirrors the daemon dispatcher for the in-memory requests
+//! [`respond`](crate::server::respond) mirrors the daemon dispatcher for the in-memory requests
 //! (`Snapshot`/`Shutdown` are filesystem/loop concerns, not model state,
 //! and are answered with an error here).
 
@@ -23,7 +23,9 @@ use lora_scenario::{compile, Population, ScenarioError, ScenarioSpec};
 use lora_sim::{Position, SimConfig, Simulation, Topology};
 
 use crate::protocol::{Request, Response};
-use crate::state::{decision_label, Snapshot, WindowOutcome, SNAPSHOT_SCHEMA, WINDOW_TAG};
+use crate::state::{
+    decision_label, RecoveryInfo, Snapshot, WindowOutcome, SNAPSHOT_SCHEMA, WINDOW_TAG,
+};
 
 /// The pre-incremental daemon state: identical bookkeeping to
 /// [`crate::ServeState`], with every model artefact rebuilt from scratch
@@ -40,6 +42,10 @@ pub struct ReferenceState {
     events_applied: u64,
     windows_observed: u64,
     last_decision: String,
+    /// Mirror of the daemon's boot-time recovery summary, injected by
+    /// chaos tests (see [`ReferenceState::set_recovery`]) so `Info`
+    /// responses stay byte-comparable against a recovered daemon.
+    recovery: Option<RecoveryInfo>,
 }
 
 impl ReferenceState {
@@ -76,7 +82,15 @@ impl ReferenceState {
             events_applied: 0,
             windows_observed: 0,
             last_decision: "Healthy".to_string(),
+            recovery: None,
         })
+    }
+
+    /// Stamps the recovery summary the oracle's `Info` responses carry —
+    /// the chaos suite sets this to what the recovered daemon is
+    /// expected to report, then byte-compares the two.
+    pub fn set_recovery(&mut self, info: Option<RecoveryInfo>) {
+        self.recovery = info;
     }
 
     /// Live device count.
@@ -248,6 +262,7 @@ impl ReferenceState {
             windows_observed: snapshot.windows_observed,
             last_decision: snapshot.last_decision,
             spec: snapshot.spec,
+            recovery: None,
         })
     }
 
@@ -265,6 +280,7 @@ impl ReferenceState {
                 classes: self.class_names(),
                 events_applied: self.events_applied,
                 windows_observed: self.windows_observed,
+                recovery: self.recovery,
             },
             Request::Churn(event) => match self.apply_churn(&event) {
                 Ok(outcome) => Response::Churned {

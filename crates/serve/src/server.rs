@@ -3,29 +3,55 @@
 //! Deliberately `std::net`-only and single-threaded: connections are
 //! served strictly in accept order and requests in arrival order, so the
 //! daemon's behaviour is a pure function of the request sequence — the
-//! property the snapshot/restore and determinism tests lean on.
+//! property the snapshot/restore, journal-replay and determinism tests
+//! lean on.
+//!
+//! Two hardening knobs protect the single thread from hostile or wedged
+//! clients: a per-connection read timeout (an idle connection is dropped
+//! and the loop returns to `accept`) and a request-line length cap (an
+//! unbounded line gets an in-band error instead of an unbounded buffer).
 
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
+use std::time::Duration;
 
+use crate::journal::{Journal, JournalRecord};
 use crate::protocol::{decode, encode, Request, Response};
 use crate::state::{decision_label, ServeState};
 
 /// Server behaviour knobs.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ServerOptions {
     /// Snapshot path: written on `Shutdown` and on every `Snapshot`
     /// request. `None` disables snapshotting.
     pub snapshot_path: Option<PathBuf>,
+    /// Per-connection read timeout; an idle connection is dropped and
+    /// the loop returns to `accept`. `None` waits forever (the
+    /// pre-hardening behaviour).
+    pub read_timeout: Option<Duration>,
+    /// Longest request line accepted, bytes. Longer lines are drained
+    /// and answered with an in-band [`Response::Error`].
+    pub max_line_bytes: usize,
 }
 
-/// Runs the accept loop until a client sends `Shutdown`.
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            snapshot_path: None,
+            read_timeout: Some(Duration::from_secs(30)),
+            max_line_bytes: 1 << 20,
+        }
+    }
+}
+
+/// Runs the accept loop until a client sends `Shutdown` — the
+/// journal-less shape (see [`serve_journaled`]).
 ///
 /// Each connection is read line by line; every line produces exactly one
 /// response line. Malformed lines produce an in-band
-/// [`Response::Error`] and the connection stays open; a dropped
-/// connection returns the loop to `accept`.
+/// [`Response::Error`] and the connection stays open; a dropped or
+/// timed-out connection returns the loop to `accept`.
 ///
 /// # Errors
 ///
@@ -33,16 +59,42 @@ pub struct ServerOptions {
 /// swallowed into the next accept).
 pub fn serve(
     listener: TcpListener,
+    state: ServeState,
+    options: &ServerOptions,
+) -> std::io::Result<()> {
+    serve_journaled(listener, state, None, options)
+}
+
+/// Runs the accept loop with an optional write-ahead journal.
+///
+/// With a journal, every mutating request (`Churn`, `Measure`) is
+/// appended to it *before* being applied; an append failure refuses the
+/// mutation in-band (fail-closed — the journal must never lag the
+/// state). A successful `Snapshot` truncates the journal down to a fresh
+/// base, and connection close / shutdown force pending appends to disk.
+///
+/// # Errors
+///
+/// Fatal I/O errors from the listener itself.
+pub fn serve_journaled(
+    listener: TcpListener,
     mut state: ServeState,
+    mut journal: Option<Journal>,
     options: &ServerOptions,
 ) -> std::io::Result<()> {
     loop {
         let (stream, _) = listener.accept()?;
-        match handle_connection(stream, &mut state, options) {
+        match handle_connection(stream, &mut state, &mut journal, options) {
             Ok(true) => {
                 if let Some(path) = &options.snapshot_path {
-                    if let Err(e) = state.snapshot_to_file(path) {
-                        eprintln!("shutdown snapshot failed: {e}");
+                    match state.snapshot_to_file(path) {
+                        Ok(()) => reset_journal(&mut journal, &state),
+                        Err(e) => eprintln!("shutdown snapshot failed: {e}"),
+                    }
+                }
+                if let Some(journal) = &mut journal {
+                    if let Err(e) = journal.sync() {
+                        eprintln!("shutdown journal sync failed: {e}");
                     }
                 }
                 return Ok(());
@@ -53,47 +105,216 @@ pub fn serve(
     }
 }
 
+/// Truncates the journal down to a base embedding the state that was
+/// just snapshotted. A reset failure is logged, not fatal: the full
+/// journal stays correct (replay skips records the snapshot contains).
+fn reset_journal(journal: &mut Option<Journal>, state: &ServeState) {
+    if let Some(journal) = journal {
+        let base = JournalRecord::Base(Box::new(state.snapshot()));
+        if let Err(e) = journal.reset(&base) {
+            eprintln!("journal reset after snapshot failed: {e}");
+        }
+    }
+}
+
+/// What one bounded read produced.
+enum LineRead {
+    /// A complete line (newline stripped).
+    Line(String),
+    /// The line exceeded the cap; its bytes were drained to the next
+    /// newline (or EOF).
+    Oversize,
+    /// The peer closed the connection.
+    Eof,
+    /// The read timeout elapsed with no data.
+    TimedOut,
+}
+
+/// Reads one `\n`-terminated line without ever buffering more than
+/// `cap` bytes of it — the unbounded-`read_line` DoS fix. Invalid UTF-8
+/// decodes lossily and fails request parsing in-band.
+fn read_line_bounded(reader: &mut BufReader<TcpStream>, cap: usize) -> std::io::Result<LineRead> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let buf = match reader.fill_buf() {
+            Ok(buf) => buf,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                return Ok(LineRead::TimedOut)
+            }
+            Err(e) => return Err(e),
+        };
+        if buf.is_empty() {
+            // EOF. A dangling unterminated line is still served — the
+            // pre-hardening `lines()` behaviour.
+            return Ok(if line.is_empty() {
+                LineRead::Eof
+            } else {
+                LineRead::Line(String::from_utf8_lossy(&line).into_owned())
+            });
+        }
+        if let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            if line.len() + pos > cap {
+                reader.consume(pos + 1);
+                return Ok(LineRead::Oversize);
+            }
+            line.extend_from_slice(&buf[..pos]);
+            reader.consume(pos + 1);
+            return Ok(LineRead::Line(String::from_utf8_lossy(&line).into_owned()));
+        }
+        let taken = buf.len();
+        line.extend_from_slice(buf);
+        reader.consume(taken);
+        if line.len() > cap {
+            return drain_to_newline(reader);
+        }
+    }
+}
+
+/// Discards bytes until the end of the oversize line (newline or EOF),
+/// so the connection can keep serving in-band afterwards.
+fn drain_to_newline(reader: &mut BufReader<TcpStream>) -> std::io::Result<LineRead> {
+    loop {
+        let buf = match reader.fill_buf() {
+            Ok(buf) => buf,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                return Ok(LineRead::TimedOut)
+            }
+            Err(e) => return Err(e),
+        };
+        if buf.is_empty() {
+            return Ok(LineRead::Eof);
+        }
+        if let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            reader.consume(pos + 1);
+            return Ok(LineRead::Oversize);
+        }
+        let taken = buf.len();
+        reader.consume(taken);
+    }
+}
+
 /// Serves one connection; `Ok(true)` means a clean `Shutdown` was
 /// requested.
 fn handle_connection(
     stream: TcpStream,
     state: &mut ServeState,
+    journal: &mut Option<Journal>,
     options: &ServerOptions,
 ) -> std::io::Result<bool> {
     // One small response per request line: Nagle's algorithm would hold
     // each one hostage to the client's delayed ACK.
     stream.set_nodelay(true)?;
-    let reader = BufReader::new(stream.try_clone()?);
+    stream.set_read_timeout(options.read_timeout)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
-    for line in reader.lines() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        let (response, shutdown) = match decode::<Request>(&line) {
-            Ok(request) => respond(state, options, request),
-            Err(message) => (
+    let shutdown = loop {
+        let (response, shutdown) = match read_line_bounded(&mut reader, options.max_line_bytes)? {
+            LineRead::Eof => break false,
+            LineRead::TimedOut => {
+                eprintln!("connection idle past the read timeout; dropping");
+                break false;
+            }
+            LineRead::Oversize => (
                 Response::Error {
-                    message: format!("malformed request: {message}"),
+                    message: format!(
+                        "request line exceeds {} bytes; line discarded",
+                        options.max_line_bytes
+                    ),
                 },
                 false,
             ),
+            LineRead::Line(line) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                handle_line(state, options, journal, &line)
+            }
         };
         writer.write_all(encode(&response).as_bytes())?;
         writer.write_all(b"\n")?;
         writer.flush()?;
         if shutdown {
-            return Ok(true);
+            break true;
+        }
+    };
+    // Quiescence point for `--fsync batch`: nothing of this connection's
+    // burst stays pending once the client hangs up.
+    if let Some(journal) = journal {
+        if let Err(e) = journal.sync() {
+            eprintln!("journal sync at connection close failed: {e}");
         }
     }
-    Ok(false)
+    Ok(shutdown)
+}
+
+/// Parses and dispatches one non-blank request line; the bool requests
+/// shutdown. Public so fuzz harnesses can drive the exact server path —
+/// decode, journal append, apply — without a TCP round-trip.
+pub fn handle_line(
+    state: &mut ServeState,
+    options: &ServerOptions,
+    journal: &mut Option<Journal>,
+    line: &str,
+) -> (Response, bool) {
+    match decode::<Request>(line) {
+        Ok(request) => respond_journaled(state, options, journal, request),
+        Err(message) => (
+            Response::Error {
+                message: format!("malformed request: {message}"),
+            },
+            false,
+        ),
+    }
+}
+
+/// [`respond`] with the write-ahead discipline: mutating requests are
+/// journaled *before* they apply, and a successful `Snapshot` truncates
+/// the journal down to a fresh base. An append failure refuses the
+/// mutation with an in-band error — the state never runs ahead of the
+/// journal.
+pub fn respond_journaled(
+    state: &mut ServeState,
+    options: &ServerOptions,
+    journal: &mut Option<Journal>,
+    request: Request,
+) -> (Response, bool) {
+    if let Some(journal) = journal {
+        if matches!(request, Request::Churn(_) | Request::Measure) {
+            let record = JournalRecord::Mutation {
+                applied: state.mutations_applied(),
+                request: request.clone(),
+            };
+            if let Err(e) = journal.append(&record) {
+                return (
+                    Response::Error {
+                        message: format!("journal append failed; refusing to apply: {e}"),
+                    },
+                    false,
+                );
+            }
+        }
+    }
+    let (response, shutdown) = respond(state, options, request);
+    if matches!(response, Response::Snapshotted { .. }) {
+        reset_journal(journal, state);
+    }
+    (response, shutdown)
 }
 
 /// Maps one request to its response; the bool requests shutdown.
 ///
 /// Public so in-process harnesses (the conformance equivalence suite,
 /// the golden-transcript test) can drive the *exact* daemon dispatcher
-/// without a TCP round-trip.
+/// without a TCP round-trip. Journal-blind — the daemon's wire path goes
+/// through [`respond_journaled`].
 pub fn respond(
     state: &mut ServeState,
     options: &ServerOptions,
@@ -108,6 +329,7 @@ pub fn respond(
             classes: state.class_names(),
             events_applied: state.events_applied(),
             windows_observed: state.windows_observed(),
+            recovery: state.recovery(),
         },
         Request::Churn(event) => match state.apply_churn(&event) {
             Ok(outcome) => Response::Churned {
@@ -167,7 +389,9 @@ pub fn respond(
                 Ok(()) => Response::Snapshotted {
                     path: path.display().to_string(),
                 },
-                Err(message) => Response::Error { message },
+                Err(e) => Response::Error {
+                    message: e.to_string(),
+                },
             },
             None => Response::Error {
                 message: "no snapshot path configured (start with --snapshot PATH)".to_string(),

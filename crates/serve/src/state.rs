@@ -14,11 +14,70 @@ use lora_scenario::spec::{ChurnEvent, ClassSpec};
 use lora_scenario::{compile, Population, ScenarioError, ScenarioSpec};
 use lora_sim::{DeviceSite, Position, SimConfig, SimReport, Simulation, Topology};
 
-/// Schema tag written into every snapshot file.
+/// Schema tag written into every snapshot image.
 pub const SNAPSHOT_SCHEMA: &str = "ef-lora-serve/v1";
+
+/// Schema tag of the checksummed snapshot *file* header (first line of
+/// every file written by [`ServeState::snapshot_to_file`] since the
+/// journal landed; headerless files parse through the legacy path).
+pub const SNAPSHOT_FILE_SCHEMA: &str = "ef-lora-serve-snapshot/v1";
 
 /// Seed tag of the per-window measurement stream ("mwindow").
 pub(crate) const WINDOW_TAG: u64 = 0x6d77_696e_646f_7700;
+
+/// Typed failure of snapshot persistence or recovery.
+///
+/// `Corrupt` is the load-bearing variant: recovery treats it as "the
+/// snapshot cannot be trusted" and falls back to journal-only recovery
+/// instead of booting from a half-written or bit-flipped image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// Filesystem failure reading or writing the snapshot.
+    Io {
+        /// Path involved.
+        path: String,
+        /// What failed, e.g. `read`, `write`, `rename`.
+        op: &'static str,
+        /// The underlying error, rendered.
+        message: String,
+    },
+    /// The file exists but its bytes cannot be trusted: checksum
+    /// mismatch, truncated body, malformed JSON, wrong schema tag or
+    /// inconsistent population vectors.
+    Corrupt {
+        /// Path involved.
+        path: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io { path, op, message } => {
+                write!(f, "snapshot {op} failed for {path}: {message}")
+            }
+            SnapshotError::Corrupt { path, reason } => {
+                write!(f, "snapshot {path} is corrupt: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Boot-time recovery summary, surfaced on the wire in
+/// [`crate::protocol::Response::Info`]. `None` on a daemon that booted
+/// fresh (or through the legacy snapshot-only `--restore` path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveryInfo {
+    /// Whether the on-disk snapshot was loaded as the recovery base
+    /// (`false` means journal-only recovery).
+    pub snapshot_loaded: bool,
+    /// Journal mutations re-applied on top of the base during recovery.
+    pub replayed: u64,
+}
 
 /// Result of one measurement window (see [`ServeState::measure`]).
 #[derive(Debug, Clone, PartialEq)]
@@ -59,6 +118,9 @@ pub struct ServeState {
     /// this state. Load and restore cost one each; the steady state
     /// (churn, queries, measurement windows) must never add more.
     model_rebuilds: u64,
+    /// How this state came back from disk, when it did (set only by
+    /// journal recovery — [`crate::journal::recover`]).
+    recovery: Option<RecoveryInfo>,
 }
 
 /// On-disk crash-recovery image of a [`ServeState`].
@@ -140,6 +202,7 @@ impl ServeState {
             windows_observed: 0,
             last_decision: "Healthy".to_string(),
             model_rebuilds: 1,
+            recovery: None,
         })
     }
 
@@ -441,33 +504,166 @@ impl ServeState {
             last_decision: snapshot.last_decision,
             spec: snapshot.spec,
             model_rebuilds: 1,
+            recovery: None,
         })
     }
 
-    /// Serializes a snapshot to `path` (pretty JSON, trailing newline).
+    /// Serializes a snapshot to `path` **atomically**: the image goes to
+    /// `path.tmp` first, is `sync_all`'d, and only then renamed over the
+    /// target (with a parent-directory fsync), so a crash at any byte
+    /// boundary leaves either the old snapshot or the new one — never a
+    /// torn file. The first line is a header carrying a CRC32 of the
+    /// body, so in-place corruption is detected at load time instead of
+    /// being deserialized into a wrong state.
     ///
     /// # Errors
     ///
-    /// Filesystem errors, as strings.
-    pub fn snapshot_to_file(&self, path: &std::path::Path) -> Result<(), String> {
-        let body =
-            serde_json::to_string_pretty(&self.snapshot()).expect("snapshots always serialize");
-        std::fs::write(path, format!("{body}\n"))
-            .map_err(|e| format!("cannot write snapshot {}: {e}", path.display()))
+    /// Filesystem failures, typed.
+    pub fn snapshot_to_file(&self, path: &std::path::Path) -> Result<(), SnapshotError> {
+        write_snapshot_file(&self.snapshot(), path)
     }
 
     /// Loads a snapshot file written by [`ServeState::snapshot_to_file`].
+    /// Checksummed files (header line present) are verified before
+    /// parsing; headerless files parse through the legacy path for
+    /// compatibility with pre-journal snapshots.
     ///
     /// # Errors
     ///
-    /// Filesystem, JSON and schema violations, as strings.
-    pub fn restore_from_file(path: &std::path::Path) -> Result<Self, String> {
-        let body = std::fs::read_to_string(path)
-            .map_err(|e| format!("cannot read snapshot {}: {e}", path.display()))?;
-        let snapshot: Snapshot =
-            serde_json::from_str(&body).map_err(|e| format!("snapshot {}: {e}", path.display()))?;
-        ServeState::restore(snapshot)
+    /// Filesystem failures and corruption (checksum mismatch, truncated
+    /// body, malformed JSON, schema violations), typed.
+    pub fn restore_from_file(path: &std::path::Path) -> Result<Self, SnapshotError> {
+        ServeState::restore(read_snapshot_file(path)?).map_err(|reason| SnapshotError::Corrupt {
+            path: path.display().to_string(),
+            reason,
+        })
     }
+
+    /// Churn events plus measurement windows applied so far — the single
+    /// monotone cursor the write-ahead journal stamps into every record
+    /// (each mutating request advances exactly one of the two counters).
+    pub fn mutations_applied(&self) -> u64 {
+        self.events_applied + self.windows_observed
+    }
+
+    /// Boot-time recovery summary (`None` unless this state came out of
+    /// [`crate::journal::recover`]).
+    pub fn recovery(&self) -> Option<RecoveryInfo> {
+        self.recovery
+    }
+
+    /// Stamps the recovery summary; called by journal recovery once the
+    /// replay finished.
+    pub(crate) fn set_recovery(&mut self, info: RecoveryInfo) {
+        self.recovery = Some(info);
+    }
+}
+
+/// Header line of a checksummed snapshot file: schema tag, CRC32 of the
+/// body bytes, and the body length (so truncation is caught even when
+/// the remaining prefix happens to be valid JSON).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct SnapshotFileHeader {
+    schema: String,
+    crc32: u32,
+    bytes: u64,
+}
+
+/// Writes `snapshot` to `path` atomically with a checksummed header.
+///
+/// # Errors
+///
+/// Filesystem failures, typed.
+pub(crate) fn write_snapshot_file(
+    snapshot: &Snapshot,
+    path: &std::path::Path,
+) -> Result<(), SnapshotError> {
+    use std::io::Write as _;
+
+    let io = |op: &'static str, p: &std::path::Path| {
+        let p = p.display().to_string();
+        move |e: std::io::Error| SnapshotError::Io {
+            path: p.clone(),
+            op,
+            message: e.to_string(),
+        }
+    };
+    let mut body = serde_json::to_string_pretty(snapshot).expect("snapshots always serialize");
+    body.push('\n');
+    let header = SnapshotFileHeader {
+        schema: SNAPSHOT_FILE_SCHEMA.to_string(),
+        crc32: crate::journal::crc32(body.as_bytes()),
+        bytes: body.len() as u64,
+    };
+    let mut contents = serde_json::to_string(&header).expect("headers always serialize");
+    contents.push('\n');
+    contents.push_str(&body);
+
+    // tmp + sync + rename: the target path never holds a partial write.
+    let tmp = path.with_extension("tmp");
+    let mut file = std::fs::File::create(&tmp).map_err(io("create", &tmp))?;
+    file.write_all(contents.as_bytes())
+        .map_err(io("write", &tmp))?;
+    file.sync_all().map_err(io("sync", &tmp))?;
+    drop(file);
+    std::fs::rename(&tmp, path).map_err(io("rename", path))?;
+    // Make the rename itself durable: fsync the parent directory.
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::File::open(parent)
+            .and_then(|dir| dir.sync_all())
+            .map_err(io("sync-dir", parent))?;
+    }
+    Ok(())
+}
+
+/// Reads and verifies a snapshot file (checksummed or legacy format).
+///
+/// # Errors
+///
+/// Filesystem failures and corruption, typed.
+pub(crate) fn read_snapshot_file(path: &std::path::Path) -> Result<Snapshot, SnapshotError> {
+    let p = path.display().to_string();
+    let corrupt = |reason: String| SnapshotError::Corrupt {
+        path: p.clone(),
+        reason,
+    };
+    let body = std::fs::read_to_string(path).map_err(|e| SnapshotError::Io {
+        path: p.clone(),
+        op: "read",
+        message: e.to_string(),
+    })?;
+    let payload = if body.starts_with("{\"schema\":\"ef-lora-serve-snapshot/") {
+        let (header_line, rest) = body
+            .split_once('\n')
+            .ok_or_else(|| corrupt("header line is not newline-terminated".to_string()))?;
+        let header: SnapshotFileHeader = serde_json::from_str(header_line)
+            .map_err(|e| corrupt(format!("unreadable header: {e}")))?;
+        if header.schema != SNAPSHOT_FILE_SCHEMA {
+            return Err(corrupt(format!(
+                "file schema `{}` is not `{SNAPSHOT_FILE_SCHEMA}`",
+                header.schema
+            )));
+        }
+        if rest.len() as u64 != header.bytes {
+            return Err(corrupt(format!(
+                "body is {} bytes, header promises {}",
+                rest.len(),
+                header.bytes
+            )));
+        }
+        let crc = crate::journal::crc32(rest.as_bytes());
+        if crc != header.crc32 {
+            return Err(corrupt(format!(
+                "checksum mismatch: body crc32 {crc:#010x}, header {:#010x}",
+                header.crc32
+            )));
+        }
+        rest
+    } else {
+        // Legacy pre-journal snapshot: plain JSON, no checksum.
+        body.as_str()
+    };
+    serde_json::from_str(payload).map_err(|e| corrupt(e.to_string()))
 }
 
 /// The wire label of a decision (`Debug` without the payload).
@@ -668,5 +864,100 @@ mod tests {
         let mut short_alloc = state.snapshot();
         short_alloc.alloc.pop();
         assert!(ServeState::restore(short_alloc).is_err());
+    }
+
+    fn snapshot_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("ef-lora-serve-snap-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn crashed_mid_stream_write_leaves_the_old_snapshot_intact() {
+        // Regression for the bare `std::fs::write` era: a crash mid-write
+        // destroyed the only snapshot on disk. The atomic path stages the
+        // new image in `<path>.tmp`, so dying at any point before the
+        // rename leaves the old file byte-for-byte untouched.
+        let dir = snapshot_dir("atomic");
+        let path = dir.join("snap.json");
+        let mut state = smoke_state();
+        state.snapshot_to_file(&path).unwrap();
+        let good = std::fs::read(&path).unwrap();
+
+        state.apply_churn(&join(4)).unwrap();
+        let next = serde_json::to_string_pretty(&state.snapshot()).unwrap();
+        // Simulate the crash: half of the next image reaches the staging
+        // file and the process dies before the rename.
+        std::fs::write(path.with_extension("tmp"), &next[..next.len() / 2]).unwrap();
+
+        assert_eq!(std::fs::read(&path).unwrap(), good, "old snapshot survives");
+        let restored = ServeState::restore_from_file(&path).unwrap();
+        assert_eq!(restored.events_applied(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bit_flipped_snapshots_fail_with_a_typed_corrupt_error() {
+        let dir = snapshot_dir("bitflip");
+        let path = dir.join("snap.json");
+        smoke_state().snapshot_to_file(&path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip one bit in the body (past the header line).
+        let header_end = bytes.iter().position(|&b| b == b'\n').unwrap();
+        let mid = header_end + (bytes.len() - header_end) / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        match ServeState::restore_from_file(&path) {
+            Err(SnapshotError::Corrupt { reason, .. }) => {
+                assert!(reason.contains("checksum mismatch"), "got: {reason}");
+            }
+            other => panic!("expected a typed Corrupt error, got {other:?}"),
+        }
+        // Truncating the body is caught by the length field even before
+        // the checksum.
+        smoke_state().snapshot_to_file(&path).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 20]).unwrap();
+        assert!(matches!(
+            ServeState::restore_from_file(&path),
+            Err(SnapshotError::Corrupt { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn legacy_headerless_snapshots_still_restore() {
+        let dir = snapshot_dir("legacy");
+        let path = dir.join("snap.json");
+        let state = smoke_state();
+        // The pre-journal on-disk format: pretty JSON, no header line.
+        let body = serde_json::to_string_pretty(&state.snapshot()).unwrap();
+        std::fs::write(&path, format!("{body}\n")).unwrap();
+        let restored = ServeState::restore_from_file(&path).unwrap();
+        assert_eq!(restored.snapshot(), state.snapshot());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_files_round_trip_with_checksummed_headers() {
+        let dir = snapshot_dir("roundtrip");
+        let path = dir.join("snap.json");
+        let mut state = smoke_state();
+        state.apply_churn(&join(2)).unwrap();
+        state.snapshot_to_file(&path).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            body.starts_with("{\"schema\":\"ef-lora-serve-snapshot/"),
+            "checksummed files lead with the header line"
+        );
+        let restored = ServeState::restore_from_file(&path).unwrap();
+        assert_eq!(restored.snapshot(), state.snapshot());
+        assert_eq!(
+            restored.recovery(),
+            None,
+            "plain restore stamps no recovery"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -148,15 +148,23 @@ fn write_json_string(out: &mut String, s: &str) {
 // Parsing
 // ---------------------------------------------------------------------
 
+/// Maximum container nesting accepted by the parser (matching real
+/// serde_json's default recursion limit). The parser is recursive, so
+/// without this cap hostile input like 100k `[` bytes would overflow
+/// the stack and abort the process instead of returning an error.
+const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 fn parse_value(text: &str) -> Result<Value, Error> {
     let mut p = Parser {
         bytes: text.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     p.skip_ws();
     let value = p.value()?;
@@ -226,12 +234,24 @@ impl Parser<'_> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), Error> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(Error::custom(format!(
+                "JSON input exceeds the recursion limit of {MAX_DEPTH} nested containers"
+            )));
+        }
+        Ok(())
+    }
+
     fn array(&mut self) -> Result<Value, Error> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Array(items));
         }
         loop {
@@ -242,6 +262,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Array(items));
                 }
                 _ => {
@@ -256,10 +277,12 @@ impl Parser<'_> {
 
     fn object(&mut self) -> Result<Value, Error> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut entries = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Object(entries));
         }
         loop {
@@ -275,6 +298,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Object(entries));
                 }
                 _ => {
@@ -447,6 +471,26 @@ mod tests {
         // And unicode escapes parse, including surrogate pairs.
         let s: String = from_str(r#""A😀""#).unwrap();
         assert_eq!(s, "A\u{1F600}");
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing_the_stack() {
+        // 100k unclosed brackets must come back as an error, not a
+        // stack-overflow abort.
+        for text in ["[".repeat(100_000), "{\"a\":".repeat(100_000)] {
+            assert!(from_str::<Value>(&text).is_err());
+        }
+        // Deeply nested but *complete* documents beyond the limit are
+        // also rejected …
+        let deep = format!("{}1{}", "[".repeat(200), "]".repeat(200));
+        assert!(from_str::<Value>(&deep).is_err());
+        // … while realistic nesting depths stay accepted, including
+        // sibling containers (depth is released when a container
+        // closes, so breadth never counts against the limit).
+        let ok = format!("{}1{}", "[".repeat(100), "]".repeat(100));
+        assert!(from_str::<Value>(&ok).is_ok());
+        let siblings = format!("[{}]", vec!["[[1]]"; 200].join(","));
+        assert!(from_str::<Value>(&siblings).is_ok());
     }
 
     #[test]
