@@ -1,0 +1,19 @@
+//! Runs the ext_scale extension experiment (cell-sharded allocator
+//! scaling curve) and gates the result against
+//! `tests/golden/scale_baseline.json` (`EF_LORA_UPDATE_GOLDEN=1`
+//! rewrites the baseline).
+use ef_lora_bench::experiments::ext_scale;
+use ef_lora_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("{}", scale.banner());
+    let perf = ext_scale::run(&scale);
+    if let Err(issues) = ext_scale::gate(&perf) {
+        eprintln!("ext_scale: performance regression gate failed:");
+        for issue in issues {
+            eprintln!("  {issue}");
+        }
+        std::process::exit(1);
+    }
+}

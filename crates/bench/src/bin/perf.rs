@@ -19,6 +19,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use ef_lora_bench::experiments::ext_scale;
 use ef_lora_bench::output::{f2, print_table};
 use ef_lora_bench::perf::{
     baseline_path, compare, run_workloads, to_json, PerfReport, DEFAULT_OUTPUT, DEFAULT_REPS,
@@ -108,7 +109,15 @@ fn main() -> ExitCode {
 
     let scale = Scale::from_env();
     println!("{}", scale.banner());
-    let report = run_workloads(&scale, args.reps);
+    let mut report = run_workloads(&scale, args.reps);
+    // The sharded-allocator scaling curve rides along in the same
+    // report, so BENCH_PERF.json carries the scale-out rows next to the
+    // hot-path ones. Regression-gating of these rows happens in the
+    // `ext_scale` binary against `tests/golden/scale_baseline.json`
+    // (machine-probe-normalised); here they are data, not a gate — the
+    // hot-path baseline predates them, and new rows pass `compare`
+    // silently.
+    report.workloads.extend(ext_scale::run(&scale).workloads);
     print_report(&report);
 
     if let Err(e) = std::fs::write(&args.output, to_json(&report)) {

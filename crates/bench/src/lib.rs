@@ -29,6 +29,7 @@ pub mod experiments {
     pub mod ext_heterogeneous_rates;
     pub mod ext_incremental;
     pub mod ext_inter_sf;
+    pub mod ext_scale;
     pub mod ext_scenarios;
     pub mod ext_serve_soak;
     pub mod fig10_convergence;

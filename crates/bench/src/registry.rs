@@ -71,6 +71,9 @@ fn ext_scenarios(scale: &Scale) {
 fn ext_serve_soak(scale: &Scale) {
     let _ = crate::experiments::ext_serve_soak::run(scale);
 }
+fn ext_scale(scale: &Scale) {
+    let _ = crate::experiments::ext_scale::run(scale);
+}
 
 /// Every experiment binary, in the order `run_all` executes them.
 pub const EXPERIMENTS: &[ExperimentBin] = &[
@@ -145,6 +148,10 @@ pub const EXPERIMENTS: &[ExperimentBin] = &[
     ExperimentBin {
         name: "ext_serve_soak",
         run: ext_serve_soak,
+    },
+    ExperimentBin {
+        name: "ext_scale",
+        run: ext_scale,
     },
 ];
 

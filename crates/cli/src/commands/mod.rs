@@ -9,7 +9,7 @@ pub mod scenario;
 pub mod simulate;
 pub mod validate;
 
-use ef_lora::{AdrLora, EfLora, EfLoraFixedTp, LegacyLora, RsLora, Strategy};
+use ef_lora::{AdrLora, EfLora, EfLoraFixedTp, LegacyLora, RsLora, SpatialEfLora, Strategy};
 use lora_sim::{SimConfig, Traffic};
 
 use crate::args::Options;
@@ -22,8 +22,10 @@ pub fn strategy_by_name(name: &str) -> Result<Box<dyn Strategy>, String> {
         "rs-lora" => Ok(Box::new(RsLora::default())),
         "ef-lora-14dbm" => Ok(Box::new(EfLoraFixedTp::default())),
         "adr" => Ok(Box::new(AdrLora::default())),
+        "ef-lora-spatial" => Ok(Box::new(SpatialEfLora::default().with_threads(0))),
         other => Err(format!(
-            "unknown strategy `{other}` (expected ef-lora, legacy, rs-lora, ef-lora-14dbm or adr)"
+            "unknown strategy `{other}` (expected ef-lora, legacy, rs-lora, ef-lora-14dbm, adr \
+             or ef-lora-spatial)"
         )),
     }
 }
@@ -52,7 +54,14 @@ mod tests {
 
     #[test]
     fn strategies_resolve() {
-        for name in ["ef-lora", "legacy", "rs-lora", "ef-lora-14dbm", "adr"] {
+        for name in [
+            "ef-lora",
+            "legacy",
+            "rs-lora",
+            "ef-lora-14dbm",
+            "adr",
+            "ef-lora-spatial",
+        ] {
             assert!(strategy_by_name(name).is_ok(), "{name}");
         }
         assert!(strategy_by_name("explora").is_err());

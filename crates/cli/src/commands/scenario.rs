@@ -8,8 +8,10 @@
 //! ```
 //!
 //! Specs come from a JSON file (`--spec`) or the built-in catalog
-//! (`--name`); `--scale F` multiplies device populations (smoke runs) and
-//! `--seed N` overrides the scenario seed.
+//! (`--name`); `--scale F` multiplies device populations (smoke runs),
+//! `--devices N` pins the (expected) population outright — the scale-out
+//! knob that takes `ppp-sparse` to 10k/100k/1M devices — and `--seed N`
+//! overrides the scenario seed.
 
 use ef_lora::Strategy;
 use lora_scenario::catalog;
@@ -58,6 +60,12 @@ fn spec_from(opts: &Options) -> Result<lora_scenario::ScenarioSpec, String> {
             return Err("flag --scale must be a positive factor".into());
         }
         spec = catalog::scale_devices(&spec, factor);
+    }
+    if let Some(devices) = opts.optional("devices") {
+        let n: usize = devices
+            .parse()
+            .map_err(|_| "flag --devices has an invalid value".to_string())?;
+        spec = catalog::override_devices(&spec, n).map_err(|e| e.to_string())?;
     }
     if let Some(seed) = opts.optional("seed") {
         spec.seed = seed
@@ -264,6 +272,21 @@ mod tests {
     fn seed_override_applies() {
         let spec = spec_from(&o(&["--name", "corridor", "--seed", "99"])).unwrap();
         assert_eq!(spec.seed, 99);
+    }
+
+    #[test]
+    fn devices_override_applies_and_rejects_bad_values() {
+        let spec = spec_from(&o(&["--name", "ppp-sparse", "--devices", "10000"])).unwrap();
+        let n = compile(&spec).unwrap().device_count() as f64;
+        assert!((n - 10_000.0).abs() < 5.0 * 10_000.0f64.sqrt(), "{n}");
+        assert!(spec_from(&o(&["--name", "ppp-sparse", "--devices", "0"])).is_err());
+        assert!(spec_from(&o(&["--name", "ppp-sparse", "--devices", "many"])).is_err());
+        // Too few devices for urban-hotspot's three-class mix.
+        assert!(
+            spec_from(&o(&["--name", "urban-hotspot", "--devices", "3"]))
+                .unwrap_err()
+                .contains("apportions zero")
+        );
     }
 
     #[test]

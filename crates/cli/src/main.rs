@@ -78,7 +78,8 @@ fn print_usage() {
          \n\
          subcommands:\n\
          \x20 generate  --devices N --gateways G [--radius M] [--seed S] [--p-los F] -o FILE\n\
-         \x20 allocate  --topology FILE [--strategy ef-lora|legacy|rs-lora|ef-lora-14dbm] [-o FILE]\n\
+         \x20 allocate  --topology FILE [--strategy ef-lora|legacy|rs-lora|ef-lora-14dbm|adr|\n\
+         \x20           ef-lora-spatial] [-o FILE]\n\
          \x20 simulate  --topology FILE --allocation FILE [--duration S] [--seed N] [--duty F]\n\
          \x20 compare   --topology FILE [--duration S] [--duty F]\n\
          \x20 grow      --topology FILE --allocation FILE [--repair true|false] [-o FILE]\n\
@@ -87,7 +88,7 @@ fn print_usage() {
          \x20           [--mtbf S] [--mttr S] [--epochs N] [--epoch-duration S]\n\
          \x20           [--recovery static|reactive|oracle] [--threshold F] [--seed N] [-o FILE]\n\
          \x20 scenario  validate|generate|run|sweep (--spec FILE | --name CATALOG)\n\
-         \x20           [--scale F] [--seed N] [--strategy S | --strategies A,B] [--reps N]\n\
+         \x20           [--scale F] [--devices N] [--seed N] [--strategy S | --strategies A,B] [--reps N]\n\
          \x20           [--threads N] [--epoch-duration S] [--topology FILE] [-o FILE]\n\
          \x20 serve     (--spec FILE | --name CATALOG | --restore SNAPSHOT) [--scale F]\n\
          \x20           [--seed N] [--strategy S] [--port P] [--snapshot PATH]\n\

@@ -8,11 +8,24 @@
 
 use lora_sim::Topology;
 
+/// Population above which the quadratic all-pairs sweep loses to the
+/// cell-indexed count (grid build + candidate filtering overhead amortise
+/// once each device would otherwise be compared against hundreds).
+const GRIDDED_COUNT_THRESHOLD: usize = 512;
+
 /// Counts, for every device, how many other devices lie within
 /// `radius_m` — the "neighboring/contending" degree.
+///
+/// Large populations delegate to the cell-indexed counter of
+/// [`lora_spatial::grid::neighbor_counts`], which visits only the grid
+/// neighborhoods that can contain a match and returns counts identical
+/// to this all-pairs definition.
 pub fn neighbor_counts(topology: &Topology, radius_m: f64) -> Vec<usize> {
     let sites = topology.devices();
     let n = sites.len();
+    if n >= GRIDDED_COUNT_THRESHOLD {
+        return lora_spatial::grid::neighbor_counts(topology, radius_m);
+    }
     let mut counts = vec![0usize; n];
     for i in 0..n {
         for j in i + 1..n {

@@ -174,6 +174,16 @@ impl EfLora {
         self.delta
     }
 
+    /// The configured device visiting order.
+    pub fn ordering(&self) -> DeviceOrdering {
+        self.ordering
+    }
+
+    /// The pinned transmission power, if any.
+    pub fn fixed_tp(&self) -> Option<TxPowerDbm> {
+        self.fixed_tp
+    }
+
     /// The initial allocation: smallest feasible SF at maximum power
     /// (devices out of range even at SF12 get SF12), channels striped
     /// round-robin so no channel starts overloaded.

@@ -158,17 +158,41 @@ impl IncrementalAllocator {
                 reason: "current allocation must cover the topology exactly",
             });
         }
-        if devices.iter().any(|&d| d >= current.len()) {
+        let mut state = ctx.model().state(current.to_vec())?;
+        self.repair_in_state(ctx, &mut state, devices)
+    }
+
+    /// [`IncrementalAllocator::repair`] over a caller-built
+    /// [`lora_model::ModelState`].
+    ///
+    /// The cell-sharded stitch phase uses this: it builds each cell's
+    /// state against a model carrying [`lora_model::Ambient`] boundary
+    /// offsets, then repairs the cell's boundary devices in it — the same
+    /// scan-and-apply loop as [`IncrementalAllocator::repair`], with the
+    /// out-of-cell world priced into the state instead of absent. The
+    /// state is left refreshed and consistent with the returned
+    /// allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError::InvalidParameter`] when a device index is
+    /// out of range for the state's allocation.
+    pub fn repair_in_state(
+        &self,
+        ctx: &AllocationContext<'_>,
+        state: &mut lora_model::ModelState<'_>,
+        devices: &[usize],
+    ) -> Result<IncrementalOutcome, AllocError> {
+        if devices.iter().any(|&d| d >= state.alloc().len()) {
             return Err(AllocError::InvalidParameter {
                 reason: "repair device index out of range",
             });
         }
-        let mut state = ctx.model().state(current.to_vec())?;
         let mut candidates = 0u64;
         let mut reconfigured = 0usize;
         for &device in devices {
             let before = state.alloc()[device];
-            candidates += scan_and_apply(ctx, &mut state, device);
+            candidates += scan_and_apply(ctx, state, device);
             if state.alloc()[device] != before {
                 reconfigured += 1;
             }

@@ -22,6 +22,10 @@
 //! * [`resilience`] — degradation detection and online recovery under
 //!   gateway/channel faults: [`resilience::ResilienceController`] plus the
 //!   masked-repair loop of [`resilience::run_faulted`];
+//! * [`spatial::SpatialEfLora`] — the cell-sharded scale-out path:
+//!   per-cell EF-LoRa solves against frozen-ring + far-field ambient
+//!   pricing (paper Eq. 17–20), for populations past the dense model's
+//!   reach;
 //! * [`fairness`], [`lifetime`] — the evaluation metrics.
 //!
 //! # Quick start
@@ -62,6 +66,7 @@ pub mod incremental;
 pub mod lifetime;
 pub mod placement;
 pub mod resilience;
+pub mod spatial;
 pub mod strategy;
 
 pub use allocation::Allocation;
@@ -71,6 +76,8 @@ pub use error::AllocError;
 pub use exhaustive::ExhaustiveSearch;
 pub use greedy::{DeviceOrdering, EfLora, GreedyReport};
 pub use incremental::{IncrementalAllocator, IncrementalOutcome};
+pub use spatial::{SpatialEfLora, SpatialReport};
+
 pub use resilience::{
     reallocate_masked, run_faulted, Decision, EpochReport, RecoveryMode, ResilienceConfig,
     ResilienceController, ResilienceRun,

@@ -31,6 +31,21 @@ pub enum ModelError {
         /// Largest representable PHY payload, bytes.
         max: usize,
     },
+    /// The dense attenuation matrix for this deployment would exceed the
+    /// byte budget (`EF_LORA_ATTENUATION_BUDGET`, default 2 GiB) — a
+    /// typed refusal instead of an abort-on-OOM. Deployments past this
+    /// point go through the cell-sharded path (`lora-spatial` tiles plus
+    /// `ef_lora::spatial`).
+    TopologyTooLarge {
+        /// Number of devices in the topology.
+        devices: usize,
+        /// Number of gateways in the topology.
+        gateways: usize,
+        /// Bytes the dense matrix would need.
+        required_bytes: u64,
+        /// The budget that refused it.
+        budget_bytes: u64,
+    },
 }
 
 impl fmt::Display for ModelError {
@@ -54,6 +69,17 @@ impl fmt::Display for ModelError {
             ModelError::PayloadTooLarge { len, max } => write!(
                 f,
                 "configured PHY payload of {len} bytes exceeds the LoRa maximum of {max}"
+            ),
+            ModelError::TopologyTooLarge {
+                devices,
+                gateways,
+                required_bytes,
+                budget_bytes,
+            } => write!(
+                f,
+                "dense attenuation matrix for {devices} devices x {gateways} gateways needs \
+                 {required_bytes} bytes, over the {budget_bytes}-byte budget; use the \
+                 cell-sharded path for deployments this large"
             ),
         }
     }

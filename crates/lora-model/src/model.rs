@@ -80,6 +80,50 @@ pub struct NetworkModel {
     density_per_m2: f64,
     /// Which analytical PDR form to evaluate (see [`PdrForm`]).
     pdr_form: PdrForm,
+    /// Frozen contributions of out-of-scope devices (see [`Ambient`]);
+    /// `None` means a self-contained deployment.
+    ambient: Option<Ambient>,
+}
+
+/// Frozen contributions of devices *outside* a model's scope.
+///
+/// The cell-sharded allocator solves one cell at a time: the cell's
+/// devices form the model's population, while the boundary ring and the
+/// analytically priced far field stay fixed during the cell's solve.
+/// Their aggregate effect enters here — as additive offsets to the three
+/// group/gateway sums [`ModelState`] maintains — so the greedy scan and
+/// the repair machinery run unmodified on the local subproblem:
+///
+/// * `power` adds to each contention group's received-power sum at each
+///   gateway (interference seen by local devices);
+/// * `load` adds to each group's contention load `Σα` (collision
+///   pressure on the shared slots);
+/// * `lambda` adds to each gateway's expected demodulator occupancy `Λ`
+///   (capacity pressure).
+///
+/// All-zero offsets are bitwise indistinguishable from no ambient at
+/// all, which is the equivalence the below-threshold proptests pin.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Ambient {
+    /// Added to the group received-power sums, mW, flat
+    /// `[group][gateway]` with `group_count(channels)` rows.
+    pub power: Vec<f64>,
+    /// Added to the per-group contention loads `Σα` (dimensionless).
+    pub load: Vec<f64>,
+    /// Added to the per-gateway expected occupancy `Λ` (dimensionless).
+    pub lambda: Vec<f64>,
+}
+
+impl Ambient {
+    /// An all-zero ambient for a model with `groups` contention groups
+    /// and `gateways` gateways.
+    pub fn zeros(groups: usize, gateways: usize) -> Self {
+        Ambient {
+            power: vec![0.0; groups * gateways],
+            load: vec![0.0; groups],
+            lambda: vec![0.0; gateways],
+        }
+    }
 }
 
 impl NetworkModel {
@@ -100,8 +144,69 @@ impl NetworkModel {
     /// # Errors
     ///
     /// Returns [`ModelError::PayloadTooLarge`] when no time-on-air exists
-    /// for `config.phy_payload_len()`.
+    /// for `config.phy_payload_len()`, and [`ModelError::TopologyTooLarge`]
+    /// when the dense attenuation matrix would exceed the byte budget
+    /// (`EF_LORA_ATTENUATION_BUDGET`, default 2 GiB).
     pub fn try_new(config: &SimConfig, topology: &Topology) -> Result<Self, ModelError> {
+        Self::try_new_with_budget(config, topology, lora_sim::attenuation_budget_from_env())
+    }
+
+    /// [`NetworkModel::try_new`] with an explicit byte budget for the
+    /// dense attenuation matrix instead of the environment default.
+    pub fn try_new_with_budget(
+        config: &SimConfig,
+        topology: &Topology,
+        budget_bytes: u64,
+    ) -> Result<Self, ModelError> {
+        // Shared with the simulator — and parallelised there for large
+        // deployments (see `lora_sim::attenuation_matrix`). The budget
+        // turns what would be an abort-on-OOM into a typed refusal that
+        // points at the cell-sharded path.
+        let attenuation = lora_sim::try_attenuation_matrix(config, topology, budget_bytes)
+            .map_err(|e| match e {
+                lora_sim::SimError::TopologyTooLarge {
+                    devices,
+                    gateways,
+                    required_bytes,
+                    budget_bytes,
+                } => ModelError::TopologyTooLarge {
+                    devices,
+                    gateways,
+                    required_bytes,
+                    budget_bytes,
+                },
+                other => panic!("unexpected attenuation build failure: {other}"),
+            })?;
+        Self::try_new_with_attenuation(config, topology, attenuation)
+    }
+
+    /// [`NetworkModel::try_new`] over a caller-supplied attenuation
+    /// matrix — the entry point for the cell-sharded path, where the
+    /// per-cell rows come from a `lora-spatial` tile built against the
+    /// cell's gateway subset rather than a fresh dense build. The matrix
+    /// must use the same kernel as [`lora_sim::attenuation_matrix`] for
+    /// the model to stay bitwise consistent with the dense path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::PayloadTooLarge`] as in
+    /// [`NetworkModel::try_new`], and
+    /// [`ModelError::AllocationLengthMismatch`] when the matrix row count
+    /// does not match the topology's device count.
+    pub fn try_new_with_attenuation(
+        config: &SimConfig,
+        topology: &Topology,
+        attenuation: AttenuationMatrix,
+    ) -> Result<Self, ModelError> {
+        if topology.gateway_count() > 0
+            && (attenuation.device_count() != topology.device_count()
+                || attenuation.gateway_count() != topology.gateway_count())
+        {
+            return Err(ModelError::AllocationLengthMismatch {
+                devices: topology.device_count(),
+                allocation: attenuation.device_count(),
+            });
+        }
         let bw = Bandwidth::Bw125;
         let payload = config.phy_payload_len();
         let mut toa_by_sf = [0.0; 6];
@@ -119,9 +224,6 @@ impl NetworkModel {
             sens_mw[sf.index()] = dbm_to_mw(sf.sensitivity_dbm(bw, config.noise_figure_db));
             th_lin[sf.index()] = dbm_to_mw(sf.snr_threshold_db());
         }
-        // Shared with the simulator — and parallelised there for large
-        // deployments (see `lora_sim::attenuation_matrix`).
-        let attenuation = lora_sim::attenuation_matrix(config, topology);
         let beta = topology
             .devices()
             .iter()
@@ -152,6 +254,7 @@ impl NetworkModel {
             n_channels: config.region.uplink_channel_count(),
             density_per_m2,
             pdr_form: PdrForm::default(),
+            ambient: None,
         })
     }
 
@@ -163,6 +266,48 @@ impl NetworkModel {
     pub fn with_pdr_form(mut self, form: PdrForm) -> Self {
         self.pdr_form = form;
         self
+    }
+
+    /// Installs frozen out-of-scope contributions (see [`Ambient`]).
+    /// Every subsequent [`NetworkModel::state`] build — including
+    /// [`ModelState::refresh`] — starts its group sums from these offsets
+    /// instead of zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the offset dimensions do not match this model
+    /// (`load` per contention group, `lambda` per gateway, `power` flat
+    /// `[group][gateway]`).
+    #[must_use]
+    pub fn with_ambient(mut self, ambient: Ambient) -> Self {
+        let n_groups = group_count(self.n_channels);
+        assert_eq!(ambient.load.len(), n_groups, "one load offset per group");
+        assert_eq!(
+            ambient.lambda.len(),
+            self.n_gateways,
+            "one occupancy offset per gateway"
+        );
+        assert_eq!(
+            ambient.power.len(),
+            n_groups * self.n_gateways,
+            "power offsets must be flat [group][gateway]"
+        );
+        assert!(
+            ambient
+                .power
+                .iter()
+                .chain(&ambient.load)
+                .chain(&ambient.lambda)
+                .all(|v| v.is_finite() && *v >= 0.0),
+            "ambient offsets must be finite and non-negative"
+        );
+        self.ambient = Some(ambient);
+        self
+    }
+
+    /// The installed ambient offsets, if any.
+    pub fn ambient(&self) -> Option<&Ambient> {
+        self.ambient.as_ref()
     }
 
     /// Number of modelled devices.
@@ -579,6 +724,16 @@ impl<'m> ModelState<'m> {
             group_min: vec![f64::INFINITY; n_groups],
             theta_cache: Vec::new(),
         };
+        if let Some(ambient) = &model.ambient {
+            // Out-of-scope contributions seed the sums; the loop below
+            // then accumulates local devices on top exactly as for a
+            // self-contained deployment.
+            for grp in 0..n_groups {
+                state.alpha_sum[grp] = ambient.load[grp];
+                state.power_sum[grp][..g].copy_from_slice(&ambient.power[grp * g..(grp + 1) * g]);
+            }
+            state.lambda.copy_from_slice(&ambient.lambda);
+        }
         for i in 0..n {
             let cfg = state.alloc[i];
             let grp = state.group_of(&cfg);
@@ -1115,6 +1270,73 @@ mod tests {
             other => panic!("expected PayloadTooLarge, got {other:?}"),
         }
         assert!(NetworkModel::try_new(&SimConfig::default(), &topo).is_ok());
+    }
+
+    #[test]
+    fn oversize_topology_is_an_error_not_an_abort() {
+        let topo = line_topology(8, 50.0, 2);
+        let config = SimConfig::default();
+        match NetworkModel::try_new_with_budget(&config, &topo, 64) {
+            Err(ModelError::TopologyTooLarge {
+                devices,
+                gateways,
+                required_bytes,
+                budget_bytes,
+            }) => {
+                assert_eq!((devices, gateways), (8, 2));
+                assert_eq!(required_bytes, 8 * 2 * 8);
+                assert_eq!(budget_bytes, 64);
+            }
+            other => panic!("expected TopologyTooLarge, got {other:?}"),
+        }
+        assert!(NetworkModel::try_new_with_budget(&config, &topo, 128).is_ok());
+    }
+
+    #[test]
+    fn zero_ambient_is_bitwise_invisible() {
+        let topo = line_topology(30, 40.0, 2);
+        let plain = model_for(&topo);
+        let groups = crate::contention::group_count(plain.channel_count());
+        let zeroed = plain
+            .clone()
+            .with_ambient(Ambient::zeros(groups, plain.gateway_count()));
+        let alloc: Vec<TxConfig> = (0..30)
+            .map(|i| TxConfig::new(SpreadingFactor::Sf7, TxPowerDbm::new(14.0), i % 4))
+            .collect();
+        let a = plain.evaluate(&alloc);
+        let b = zeroed.evaluate(&alloc);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn ambient_pressure_lowers_ee_and_survives_refresh() {
+        let topo = line_topology(20, 40.0, 1);
+        let plain = model_for(&topo);
+        let groups = crate::contention::group_count(plain.channel_count());
+        let mut offsets = Ambient::zeros(groups, 1);
+        // Heavy out-of-scope traffic in every group: interference power,
+        // contention load and demodulator occupancy all rise.
+        for v in &mut offsets.power {
+            *v = 1e-9;
+        }
+        for v in &mut offsets.load {
+            *v = 0.05;
+        }
+        offsets.lambda[0] = 1.5;
+        let loaded = plain.clone().with_ambient(offsets);
+        let alloc = uniform_alloc(20, SpreadingFactor::Sf9, 0);
+        let quiet = plain.evaluate(&alloc);
+        let noisy = loaded.evaluate(&alloc);
+        for (q, n) in quiet.iter().zip(&noisy) {
+            assert!(n < q, "ambient pressure must cost EE: {n} vs {q}");
+        }
+        // refresh() rebuilds from the model, so the offsets persist.
+        let mut state = loaded.state(alloc.clone()).unwrap();
+        let before = state.min_ee();
+        state.refresh();
+        assert_eq!(state.min_ee().to_bits(), before.to_bits());
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! `scenario` subcommand consumes the files); a test pins the files to
 //! these constructors, refreshed with `EF_LORA_UPDATE_GOLDEN=1`.
 
+use crate::error::ScenarioError;
 use crate::spec::{
     ChurnKind, ClassSpec, GatewaySpec, HotspotSpec, ScenarioSpec, SimSection, SpatialSpec,
 };
@@ -246,6 +247,96 @@ pub fn scale_devices(spec: &ScenarioSpec, factor: f64) -> ScenarioSpec {
     out
 }
 
+/// Pins a scenario's device population to exactly `devices` (expected
+/// count for stochastic spatial processes) — the scale-out knob behind
+/// `ef-lora-plan scenario generate --devices N`.
+///
+/// Fixed-count shapes (`UniformDisc`, `Annulus`, `Corridor`) take the
+/// count verbatim; a `Ppp` has its intensity set to `devices / area`, so
+/// the *expected* draw matches; `Clusters` scale hotspot means and the
+/// background proportionally.
+///
+/// # Errors
+///
+/// [`ScenarioError::InvalidSpec`] when `devices` is zero, or when the
+/// override is too small for the spec's class mix — a declared class
+/// with a nonzero fraction that would be apportioned zero devices would
+/// silently vanish from the deployment.
+pub fn override_devices(
+    spec: &ScenarioSpec,
+    devices: usize,
+) -> Result<ScenarioSpec, ScenarioError> {
+    if devices == 0 {
+        return Err(ScenarioError::InvalidSpec {
+            field: "spatial.devices".into(),
+            reason: "device override must be positive".into(),
+        });
+    }
+    if let Some(classes) = &spec.classes {
+        let fractions: Vec<f64> = classes.iter().map(|c| c.fraction).collect();
+        let counts = crate::compile::apportion(devices, &fractions);
+        for (class, &count) in classes.iter().zip(&counts) {
+            if class.fraction > 0.0 && count == 0 {
+                return Err(ScenarioError::InvalidSpec {
+                    field: format!("classes[{}].fraction", class.name),
+                    reason: format!(
+                        "override of {devices} devices apportions zero to class `{}` \
+                         (fraction {}); raise the override or drop the class",
+                        class.name, class.fraction
+                    ),
+                });
+            }
+        }
+    }
+    let mut out = spec.clone();
+    out.spatial = match &spec.spatial {
+        SpatialSpec::UniformDisc { .. } => SpatialSpec::UniformDisc { devices },
+        SpatialSpec::Ppp { .. } => {
+            let area_km2 = std::f64::consts::PI * (spec.radius_m / 1_000.0).powi(2);
+            SpatialSpec::Ppp {
+                intensity_per_km2: devices as f64 / area_km2,
+            }
+        }
+        SpatialSpec::Clusters {
+            hotspots,
+            background_devices,
+        } => {
+            let expected: f64 =
+                hotspots.iter().map(|h| h.mean_devices).sum::<f64>() + *background_devices as f64;
+            let factor = devices as f64 / expected;
+            SpatialSpec::Clusters {
+                hotspots: hotspots
+                    .iter()
+                    .map(|h| HotspotSpec {
+                        mean_devices: (h.mean_devices * factor).max(1.0),
+                        ..h.clone()
+                    })
+                    .collect(),
+                background_devices: ((*background_devices as f64 * factor).round() as usize).max(1),
+            }
+        }
+        SpatialSpec::Annulus {
+            inner_m, outer_m, ..
+        } => SpatialSpec::Annulus {
+            devices,
+            inner_m: *inner_m,
+            outer_m: *outer_m,
+        },
+        SpatialSpec::Corridor {
+            length_m,
+            width_m,
+            angle_deg,
+            ..
+        } => SpatialSpec::Corridor {
+            devices,
+            length_m: *length_m,
+            width_m: *width_m,
+            angle_deg: *angle_deg,
+        },
+    };
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -285,6 +376,46 @@ mod tests {
             );
             assert!(smoke > 0, "{}", spec.name);
         }
+    }
+
+    #[test]
+    fn override_devices_pins_fixed_counts_and_ppp_expectations() {
+        let uniform = override_devices(&paper_uniform(), 10_000).unwrap();
+        assert_eq!(
+            uniform.spatial,
+            SpatialSpec::UniformDisc { devices: 10_000 }
+        );
+        assert!(uniform.validate().is_ok());
+
+        let ppp = override_devices(&ppp_sparse(), 50_000).unwrap();
+        let SpatialSpec::Ppp { intensity_per_km2 } = ppp.spatial else {
+            panic!("ppp override must stay a ppp");
+        };
+        let area_km2 = std::f64::consts::PI * (ppp.radius_m / 1_000.0).powi(2);
+        assert!((intensity_per_km2 * area_km2 - 50_000.0).abs() < 1e-6);
+        // The compiled draw lands near the expectation (Poisson, ±5 σ).
+        let n = compile(&ppp).unwrap().device_count() as f64;
+        assert!((n - 50_000.0).abs() < 5.0 * 50_000.0f64.sqrt(), "{n}");
+
+        let clusters = override_devices(&urban_hotspot(), 4_500).unwrap();
+        let n = compile(&clusters).unwrap().device_count() as f64;
+        assert!((n - 4_500.0).abs() < 5.0 * 4_500.0f64.sqrt(), "{n}");
+    }
+
+    #[test]
+    fn override_devices_rejects_zero_and_vanishing_classes() {
+        assert!(matches!(
+            override_devices(&paper_uniform(), 0),
+            Err(ScenarioError::InvalidSpec { field, .. }) if field == "spatial.devices"
+        ));
+        // urban-hotspot's rarest class holds 10% of devices; 3 devices
+        // apportion it zero.
+        assert!(matches!(
+            override_devices(&urban_hotspot(), 3),
+            Err(ScenarioError::InvalidSpec { field, .. }) if field.contains("meter")
+        ));
+        // 10 devices give every class at least one.
+        assert!(override_devices(&urban_hotspot(), 10).is_ok());
     }
 
     #[test]

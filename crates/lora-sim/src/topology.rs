@@ -398,6 +398,45 @@ pub fn attenuation_matrix(
 /// spawn overhead outweighs the arithmetic.
 pub const ATTENUATION_PARALLEL_THRESHOLD: usize = 16_384;
 
+/// Default byte budget for [`try_attenuation_matrix`]: 2 GiB, enough for
+/// any deployment the dense analytical pipeline should reasonably hold
+/// in one allocation. Overridable via the `EF_LORA_ATTENUATION_BUDGET`
+/// environment variable (bytes).
+pub const DEFAULT_ATTENUATION_BUDGET_BYTES: u64 = 2 << 30;
+
+/// The byte budget for dense attenuation matrices:
+/// `EF_LORA_ATTENUATION_BUDGET` when set to a parseable byte count,
+/// otherwise [`DEFAULT_ATTENUATION_BUDGET_BYTES`].
+pub fn attenuation_budget_from_env() -> u64 {
+    std::env::var("EF_LORA_ATTENUATION_BUDGET")
+        .ok()
+        .and_then(|raw| raw.trim().parse::<u64>().ok())
+        .filter(|&b| b > 0)
+        .unwrap_or(DEFAULT_ATTENUATION_BUDGET_BYTES)
+}
+
+/// Fallible front of [`attenuation_matrix`]: refuses with
+/// [`SimError::TopologyTooLarge`] when the dense `[device][gateway]`
+/// matrix would exceed `budget_bytes`, instead of aborting on OOM deep
+/// inside the allocator. Below the budget the result is the
+/// byte-identical dense build.
+pub fn try_attenuation_matrix(
+    config: &crate::config::SimConfig,
+    topology: &Topology,
+    budget_bytes: u64,
+) -> Result<AttenuationMatrix, crate::error::SimError> {
+    let required = topology.device_count() as u64 * topology.gateway_count() as u64 * 8;
+    if required > budget_bytes {
+        return Err(crate::error::SimError::TopologyTooLarge {
+            devices: topology.device_count(),
+            gateways: topology.gateway_count(),
+            required_bytes: required,
+            budget_bytes,
+        });
+    }
+    Ok(attenuation_matrix(config, topology))
+}
+
 /// Places `n` gateways on the cross positions of a mesh over a disc of
 /// radius `radius_m`: one gateway sits at the centre; otherwise a
 /// `ceil(sqrt(n)) × ceil(sqrt(n))` grid is scaled to the inscribed square
@@ -441,6 +480,29 @@ mod tests {
         for d in topo.devices() {
             assert!(d.position.distance_to(&origin) <= 5_000.0 + 1e-9);
         }
+    }
+
+    #[test]
+    fn attenuation_budget_refuses_oversize_matrices() {
+        let config = SimConfig::default();
+        let topo = Topology::disc(100, 2, 2_000.0, &config, 4);
+        // 100 × 2 × 8 = 1600 bytes: one under the need refuses, at the
+        // need succeeds with the byte-identical dense build.
+        match try_attenuation_matrix(&config, &topo, 1_599) {
+            Err(crate::error::SimError::TopologyTooLarge {
+                devices,
+                gateways,
+                required_bytes,
+                budget_bytes,
+            }) => {
+                assert_eq!((devices, gateways), (100, 2));
+                assert_eq!(required_bytes, 1_600);
+                assert_eq!(budget_bytes, 1_599);
+            }
+            other => panic!("expected TopologyTooLarge, got {other:?}"),
+        }
+        let fallible = try_attenuation_matrix(&config, &topo, 1_600).unwrap();
+        assert_eq!(fallible, attenuation_matrix(&config, &topo));
     }
 
     #[test]

@@ -1,0 +1,246 @@
+//! The far-field interference pricer (paper Eq. 17–20, localized).
+//!
+//! The paper's PPP reduction replaces the pairwise interference sum with
+//! a Laplace transform over a Poisson point process of group density
+//! `λ_{s,c} = λ·N_{s,c}/N` (Eq. 20). The cell-sharded allocator uses the
+//! same license in *truncated* form: devices inside a cell's boundary
+//! ring keep their exact pairwise terms, and everything beyond the ring
+//! is priced as a PPP annulus `[r_min, r_max]` around the cell:
+//!
+//! * [`FarFieldPricer::interference_kernel`] — the first moment
+//!   `2π ∫ ā(r)·r dr` of the annulus attenuation, which multiplied by
+//!   `λ_g·p̄_g` gives the *mean* far-field interference power. The
+//!   allocator's PDR form consumes mean interference (the expectation of
+//!   Eq. 16's numerator), so the first moment is the term that composes
+//!   with the exact local sums;
+//! * [`FarFieldPricer::occupancy_kernel`] — the annulus contribution to
+//!   a gateway's expected demodulator occupancy `Λ` (Eq. 12's mean),
+//!   with the Rayleigh detection probability folded in;
+//! * [`FarFieldPricer::truncated_laplace`] — the full Laplace transform
+//!   of the annulus interference under Rayleigh fading, the literal
+//!   Eq. 18–19 restricted to `[r_min, r_max]`; it reduces to
+//!   `lora_model::interference::laplace_transform` as the annulus grows
+//!   to the whole plane.
+//!
+//! All kernels average over the LoS/NLoS environment mixture the way the
+//! deployment samples it (probability `p_los`), and integrate the *real*
+//! configured path-loss curve by composite Simpson — no closed-form
+//! exponent assumptions, so log-distance models price correctly too.
+
+use lora_phy::path_loss::{BetaProfile, PathLossModel};
+use lora_sim::SimConfig;
+
+/// Simpson panels per kernel evaluation; the integrands are smooth and
+/// monotone, so a fixed fine grid is deterministic and accurate.
+const PANELS: usize = 256;
+
+/// Annulus pricing kernels for one deployment's propagation model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FarFieldPricer {
+    path_loss: PathLossModel,
+    betas: BetaProfile,
+    p_los: f64,
+    r_max: f64,
+}
+
+impl FarFieldPricer {
+    /// Builds the pricer for `config`'s propagation model with the far
+    /// edge of every annulus at `r_max_m` (typically the deployment
+    /// diameter — a finite deployment has no interferers beyond it).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `r_max_m` is not a positive finite number.
+    pub fn new(config: &SimConfig, r_max_m: f64) -> Self {
+        assert!(
+            r_max_m.is_finite() && r_max_m > 0.0,
+            "far-field outer radius must be positive, got {r_max_m}"
+        );
+        FarFieldPricer {
+            path_loss: config.path_loss,
+            betas: config.betas,
+            p_los: config.p_los.clamp(0.0, 1.0),
+            r_max: r_max_m,
+        }
+    }
+
+    /// The annulus outer radius, metres.
+    pub fn r_max_m(&self) -> f64 {
+        self.r_max
+    }
+
+    /// Environment-mixture expectation of `f(a(r))` at range `r`.
+    #[inline]
+    fn mix(&self, r: f64, f: impl Fn(f64) -> f64) -> f64 {
+        let a_los = self.path_loss.attenuation(r, self.betas.los);
+        let a_nlos = self.path_loss.attenuation(r, self.betas.nlos);
+        self.p_los * f(a_los) + (1.0 - self.p_los) * f(a_nlos)
+    }
+
+    /// Composite Simpson of `g(r)·r` over `[r_min, r_max]` (the radial
+    /// part of a polar area integral, without the `2π`).
+    fn radial_integral(&self, r_min: f64, g: impl Fn(f64) -> f64) -> f64 {
+        let lo = r_min.max(0.0);
+        if lo >= self.r_max {
+            return 0.0;
+        }
+        let h = (self.r_max - lo) / PANELS as f64;
+        let mut acc = 0.0;
+        for i in 0..PANELS {
+            let a = lo + i as f64 * h;
+            let m = a + 0.5 * h;
+            let b = a + h;
+            acc += (g(a) * a + 4.0 * g(m) * m + g(b) * b) * h / 6.0;
+        }
+        acc
+    }
+
+    /// `2π ∫_{r_min}^{r_max} ā(r)·r dr` — multiply by the group density
+    /// `λ_g` (per m²) and the group's mean transmit power `p̄_g` (mW) to
+    /// get the mean far-field interference power at a point, mW.
+    pub fn interference_kernel(&self, r_min: f64) -> f64 {
+        2.0 * std::f64::consts::PI * self.radial_integral(r_min, |r| self.mix(r, |a| a))
+    }
+
+    /// `2π ∫_{r_min}^{r_max} ā_det(r)·r dr` with
+    /// `ā_det(r) = E_env[exp(−sens/(p̄·a(r)))]` — multiply by `λ_sf·α_sf`
+    /// (group density times duty cycle) to get the annulus contribution
+    /// to a gateway's expected occupancy `Λ`.
+    pub fn occupancy_kernel(&self, sens_mw: f64, p_mw: f64, r_min: f64) -> f64 {
+        if p_mw <= 0.0 {
+            return 0.0;
+        }
+        2.0 * std::f64::consts::PI
+            * self.radial_integral(r_min, |r| {
+                self.mix(r, |a| {
+                    let mean_rx = p_mw * a;
+                    if mean_rx <= 0.0 {
+                        0.0
+                    } else {
+                        (-sens_mw / mean_rx).exp()
+                    }
+                })
+            })
+    }
+
+    /// Area of the annulus `[r_min, r_max]`, m² — the far-field count of
+    /// a group is `λ_g` times this.
+    pub fn ring_area_m2(&self, r_min: f64) -> f64 {
+        let lo = r_min.max(0.0).min(self.r_max);
+        std::f64::consts::PI * (self.r_max * self.r_max - lo * lo)
+    }
+
+    /// The Laplace transform of the annulus interference at `s` under
+    /// Rayleigh-faded interferers of density `lambda_per_m2` and transmit
+    /// power `p_mw` — paper Eq. 18–19 truncated to `[r_min, r_max]`:
+    /// `exp(−2πλ ∫ (1 − E_env[1/(1 + s·p·a(r))])·r dr)`.
+    ///
+    /// Returns a value in `(0, 1]`; as `r_min → 0`, `r_max → ∞` this
+    /// approaches the closed form of
+    /// `lora_model::interference::laplace_transform`.
+    pub fn truncated_laplace(&self, s: f64, p_mw: f64, lambda_per_m2: f64, r_min: f64) -> f64 {
+        debug_assert!(s >= 0.0 && p_mw >= 0.0 && lambda_per_m2 >= 0.0);
+        if s == 0.0 || p_mw == 0.0 || lambda_per_m2 == 0.0 {
+            return 1.0;
+        }
+        let exponent = self.radial_integral(r_min, |r| {
+            self.mix(r, |a| {
+                let x = s * p_mw * a;
+                1.0 - 1.0 / (1.0 + x)
+            })
+        });
+        (-2.0 * std::f64::consts::PI * lambda_per_m2 * exponent).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn pricer(r_max: f64) -> FarFieldPricer {
+        FarFieldPricer::new(&SimConfig::default(), r_max)
+    }
+
+    #[test]
+    fn kernels_shrink_with_exclusion_radius() {
+        let p = pricer(10_000.0);
+        let full = p.interference_kernel(0.0);
+        let cut = p.interference_kernel(1_000.0);
+        let far = p.interference_kernel(8_000.0);
+        assert!(full > cut && cut > far && far > 0.0);
+        assert_eq!(p.interference_kernel(10_000.0), 0.0);
+        assert_eq!(p.interference_kernel(20_000.0), 0.0);
+    }
+
+    #[test]
+    fn mean_far_interference_is_below_noise_scale() {
+        // The whole point of the horizon: with the exclusion at the
+        // horizon, far devices contribute less than noise even at
+        // metropolitan densities.
+        let config = SimConfig::default();
+        let p = pricer(10_000.0);
+        let horizon = crate::horizon::attenuation_horizon_m(&config, 1e-2);
+        let lambda = 1_000_000.0 / (PI * 5_000.0f64.powi(2)); // 1M in 5 km
+        let mean_i = lambda * 25.0 * p.interference_kernel(horizon);
+        let noise = lora_phy::dbm_to_mw(lora_phy::link::noise_floor_dbm(
+            lora_phy::Bandwidth::Bw125,
+            config.noise_figure_db,
+        ));
+        assert!(
+            mean_i < noise * 1_000.0,
+            "far field stays noise-scale: {mean_i} vs noise {noise}"
+        );
+    }
+
+    #[test]
+    fn occupancy_kernel_bounded_by_ring_area() {
+        // The detection probability is ≤ 1, so the kernel is at most the
+        // annulus area.
+        let p = pricer(6_000.0);
+        for r_min in [0.0, 500.0, 3_000.0] {
+            let k = p.occupancy_kernel(1e-12, 25.0, r_min);
+            assert!(k >= 0.0 && k <= p.ring_area_m2(r_min) * (1.0 + 1e-12));
+        }
+        assert_eq!(p.occupancy_kernel(1e-12, 0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn truncated_laplace_is_probability_like_and_monotone() {
+        let p = pricer(10_000.0);
+        for s in [1e-3, 1.0, 1e3] {
+            for lambda in [0.0, 1e-8, 1e-5] {
+                let v = p.truncated_laplace(s, 25.0, lambda, 100.0);
+                assert!((0.0..=1.0).contains(&v), "s={s} λ={lambda}: {v}");
+            }
+        }
+        let base = p.truncated_laplace(1.0, 25.0, 1e-7, 100.0);
+        assert!(p.truncated_laplace(1.0, 25.0, 2e-7, 100.0) < base);
+        assert!(p.truncated_laplace(2.0, 25.0, 1e-7, 100.0) < base);
+        assert!(p.truncated_laplace(1.0, 25.0, 1e-7, 2_000.0) > base);
+        assert_eq!(p.truncated_laplace(0.0, 25.0, 1e-7, 100.0), 1.0);
+    }
+
+    #[test]
+    fn truncated_laplace_approaches_the_closed_form() {
+        // Friis kernel with a uniform exponent: a(r) = K·r^{−β} for
+        // r ≥ 1, so the untruncated transform has the closed form
+        // exp(−2πλ·(s·p·K)^{2/β}·C(β)) with C(β) = (π/β)/sin(2π/β).
+        let beta = 3.5;
+        let f_hz = 903e6;
+        let config = SimConfig::builder()
+            .path_loss(PathLossModel::friis_exponent(f_hz))
+            .betas(BetaProfile::uniform(beta))
+            .build();
+        let p = FarFieldPricer::new(&config, 2_000_000.0);
+        let k = config.path_loss.attenuation(1.0, beta); // a(1) = K
+        let (s, p_mw, lambda) = (5e9, 25.0, 1e-9);
+        let c_beta = (PI / beta) / (2.0 * PI / beta).sin();
+        let closed = (-2.0 * PI * lambda * (s * p_mw * k).powf(2.0 / beta) * c_beta).exp();
+        let numeric = p.truncated_laplace(s, p_mw, lambda, 0.0);
+        assert!(
+            (numeric - closed).abs() < 0.05 * closed.max(1e-3),
+            "numeric {numeric} vs closed {closed}"
+        );
+    }
+}

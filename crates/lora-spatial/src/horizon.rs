@@ -1,0 +1,139 @@
+//! The attenuation horizon and the cell-sizing rule derived from it.
+//!
+//! The horizon is the distance beyond which even a maximum-power
+//! transmitter's mean received power drops below a fraction `ε` of the
+//! noise floor — past it, a device's contribution to any gateway's
+//! interference or occupancy is negligible compared to thermal noise.
+//! It bounds how far *exact* pairwise terms need to reach; everything
+//! beyond is priced analytically by [`crate::farfield`].
+//!
+//! Cells are sized from the horizon, then clamped so the *expected* cell
+//! occupancy under a uniform deployment stays near a target — the horizon
+//! controls the physics, the occupancy cap controls per-cell solve cost.
+
+use lora_phy::link::noise_floor_dbm;
+use lora_phy::{dbm_to_mw, Bandwidth};
+use lora_sim::SimConfig;
+
+/// Default relevance threshold: contributions below 1 % of the noise
+/// floor are far field.
+pub const DEFAULT_HORIZON_EPSILON: f64 = 1e-2;
+
+/// The distance (metres) at which the mean received power of a
+/// maximum-power transmitter falls to `epsilon` times the noise floor,
+/// under the *slowest-decaying* configured path-loss exponent (the
+/// farthest-reaching environment, so the horizon upper-bounds relevance
+/// for every device).
+///
+/// Found by bisection on the monotone attenuation curve; clamped to
+/// `[1, 1e6]` metres.
+pub fn attenuation_horizon_m(config: &SimConfig, epsilon: f64) -> f64 {
+    assert!(
+        epsilon.is_finite() && epsilon > 0.0,
+        "horizon epsilon must be positive, got {epsilon}"
+    );
+    let max_p_mw = config
+        .region
+        .tx_power_levels()
+        .last()
+        .expect("regions define at least one TP level")
+        .milliwatts();
+    let noise_mw = dbm_to_mw(noise_floor_dbm(Bandwidth::Bw125, config.noise_figure_db));
+    let beta = config.betas.los.min(config.betas.nlos);
+    let target = epsilon * noise_mw;
+    let rx = |d: f64| max_p_mw * config.path_loss.attenuation(d, beta);
+
+    let (mut lo, mut hi) = (1.0f64, 1e6f64);
+    if rx(lo) <= target {
+        return lo;
+    }
+    if rx(hi) > target {
+        return hi;
+    }
+    for _ in 0..64 {
+        let mid = 0.5 * (lo + hi);
+        if rx(mid) > target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// The cell edge (metres) for a deployment: the attenuation horizon,
+/// clamped so a uniform deployment of `n_devices` over the disc of
+/// `radius_m` puts about `target_occupancy` devices per cell, and never
+/// below 50 m nor above the deployment diameter.
+///
+/// The clamp toward the occupancy target is what makes million-device
+/// runs tractable — the boundary ring then no longer covers the full
+/// horizon, and the far-field pricer accounts for the remainder.
+pub fn cell_size_m(
+    horizon_m: f64,
+    radius_m: f64,
+    n_devices: usize,
+    target_occupancy: usize,
+) -> f64 {
+    let area = std::f64::consts::PI * radius_m * radius_m;
+    let occupancy_edge = if n_devices > 0 && area > 0.0 {
+        (target_occupancy.max(1) as f64 * area / n_devices as f64).sqrt()
+    } else {
+        f64::INFINITY
+    };
+    horizon_m
+        .min(occupancy_edge)
+        .clamp(50.0, (2.0 * radius_m).max(50.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn horizon_is_finite_and_shrinks_with_epsilon() {
+        let config = SimConfig::default();
+        let far = attenuation_horizon_m(&config, 1e-4);
+        let near = attenuation_horizon_m(&config, 1e-1);
+        assert!(near.is_finite() && far.is_finite());
+        assert!(
+            near < far,
+            "a stricter relevance threshold reaches farther: {near} vs {far}"
+        );
+        assert!((1.0..=1e6).contains(&near));
+    }
+
+    #[test]
+    fn horizon_sits_on_the_threshold() {
+        let config = SimConfig::default();
+        let eps = DEFAULT_HORIZON_EPSILON;
+        let d = attenuation_horizon_m(&config, eps);
+        let beta = config.betas.los.min(config.betas.nlos);
+        let max_p = config.region.tx_power_levels().last().unwrap().milliwatts();
+        let rx = max_p * config.path_loss.attenuation(d, beta);
+        let noise = dbm_to_mw(noise_floor_dbm(Bandwidth::Bw125, config.noise_figure_db));
+        assert!(
+            (rx / (eps * noise) - 1.0).abs() < 1e-6,
+            "bisection converged: rx {rx} vs target {}",
+            eps * noise
+        );
+    }
+
+    #[test]
+    fn cell_size_honours_occupancy_cap() {
+        // 1M devices in a 5 km disc: the horizon would dwarf the disc, so
+        // the occupancy clamp takes over.
+        let edge = cell_size_m(3_000.0, 5_000.0, 1_000_000, 256);
+        let area = std::f64::consts::PI * 5_000.0f64.powi(2);
+        let expected_occ = 1_000_000.0 * edge * edge / area;
+        assert!(edge < 3_000.0);
+        assert!(
+            (200.0..=320.0).contains(&expected_occ),
+            "expected occupancy near target: {expected_occ}"
+        );
+        // Small populations keep the horizon-sized cells.
+        assert_eq!(cell_size_m(3_000.0, 5_000.0, 100, 256), 3_000.0);
+        // Degenerate inputs stay clamped.
+        assert_eq!(cell_size_m(3_000.0, 0.0, 0, 256), 50.0);
+    }
+}
